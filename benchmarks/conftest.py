@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Makes the shared `paper` helper importable and disables pytest-benchmark's
+multi-round calibration for the heavy grid benchmarks (each grid is
+memoised, so extra rounds would only time cache hits).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

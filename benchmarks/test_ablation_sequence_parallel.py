@@ -1,0 +1,82 @@
+"""Ablation: sequence parallelism as the memory lever (reference [6]).
+
+The paper's stack (NeMo/Megatron) runs with sequence parallelism on —
+the non-TP activation regions shard along the sequence at no extra
+communication volume. This ablation turns it off and measures what it
+was buying: activation memory per GPU, the valid-configuration space,
+and the microbatch headroom, compared against activation recomputation
+(which buys the same memory for a ~33% compute surcharge).
+"""
+
+from paper import print_table
+
+from repro.hardware.cluster import H100_X64, H200_X32
+from repro.models.catalog import GPT3_175B, LLAMA3_70B
+from repro.models.memory import activation_bytes, fits_in_memory
+from repro.parallelism.enumerate import ConfigSearchSpace, valid_configs
+from repro.units import GB
+
+
+def test_ablation_sequence_parallelism(benchmark):
+    def build():
+        rows = []
+        for model, tp, pp in (
+            (GPT3_175B, 8, 8),
+            (GPT3_175B, 8, 4),
+            (LLAMA3_70B, 4, 4),
+        ):
+            for mb in (1, 2, 4):
+                with_sp = activation_bytes(
+                    model, mb, tp=tp, pp=pp, sequence_parallel=True
+                )
+                without = activation_bytes(
+                    model, mb, tp=tp, pp=pp, sequence_parallel=False
+                )
+                recomputed = activation_bytes(
+                    model, mb, tp=tp, pp=pp, recompute=True,
+                    sequence_parallel=True,
+                )
+                rows.append(
+                    (
+                        model.name, f"TP{tp}-PP{pp}", mb,
+                        with_sp / GB, without / GB, recomputed / GB,
+                        without / with_sp,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "Ablation: activation memory with/without sequence parallelism",
+        ["Model", "Strategy", "mb", "With SP GB", "Without GB",
+         "SP+recompute GB", "Without/with"],
+        rows,
+    )
+
+    # Turning SP off multiplies activation memory several-fold at TP8.
+    gpt_tp8 = [r for r in rows if r[1] == "TP8-PP8" and r[2] == 1][0]
+    assert gpt_tp8[6] > 3.0
+
+    # GPT3-175B TP8-PP8 mb1 fits the 80 GB H100 only with SP (this is
+    # the configuration class Korthikanti et al. built SP for).
+    h100 = H100_X64.node.gpu.memory_bytes
+    assert fits_in_memory(GPT3_175B, h100, 1, tp=8, pp=8,
+                          sequence_parallel=True)
+    assert not fits_in_memory(GPT3_175B, h100, 1, tp=8, pp=8,
+                              sequence_parallel=False)
+
+    # Recomputation can substitute for SP's memory savings, but SP is
+    # free while recomputation costs ~1/3 more compute.
+    assert fits_in_memory(GPT3_175B, h100, 1, tp=8, pp=8,
+                          recompute=True, sequence_parallel=False)
+
+    # The valid-configuration space shrinks without SP.
+    sp_configs = valid_configs(
+        GPT3_175B, H200_X32,
+        ConfigSearchSpace(sequence_parallel=True),
+    )
+    nosp_configs = valid_configs(
+        GPT3_175B, H200_X32,
+        ConfigSearchSpace(sequence_parallel=False),
+    )
+    assert len(nosp_configs) < len(sp_configs)

@@ -1,0 +1,76 @@
+"""Figure 3: time across kernels for GPT3-175B training on 32xH200 and
+64xH100 (all optimizations enabled in the paper; we show Base and act+cc).
+
+Paper shape: H100 spends less time on compute in every parallelism scheme
+(2x aggregate FLOPS); communication time skews heavily across ranks in
+TP8-PP4 due to PCIe/NIC contention.
+"""
+
+from paper import ACT, BASE, compute_seconds, print_table, train
+
+from repro.engine.kernels import KernelCategory
+
+STRATEGIES = ("TP8-PP4", "TP4-PP8", "TP2-PP16")
+
+
+def test_fig03_kernel_time_breakdown(benchmark):
+    def build():
+        runs = {
+            (cluster, strategy, "act"): train(
+                "gpt3-175b", cluster, strategy, ACT
+            )
+            for cluster in ("h200x32", "h100x64")
+            for strategy in STRATEGIES
+        }
+        for cluster in ("h200x32", "h100x64"):
+            runs[(cluster, "TP8-PP4", "Base")] = train(
+                "gpt3-175b", cluster, "TP8-PP4", BASE
+            )
+        return runs
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for (cluster, strategy, label), result in results.items():
+        breakdown = result.kernel_breakdown()
+        rows.append(
+            (
+                f"{cluster}/{label}",
+                strategy,
+                breakdown.get(KernelCategory.COMPUTE),
+                breakdown.get(KernelCategory.ALLREDUCE),
+                breakdown.get(KernelCategory.SENDRECV),
+                breakdown.get(KernelCategory.OPTIMIZER),
+                result.communication_skew(),
+            )
+        )
+    print_table(
+        "Figure 3: per-iteration kernel time, GPT3-175B (act+cc)",
+        ["Cluster", "Strategy", "Compute s", "AllReduce s", "SendRecv s",
+         "Optimizer s", "Comm skew"],
+        rows,
+    )
+
+    # H100 spends less time on compute across all parallelism schemes.
+    for strategy in STRATEGIES:
+        h100 = compute_seconds(results[("h100x64", strategy, "act")])
+        h200 = compute_seconds(results[("h200x32", strategy, "act")])
+        assert h100 < h200, f"{strategy}: H100 compute should be lower"
+
+    # Communication skews across ranks in TP8-PP4 (PCIe/NIC contention);
+    # measured on the Base variants where AllReduce time is exposed.
+    tp_heavy_skew = max(
+        results[(cluster, "TP8-PP4", "Base")].communication_skew()
+        for cluster in ("h200x32", "h100x64")
+    )
+    assert tp_heavy_skew > 1.05
+
+    # TP-heavy configurations pay more AllReduce than PP-heavy ones.
+    for cluster in ("h200x32", "h100x64"):
+        tp_ar = results[(cluster, "TP8-PP4", "act")].kernel_breakdown().get(
+            KernelCategory.ALLREDUCE
+        )
+        pp_ar = results[
+            (cluster, "TP2-PP16", "act")
+        ].kernel_breakdown().get(KernelCategory.ALLREDUCE)
+        assert tp_ar > pp_ar

@@ -1,0 +1,73 @@
+"""Figure 5: per-GPU total NVLink + PCIe traffic distribution on the HGX
+H200 cluster during model training.
+
+Paper shape: TP-heavy strategies amplify fabric traffic (exceeding 70 GB
+per GPU in some cases, especially with sparse expert routing); PP-heavy
+strategies concentrate much smaller traffic on stage-boundary GPUs.
+"""
+
+import numpy as np
+from paper import print_table, train
+
+from repro.hardware.interconnect import LinkKind
+from repro.units import GB
+
+GRID = [
+    ("gpt3-175b", "TP8-PP4"),
+    ("gpt3-175b", "TP2-PP16"),
+    ("mixtral-8x22b", "EP8-TP1-PP4"),
+    ("mixtral-8x22b", "TP8-PP4"),
+]
+
+
+def test_fig05_per_gpu_traffic(benchmark):
+    def build():
+        return {
+            (model, strategy): train(model, "h200x32", strategy)
+            for model, strategy in GRID
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    per_gpu = {}
+    for (model, strategy), result in results.items():
+        totals = np.array(result.outcome.traffic.per_gpu_matrix())
+        per_iteration = totals / result.outcome.num_iterations
+        per_gpu[(model, strategy)] = per_iteration
+        rows.append(
+            (
+                model, strategy,
+                per_iteration.mean() / GB,
+                per_iteration.max() / GB,
+                per_iteration.max() / max(1.0, per_iteration.mean()),
+            )
+        )
+    print_table(
+        "Figure 5: per-GPU NVLink+PCIe traffic per iteration (GB)",
+        ["Model", "Strategy", "Mean GB/GPU", "Max GB/GPU", "Skew"],
+        rows,
+    )
+
+    # TP-heavy moves much more per-GPU traffic than PP-heavy.
+    tp_heavy = per_gpu[("gpt3-175b", "TP8-PP4")].mean()
+    pp_heavy = per_gpu[("gpt3-175b", "TP2-PP16")].mean()
+    assert tp_heavy > 3 * pp_heavy
+
+    # The heaviest cells exceed the paper's ~70 GB scale.
+    heaviest = max(arr.max() for arr in per_gpu.values())
+    assert heaviest > 70 * GB
+
+    # PP-heavy PCIe traffic concentrates on node-boundary GPUs: the
+    # stage pairs that straddle nodes carry all of it.
+    pp_result = results[("gpt3-175b", "TP2-PP16")]
+    pcie = np.array(
+        [pp_result.outcome.traffic.bytes_for(g, LinkKind.PCIE)
+         for g in range(32)]
+    )
+    assert pcie.max() > 2.0 * max(1.0, pcie.mean())
+
+    # MoE with wide TP (TP8) moves more traffic than node-local EP8-TP1.
+    moe_tp = per_gpu[("mixtral-8x22b", "TP8-PP4")].mean()
+    moe_ep_local = per_gpu[("mixtral-8x22b", "EP8-TP1-PP4")].mean()
+    assert moe_tp > moe_ep_local

@@ -1,0 +1,69 @@
+"""Figure 7: kernel latency breakdown with and without activation
+recomputation (stacked bars per parallelism configuration).
+
+Paper shape: recomputation shifts kernel latency toward compute and
+raises total kernel time in every configuration; for Mixtral, reducing TP
+width sharply cuts communication time because all-to-all becomes
+node-local despite an unchanged EP degree.
+"""
+
+from paper import ACT, BASE, comm_seconds, compute_seconds, print_table, train
+
+from repro.engine.kernels import KernelCategory
+
+GRID = [
+    ("gpt3-175b", "TP8-PP4"),
+    ("gpt3-175b", "TP2-PP16"),
+    ("mixtral-8x22b", "EP8-TP4-PP1"),
+    ("mixtral-8x22b", "EP8-TP1-PP4"),
+]
+
+
+def test_fig07_recompute_kernel_breakdown(benchmark):
+    def build():
+        return {
+            (model, strategy, opts.label): train(
+                model, "h200x32", strategy, opts
+            )
+            for model, strategy in GRID
+            for opts in (BASE, ACT)
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for (model, strategy, label), result in results.items():
+        breakdown = result.kernel_breakdown()
+        rows.append(
+            (
+                model, strategy, label,
+                compute_seconds(result),
+                breakdown.get(KernelCategory.ALLREDUCE),
+                breakdown.get(KernelCategory.SENDRECV),
+                breakdown.get(KernelCategory.ALLTOALL),
+                breakdown.total(),
+            )
+        )
+    print_table(
+        "Figure 7: kernel latency breakdown, without vs with recompute",
+        ["Model", "Strategy", "Opts", "Compute s", "AllReduce s",
+         "SendRecv s", "AllToAll s", "Total s"],
+        rows,
+    )
+
+    # Recompute raises compute time and total kernel time everywhere.
+    for model, strategy in GRID:
+        base = results[(model, strategy, "Base")]
+        act = results[(model, strategy, "act")]
+        assert compute_seconds(act) > 1.15 * compute_seconds(base)
+        assert act.kernel_breakdown().total() > (
+            base.kernel_breakdown().total()
+        )
+
+    # Mixtral: narrowing TP localises all-to-all and slashes comm time
+    # despite the unchanged EP degree (Section 4.2).
+    wide_tp = results[("mixtral-8x22b", "EP8-TP4-PP1", "Base")]
+    narrow_tp = results[("mixtral-8x22b", "EP8-TP1-PP4", "Base")]
+    wide_a2a = wide_tp.kernel_breakdown().get(KernelCategory.ALLTOALL)
+    narrow_a2a = narrow_tp.kernel_breakdown().get(KernelCategory.ALLTOALL)
+    assert narrow_a2a < 0.5 * wide_a2a

@@ -1,0 +1,90 @@
+"""Figure 9: GPU power, temperature, clock frequency, and normalized
+efficiency on the H200 cluster across models, parallelism configurations,
+and optimization techniques.
+
+Paper shapes: recomputation drops efficiency in like-for-like configs but
+unlocks E8-T1-P4 on Mixtral-8x22B, which then beats the best baseline by
+over 2x; CC-overlap raises peak temperature; efficiency is normalised per
+model to its best configuration.
+"""
+
+from paper import ACT, BASE, CC, print_table, train
+
+GRID = [
+    ("gpt3-175b", "TP8-PP4", (BASE, ACT, CC)),
+    ("gpt3-175b", "TP2-PP16", (BASE, ACT, CC)),
+    ("llama3-70b", "TP4-PP4", (BASE, ACT, CC)),
+    ("mixtral-8x22b", "TP8-PP4", (BASE, ACT)),
+    ("mixtral-8x22b", "EP8-TP4-PP1", (BASE, ACT)),
+    ("mixtral-8x22b", "EP8-TP1-PP4", (ACT,)),  # unlocked by recompute
+]
+
+
+def test_fig09_h200_optimization_tradeoffs(benchmark):
+    def build():
+        return {
+            (model, strategy, opts.label): train(
+                model, "h200x32", strategy, opts
+            )
+            for model, strategy, opt_list in GRID
+            for opts in opt_list
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # Normalise efficiency per model (best config = 1), as the paper does.
+    best = {}
+    for (model, _, _), result in results.items():
+        tput = result.efficiency().tokens_per_s
+        best[model] = max(best.get(model, 0.0), tput)
+
+    rows = []
+    for (model, strategy, label), result in results.items():
+        stats = result.stats()
+        rows.append(
+            (
+                model, strategy, label,
+                stats.avg_power_w / 32,
+                stats.peak_temp_c,
+                stats.mean_freq_ratio,
+                result.efficiency().tokens_per_s / best[model],
+            )
+        )
+    print_table(
+        "Figure 9: H200 power/temp/freq and normalized efficiency",
+        ["Model", "Strategy", "Opts", "AvgP/GPU W", "Peak T C",
+         "Mean freq", "Norm eff"],
+        rows,
+    )
+
+    def run(model, strategy, label):
+        return results[(model, strategy, label)]
+
+    # Recompute drops efficiency in like-for-like configurations.
+    for model, strategy in (("gpt3-175b", "TP8-PP4"),
+                            ("llama3-70b", "TP4-PP4")):
+        assert (
+            run(model, strategy, "act").efficiency().tokens_per_s
+            < run(model, strategy, "Base").efficiency().tokens_per_s
+        )
+
+    # The recompute-unlocked EP8-TP1-PP4 beats every Mixtral baseline on
+    # throughput and matches the best baseline's energy efficiency
+    # (paper reports >2x; our simulator reproduces the ranking but a
+    # smaller magnitude — see EXPERIMENTS.md).
+    unlocked = run("mixtral-8x22b", "EP8-TP1-PP4", "act")
+    baselines = [
+        run("mixtral-8x22b", "TP8-PP4", "Base"),
+        run("mixtral-8x22b", "EP8-TP4-PP1", "Base"),
+    ]
+    assert all(
+        unlocked.efficiency().tokens_per_s > b.efficiency().tokens_per_s
+        for b in baselines
+    )
+    best_baseline = max(b.efficiency().tokens_per_joule for b in baselines)
+    assert unlocked.efficiency().tokens_per_joule > 0.9 * best_baseline
+
+    # CC-overlap raises peak temperature (thermal stress, Section 4.3).
+    base_t = run("gpt3-175b", "TP8-PP4", "Base").stats().peak_temp_c
+    cc_t = run("gpt3-175b", "TP8-PP4", "cc").stats().peak_temp_c
+    assert cc_t >= base_t - 0.5

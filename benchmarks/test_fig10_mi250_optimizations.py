@@ -1,0 +1,86 @@
+"""Figure 10: GPU power, temperature, and clock frequency on the MI250
+cluster across the ~30B scaled models, configurations, and optimizations.
+
+Paper shape: the chiplet-based MI250 runs at much lower absolute power
+than the Hopper parts, shows per-package thermal skew, and recomputation
+consistently costs efficiency.
+"""
+
+from paper import ACT, BASE, CC, print_table, train
+
+GRID = [
+    ("gpt3-30b", "TP8-PP2"),
+    ("gpt3-30b", "TP2-PP8"),
+    ("llama3-30b", "TP4-PP4"),
+]
+
+
+def test_fig10_mi250_optimization_tradeoffs(benchmark):
+    def build():
+        return {
+            (model, strategy, opts.label): train(
+                model, "mi250x32", strategy, opts
+            )
+            for model, strategy in GRID
+            for opts in (BASE, ACT, CC)
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    best = {}
+    for (model, _, _), result in results.items():
+        best[model] = max(
+            best.get(model, 0.0), result.efficiency().tokens_per_s
+        )
+    rows = []
+    for (model, strategy, label), result in results.items():
+        stats = result.stats()
+        rows.append(
+            (
+                model, strategy, label,
+                stats.avg_power_w / 32,
+                stats.peak_temp_c,
+                stats.mean_freq_ratio,
+                result.efficiency().tokens_per_s / best[model],
+            )
+        )
+    print_table(
+        "Figure 10: MI250 power/temp/freq and normalized efficiency",
+        ["Model", "Strategy", "Opts", "AvgP/GCD W", "Peak T C",
+         "Mean freq", "Norm eff"],
+        rows,
+    )
+
+    # Per-GCD power stays well under the 250 W budget and far below H200.
+    for (model, strategy, label), result in results.items():
+        assert result.stats().avg_power_w / 32 < 250.0
+
+    # Recompute costs efficiency in like-for-like configs.
+    for model, strategy in GRID:
+        base = results[(model, strategy, "Base")]
+        act = results[(model, strategy, "act")]
+        assert (
+            act.efficiency().tokens_per_s < base.efficiency().tokens_per_s
+        )
+
+    # No meaningful thermal throttling on the MI250 (Section 5).
+    worst = max(
+        max(result.throttle_ratio()) for result in results.values()
+    )
+    assert worst < 0.05
+
+    # Intra-package skew: odd GCDs (downstream) run hotter than their
+    # even siblings (Figure 18 mechanism, visible here already).
+    stats = results[("gpt3-30b", "TP8-PP2", "Base")].stats()
+    skews = [
+        stats.per_gpu[i + 1].avg_temp_c - stats.per_gpu[i].avg_temp_c
+        for i in range(0, 8, 2)
+    ]
+    assert all(s > 0 for s in skews)
+
+    # Without a thermal ceiling, CC-overlap pays off in the TP-heavy
+    # (communication-bound) configuration and raises peak temperature.
+    base = results[("gpt3-30b", "TP8-PP2", "Base")]
+    cc = results[("gpt3-30b", "TP8-PP2", "cc")]
+    assert cc.efficiency().tokens_per_s > base.efficiency().tokens_per_s
+    assert cc.stats().peak_temp_c > base.stats().peak_temp_c

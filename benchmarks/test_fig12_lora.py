@@ -1,0 +1,75 @@
+"""Figure 12: GPU temperature, power, and frequency during LoRA
+fine-tuning on the H200 cluster.
+
+Paper shape: LoRA achieves much higher training efficiency than full
+training (mainly from fewer updated parameters and reduced gradient
+synchronisation), lowers GPU power and temperature, and tracks the same
+relative ordering across parallelism strategies as pretraining.
+"""
+
+from paper import BASE, print_table, train
+
+from repro.parallelism.strategy import OptimizationConfig
+
+LORA = OptimizationConfig(lora=True)
+GRID = [
+    ("llama3-70b", "TP4-PP4"),
+    ("llama3-70b", "TP2-PP8"),
+    ("gpt3-175b", "TP8-PP4"),
+]
+
+
+def test_fig12_lora_finetuning(benchmark):
+    def build():
+        return {
+            (model, strategy, opts.label): train(
+                model, "h200x32", strategy, opts
+            )
+            for model, strategy in GRID
+            for opts in (BASE, LORA)
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for (model, strategy, label), result in results.items():
+        stats = result.stats()
+        eff = result.efficiency()
+        rows.append(
+            (
+                model, strategy, label,
+                eff.tokens_per_s,
+                eff.tokens_per_joule,
+                stats.avg_power_w / 32,
+                stats.peak_temp_c,
+            )
+        )
+    print_table(
+        "Figure 12: LoRA fine-tuning vs full training on H200",
+        ["Model", "Strategy", "Opts", "tok/s", "tok/J", "AvgP/GPU W",
+         "Peak T C"],
+        rows,
+    )
+
+    for model, strategy in GRID:
+        full = results[(model, strategy, "Base")]
+        lora = results[(model, strategy, "lora")]
+        # Higher throughput and energy efficiency.
+        assert (
+            lora.efficiency().tokens_per_s
+            > full.efficiency().tokens_per_s
+        )
+        assert (
+            lora.efficiency().tokens_per_joule
+            > full.efficiency().tokens_per_joule
+        )
+
+    # LoRA's gains are consistent in magnitude across strategies
+    # (the paper's "similar trend to pretraining"): every strategy
+    # speeds up by a comparable factor.
+    speedups = [
+        results[("llama3-70b", s, "lora")].efficiency().tokens_per_s
+        / results[("llama3-70b", s, "Base")].efficiency().tokens_per_s
+        for s in ("TP4-PP4", "TP2-PP8")
+    ]
+    assert max(speedups) < 3.0 * min(speedups)

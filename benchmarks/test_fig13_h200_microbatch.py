@@ -1,0 +1,69 @@
+"""Figure 13: H200 microbatch-size sweep (activation recomputation on):
+power, temperature, clock, and normalized efficiency.
+
+Paper shapes: larger microbatches help TP/FSDP-dominated layouts (TP8-PP4
+improves; TP8-FSDP gains >3x from mb1 to mb4) but hurt the PP-heavy
+TP2-PP16 beyond its optimum; peak power and thermal stress rise with
+microbatch size regardless of throughput.
+"""
+
+from paper import ACT, print_table, train
+
+MICROBATCHES = (1, 2, 4)
+STRATEGIES = ("TP8-PP4", "TP2-PP16", "TP8-FSDP4")
+
+
+def test_fig13_h200_microbatch_sweep(benchmark):
+    def build():
+        return {
+            (strategy, mb): train(
+                "gpt3-175b", "h200x32", strategy, ACT, microbatch_size=mb
+            )
+            for strategy in STRATEGIES
+            for mb in MICROBATCHES
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    best = max(r.efficiency().tokens_per_s for r in results.values())
+    rows = []
+    for (strategy, mb), result in results.items():
+        stats = result.stats()
+        rows.append(
+            (
+                strategy, mb,
+                result.efficiency().tokens_per_s,
+                result.efficiency().tokens_per_s / best,
+                max(g.peak_power_w for g in stats.per_gpu),
+                stats.peak_temp_c,
+                stats.mean_freq_ratio,
+            )
+        )
+    print_table(
+        "Figure 13: GPT3-175B on H200, microbatch sweep (act)",
+        ["Strategy", "mb", "tok/s", "Norm eff", "Peak P/GPU W",
+         "Peak T C", "Mean freq"],
+        rows,
+    )
+
+    def tput(strategy, mb):
+        return results[(strategy, mb)].efficiency().tokens_per_s
+
+    # TP-dominated: monotone improvement with microbatch size.
+    assert tput("TP8-PP4", 4) > tput("TP8-PP4", 1)
+
+    # FSDP: > 3x speedup from mb1 to mb4 (coarser-grained communication).
+    assert tput("TP8-FSDP4", 4) > 3.0 * tput("TP8-FSDP4", 1)
+
+    # PP-heavy: efficiency drops beyond the optimum (mb4 < best of 1/2).
+    assert tput("TP2-PP16", 4) < max(
+        tput("TP2-PP16", 1), tput("TP2-PP16", 2)
+    )
+
+    # Peak per-GPU power rises with microbatch size for the TP layout.
+    def peak_power(strategy, mb):
+        return max(
+            g.peak_power_w for g in results[(strategy, mb)].stats().per_gpu
+        )
+
+    assert peak_power("TP8-PP4", 4) > peak_power("TP8-PP4", 1)

@@ -1,0 +1,76 @@
+"""Figure 14: MI250 microbatch-size sweep (activation recomputation on).
+
+Paper shape: on the MI250 cluster, memory capacity runs out before any
+thermal limit, so increasing microbatch size generally improves training
+efficiency (the GPU stays un-throttled while GEMM utilisation climbs).
+"""
+
+from paper import ACT, print_table, train
+
+MICROBATCHES = (1, 2, 4)
+GRID = [
+    ("gpt3-30b", "TP8-PP2"),
+    ("gpt3-30b", "TP4-PP4"),
+    ("llama3-30b", "TP4-PP4"),
+]
+
+
+def test_fig14_mi250_microbatch_sweep(benchmark):
+    def build():
+        return {
+            (model, strategy, mb): train(
+                model, "mi250x32", strategy, ACT, microbatch_size=mb
+            )
+            for model, strategy in GRID
+            for mb in MICROBATCHES
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    best = {}
+    for (model, _, _), result in results.items():
+        best[model] = max(
+            best.get(model, 0.0), result.efficiency().tokens_per_s
+        )
+    rows = []
+    for (model, strategy, mb), result in results.items():
+        stats = result.stats()
+        rows.append(
+            (
+                model, strategy, mb,
+                result.efficiency().tokens_per_s,
+                result.efficiency().tokens_per_s / best[model],
+                max(g.peak_power_w for g in stats.per_gpu),
+                stats.peak_temp_c,
+                stats.mean_freq_ratio,
+            )
+        )
+    print_table(
+        "Figure 14: MI250 microbatch sweep (act)",
+        ["Model", "Strategy", "mb", "tok/s", "Norm eff", "Peak P/GCD W",
+         "Peak T C", "Mean freq"],
+        rows,
+    )
+
+    # Larger microbatches generally improve MI250 efficiency: mb4 beats
+    # mb1 for every configuration in the grid.
+    for model, strategy in GRID:
+        one = results[(model, strategy, 1)].efficiency().tokens_per_s
+        four = results[(model, strategy, 4)].efficiency().tokens_per_s
+        assert four > one, f"{model}/{strategy}: mb4 should beat mb1"
+
+    # No thermal throttling anywhere in the sweep.
+    worst = max(max(r.throttle_ratio()) for r in results.values())
+    assert worst < 0.05
+
+    # Peak power still rises with microbatch size (more intense GEMMs).
+    for model, strategy in GRID:
+        p1 = max(
+            g.peak_power_w
+            for g in results[(model, strategy, 1)].stats().per_gpu
+        )
+        p4 = max(
+            g.peak_power_w
+            for g in results[(model, strategy, 4)].stats().per_gpu
+        )
+        assert p4 > p1

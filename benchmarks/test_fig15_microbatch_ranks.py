@@ -1,0 +1,57 @@
+"""Figure 15: per-rank kernel latency breakdown for GPT3-175B on the H200
+cluster at microbatch sizes 1 (top) and 4 (bottom).
+
+Paper shape: at mb=1, communication dominates TP-heavy setups with
+significant cross-rank skew; larger microbatches improve execution
+uniformity (lower skew) at the cost of more total communication time in
+PP-heavy layouts; extreme pipelining (TP1-PP32) reintroduces
+communication inefficiency.
+"""
+
+from paper import ACT, comm_seconds, print_table, train
+
+STRATEGIES = ("TP8-PP4", "TP2-PP16", "TP1-PP32")
+
+
+def test_fig15_per_rank_latency_by_microbatch(benchmark):
+    def build():
+        return {
+            (strategy, mb): train(
+                "gpt3-175b", "h200x32", strategy, ACT, microbatch_size=mb
+            )
+            for strategy in STRATEGIES
+            for mb in (1, 4)
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for (strategy, mb), result in results.items():
+        rows.append(
+            (
+                strategy, mb,
+                comm_seconds(result),
+                result.communication_skew(),
+                result.efficiency().tokens_per_s,
+            )
+        )
+    print_table(
+        "Figure 15: per-rank latency, mb=1 vs mb=4 (act)",
+        ["Strategy", "mb", "Comm s", "Comm skew", "tok/s"],
+        rows,
+    )
+
+    # At mb=1 the TP-heavy setup shows cross-rank communication skew.
+    assert results[("TP8-PP4", 1)].communication_skew() > 1.05
+
+    # Larger microbatches raise total communication time in PP-heavy
+    # layouts (bigger boundary tensors, fewer microbatches to hide them).
+    assert comm_seconds(results[("TP2-PP16", 4)]) > comm_seconds(
+        results[("TP2-PP16", 1)]
+    )
+
+    # Extreme pipelining reintroduces communication cost: TP1-PP32 pays
+    # at least comparable communication time to TP2-PP16 at mb=4.
+    assert comm_seconds(results[("TP1-PP32", 4)]) > comm_seconds(
+        results[("TP2-PP16", 4)]
+    ) * 0.9

@@ -1,0 +1,73 @@
+"""Figure 17: thermal distribution (a) and normalized clock-throttling
+heatmap (b) across the GPUs of the H200 cluster.
+
+Paper shape: rear GPUs (near the exhaust) run consistently hotter than
+front GPUs — up to ~27% differentials — and the same rear positions
+dominate the normalized throttling heatmap.
+"""
+
+import numpy as np
+from paper import ACT, print_table, train
+
+from repro.telemetry.metrics import normalized_heatmap, temperature_heatmap
+
+GRID = [
+    ("gpt3-175b", "TP8-PP4"),
+    ("gpt3-175b", "TP2-PP16"),
+]
+
+
+def test_fig17_h200_thermal_and_throttle_heatmaps(benchmark):
+    def build():
+        return {
+            (model, strategy): train("gpt3-175b", "h200x32", strategy, ACT)
+            for model, strategy in GRID
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    front_local = (0, 1, 2, 3)
+    rear_local = (4, 5, 6, 7)
+    for (model, strategy), result in results.items():
+        matrix = temperature_heatmap(result.stats(), result.cluster)
+        throttle = np.array(result.throttle_ratio()).reshape(4, 8)
+        rows.append(
+            (
+                strategy,
+                matrix[:, front_local].mean(),
+                matrix[:, rear_local].mean(),
+                result.front_rear_gap_c(),
+                throttle[:, front_local].mean(),
+                throttle[:, rear_local].mean(),
+            )
+        )
+    print_table(
+        "Figure 17: H200 front vs rear temperature and throttling",
+        ["Strategy", "Front T C", "Rear T C", "Gap C",
+         "Front throttle", "Rear throttle"],
+        rows,
+    )
+
+    for (model, strategy), result in results.items():
+        matrix = temperature_heatmap(result.stats(), result.cluster)
+        # Rear GPUs are hotter on every node.
+        for node in range(4):
+            front = matrix[node, front_local].mean()
+            rear = matrix[node, rear_local].mean()
+            assert rear > front
+
+        # Throttling concentrates on the rear positions.
+        throttle = np.array(result.throttle_ratio()).reshape(4, 8)
+        assert throttle[:, rear_local].mean() > (
+            throttle[:, front_local].mean()
+        )
+
+        # The normalized heatmap peaks (1.0) on rear positions.
+        normalized = normalized_heatmap(matrix)
+        hottest_positions = normalized.argmax(axis=1)
+        assert all(p in rear_local for p in hottest_positions)
+
+    # Meaningful temperature differential (paper: up to ~27%).
+    worst_gap = max(r.front_rear_gap_c() for r in results.values())
+    assert worst_gap > 5.0

@@ -1,0 +1,71 @@
+"""Figure 19: power and temperature over time during training; front vs
+rear GPUs.
+
+Paper shape: power fluctuates over the iteration; rear GPUs exhibit
+consistently higher temperature than front GPUs for the whole session,
+with no cooldown periods, and hotter units throttle more often.
+"""
+
+import numpy as np
+from paper import print_table, train
+
+GRID = [
+    ("gpt3-175b", "TP8-PP4"),
+    ("mixtral-8x22b", "EP8-TP1-PP4"),
+]
+
+
+def test_fig19_thermal_time_series(benchmark):
+    def build():
+        return {
+            model: train(model, "h200x32", strategy)
+            for model, strategy in GRID
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for model, result in results.items():
+        telemetry = result.outcome.telemetry
+        front = telemetry.series(0)
+        rear = telemetry.series(4)
+        length = min(len(front.times_s), len(rear.times_s))
+        hotter_fraction = float(
+            np.mean(rear.temp_c[:length] > front.temp_c[:length])
+        )
+        _, total_power = telemetry.aggregate_power()
+        rows.append(
+            (
+                model,
+                front.temp_c.mean(),
+                rear.temp_c.mean(),
+                hotter_fraction * 100,
+                total_power.std(),
+                rear.freq_ratio.mean(),
+                front.freq_ratio.mean(),
+            )
+        )
+    print_table(
+        "Figure 19: front vs rear GPU time series (node 0)",
+        ["Model", "Front mean T", "Rear mean T", "Rear hotter %",
+         "Power stddev W", "Rear mean freq", "Front mean freq"],
+        rows,
+    )
+
+    for model, result in results.items():
+        telemetry = result.outcome.telemetry
+        front = telemetry.series(0)
+        rear = telemetry.series(4)
+        length = min(len(front.times_s), len(rear.times_s))
+
+        # Rear stays hotter than front for essentially the whole run —
+        # the paper's persistent imbalance with no cooldown periods.
+        hotter = np.mean(rear.temp_c[:length] > front.temp_c[:length])
+        assert hotter > 0.95
+
+        # Hotter units throttle more: lower time-averaged clock.
+        assert rear.freq_ratio.mean() <= front.freq_ratio.mean()
+
+        # Power is not flat: execution is bursty over time.
+        _, total_power = telemetry.aggregate_power()
+        assert total_power.std() > 0

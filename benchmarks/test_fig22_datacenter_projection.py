@@ -1,0 +1,78 @@
+"""Figure 22: projected per-kernel latency, strong scaling, and per-GPU
+throughput at datacenter scale (up to 8K GPUs), for the H200 and H100
+base configurations at 100G and 800G inter-node bandwidth.
+
+Paper shape: naive DP scaling is sublinear — at 100 Gbps the AllReduce
+overhead cuts strong scaling by up to 9.7x vs ideal at large DP degrees;
+800 Gbps recovers up to 4.2x of it; H100 reaches higher absolute
+throughput but lower per-GPU throughput than H200.
+"""
+
+from paper import print_table, train
+
+from repro.projection.scaling import project_scaling, scaling_gain
+
+DP_DEGREES = [1, 2, 8, 32, 128, 256]
+
+
+def test_fig22_datacenter_scale_projection(benchmark):
+    def build():
+        bases = {
+            "h200x32": train("gpt3-175b", "h200x32", "TP8-PP4"),
+            "h100x64": train("gpt3-175b", "h100x64", "TP8-PP8"),
+        }
+        projections = {}
+        for cluster, base in bases.items():
+            projections[(cluster, 100)] = project_scaling(
+                base, DP_DEGREES, inter_node_gbps=100
+            )
+            projections[(cluster, 800)] = project_scaling(
+                base, DP_DEGREES, inter_node_gbps=800
+            )
+        return projections
+
+    projections = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for (cluster, gbps), points in projections.items():
+        for point in points:
+            rows.append(
+                (
+                    cluster, f"{gbps}G", point.dp, point.total_gpus,
+                    point.compute_s, point.comm_s, point.dp_allreduce_s,
+                    point.strong_scaling,
+                    point.tokens_per_s_per_gpu,
+                )
+            )
+    print_table(
+        "Figure 22: projected scaling of GPT3-175B training",
+        ["Base", "IB", "DP", "GPUs", "Compute s", "Comm s", "AllReduce s",
+         "Strong scaling", "tok/s/GPU"],
+        rows,
+    )
+
+    h200_100 = projections[("h200x32", 100)]
+    h200_800 = projections[("h200x32", 800)]
+    h100_100 = projections[("h100x64", 100)]
+
+    # Strong scaling collapses at 100G: the paper reports up to 9.7x
+    # below ideal at large DP degrees.
+    final = h200_100[-1]
+    assert final.total_gpus == 8192
+    assert 1.0 / final.strong_scaling > 4.0
+
+    # 800G recovers a large part of it (paper: up to 4.2x).
+    gain = scaling_gain(h200_100, h200_800)
+    assert gain > 2.0
+
+    # AllReduce dominates the projected iteration at large DP and 100G.
+    assert final.dp_allreduce_s > final.compute_s
+
+    # H100 base: higher absolute throughput, lower per-GPU throughput
+    # than the H200 base at matching DP.
+    h200_dp1 = h200_100[0]
+    h100_dp1 = h100_100[0]
+    h100_total = h100_dp1.tokens_per_s_per_gpu * h100_dp1.total_gpus
+    h200_total = h200_dp1.tokens_per_s_per_gpu * h200_dp1.total_gpus
+    assert h100_total > h200_total
+    assert h200_dp1.tokens_per_s_per_gpu > 0.9 * h100_dp1.tokens_per_s_per_gpu

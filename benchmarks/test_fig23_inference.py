@@ -1,0 +1,69 @@
+"""Figure 23: GPU power, temperature, and clock frequency during
+distributed inference on the H200 cluster, across parallelism configs and
+microbatch sizes.
+
+Paper shape: larger inference microbatches improve throughput without
+significantly raising average power or temperature; inference draws less
+average power and heat than training, while peaks stay high from bursty
+attention/GEMM kernels.
+"""
+
+from paper import infer, print_table, train
+
+STRATEGIES = ("TP8-PP4", "TP4-PP8")
+MICROBATCHES = (1, 2, 4)
+
+
+def test_fig23_inference_characterization(benchmark):
+    def build():
+        runs = {
+            ("infer", strategy, mb): infer(
+                "gpt3-175b", "h200x32", strategy, microbatch_size=mb
+            )
+            for strategy in STRATEGIES
+            for mb in MICROBATCHES
+        }
+        runs[("train", "TP8-PP4", 1)] = train(
+            "gpt3-175b", "h200x32", "TP8-PP4"
+        )
+        return runs
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for (phase, strategy, mb), result in results.items():
+        stats = result.stats()
+        rows.append(
+            (
+                phase, strategy, mb,
+                result.efficiency().tokens_per_s,
+                stats.avg_power_w / 32,
+                max(g.peak_power_w for g in stats.per_gpu),
+                stats.avg_temp_c,
+                stats.peak_temp_c,
+            )
+        )
+    print_table(
+        "Figure 23: inference microbatch sweep on H200 (GPT3-175B)",
+        ["Phase", "Strategy", "mb", "tok/s", "AvgP/GPU W", "PeakP/GPU W",
+         "Avg T C", "Peak T C"],
+        rows,
+    )
+
+    for strategy in STRATEGIES:
+        one = results[("infer", strategy, 1)]
+        four = results[("infer", strategy, 4)]
+        # Larger microbatches improve inference throughput...
+        assert (
+            four.efficiency().tokens_per_s > one.efficiency().tokens_per_s
+        )
+        # ...without large average temperature increases.
+        assert four.stats().avg_temp_c < one.stats().avg_temp_c + 5.0
+
+    # Inference draws less average power than training on the same
+    # strategy, but peaks remain high (bursty kernels).
+    train_run = results[("train", "TP8-PP4", 1)]
+    infer_run = results[("infer", "TP8-PP4", 1)]
+    assert infer_run.stats().avg_power_w < train_run.stats().avg_power_w
+    peak = max(g.peak_power_w for g in infer_run.stats().per_gpu)
+    assert peak > 0.5 * train_run.cluster.node.gpu.tdp_watts

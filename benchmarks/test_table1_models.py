@@ -1,0 +1,40 @@
+"""Table 1: evaluated model configurations."""
+
+from paper import print_table
+
+from repro.models.catalog import TABLE1_MODELS
+
+NOMINAL_BILLIONS = {
+    "gpt3-175b": 175,
+    "gpt3-30b": 30,
+    "llama3-70b": 70,
+    "llama3-30b": 30,
+    "mixtral-8x22b": 141,
+    "mixtral-8x7b": 47,
+}
+
+
+def test_table1_models(benchmark):
+    def build():
+        rows = []
+        for model in TABLE1_MODELS:
+            rows.append(
+                (
+                    model.name,
+                    "Mixture-of-Experts" if model.is_moe else "Dense",
+                    f"{model.total_params / 1e9:.0f}B",
+                    f"{NOMINAL_BILLIONS[model.name]}B",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "Table 1: evaluated model configurations",
+        ["Model", "Type", "Parameters (built)", "Parameters (paper)"],
+        rows,
+    )
+    for model in TABLE1_MODELS:
+        nominal = NOMINAL_BILLIONS[model.name] * 1e9
+        assert abs(model.total_params - nominal) / nominal < 0.15
+    assert sum(1 for m in TABLE1_MODELS if m.is_moe) == 2

@@ -1,0 +1,172 @@
+"""Table 2: impact arrows of each parallelism/optimization technique.
+
+The paper summarises each technique's effect on training time (Perf),
+memory usage, and communication intensity. We regenerate the arrows from
+controlled measurements (step time, fabric bytes) and the analytic memory
+model, then assert each arrow's direction.
+"""
+
+from paper import ACT, CC, print_table, train
+
+from repro.models.catalog import GPT3_30B, MIXTRAL_8X7B
+from repro.models.memory import memory_breakdown
+
+
+def _total_bytes(result):
+    traffic = result.outcome.traffic
+    return sum(
+        traffic.total_for(g) for g in range(result.cluster.total_gpus)
+    ) + traffic.inter_node_bytes
+
+
+def _sendrecv_seconds(result):
+    from repro.engine.kernels import KernelCategory
+
+    return result.kernel_breakdown().get(KernelCategory.SENDRECV)
+
+
+def _alltoall_fraction(result):
+    from repro.engine.kernels import KernelCategory
+
+    breakdown = result.kernel_breakdown()
+    return breakdown.get(KernelCategory.ALLTOALL) / breakdown.total()
+
+
+def _arrow(ratio, up="^", down="v", flat="-"):
+    if ratio > 1.05:
+        return up
+    if ratio < 0.95:
+        return down
+    return flat
+
+
+def test_table2_technique_arrows(benchmark):
+    def build():
+        rows = []
+
+        # TP: trade TP for PP at fixed model-parallel product.
+        tp_heavy = train("gpt3-30b", "h200x32", "TP8-PP2")
+        pp_heavy = train("gpt3-30b", "h200x32", "TP2-PP8")
+        rows.append(
+            (
+                "Tensor Parallelism",
+                tp_heavy.efficiency().step_time_s
+                / pp_heavy.efficiency().step_time_s,
+                memory_breakdown(GPT3_30B, 1, tp=8, pp=2, dp=2).total
+                / memory_breakdown(GPT3_30B, 1, tp=2, pp=8, dp=2).total,
+                _total_bytes(tp_heavy) / _total_bytes(pp_heavy),
+            )
+        )
+
+        # PP: deepen the pipeline at fixed TP (DP shrinks to compensate).
+        # The comm column tracks the P2P (SendRecv) traffic PP introduces;
+        # total bytes can drop because the DP gradient sync shrinks.
+        shallow = train("gpt3-30b", "h200x32", "TP2-PP2")
+        deep = pp_heavy
+        rows.append(
+            (
+                "Pipeline Parallelism",
+                deep.efficiency().step_time_s
+                / shallow.efficiency().step_time_s,
+                memory_breakdown(GPT3_30B, 1, tp=2, pp=8, dp=2).total
+                / memory_breakdown(GPT3_30B, 1, tp=2, pp=2, dp=8).total,
+                max(1e-9, _sendrecv_seconds(deep))
+                / max(1e-9, _sendrecv_seconds(shallow)),
+            )
+        )
+
+        # EP: enable expert parallelism on the MoE model. The comm
+        # column tracks the all-to-all EP introduces (its total byte
+        # count can *drop* because expert gradients stop replicating
+        # across the full DP group).
+        no_ep = train("mixtral-8x7b", "h200x32", "TP1-PP2")
+        with_ep = train("mixtral-8x7b", "h200x32", "EP8-TP1-PP2")
+        rows.append(
+            (
+                "Expert Parallelism",
+                with_ep.efficiency().step_time_s
+                / no_ep.efficiency().step_time_s,
+                memory_breakdown(MIXTRAL_8X7B, 1, tp=1, pp=2, dp=16,
+                                 ep=8, zero1=False).total
+                / memory_breakdown(MIXTRAL_8X7B, 1, tp=1, pp=2, dp=16,
+                                   ep=1, zero1=False).total,
+                (1.0 + _alltoall_fraction(with_ep))
+                / (1.0 + _alltoall_fraction(no_ep)),
+            )
+        )
+
+        # FSDP: versus the TP+PP layout of the same TP width.
+        fsdp = train("gpt3-30b", "h200x32", "TP8-FSDP4")
+        rows.append(
+            (
+                "Fully-Sharded DP",
+                fsdp.efficiency().step_time_s
+                / tp_heavy.efficiency().step_time_s,
+                memory_breakdown(GPT3_30B, 1, tp=8, pp=1, dp=4, fsdp=4,
+                                 zero1=False).total
+                / memory_breakdown(GPT3_30B, 1, tp=8, pp=2, dp=2).total,
+                _total_bytes(fsdp) / _total_bytes(tp_heavy),
+            )
+        )
+
+        # Activation recomputation: same config, toggle act.
+        base = train("gpt3-30b", "h200x32", "TP4-PP2")
+        act = train("gpt3-30b", "h200x32", "TP4-PP2", ACT)
+        rows.append(
+            (
+                "Activation Recompute",
+                act.efficiency().step_time_s
+                / base.efficiency().step_time_s,
+                memory_breakdown(GPT3_30B, 1, tp=4, pp=2, dp=4,
+                                 recompute=True).total
+                / memory_breakdown(GPT3_30B, 1, tp=4, pp=2, dp=4).total,
+                _total_bytes(act) / _total_bytes(base),
+            )
+        )
+
+        # CC-overlap: a comm-bound TP-heavy config on the thermally
+        # unconstrained MI250 cluster, toggle cc.
+        mi_base = train("gpt3-30b", "mi250x32", "TP8-PP2")
+        mi_cc = train("gpt3-30b", "mi250x32", "TP8-PP2", CC)
+        rows.append(
+            (
+                "Compute-Comm Overlap",
+                mi_cc.efficiency().step_time_s
+                / mi_base.efficiency().step_time_s,
+                1.0,
+                _total_bytes(mi_cc) / _total_bytes(mi_base),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "Table 2: technique impact (ratio vs counterpart; paper arrows)",
+        ["Technique", "Time ratio", "Memory ratio", "Comm ratio"],
+        [
+            (name, f"{t:.2f} {_arrow(t)}", f"{m:.2f} {_arrow(m)}",
+             f"{c:.2f} {_arrow(c)}")
+            for name, t, m, c in rows
+        ],
+    )
+    by_name = {name: (t, m, c) for name, t, m, c in rows}
+
+    # TP: Perf down-down (slower), Memory down, Comm up-up.
+    t, m, c = by_name["Tensor Parallelism"]
+    assert t > 1.0 and m < 1.0 and c > 1.5
+    # PP: Perf ~flat/mixed, Memory down, Comm up (mildly).
+    t, m, c = by_name["Pipeline Parallelism"]
+    assert m < 1.0 and c > 1.0
+    # EP: Memory down, Comm up.
+    t, m, c = by_name["Expert Parallelism"]
+    assert m < 1.0 and c > 1.0
+    # FSDP: Perf down (slower), Memory down, Comm up-up.
+    t, m, c = by_name["Fully-Sharded DP"]
+    assert t > 1.0 and m < 1.0 and c > 1.5
+    # act: Perf down (slower), Memory down, Comm ~flat.
+    t, m, c = by_name["Activation Recompute"]
+    assert t > 1.0 and m < 1.0 and 0.8 < c < 1.2
+    # cc: Perf up (faster) in the comm-heavy config without thermal
+    # headwinds.
+    t, m, c = by_name["Compute-Comm Overlap"]
+    assert t < 1.0

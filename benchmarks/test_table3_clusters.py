@@ -1,0 +1,52 @@
+"""Table 3: hardware specifications of the evaluated GPU clusters."""
+
+from paper import print_table
+
+from repro.hardware.cluster import H100_X64, H200_X32, MI250_X32
+from repro.units import GB, GBPS
+
+
+def test_table3_cluster_specs(benchmark):
+    def build():
+        rows = []
+        for cluster in (H200_X32, H100_X64, MI250_X32):
+            gpu = cluster.node.gpu
+            rows.append(
+                (
+                    cluster.name,
+                    gpu.name,
+                    gpu.architecture,
+                    f"{gpu.memory_bytes / GB:.0f} GB",
+                    f"{gpu.peak_flops_fp16 / 1e15:.2f} PF",
+                    cluster.node.gpus_per_node,
+                    cluster.num_nodes,
+                    cluster.node.intra_node_link.kind.value,
+                    f"{cluster.inter_node_link.bandwidth_bytes_per_s / GBPS:.0f}G",
+                    f"{gpu.tdp_watts:.0f} W",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "Table 3: evaluated GPU clusters",
+        ["Cluster", "GPU", "Arch", "Mem/GPU", "Peak FP16", "GPUs/node",
+         "Nodes", "Intra-link", "Inter-link", "TDP"],
+        rows,
+    )
+
+    # Paper-stated relationships.
+    assert H200_X32.total_gpus == 32
+    assert H100_X64.total_gpus == 64
+    assert MI250_X32.total_gpus == 32
+    # Similar total memory, 2x aggregate compute on H100 (Section 3.2).
+    memory_ratio = H100_X64.total_memory_bytes / H200_X32.total_memory_bytes
+    assert 0.85 < memory_ratio < 1.35
+    compute_ratio = (
+        H100_X64.aggregate_sustained_flops
+        / H200_X32.aggregate_sustained_flops
+    )
+    assert abs(compute_ratio - 2.0) < 0.01
+    # All clusters interconnect at 100 Gbps InfiniBand.
+    for cluster in (H200_X32, H100_X64, MI250_X32):
+        assert cluster.inter_node_link.bandwidth_bytes_per_s == 100 * GBPS

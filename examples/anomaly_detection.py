@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Detect infrastructure anomalies from telemetry alone (Section 7.3).
+
+The paper recommends "system infrastructure capable of detecting and
+responding to power, frequency, and performance anomalies in real
+time". This example injects the Section 1 node power failure into one
+run and a thermally imbalanced workload into another, then recovers
+both incidents purely from the Zeus-style telemetry using
+`repro.telemetry.anomaly`.
+
+Run:
+    python examples/anomaly_detection.py
+"""
+
+from repro import power_failure, run_training
+from repro.engine.simulator import SimSettings
+from repro.hardware.cluster import H200_X32, MI250_X32
+from repro.telemetry.anomaly import diagnose
+
+
+def main() -> None:
+    print("case 1: node 2 of the MI250 cluster loses 75% of its power")
+    failed = run_training(
+        model="gpt3-13b",
+        cluster="mi250x32",
+        parallelism="TP2-PP4",
+        microbatch_size=1,
+        global_batch_size=32,
+        settings=SimSettings(faults=power_failure(node=2, severity=0.25)),
+    )
+    anomalies, incidents = diagnose(failed.outcome.telemetry, MI250_X32)
+    for incident in incidents:
+        print(
+            f"  INCIDENT node {incident.node}: {incident.kind.value} "
+            f"({len(incident.gpus)} GPUs)"
+        )
+    worst = max(anomalies, key=lambda a: a.clock_deficit)
+    print(
+        f"  worst GPU {worst.gpu}: clock -{worst.clock_deficit:.2f}, "
+        f"power {worst.power_delta_w:+.0f} W vs fleet median"
+    )
+
+    print("\ncase 2: thermally imbalanced H200 pipeline (no fault)")
+    hot = run_training(
+        model="gpt3-30b",
+        cluster="h200x32",
+        parallelism="TP4-PP8-DP1",
+        microbatch_size=1,
+        global_batch_size=64,
+    )
+    anomalies, incidents = diagnose(hot.outcome.telemetry, H200_X32)
+    thermal = [a for a in anomalies if a.kind.value == "thermal"]
+    rear = sum(1 for a in thermal if a.gpu % 8 >= 4)
+    print(f"  {len(thermal)} thermally throttled GPUs flagged; "
+          f"{rear} sit in rear (exhaust) positions")
+    print(f"  node-level incidents: {len(incidents)} "
+          "(imbalance is per-GPU, not a failed chassis)")
+
+    print("\nThe same detector distinguishes a power-delivery failure")
+    print("(slow + cold + starved) from thermal throttling (slow + at")
+    print("the throttle point) — the paper's call for anomaly-aware")
+    print("infrastructure, closed against simulated ground truth.")
+
+
+if __name__ == "__main__":
+    main()

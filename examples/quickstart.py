@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one distributed training run and read the metrics.
+
+This reproduces the paper's basic measurement loop: pick a model, a
+cluster, and a parallelism strategy; train a few iterations; inspect
+throughput, energy efficiency, power/thermal statistics, and the kernel
+breakdown — the raw material of every figure in the paper.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import OptimizationConfig, run_training
+
+
+def main() -> None:
+    result = run_training(
+        model="gpt3-175b",           # Table 1 workload
+        cluster="h200x32",           # 4 HGX H200 nodes (Table 3)
+        parallelism="TP2-PP16",      # paper notation; DP fills leftovers
+        optimizations=OptimizationConfig(activation_recompute=True),
+        microbatch_size=1,
+        global_batch_size=128,       # the paper's global batch
+    )
+
+    efficiency = result.efficiency()
+    stats = result.stats()
+
+    print(f"run            : {result.label}")
+    print(f"data parallel  : {result.parallelism.dp}")
+    print(f"step time      : {efficiency.step_time_s:.2f} s")
+    print(f"throughput     : {efficiency.tokens_per_s:,.0f} tokens/s")
+    print(f"energy         : {efficiency.tokens_per_joule:.3f} tokens/J")
+    print(f"avg power      : {stats.avg_power_w / 1000:.1f} kW cluster")
+    print(f"peak GPU temp  : {stats.peak_temp_c:.1f} C")
+    print(f"mean clock     : {stats.mean_freq_ratio:.3f} of boost")
+    print(f"front/rear gap : {result.front_rear_gap_c():.1f} C")
+
+    print("\nkernel time per iteration (mean across ranks):")
+    for category, seconds in sorted(
+        result.kernel_breakdown().seconds.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {category.value:<24} {seconds:8.2f} s")
+
+    worst = max(result.throttle_ratio())
+    print(f"\nmost-throttled GPU spends {worst * 100:.0f}% of time throttled")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Render a bundle of paper-style SVG figures from simulated runs.
+
+Mirrors the artifact's visualization step: run a small grid, then write
+Figure 2/3/13/17/19-style SVGs into ``figures/``. Open the files in any
+browser or editor.
+
+Run:
+    python examples/render_paper_figures.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import OptimizationConfig, run_training
+from repro.viz.figures import (
+    energy_efficiency_comparison,
+    kernel_breakdown_figure,
+    microbatch_sweep_figure,
+    temperature_heatmap_figure,
+    thermal_timeseries_figure,
+    throttle_heatmap_figure,
+    throughput_comparison,
+)
+
+
+def main() -> None:
+    output = Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    act = OptimizationConfig(activation_recompute=True)
+
+    print("running the figure grid (a few minutes)...")
+    strategies = {}
+    for strategy in ("TP8-PP4", "TP4-PP8", "TP2-PP16"):
+        strategies[strategy] = run_training(
+            model="gpt3-175b", cluster="h200x32", parallelism=strategy,
+            microbatch_size=1, global_batch_size=128,
+        )
+    sweep = {
+        "TP8-PP4": {
+            mb: run_training(
+                model="gpt3-175b", cluster="h200x32",
+                parallelism="TP8-PP4", optimizations=act,
+                microbatch_size=mb, global_batch_size=128,
+            )
+            for mb in (1, 2, 4)
+        }
+    }
+
+    reference = strategies["TP8-PP4"]
+    figures = {
+        "fig02_throughput.svg": throughput_comparison(
+            strategies, title="GPT3-175B on 32xH200: throughput"
+        ),
+        "fig02_energy.svg": energy_efficiency_comparison(
+            strategies, title="GPT3-175B on 32xH200: energy efficiency"
+        ),
+        "fig03_breakdown.svg": kernel_breakdown_figure(
+            strategies, title="GPT3-175B kernel time by strategy"
+        ),
+        "fig13_microbatch.svg": microbatch_sweep_figure(
+            sweep, title="GPT3-175B TP8-PP4 (act): microbatch sweep"
+        ),
+        "fig17_temperature.svg": temperature_heatmap_figure(reference),
+        "fig17_throttling.svg": throttle_heatmap_figure(reference),
+        "fig19_timeseries.svg": thermal_timeseries_figure(reference),
+    }
+    output.mkdir(parents=True, exist_ok=True)
+    for name, svg in figures.items():
+        (output / name).write_text(svg)
+        print(f"  wrote {output / name}")
+    print(f"\n{len(figures)} figures in {output}/")
+
+
+if __name__ == "__main__":
+    main()

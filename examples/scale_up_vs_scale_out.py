@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Scale-up vs scale-out: reproduce the paper's headline comparison.
+
+Section 4.1 compares a 32xH200 scale-up cluster against a 64xH100
+scale-out cluster. The H100 cluster has twice the aggregate compute; the
+H200 cluster has 1.76x the per-GPU memory and half as many nodes. Which
+wins depends on where each model sits on the compute/communication
+spectrum — and, for MoE models, on whether the parallelism strategy keeps
+the all-to-all traffic inside a node.
+
+Run:
+    python examples/scale_up_vs_scale_out.py
+"""
+
+from repro import run_training
+
+WORKLOADS = [
+    # (model, strategy, what the paper expects)
+    ("llama3-70b", "TP4-PP4", "compute-bound: scale-out (H100) wins"),
+    ("mixtral-8x7b", "EP8-TP1-PP2", "small MoE: near parity (paper: H100 ahead)"),
+    ("gpt3-175b", "TP2-PP16", "comm-heavy: gap narrows, H200 wins tok/J"),
+    ("mixtral-8x22b", "EP8-TP1-PP4", "comm-heavy MoE: H200 matches/wins"),
+]
+
+
+def main() -> None:
+    print(f"{'model':<14} {'strategy':<13} {'cluster':<9} "
+          f"{'tok/s':>10} {'tok/J':>7} {'tok/s/GPU':>10}")
+    for model, strategy, note in WORKLOADS:
+        lines = []
+        for cluster in ("h100x64", "h200x32"):
+            result = run_training(
+                model=model,
+                cluster=cluster,
+                parallelism=strategy,
+                microbatch_size=1,
+                global_batch_size=128,
+            )
+            eff = result.efficiency()
+            lines.append(
+                f"{model:<14} {strategy:<13} {cluster:<9} "
+                f"{eff.tokens_per_s:>10,.0f} {eff.tokens_per_joule:>7.3f} "
+                f"{eff.tokens_per_s_per_gpu:>10.1f}"
+            )
+        print("\n".join(lines))
+        print(f"  -> {note}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Strategy search: enumerate valid parallelism configurations and rank
+them, the way the paper selects its evaluation grid (Section 3.1).
+
+For a model + cluster pair this finds every (TP, PP, EP, DP, FSDP)
+combination that fits GPU memory with TP confined to a node, simulates
+each, and prints a leaderboard with the communication profile that
+explains the ranking.
+
+Run:
+    python examples/strategy_search.py [model] [cluster]
+    python examples/strategy_search.py mixtral-8x22b h200x32
+"""
+
+import sys
+
+from repro import (
+    ConfigSearchSpace,
+    get_cluster,
+    get_model,
+    run_training,
+    valid_configs,
+)
+from repro.engine.kernels import KernelCategory
+
+COMM = (
+    KernelCategory.ALLREDUCE,
+    KernelCategory.SENDRECV,
+    KernelCategory.ALLTOALL,
+    KernelCategory.ALLGATHER_RS,
+)
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "mixtral-8x22b"
+    cluster_name = sys.argv[2] if len(sys.argv) > 2 else "h200x32"
+    model = get_model(model_name)
+    cluster = get_cluster(cluster_name)
+
+    space = ConfigSearchSpace(max_pp=16)
+    configs = valid_configs(model, cluster, space, recompute=True)
+    print(
+        f"{len(configs)} valid configurations for {model.name} on "
+        f"{cluster.name} (memory-checked, TP intra-node)\n"
+    )
+
+    scored = []
+    for config in configs:
+        result = run_training(
+            model=model,
+            cluster=cluster,
+            parallelism=config,
+            microbatch_size=1,
+            global_batch_size=128,
+        )
+        breakdown = result.kernel_breakdown()
+        comm = sum(breakdown.get(c) for c in COMM)
+        scored.append((result.efficiency().tokens_per_s, config, comm,
+                       breakdown.total()))
+
+    scored.sort(reverse=True, key=lambda item: item[0])
+    print(f"{'rank':<5} {'strategy':<15} {'tok/s':>9} {'comm s':>7} "
+          f"{'comm %':>7}")
+    for rank, (tput, config, comm, total) in enumerate(scored, start=1):
+        print(
+            f"{rank:<5} {config.name:<15} {tput:>9,.0f} {comm:>7.2f} "
+            f"{100 * comm / total:>6.1f}%"
+        )
+    best = scored[0][1]
+    print(f"\nbest strategy: {best.name} (dp={best.dp})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments that
+lack the `wheel` package required for PEP 660 editable wheels)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""CharLLM-PPT reproduction: power/performance/thermal characterization of
+distributed LLM training (Go et al., MICRO 2025) on a simulated testbed.
+
+The public API mirrors the paper's workflow::
+
+    from repro import run_training, OptimizationConfig
+
+    result = run_training(
+        model="gpt3-175b",
+        cluster="h200x32",
+        parallelism="TP2-PP16",
+        optimizations=OptimizationConfig(activation_recompute=True),
+        microbatch_size=1,
+    )
+    print(result.efficiency().tokens_per_s)
+    print(result.stats().peak_temp_c)
+    print(result.kernel_breakdown().seconds)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure reproduction index.
+"""
+
+from repro.core.experiment import run_inference, run_training
+from repro.core.faults import FaultSpec, power_failure
+from repro.core.results import RunResult
+from repro.core.sweep import (
+    SweepPoint,
+    cached_run_inference,
+    cached_run_training,
+    normalize_by_best,
+    run_sweep,
+)
+from repro.hardware.cluster import (
+    H100_X64,
+    H200_X32,
+    MI250_X32,
+    ClusterSpec,
+    cluster_names,
+    get_cluster,
+    one_gpu_per_node,
+)
+from repro.models.catalog import TABLE1_MODELS, get_model, model_names
+from repro.models.config import ModelConfig, MoEConfig
+from repro.parallelism.enumerate import (
+    ConfigSearchSpace,
+    minimal_model_parallel,
+    valid_configs,
+)
+from repro.parallelism.strategy import (
+    OptimizationConfig,
+    ParallelismConfig,
+    parse_strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "H100_X64",
+    "H200_X32",
+    "MI250_X32",
+    "TABLE1_MODELS",
+    "ClusterSpec",
+    "ConfigSearchSpace",
+    "FaultSpec",
+    "power_failure",
+    "ModelConfig",
+    "MoEConfig",
+    "OptimizationConfig",
+    "ParallelismConfig",
+    "RunResult",
+    "SweepPoint",
+    "cached_run_inference",
+    "cached_run_training",
+    "cluster_names",
+    "get_cluster",
+    "get_model",
+    "minimal_model_parallel",
+    "model_names",
+    "normalize_by_best",
+    "one_gpu_per_node",
+    "parse_strategy",
+    "run_inference",
+    "run_sweep",
+    "run_training",
+    "valid_configs",
+    "__version__",
+]

@@ -1,0 +1,292 @@
+"""Command-line interface: run experiments without writing Python.
+
+Usage::
+
+    python -m repro catalog
+    python -m repro configs --model gpt3-175b --cluster h200x32
+    python -m repro run --model gpt3-175b --cluster h200x32 \\
+        --parallelism TP2-PP16 --act --output results/tp2pp16
+    python -m repro sweep --model gpt3-30b --cluster mi250x32 \\
+        --parallelism TP8-PP2 --parallelism TP2-PP8 --microbatch 1 2 4
+    python -m repro figures --model gpt3-30b --cluster h200x32 \\
+        --parallelism TP4-PP8-DP1 --output figures/
+    python -m repro full-sweep --cluster h200x32 --cluster h100x64 \\
+        --output results/
+
+Mirrors the paper artifact's script surface (prepare/launch/
+full_sweep/visualize) on top of the simulated testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.artifact import write_run_artifact
+from repro.core.experiment import run_training
+from repro.core.faults import FaultSpec
+from repro.engine.simulator import SimSettings
+from repro.hardware.cluster import cluster_names, get_cluster
+from repro.models.catalog import get_model, model_names
+from repro.parallelism.enumerate import ConfigSearchSpace, valid_configs
+from repro.parallelism.strategy import OptimizationConfig
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, help="catalog model name")
+    parser.add_argument("--cluster", required=True,
+                        help="catalog cluster name")
+    parser.add_argument(
+        "--parallelism", required=True,
+        help="paper-style strategy, e.g. TP2-PP16 or EP8-TP1-PP4",
+    )
+    parser.add_argument("--microbatch", type=int, default=1)
+    parser.add_argument("--global-batch", type=int, default=128)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--act", action="store_true",
+                        help="activation recomputation")
+    parser.add_argument("--cc", action="store_true",
+                        help="compute-communication overlap")
+    parser.add_argument("--lora", action="store_true",
+                        help="LoRA finetuning")
+    parser.add_argument(
+        "--fail-node", type=int, default=None,
+        help="inject a power failure on this node (Section 1 incident)",
+    )
+
+
+def _opts_from(args: argparse.Namespace) -> OptimizationConfig:
+    return OptimizationConfig(
+        activation_recompute=args.act,
+        cc_overlap=args.cc,
+        lora=args.lora,
+    )
+
+
+def _settings_from(args: argparse.Namespace) -> SimSettings:
+    if getattr(args, "fail_node", None) is not None:
+        return SimSettings(
+            faults=FaultSpec(node_power_cap_scale={args.fail_node: 0.25})
+        )
+    return SimSettings()
+
+
+def _execute(args: argparse.Namespace):
+    return run_training(
+        model=args.model,
+        cluster=args.cluster,
+        parallelism=args.parallelism,
+        optimizations=_opts_from(args),
+        microbatch_size=args.microbatch,
+        global_batch_size=args.global_batch,
+        iterations=args.iterations,
+        settings=_settings_from(args),
+    )
+
+
+def _print_summary(result) -> None:
+    efficiency = result.efficiency()
+    stats = result.stats()
+    print(f"run           : {result.label}")
+    print(f"dp            : {result.parallelism.dp}")
+    print(f"step time     : {efficiency.step_time_s:.2f} s")
+    print(f"throughput    : {efficiency.tokens_per_s:,.0f} tokens/s")
+    print(f"energy        : {efficiency.tokens_per_joule:.3f} tokens/J")
+    print(f"avg power     : {stats.avg_power_w / 1000:.1f} kW")
+    print(f"peak temp     : {stats.peak_temp_c:.1f} C")
+    print(f"mean clock    : {stats.mean_freq_ratio:.3f}")
+    print(f"max throttle  : {max(result.throttle_ratio()):.2f}")
+
+
+def cmd_catalog(_args: argparse.Namespace) -> int:
+    """List the models and clusters available."""
+    print("models:")
+    for name in model_names():
+        model = get_model(name)
+        kind = "MoE" if model.is_moe else "dense"
+        print(f"  {name:<16} {model.total_params / 1e9:6.0f}B {kind}")
+    print("clusters:")
+    for name in cluster_names():
+        cluster = get_cluster(name)
+        print(
+            f"  {name:<10} {cluster.num_nodes} nodes x "
+            f"{cluster.node.gpus_per_node} {cluster.node.gpu.name}"
+        )
+    return 0
+
+
+def cmd_configs(args: argparse.Namespace) -> int:
+    """List memory-valid parallelism configurations."""
+    model = get_model(args.model)
+    cluster = get_cluster(args.cluster)
+    space = ConfigSearchSpace(microbatch_size=args.microbatch)
+    configs = valid_configs(model, cluster, space, recompute=args.act)
+    print(
+        f"{len(configs)} valid configurations for {model.name} on "
+        f"{cluster.name}:"
+    )
+    for config in configs:
+        print(f"  {config.name:<16} dp={config.dp}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment; optionally write an artifact directory."""
+    result = _execute(args)
+    _print_summary(result)
+    if args.output:
+        directory = write_run_artifact(result, args.output)
+        print(f"artifact      : {directory}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a strategy x microbatch grid and print the table."""
+    print(
+        f"{'strategy':<16} {'mb':>3} {'tok/s':>10} {'tok/J':>7} "
+        f"{'peakT':>6} {'clock':>6}"
+    )
+    for strategy in args.parallelism:
+        for microbatch in args.microbatch:
+            run_args = argparse.Namespace(**vars(args))
+            run_args.parallelism = strategy
+            run_args.microbatch = microbatch
+            result = _execute(run_args)
+            efficiency = result.efficiency()
+            stats = result.stats()
+            print(
+                f"{strategy:<16} {microbatch:>3} "
+                f"{efficiency.tokens_per_s:>10,.0f} "
+                f"{efficiency.tokens_per_joule:>7.3f} "
+                f"{stats.peak_temp_c:>6.1f} "
+                f"{stats.mean_freq_ratio:>6.3f}"
+            )
+    return 0
+
+
+def cmd_full_sweep(args: argparse.Namespace) -> int:
+    """Run the paper's evaluation grid and write all artifacts."""
+    from repro.core.campaign import paper_campaign, run_campaign
+
+    specs = paper_campaign(clusters=tuple(args.cluster))
+    print(f"{len(specs)} experiments -> {args.output}")
+
+    def progress(spec, result):
+        print(
+            f"  {spec.name:<48} "
+            f"{result.efficiency().tokens_per_s:>10,.0f} tok/s"
+        )
+
+    campaign = run_campaign(specs, output_dir=args.output,
+                            on_result=progress)
+    print(f"summary: {campaign.directory / 'summary.csv'}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Render the figure bundle for one configuration."""
+    from repro.viz.figures import (
+        kernel_breakdown_figure,
+        temperature_heatmap_figure,
+        thermal_timeseries_figure,
+        throttle_heatmap_figure,
+        throughput_comparison,
+    )
+
+    result = _execute(args)
+    output = Path(args.output)
+    label = result.parallelism.name
+    throughput_comparison({label: result}, path=output / "throughput.svg")
+    kernel_breakdown_figure({label: result}, path=output / "breakdown.svg")
+    temperature_heatmap_figure(result, path=output / "temperature.svg")
+    throttle_heatmap_figure(result, path=output / "throttling.svg")
+    thermal_timeseries_figure(result, path=output / "timeseries.svg")
+    print(f"wrote 5 figures to {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "CharLLM-PPT: power/performance/thermal characterization of "
+            "distributed LLM training on a simulated testbed"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    catalog = subparsers.add_parser(
+        "catalog", help="list models and clusters"
+    )
+    catalog.set_defaults(func=cmd_catalog)
+
+    configs = subparsers.add_parser(
+        "configs", help="list valid parallelism configurations"
+    )
+    configs.add_argument("--model", required=True)
+    configs.add_argument("--cluster", required=True)
+    configs.add_argument("--microbatch", type=int, default=1)
+    configs.add_argument("--act", action="store_true")
+    configs.set_defaults(func=cmd_configs)
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    _add_run_arguments(run)
+    run.add_argument("--output", default=None,
+                     help="write an artifact directory here")
+    run.set_defaults(func=cmd_run)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a strategy x microbatch grid"
+    )
+    sweep.add_argument("--model", required=True)
+    sweep.add_argument("--cluster", required=True)
+    sweep.add_argument(
+        "--parallelism", action="append", required=True,
+        help="repeatable: one strategy per flag",
+    )
+    sweep.add_argument(
+        "--microbatch", type=int, nargs="+", default=[1],
+    )
+    sweep.add_argument("--global-batch", type=int, default=128)
+    sweep.add_argument("--iterations", type=int, default=2)
+    sweep.add_argument("--act", action="store_true")
+    sweep.add_argument("--cc", action="store_true")
+    sweep.add_argument("--lora", action="store_true")
+    sweep.set_defaults(func=cmd_sweep, fail_node=None)
+
+    figures = subparsers.add_parser(
+        "figures", help="render the SVG figure bundle for one run"
+    )
+    _add_run_arguments(figures)
+    figures.add_argument("--output", required=True)
+    figures.set_defaults(func=cmd_figures)
+
+    full_sweep = subparsers.add_parser(
+        "full-sweep",
+        help="run the paper's evaluation grid and write all artifacts",
+    )
+    full_sweep.add_argument(
+        "--cluster", action="append", required=True,
+        help="repeatable: h200x32/h100x64 together, or mi250x32",
+    )
+    full_sweep.add_argument("--output", required=True)
+    full_sweep.set_defaults(func=cmd_full_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Communication cost models, traffic accounting, and contention."""
+
+from repro.comm.collectives import (
+    CommCost,
+    allgather,
+    allreduce,
+    alltoall,
+    broadcast,
+    reduce_scatter,
+    send_recv,
+)
+from repro.comm.contention import MIN_SHARE, NicContention
+from repro.comm.message import (
+    chunking_efficiency,
+    effective_bandwidth,
+    segment_time,
+    transfer_time,
+)
+from repro.comm.traffic import TrafficLedger
+
+__all__ = [
+    "MIN_SHARE",
+    "CommCost",
+    "NicContention",
+    "TrafficLedger",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "broadcast",
+    "chunking_efficiency",
+    "effective_bandwidth",
+    "reduce_scatter",
+    "segment_time",
+    "send_recv",
+    "transfer_time",
+]

@@ -1,0 +1,245 @@
+"""Analytic cost models for the communication collectives of LLM training.
+
+Each estimator returns a :class:`CommCost`: wall time for the whole group,
+per-GPU bytes moved per fabric class (feeding the Figure 5 traffic
+accounting), and the set of nodes whose NIC the operation occupies
+(feeding the contention model).
+
+Cost models follow the standard alpha-beta formulation specialised to the
+logical algorithms NCCL/RCCL use:
+
+* AllReduce: ring, ``2 (n-1)/n * bytes`` per rank over the slowest hop;
+* AllGather / ReduceScatter: ring, ``(n-1)/n * bytes``;
+* AllToAll: pairwise exchange, split into intra-node and inter-node parts
+  (the inter-node part serialises on the shared NICs);
+* SendRecv: point-to-point, chunked or unchunked (see
+  :mod:`repro.comm.message`);
+* Broadcast: pipelined chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.interconnect import LinkKind
+from repro.hardware.topology import resolve_path, ring_paths
+from repro.comm.message import transfer_time
+
+
+@dataclass
+class CommCost:
+    """Outcome of one collective operation.
+
+    Attributes:
+        duration_s: wall time until every participant completes.
+        link_bytes: ``gpu -> {link kind -> bytes moved}``.
+        nic_nodes: nodes whose NIC the operation keeps busy.
+        inter_node_bytes: total bytes crossing node boundaries.
+    """
+
+    duration_s: float
+    link_bytes: dict[int, dict[LinkKind, float]] = field(default_factory=dict)
+    nic_nodes: tuple[int, ...] = ()
+    inter_node_bytes: float = 0.0
+
+
+def _add_traffic(
+    cost: CommCost, gpu: int, kind: LinkKind, num_bytes: float
+) -> None:
+    cost.link_bytes.setdefault(gpu, {}).setdefault(kind, 0.0)
+    cost.link_bytes[gpu][kind] += num_bytes
+
+
+def _record_path_traffic(
+    cost: CommCost, cluster: ClusterSpec, src: int, dst: int, num_bytes: float
+) -> None:
+    """Attribute a transfer's bytes to both endpoints' fabric counters."""
+    path = resolve_path(cluster, src, dst)
+    for link in path.links:
+        if link.kind is LinkKind.INFINIBAND:
+            cost.inter_node_bytes += num_bytes
+            continue
+        # NVLink/xGMI touch both endpoints; PCIe is per-host.
+        if link.kind is LinkKind.PCIE:
+            _add_traffic(cost, src, LinkKind.PCIE, num_bytes)
+            _add_traffic(cost, dst, LinkKind.PCIE, num_bytes)
+        else:
+            _add_traffic(cost, src, link.kind, num_bytes)
+            _add_traffic(cost, dst, link.kind, num_bytes)
+
+
+def _nic_nodes(cluster: ClusterSpec, gpus: list[int]) -> tuple[int, ...]:
+    nodes = sorted({cluster.node_of(g) for g in gpus})
+    return tuple(nodes) if len(nodes) > 1 else ()
+
+
+def allreduce(
+    cluster: ClusterSpec,
+    gpus: list[int],
+    payload_bytes: float,
+    bandwidth_scale: float = 1.0,
+) -> CommCost:
+    """Ring AllReduce of ``payload_bytes`` per rank across ``gpus``."""
+    n = len(gpus)
+    if n < 2:
+        return CommCost(duration_s=0.0)
+    per_hop = payload_bytes / n
+    steps = 2 * (n - 1)
+    paths = ring_paths(cluster, gpus)
+    hop_times = [
+        transfer_time(p, per_hop, chunked=True, bandwidth_scale=bandwidth_scale)
+        for p in paths
+    ]
+    cost = CommCost(duration_s=steps * max(hop_times))
+    for path in paths:
+        _record_path_traffic(
+            cost, cluster, path.src, path.dst, steps * per_hop
+        )
+    cost.nic_nodes = _nic_nodes(cluster, gpus)
+    return cost
+
+
+def allgather(
+    cluster: ClusterSpec,
+    gpus: list[int],
+    payload_bytes: float,
+    bandwidth_scale: float = 1.0,
+) -> CommCost:
+    """Ring AllGather: each rank ends with the ``payload_bytes`` total."""
+    return _ring_one_pass(cluster, gpus, payload_bytes, bandwidth_scale)
+
+
+def reduce_scatter(
+    cluster: ClusterSpec,
+    gpus: list[int],
+    payload_bytes: float,
+    bandwidth_scale: float = 1.0,
+) -> CommCost:
+    """Ring ReduceScatter of a ``payload_bytes`` buffer."""
+    return _ring_one_pass(cluster, gpus, payload_bytes, bandwidth_scale)
+
+
+def _ring_one_pass(cluster, gpus, payload_bytes, bandwidth_scale) -> CommCost:
+    n = len(gpus)
+    if n < 2:
+        return CommCost(duration_s=0.0)
+    per_hop = payload_bytes / n
+    steps = n - 1
+    paths = ring_paths(cluster, gpus)
+    hop_times = [
+        transfer_time(p, per_hop, chunked=True, bandwidth_scale=bandwidth_scale)
+        for p in paths
+    ]
+    cost = CommCost(duration_s=steps * max(hop_times))
+    for path in paths:
+        _record_path_traffic(cost, cluster, path.src, path.dst, steps * per_hop)
+    cost.nic_nodes = _nic_nodes(cluster, gpus)
+    return cost
+
+
+def alltoall(
+    cluster: ClusterSpec,
+    gpus: list[int],
+    payload_bytes: float,
+    bandwidth_scale: float = 1.0,
+) -> CommCost:
+    """Pairwise AllToAll: each rank sends ``payload_bytes`` split evenly
+    across the other ranks.
+
+    The inter-node portion of every rank on a node serialises through that
+    node's NICs, which is why EP groups that span nodes are so expensive
+    (paper Section 4.2); the intra-node portion rides NVLink/xGMI in
+    parallel.
+    """
+    n = len(gpus)
+    if n < 2:
+        return CommCost(duration_s=0.0)
+    per_peer = payload_bytes / (n - 1)
+    cost = CommCost(duration_s=0.0)
+
+    intra_times: list[float] = [0.0]
+    node_nic_bytes: dict[int, float] = {}
+    inter_latency = 0.0
+    for src in gpus:
+        for dst in gpus:
+            if src == dst:
+                continue
+            path = resolve_path(cluster, src, dst)
+            _record_path_traffic(cost, cluster, src, dst, per_peer)
+            if path.inter_node:
+                node = cluster.node_of(src)
+                node_nic_bytes[node] = node_nic_bytes.get(node, 0.0) + per_peer
+                inter_latency = max(inter_latency, path.latency_s)
+            else:
+                intra_times.append(
+                    transfer_time(
+                        path,
+                        per_peer,
+                        chunked=True,
+                        bandwidth_scale=bandwidth_scale,
+                    )
+                )
+
+    inter_time = 0.0
+    if node_nic_bytes:
+        nic_bw = (
+            cluster.inter_node_link.peak_effective_bandwidth
+            * cluster.node.nic_count
+            * bandwidth_scale
+        )
+        worst_node_bytes = max(node_nic_bytes.values())
+        inter_time = inter_latency + worst_node_bytes / nic_bw
+    cost.duration_s = max(max(intra_times), inter_time)
+    cost.nic_nodes = _nic_nodes(cluster, gpus)
+    return cost
+
+
+def send_recv(
+    cluster: ClusterSpec,
+    src: int,
+    dst: int,
+    payload_bytes: float,
+    chunked: bool = True,
+    bandwidth_scale: float = 1.0,
+) -> CommCost:
+    """Point-to-point transfer (pipeline-parallel activations/gradients).
+
+    ``chunked=False`` models the sparse, uncoordinated SendRecv calls the
+    paper observes under TP+PP, which lack data chunking and pay
+    store-and-forward across PCIe -> IB -> PCIe.
+    """
+    path = resolve_path(cluster, src, dst)
+    duration = transfer_time(
+        path, payload_bytes, chunked=chunked, bandwidth_scale=bandwidth_scale
+    )
+    cost = CommCost(duration_s=duration)
+    _record_path_traffic(cost, cluster, src, dst, payload_bytes)
+    if path.inter_node:
+        cost.nic_nodes = (cluster.node_of(src), cluster.node_of(dst))
+    return cost
+
+
+def broadcast(
+    cluster: ClusterSpec,
+    gpus: list[int],
+    payload_bytes: float,
+    bandwidth_scale: float = 1.0,
+) -> CommCost:
+    """Pipelined chain broadcast from ``gpus[0]`` to the rest."""
+    n = len(gpus)
+    if n < 2:
+        return CommCost(duration_s=0.0)
+    paths = [
+        resolve_path(cluster, gpus[i], gpus[i + 1]) for i in range(n - 1)
+    ]
+    hop_times = [
+        transfer_time(p, payload_bytes, chunked=True,
+                      bandwidth_scale=bandwidth_scale)
+        for p in paths
+    ]
+    cost = CommCost(duration_s=max(hop_times) + sum(p.latency_s for p in paths))
+    for path in paths:
+        _record_path_traffic(cost, cluster, path.src, path.dst, payload_bytes)
+    cost.nic_nodes = _nic_nodes(cluster, gpus)
+    return cost

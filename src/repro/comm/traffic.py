@@ -1,0 +1,75 @@
+"""Per-GPU fabric traffic accounting (paper Figure 5).
+
+The :class:`TrafficLedger` accumulates, for every physical GPU, the bytes
+moved per fabric class over a run. The Figure 5 heatmap is a direct dump
+of this ledger's NVLink + PCIe totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.interconnect import LinkKind
+from repro.comm.collectives import CommCost
+
+
+@dataclass
+class TrafficLedger:
+    """Cumulative per-GPU, per-fabric byte counters."""
+
+    num_gpus: int
+    _bytes: dict[int, dict[LinkKind, float]] = field(default_factory=dict)
+    inter_node_bytes: float = 0.0
+
+    def record(self, cost: CommCost) -> None:
+        """Fold one collective's traffic into the ledger."""
+        for gpu, by_kind in cost.link_bytes.items():
+            if not 0 <= gpu < self.num_gpus:
+                raise ValueError(f"gpu {gpu} out of range")
+            own = self._bytes.setdefault(gpu, {})
+            for kind, amount in by_kind.items():
+                own[kind] = own.get(kind, 0.0) + amount
+        self.inter_node_bytes += cost.inter_node_bytes
+
+    def bytes_for(self, gpu: int, kind: LinkKind) -> float:
+        """Bytes GPU ``gpu`` moved over fabric ``kind``."""
+        return self._bytes.get(gpu, {}).get(kind, 0.0)
+
+    def total_for(self, gpu: int) -> float:
+        """Bytes GPU ``gpu`` moved over all fabrics."""
+        return sum(self._bytes.get(gpu, {}).values())
+
+    def per_gpu_matrix(self, kinds: tuple[LinkKind, ...] | None = None
+                       ) -> list[float]:
+        """Per-GPU traffic totals over the given fabrics (Figure 5 rows).
+
+        Defaults to NVLink + xGMI + PCIe, the fabrics the paper plots.
+        """
+        kinds = kinds or (LinkKind.NVLINK, LinkKind.XGMI, LinkKind.PCIE)
+        return [
+            sum(self.bytes_for(gpu, kind) for kind in kinds)
+            for gpu in range(self.num_gpus)
+        ]
+
+    def skew(self) -> float:
+        """Max/mean ratio of per-GPU totals (1.0 = perfectly balanced)."""
+        totals = [self.total_for(g) for g in range(self.num_gpus)]
+        mean = sum(totals) / len(totals) if totals else 0.0
+        if mean == 0:
+            return 1.0
+        return max(totals) / mean
+
+    def merged(self, other: "TrafficLedger") -> "TrafficLedger":
+        """A new ledger combining this one and ``other``."""
+        if other.num_gpus != self.num_gpus:
+            raise ValueError("ledgers cover different GPU counts")
+        merged = TrafficLedger(num_gpus=self.num_gpus)
+        for source in (self, other):
+            for gpu, by_kind in source._bytes.items():
+                own = merged._bytes.setdefault(gpu, {})
+                for kind, amount in by_kind.items():
+                    own[kind] = own.get(kind, 0.0) + amount
+        merged.inter_node_bytes = (
+            self.inter_node_bytes + other.inter_node_bytes
+        )
+        return merged

@@ -1,0 +1,51 @@
+"""Experiment orchestration: runs, results, sweeps."""
+
+from repro.core.artifact import (
+    read_run_summary,
+    run_summary,
+    write_run_artifact,
+)
+from repro.core.campaign import (
+    CampaignResult,
+    ExperimentSpec,
+    paper_campaign,
+    run_campaign,
+)
+from repro.core.experiment import (
+    DEFAULT_GLOBAL_BATCH,
+    run_inference,
+    run_training,
+)
+from repro.core.faults import HEALTHY, FaultSpec, power_failure
+from repro.core.results import RunResult
+from repro.core.sweep import (
+    SweepPoint,
+    cached_run_inference,
+    cached_run_training,
+    clear_cache,
+    normalize_by_best,
+    run_sweep,
+)
+
+__all__ = [
+    "CampaignResult",
+    "DEFAULT_GLOBAL_BATCH",
+    "ExperimentSpec",
+    "paper_campaign",
+    "run_campaign",
+    "HEALTHY",
+    "FaultSpec",
+    "power_failure",
+    "read_run_summary",
+    "run_summary",
+    "write_run_artifact",
+    "RunResult",
+    "SweepPoint",
+    "cached_run_inference",
+    "cached_run_training",
+    "clear_cache",
+    "normalize_by_best",
+    "run_inference",
+    "run_sweep",
+    "run_training",
+]

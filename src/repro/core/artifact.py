@@ -1,0 +1,77 @@
+"""Artifact-style results directory writer.
+
+The paper's artifact stores each experiment's outputs as system-telemetry
+CSV files, Chakra traces, and summary metadata under ``results/<run>/``.
+:func:`write_run_artifact` reproduces that layout for a simulated run so
+the same downstream analysis/visualisation scripts can consume either.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.results import RunResult
+from repro.telemetry.export import write_telemetry_csv
+from repro.trace.export import write_trace_csv
+
+
+def run_summary(result: RunResult) -> dict:
+    """JSON-serialisable summary of one run's headline metrics."""
+    efficiency = result.efficiency()
+    stats = result.stats()
+    return {
+        "model": result.model.name,
+        "cluster": result.cluster.name,
+        "parallelism": result.parallelism.name,
+        "dp": result.parallelism.dp,
+        "optimizations": result.optimizations.label,
+        "microbatch_size": result.microbatch_size,
+        "measured_iterations": result.measured_iterations,
+        "step_time_s": efficiency.step_time_s,
+        "tokens_per_s": efficiency.tokens_per_s,
+        "tokens_per_s_per_gpu": efficiency.tokens_per_s_per_gpu,
+        "tokens_per_joule": efficiency.tokens_per_joule,
+        "energy_j": efficiency.energy_j,
+        "avg_power_w": stats.avg_power_w,
+        "peak_power_w": stats.peak_power_w,
+        "avg_temp_c": stats.avg_temp_c,
+        "peak_temp_c": stats.peak_temp_c,
+        "mean_freq_ratio": stats.mean_freq_ratio,
+        "front_rear_gap_c": result.front_rear_gap_c(),
+        "max_throttle_ratio": max(result.throttle_ratio()),
+        "communication_skew": result.communication_skew(),
+        "kernel_seconds": {
+            category.value: seconds
+            for category, seconds in result.kernel_breakdown().seconds.items()
+        },
+    }
+
+
+def write_run_artifact(result: RunResult, directory: str | Path) -> Path:
+    """Write one run's telemetry, trace, and summary to ``directory``.
+
+    Produces::
+
+        <directory>/
+          summary.json     headline metrics (see :func:`run_summary`)
+          telemetry.csv    per-GPU sampled time series
+          trace.csv        Chakra-style kernel records (measured window)
+
+    Returns the directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with (directory / "summary.json").open("w") as handle:
+        json.dump(run_summary(result), handle, indent=2)
+    write_telemetry_csv(
+        result.outcome.telemetry, directory / "telemetry.csv"
+    )
+    write_trace_csv(result.measured_records(), directory / "trace.csv")
+    return directory
+
+
+def read_run_summary(directory: str | Path) -> dict:
+    """Read back the ``summary.json`` of a written artifact."""
+    with (Path(directory) / "summary.json").open() as handle:
+        return json.load(handle)

@@ -1,0 +1,70 @@
+"""Fault injection: degraded nodes and stragglers.
+
+The paper's introduction recounts a node-level power failure that made
+its GPUs run more than 4x slower, creating stragglers that disrupted the
+entire training pipeline. This module reproduces that class of incident:
+a :class:`FaultSpec` caps a node's power budget (the supply-side failure)
+and/or clamps its GPUs' maximum clock, and the simulator's regular
+governor/straggler machinery propagates the damage through every
+synchronisation the strategy performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Degradations applied to specific nodes for a whole run.
+
+    Attributes:
+        node_power_cap_scale: per-node multiplier on the chassis power
+            budget (0.25 reproduces the paper's "4x slower" incident:
+            the governor drives clocks to the floor to stay under the
+            quartered budget).
+        node_max_clock: per-node ceiling on the clock ratio; models
+            firmware-pinned degraded clocks.
+    """
+
+    node_power_cap_scale: dict[int, float] = field(default_factory=dict)
+    node_max_clock: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, mapping in (
+            ("node_power_cap_scale", self.node_power_cap_scale),
+            ("node_max_clock", self.node_max_clock),
+        ):
+            for node, value in mapping.items():
+                if node < 0:
+                    raise ValueError(f"{label}: negative node id {node}")
+                if not 0 < value <= 1.0:
+                    raise ValueError(
+                        f"{label}: value for node {node} must be in (0, 1]"
+                    )
+
+    @property
+    def degraded_nodes(self) -> set[int]:
+        """Nodes touched by any degradation."""
+        return set(self.node_power_cap_scale) | set(self.node_max_clock)
+
+    def power_cap_scale(self, node: int) -> float:
+        """Power-budget multiplier for ``node`` (1.0 = healthy)."""
+        return self.node_power_cap_scale.get(node, 1.0)
+
+    def max_clock(self, node: int) -> float:
+        """Clock ceiling for ``node`` (1.0 = healthy)."""
+        return self.node_max_clock.get(node, 1.0)
+
+
+HEALTHY = FaultSpec()
+
+
+def power_failure(node: int, severity: float = 0.25) -> FaultSpec:
+    """The paper's incident: one node's power budget collapses.
+
+    Args:
+        node: failed node index.
+        severity: remaining fraction of the power budget.
+    """
+    return FaultSpec(node_power_cap_scale={node: severity})

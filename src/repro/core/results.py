@@ -1,0 +1,156 @@
+"""Run results: the public view over one simulated training run.
+
+A :class:`RunResult` wraps the raw simulator outcome with the paper's
+measurement conventions: warm-up iterations are discarded, and all summary
+metrics (throughput, energy efficiency, power/thermal statistics, kernel
+breakdowns) are computed over the measured window only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.kernels import KernelRecord
+from repro.engine.simulator import SimOutcome
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallelism.strategy import OptimizationConfig, ParallelismConfig
+from repro.telemetry.metrics import (
+    ClusterStats,
+    EfficiencySummary,
+    efficiency_summary,
+    front_rear_gap_c,
+    temperature_heatmap,
+    window_stats,
+)
+from repro.trace.chakra import (
+    KernelBreakdown,
+    comm_skew,
+    filter_records,
+    mean_breakdown,
+    per_rank_breakdown,
+    pressure_summary,
+)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one training/inference run, with derived metrics.
+
+    Attributes:
+        model: workload.
+        cluster: platform.
+        parallelism: strategy (with DP filled in).
+        optimizations: optimization toggles.
+        microbatch_size: microbatch size used.
+        warmup_iterations: iterations discarded before measurement.
+        outcome: raw simulator output.
+        placement: logical-rank -> physical-GPU permutation used.
+    """
+
+    model: ModelConfig
+    cluster: ClusterSpec
+    parallelism: ParallelismConfig
+    optimizations: OptimizationConfig
+    microbatch_size: int
+    warmup_iterations: int
+    outcome: SimOutcome
+    placement: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.warmup_iterations < self.outcome.num_iterations:
+            raise ValueError(
+                "warmup_iterations must leave at least one measured iteration"
+            )
+        if not self.placement:
+            self.placement = tuple(range(self.cluster.total_gpus))
+
+    # -- measurement window -------------------------------------------
+
+    @property
+    def window_start_s(self) -> float:
+        """Start of the measured window (end of the last warm-up)."""
+        if self.warmup_iterations == 0:
+            return 0.0
+        return self.outcome.iteration_end_s[self.warmup_iterations - 1]
+
+    @property
+    def window_end_s(self) -> float:
+        """End of the measured window (end of the final iteration)."""
+        return self.outcome.iteration_end_s[-1]
+
+    @property
+    def measured_iterations(self) -> int:
+        """Iterations inside the measured window."""
+        return self.outcome.num_iterations - self.warmup_iterations
+
+    @property
+    def measured_tokens(self) -> int:
+        """Tokens processed inside the measured window."""
+        return self.outcome.tokens_per_iteration * self.measured_iterations
+
+    def measured_records(self) -> list[KernelRecord]:
+        """Kernel records of the measured iterations."""
+        return filter_records(
+            self.outcome.records, min_iteration=self.warmup_iterations
+        )
+
+    # -- headline metrics -----------------------------------------------
+
+    def efficiency(self) -> EfficiencySummary:
+        """Throughput and energy efficiency over the measured window."""
+        return efficiency_summary(
+            self.outcome.telemetry,
+            tokens=self.measured_tokens,
+            start_s=self.window_start_s,
+            end_s=self.window_end_s,
+            num_gpus=self.cluster.total_gpus,
+            num_iterations=self.measured_iterations,
+        )
+
+    def stats(self) -> ClusterStats:
+        """Power/thermal/clock statistics over the measured window."""
+        return window_stats(
+            self.outcome.telemetry, self.window_start_s, self.window_end_s
+        )
+
+    def kernel_breakdown(self) -> KernelBreakdown:
+        """Mean per-rank kernel time by category, per measured iteration."""
+        breakdown = mean_breakdown(self.measured_records())
+        return breakdown.scaled(1.0 / self.measured_iterations)
+
+    def rank_breakdowns(self) -> dict[int, KernelBreakdown]:
+        """Per-rank kernel time by category over the measured window."""
+        return per_rank_breakdown(self.measured_records())
+
+    def communication_skew(self) -> float:
+        """Max/mean cross-rank communication time ratio."""
+        return comm_skew(self.measured_records())
+
+    def temperature_heatmap(self):
+        """(node, local GPU) mean-temperature matrix."""
+        return temperature_heatmap(self.stats(), self.cluster)
+
+    def front_rear_gap_c(self) -> float:
+        """Rear-minus-front mean temperature gap in degC."""
+        return front_rear_gap_c(self.stats(), self.cluster)
+
+    def throttle_ratio(self) -> list[float]:
+        """Per-GPU fraction of time spent clock-throttled."""
+        return self.outcome.throttle_ratio
+
+    def pressure(self):
+        """Time-weighted occupancy/warps/threadblocks (Figure 20)."""
+        window = self.window_end_s - self.window_start_s
+        return pressure_summary(self.measured_records(), window)
+
+    # -- naming ----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Human-readable run identifier for result tables."""
+        return (
+            f"{self.model.name}/{self.cluster.name}/"
+            f"{self.parallelism.name}/mb{self.microbatch_size}/"
+            f"{self.optimizations.label}"
+        )

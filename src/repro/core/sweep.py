@@ -1,0 +1,118 @@
+"""Sweep harness: run a grid of configurations and tabulate results.
+
+Benchmarks use this to regenerate the paper's multi-configuration figures
+(2, 4, 9, 10, 13, 14, 23). Results are memoised per process so figures
+that share configurations (most of them) do not re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.experiment import run_inference, run_training
+from repro.core.results import RunResult
+from repro.parallelism.strategy import OptimizationConfig
+
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def _cache_key(kind: str, kwargs: dict) -> tuple:
+    parts: list = [kind]
+    for key in sorted(kwargs):
+        value = kwargs[key]
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        parts.append((key, value))
+    return tuple(parts)
+
+
+def cached_run_training(**kwargs) -> RunResult:
+    """Memoised :func:`repro.core.experiment.run_training`.
+
+    Only hashable keyword values participate in the key, so pass models,
+    clusters, and strategies by catalog name when using the cache.
+    """
+    key = _cache_key("train", kwargs)
+    if key not in _CACHE:
+        _CACHE[key] = run_training(**kwargs)
+    return _CACHE[key]
+
+
+def cached_run_inference(**kwargs) -> RunResult:
+    """Memoised :func:`repro.core.experiment.run_inference`."""
+    key = _cache_key("infer", kwargs)
+    if key not in _CACHE:
+        _CACHE[key] = run_inference(**kwargs)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all memoised results (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep."""
+
+    model: str
+    cluster: str
+    parallelism: str
+    optimizations: OptimizationConfig = field(
+        default_factory=OptimizationConfig
+    )
+    microbatch_size: int = 1
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.model}|{self.cluster}|{self.parallelism}"
+            f"|mb{self.microbatch_size}|{self.optimizations.label}"
+        )
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    global_batch_size: int = 128,
+    iterations: int = 2,
+    on_result: Callable[[SweepPoint, RunResult], None] | None = None,
+) -> dict[SweepPoint, RunResult]:
+    """Run every sweep point (memoised) and return results by point."""
+    results: dict[SweepPoint, RunResult] = {}
+    for point in points:
+        result = cached_run_training(
+            model=point.model,
+            cluster=point.cluster,
+            parallelism=point.parallelism,
+            optimizations=point.optimizations,
+            microbatch_size=point.microbatch_size,
+            global_batch_size=global_batch_size,
+            iterations=iterations,
+        )
+        results[point] = result
+        if on_result is not None:
+            on_result(point, result)
+    return results
+
+
+def normalize_by_best(
+    values: dict[SweepPoint, float]
+) -> dict[SweepPoint, float]:
+    """Normalise a metric per model, best configuration = 1.0.
+
+    Matches the paper's per-model efficiency normalisation in Figures 4,
+    9, 10, 13, 14.
+    """
+    best_per_model: dict[str, float] = {}
+    for point, value in values.items():
+        best = best_per_model.get(point.model, 0.0)
+        best_per_model[point.model] = max(best, value)
+    return {
+        point: (
+            value / best_per_model[point.model]
+            if best_per_model[point.model] > 0
+            else 0.0
+        )
+        for point, value in values.items()
+    }

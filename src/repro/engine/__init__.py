@@ -1,0 +1,79 @@
+"""Execution engine: task graphs, schedules, and the DES simulator."""
+
+from repro.engine.builder import (
+    BACKWARD_MULTIPLIER,
+    DP_OVERLAP_BUCKETS,
+    GraphBuilder,
+    build_inference_graph,
+    build_training_graph,
+    split_layers,
+)
+from repro.engine.kernels import (
+    KernelCategory,
+    KernelKind,
+    KernelRecord,
+    PressureProfile,
+    category_of,
+    compute_efficiency,
+    pressure_of,
+)
+from repro.engine.schedule import (
+    Direction,
+    PipelineOp,
+    interleaved_1f1b,
+    one_f_one_b,
+    pipeline_bubble_fraction,
+    schedule_for,
+    validate_schedule,
+)
+from repro.engine.simulator import (
+    DeadlockError,
+    SimOutcome,
+    SimSettings,
+    Simulator,
+    simulate,
+)
+from repro.engine.task import (
+    CollectiveOp,
+    CollectiveSpec,
+    ComputeSpec,
+    P2PSpec,
+    Task,
+    TaskGraph,
+    TaskKind,
+)
+
+__all__ = [
+    "BACKWARD_MULTIPLIER",
+    "DP_OVERLAP_BUCKETS",
+    "CollectiveOp",
+    "CollectiveSpec",
+    "ComputeSpec",
+    "DeadlockError",
+    "Direction",
+    "GraphBuilder",
+    "KernelCategory",
+    "KernelKind",
+    "KernelRecord",
+    "P2PSpec",
+    "PipelineOp",
+    "PressureProfile",
+    "SimOutcome",
+    "SimSettings",
+    "Simulator",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "build_inference_graph",
+    "build_training_graph",
+    "category_of",
+    "compute_efficiency",
+    "interleaved_1f1b",
+    "one_f_one_b",
+    "pipeline_bubble_fraction",
+    "pressure_of",
+    "schedule_for",
+    "simulate",
+    "split_layers",
+    "validate_schedule",
+]

@@ -1,0 +1,213 @@
+"""Pipeline-parallel schedules: 1F1B and Megatron's interleaved variant.
+
+A schedule is, per pipeline rank, the ordered list of forward/backward
+microbatch executions. Cross-rank timing is *not* prescribed here — the
+simulator derives it from P2P message availability — but the per-rank
+order determines pipeline bubbles, in-flight activation counts, and the
+burstiness the paper links to power excursions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Direction(Enum):
+    """Forward or backward pass of one microbatch through one stage."""
+
+    FORWARD = "F"
+    BACKWARD = "B"
+
+
+@dataclass(frozen=True)
+class PipelineOp:
+    """One schedule slot: run ``direction`` for ``microbatch`` on ``chunk``.
+
+    ``chunk`` is the virtual-stage index for interleaved schedules and 0
+    for plain 1F1B.
+    """
+
+    direction: Direction
+    microbatch: int
+    chunk: int = 0
+
+
+def one_f_one_b(
+    stage: int, num_stages: int, num_microbatches: int
+) -> list[PipelineOp]:
+    """Per-rank op order for the standard (non-interleaved) 1F1B schedule.
+
+    Stage ``s`` admits ``num_stages - s - 1`` warmup forwards, then
+    alternates one-forward-one-backward, then drains remaining backwards.
+    """
+    _check_args(stage, num_stages, num_microbatches)
+    warmup = min(num_stages - stage - 1, num_microbatches)
+    steady = num_microbatches - warmup
+
+    ops = [
+        PipelineOp(Direction.FORWARD, m) for m in range(warmup)
+    ]
+    for i in range(steady):
+        ops.append(PipelineOp(Direction.FORWARD, warmup + i))
+        ops.append(PipelineOp(Direction.BACKWARD, i))
+    for m in range(steady, num_microbatches):
+        ops.append(PipelineOp(Direction.BACKWARD, m))
+    return ops
+
+
+def interleaved_1f1b(
+    stage: int,
+    num_stages: int,
+    num_microbatches: int,
+    num_chunks: int = 2,
+) -> list[PipelineOp]:
+    """Per-rank op order for Megatron's interleaved (virtual-stage) 1F1B.
+
+    Each rank hosts ``num_chunks`` virtual stages; microbatches stream
+    through virtual stage ``stage + c * num_stages`` for chunk ``c``.
+    Requires ``num_microbatches`` to be a multiple of ``num_stages``
+    (Megatron's constraint).
+    """
+    _check_args(stage, num_stages, num_microbatches)
+    if num_chunks < 2:
+        raise ValueError("interleaving needs at least 2 chunks")
+    if num_microbatches % num_stages:
+        raise ValueError(
+            "interleaved schedule requires num_microbatches to be a "
+            f"multiple of num_stages ({num_microbatches} % {num_stages})"
+        )
+
+    total = num_microbatches * num_chunks
+
+    def slot(k: int) -> tuple[int, int]:
+        """Virtual microbatch index -> (microbatch, chunk)."""
+        group = k // (num_stages * num_chunks)
+        within = k % (num_stages * num_chunks)
+        chunk = within // num_stages
+        microbatch = group * num_stages + within % num_stages
+        return microbatch, chunk
+
+    warmup = min(
+        (num_stages - stage - 1) * 2 + (num_chunks - 1) * num_stages, total
+    )
+    ops: list[PipelineOp] = []
+    for k in range(warmup):
+        mb, chunk = slot(k)
+        ops.append(PipelineOp(Direction.FORWARD, mb, chunk))
+    steady = total - warmup
+    for i in range(steady):
+        mb, chunk = slot(warmup + i)
+        ops.append(PipelineOp(Direction.FORWARD, mb, chunk))
+        mb, chunk = _backward_slot(i, num_stages, num_chunks)
+        ops.append(PipelineOp(Direction.BACKWARD, mb, chunk))
+    for i in range(steady, total):
+        mb, chunk = _backward_slot(i, num_stages, num_chunks)
+        ops.append(PipelineOp(Direction.BACKWARD, mb, chunk))
+    return ops
+
+
+def _backward_slot(i: int, num_stages: int, num_chunks: int) -> tuple[int, int]:
+    """Backward virtual microbatches drain chunks in reverse order."""
+    group = i // (num_stages * num_chunks)
+    within = i % (num_stages * num_chunks)
+    chunk = num_chunks - 1 - within // num_stages
+    microbatch = group * num_stages + within % num_stages
+    return microbatch, chunk
+
+
+def gpipe(
+    stage: int, num_stages: int, num_microbatches: int
+) -> list[PipelineOp]:
+    """GPipe schedule: all forwards, then all backwards (reverse order).
+
+    Simpler than 1F1B but stores activations for *every* microbatch at
+    once and synchronises the whole pipeline between the forward and
+    backward waves — the synchronized compute bursts raise aggregate
+    peak power (the paper's burstiness mechanism, Section 5).
+    """
+    _check_args(stage, num_stages, num_microbatches)
+    ops = [
+        PipelineOp(Direction.FORWARD, m) for m in range(num_microbatches)
+    ]
+    ops.extend(
+        PipelineOp(Direction.BACKWARD, m)
+        for m in reversed(range(num_microbatches))
+    )
+    return ops
+
+
+def schedule_for(
+    stage: int,
+    num_stages: int,
+    num_microbatches: int,
+    interleaved: bool = False,
+    num_chunks: int = 2,
+    flavor: str = "1f1b",
+) -> list[PipelineOp]:
+    """Dispatch to the requested schedule flavour.
+
+    Args:
+        flavor: ``"1f1b"`` (optionally interleaved) or ``"gpipe"``.
+    """
+    if flavor == "gpipe":
+        return gpipe(stage, num_stages, num_microbatches)
+    if flavor != "1f1b":
+        raise ValueError(f"unknown schedule flavor {flavor!r}")
+    if interleaved and num_stages > 1:
+        return interleaved_1f1b(stage, num_stages, num_microbatches, num_chunks)
+    return one_f_one_b(stage, num_stages, num_microbatches)
+
+
+def validate_schedule(
+    ops: list[PipelineOp], num_microbatches: int, num_chunks: int = 1
+) -> None:
+    """Sanity-check a per-rank schedule.
+
+    Ensures every (microbatch, chunk) appears exactly once per direction
+    and no backward precedes its own forward on the same rank.
+
+    Raises:
+        ValueError: on any violation.
+    """
+    seen_forward: set[tuple[int, int]] = set()
+    seen_backward: set[tuple[int, int]] = set()
+    for op in ops:
+        key = (op.microbatch, op.chunk)
+        if op.direction is Direction.FORWARD:
+            if key in seen_forward:
+                raise ValueError(f"duplicate forward {key}")
+            seen_forward.add(key)
+        else:
+            if key in seen_backward:
+                raise ValueError(f"duplicate backward {key}")
+            if key not in seen_forward:
+                raise ValueError(f"backward before forward for {key}")
+            seen_backward.add(key)
+    expected = {
+        (m, c) for m in range(num_microbatches) for c in range(num_chunks)
+    }
+    if seen_forward != expected or seen_backward != expected:
+        raise ValueError("schedule does not cover every microbatch exactly once")
+
+
+def pipeline_bubble_fraction(
+    num_stages: int, num_microbatches: int, num_chunks: int = 1
+) -> float:
+    """Analytic bubble fraction of (interleaved) 1F1B.
+
+    ``(p - 1) / (m * v)`` of the iteration is idle bubble in the ideal
+    balanced case; used by tests and by the projection module.
+    """
+    if num_stages < 1 or num_microbatches < 1 or num_chunks < 1:
+        raise ValueError("all arguments must be >= 1")
+    return (num_stages - 1) / (num_microbatches * num_chunks + num_stages - 1)
+
+
+def _check_args(stage: int, num_stages: int, num_microbatches: int) -> None:
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if not 0 <= stage < num_stages:
+        raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+    if num_microbatches < 1:
+        raise ValueError("num_microbatches must be >= 1")

@@ -1,0 +1,586 @@
+"""Discrete-event simulator with power/thermal co-simulation.
+
+The simulator executes every rank's task queue. Cross-rank timing comes
+only from communication semantics (eager P2P, rendezvous collectives; see
+:mod:`repro.engine.task`). Concurrently, a fixed-step physics loop
+integrates each node's RC thermal model and DVFS governor; compute-kernel
+durations are divided by the issuing GPU's current clock ratio, closing
+the loop the paper highlights: heat -> throttling -> stragglers ->
+synchronisation skew.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.comm.collectives import (
+    CommCost,
+    allgather,
+    allreduce,
+    alltoall,
+    reduce_scatter,
+    send_recv,
+)
+from repro.comm.contention import NicContention
+from repro.comm.traffic import TrafficLedger
+from repro.core.faults import HEALTHY, FaultSpec
+from repro.engine.kernels import KernelKind, KernelRecord
+from repro.engine.task import CollectiveOp, ComputeSpec, Task, TaskGraph, TaskKind
+from repro.hardware.interconnect import LinkKind
+from repro.optimizations.overlap import OVERLAP_COMM_SLOWDOWN, fused_duration
+from repro.parallelism.mapping import DeviceMesh
+from repro.power.model import Activity, gpu_power
+from repro.telemetry.monitor import GpuSample, TelemetryLog
+from repro.thermal.rc_model import NodeThermalState
+from repro.thermal.throttle import DvfsGovernor
+
+EPS = 2e-6
+
+_COLLECTIVE_FNS = {
+    CollectiveOp.ALLREDUCE: allreduce,
+    CollectiveOp.ALLGATHER: allgather,
+    CollectiveOp.REDUCE_SCATTER: reduce_scatter,
+    CollectiveOp.ALLTOALL: alltoall,
+}
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event queue drains with unfinished rank queues."""
+
+
+@dataclass(frozen=True)
+class SimSettings:
+    """Simulation fidelity knobs.
+
+    Attributes:
+        physics_dt_s: thermal/governor integration step.
+        telemetry_interval_s: telemetry sampling period (Zeus poll rate).
+        thermal_prewarm: start from the thermal steady state of a busy
+            cluster instead of cold metal (stands in for the paper's 10
+            discarded warm-up iterations).
+        prewarm_busy_fraction: assumed duty cycle for the prewarm
+            equilibrium estimate.
+        faults: node degradations active for the whole run (power
+            failures, pinned clocks) — the paper's straggler incident.
+    """
+
+    physics_dt_s: float = 0.05
+    telemetry_interval_s: float = 0.1
+    thermal_prewarm: bool = True
+    prewarm_busy_fraction: float = 0.75
+    faults: FaultSpec = HEALTHY
+
+
+@dataclass
+class SimOutcome:
+    """Everything one simulated run produced.
+
+    Attributes:
+        records: Chakra-style kernel records across all GPUs.
+        makespan_s: completion time of the last task.
+        iteration_end_s: per-iteration completion times.
+        telemetry: sampled per-GPU time series.
+        traffic: per-GPU fabric byte counters.
+        throttle_ratio: per-physical-GPU fraction of time throttled.
+        mean_freq_ratio: per-physical-GPU time-weighted clock ratio.
+        tokens_per_iteration / num_iterations: workload geometry.
+    """
+
+    records: list[KernelRecord]
+    makespan_s: float
+    iteration_end_s: list[float]
+    telemetry: TelemetryLog
+    traffic: TrafficLedger
+    throttle_ratio: list[float]
+    mean_freq_ratio: list[float]
+    tokens_per_iteration: int
+    num_iterations: int
+
+
+@dataclass
+class _RunningCollective:
+    """Book-keeping of an in-flight rendezvous collective."""
+
+    group_start_s: float = 0.0
+    arrivals: dict[int, float] = field(default_factory=dict)
+    nic_nodes: tuple[int, ...] = ()
+    pcie_rates: list[tuple[int, float]] = field(default_factory=list)
+    comm_duration_s: float = 0.0
+
+
+class Simulator:
+    """Executes a :class:`TaskGraph` on a :class:`DeviceMesh`."""
+
+    def __init__(
+        self,
+        mesh: DeviceMesh,
+        graph: TaskGraph,
+        settings: SimSettings | None = None,
+    ) -> None:
+        self.mesh = mesh
+        self.graph = graph
+        self.settings = settings or SimSettings()
+        self.cluster = mesh.cluster
+        self.world = graph.world_size
+        if self.world != self.cluster.total_gpus:
+            raise ValueError("task graph and cluster size mismatch")
+
+        num_gpus = self.cluster.total_gpus
+        self._pos = [0] * self.world
+        self._heap: list[tuple[float, int, str, tuple]] = []
+        self._seq = itertools.count()
+
+        self._compute_active = [0.0] * num_gpus
+        self._comm_active = [0.0] * num_gpus
+        self._memory_active = [0.0] * num_gpus
+        self._pcie_rate = [0.0] * num_gpus
+
+        node = self.cluster.node
+        self._thermal = [
+            NodeThermalState(node) for _ in range(self.cluster.num_nodes)
+        ]
+        self._governors = [
+            DvfsGovernor(
+                node,
+                power_cap_scale=self.settings.faults.power_cap_scale(i),
+                max_clock=self.settings.faults.max_clock(i),
+            )
+            for i in range(self.cluster.num_nodes)
+        ]
+        self.telemetry = TelemetryLog(
+            num_gpus=num_gpus,
+            sample_interval_s=self.settings.telemetry_interval_s,
+        )
+        self.traffic = TrafficLedger(num_gpus=num_gpus)
+        self._contention = NicContention(num_nodes=self.cluster.num_nodes)
+
+        self._delivery: dict[int, float] = {}
+        self._waiting: dict[int, tuple[Task, int, float]] = {}
+        self._collectives: dict[int, _RunningCollective] = {}
+        self._records: list[KernelRecord] = []
+        self._iteration_end: dict[int, float] = {}
+
+        self._phys_time = 0.0
+        self._next_sample = 0.0
+        self._last_power = [node.gpu.idle_watts] * num_gpus
+        self._now = 0.0
+
+        self._handlers = {
+            "compute": self._on_compute_done,
+            "send": self._on_send_done,
+            "recv": self._on_recv_done,
+            "collective": self._on_collective_done,
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimOutcome:
+        """Execute the full graph and return the collected outcome."""
+        if self.settings.thermal_prewarm:
+            self._prewarm()
+        for rank in range(self.world):
+            self._try_start(rank, 0.0)
+        while self._heap:
+            time_s, _, name, payload = heapq.heappop(self._heap)
+            self._now = time_s
+            self._advance_physics(time_s)
+            self._handlers[name](time_s, *payload)
+        makespan = self._now
+        self._flush_physics(makespan)
+        self._check_finished()
+        return SimOutcome(
+            records=self._records,
+            makespan_s=makespan,
+            iteration_end_s=[
+                self._iteration_end[i]
+                for i in range(self.graph.num_iterations)
+            ],
+            telemetry=self.telemetry,
+            traffic=self.traffic,
+            throttle_ratio=self._per_gpu_from_governors(
+                lambda g: g.throttle_ratios()
+            ),
+            mean_freq_ratio=self._per_gpu_from_governors(
+                lambda g: [s.mean_freq_ratio for s in g.stats]
+            ),
+            tokens_per_iteration=self.graph.tokens_per_iteration,
+            num_iterations=self.graph.num_iterations,
+        )
+
+    # ------------------------------------------------------------------
+    # Task dispatch
+    # ------------------------------------------------------------------
+
+    def _try_start(self, rank: int, now: float) -> None:
+        if self._pos[rank] >= len(self.graph.queues[rank]):
+            return
+        task = self.graph.queues[rank][self._pos[rank]]
+        if task.kind is TaskKind.COMPUTE:
+            self._start_compute(task, rank, now)
+        elif task.kind is TaskKind.SEND:
+            self._start_send(task, rank, now)
+        elif task.kind is TaskKind.RECV:
+            self._start_recv(task, rank, now)
+        else:
+            self._arrive_collective(task, rank, now)
+
+    def _start_compute(self, task: Task, rank: int, now: float) -> None:
+        gpu = self.mesh.gpu_of(rank)
+        duration = self._compute_duration(task.compute, gpu)
+        self._set_activity(gpu, task.compute.activity, +1)
+        self._push(now + duration, "compute", (task, rank, now))
+
+    def _start_send(self, task: Task, rank: int, now: float) -> None:
+        spec = task.p2p
+        src_gpu = self.mesh.gpu_of(spec.src)
+        dst_gpu = self.mesh.gpu_of(spec.dst)
+        nodes = self._nic_nodes_for((src_gpu, dst_gpu))
+        share = self._contention.begin(nodes) if nodes else 1.0
+        cost = send_recv(
+            self.cluster,
+            src_gpu,
+            dst_gpu,
+            spec.payload_bytes,
+            chunked=spec.chunked,
+            bandwidth_scale=share,
+        )
+        duration = max(cost.duration_s, EPS)
+        self.traffic.record(cost)
+        rates = self._begin_pcie_rates(cost, duration, repeat=1)
+        self._comm_active[src_gpu] += 1
+        self._delivery[spec.message_id] = now + duration
+        self._push(now + duration, "send", (task, rank, now, nodes, rates))
+        waiting = self._waiting.pop(spec.message_id, None)
+        if waiting is not None:
+            wtask, wrank, wstart = waiting
+            self._push(
+                now + duration + EPS, "recv", (wtask, wrank, wstart)
+            )
+
+    def _start_recv(self, task: Task, rank: int, now: float) -> None:
+        gpu = self.mesh.gpu_of(rank)
+        msg = task.p2p.message_id
+        self._comm_active[gpu] += 1
+        if msg in self._delivery:
+            done = max(now, self._delivery[msg]) + EPS
+            self._push(done, "recv", (task, rank, now))
+        else:
+            self._waiting[msg] = (task, rank, now)
+
+    def _arrive_collective(self, task: Task, rank: int, now: float) -> None:
+        state = self._collectives.setdefault(task.uid, _RunningCollective())
+        state.arrivals[rank] = now
+        gpu = self.mesh.gpu_of(rank)
+        self._comm_active[gpu] += 1
+        if len(state.arrivals) == len(task.collective.ranks):
+            self._start_collective(task, state, now)
+
+    def _start_collective(
+        self, task: Task, state: _RunningCollective, now: float
+    ) -> None:
+        spec = task.collective
+        gpus = self.mesh.gpus_of(list(spec.ranks))
+        nodes = self._nic_nodes_for(tuple(gpus))
+        share = self._contention.begin(nodes) if nodes else 1.0
+        cost = _COLLECTIVE_FNS[spec.op](
+            self.cluster, gpus, spec.payload_bytes, bandwidth_scale=share
+        )
+        comm_duration = cost.duration_s * spec.repeat
+        self._record_scaled_traffic(cost, spec.repeat)
+
+        duration = comm_duration
+        if task.overlap_compute is not None:
+            compute_durations = [
+                self._compute_duration(task.overlap_compute, g) for g in gpus
+            ]
+            duration = fused_duration(max(compute_durations), comm_duration)
+            for g in gpus:
+                self._set_activity(g, task.overlap_compute.activity, +1)
+        duration = max(duration, EPS)
+
+        state.group_start_s = now
+        state.nic_nodes = nodes
+        state.pcie_rates = self._begin_pcie_rates(cost, duration, spec.repeat)
+        state.comm_duration_s = comm_duration
+        self._push(now + duration, "collective", (task,))
+
+    # ------------------------------------------------------------------
+    # Completion handlers
+    # ------------------------------------------------------------------
+
+    def _on_compute_done(
+        self, now: float, task: Task, rank: int, start: float
+    ) -> None:
+        gpu = self.mesh.gpu_of(rank)
+        self._set_activity(gpu, task.compute.activity, -1)
+        self._record(task, gpu, rank, start, now, task.kernel)
+        self._advance(task, rank, now)
+
+    def _on_send_done(
+        self,
+        now: float,
+        task: Task,
+        rank: int,
+        start: float,
+        nodes: tuple[int, ...],
+        rates: list[tuple[int, float]],
+    ) -> None:
+        gpu = self.mesh.gpu_of(rank)
+        self._comm_active[gpu] -= 1
+        self._end_pcie_rates(rates)
+        if nodes:
+            self._contention.end(nodes)
+        self._record(task, gpu, rank, start, now, task.kernel)
+        self._advance(task, rank, now)
+
+    def _on_recv_done(
+        self, now: float, task: Task, rank: int, wait_start: float
+    ) -> None:
+        gpu = self.mesh.gpu_of(rank)
+        self._comm_active[gpu] -= 1
+        self._record(task, gpu, rank, wait_start, now, task.kernel)
+        self._advance(task, rank, now)
+
+    def _on_collective_done(self, now: float, task: Task) -> None:
+        state = self._collectives.pop(task.uid)
+        if state.nic_nodes:
+            self._contention.end(state.nic_nodes)
+        self._end_pcie_rates(state.pcie_rates)
+        for member in task.collective.ranks:
+            gpu = self.mesh.gpu_of(member)
+            self._comm_active[gpu] -= 1
+            if task.overlap_compute is None:
+                # Rendezvous wait is charged to the comm kernel, as NCCL
+                # profilers report it.
+                self._record(
+                    task, gpu, member, state.arrivals[member], now,
+                    task.kernel,
+                )
+            else:
+                # Overlapped: the comm kernel spans only its own (slowed)
+                # duration; the fused compute kernel spans the full task.
+                comm_end = min(
+                    now,
+                    state.group_start_s
+                    + state.comm_duration_s * OVERLAP_COMM_SLOWDOWN,
+                )
+                self._record(
+                    task, gpu, member, state.group_start_s, comm_end,
+                    task.kernel,
+                )
+                self._set_activity(gpu, task.overlap_compute.activity, -1)
+                self._record(
+                    task,
+                    gpu,
+                    member,
+                    state.group_start_s,
+                    now,
+                    task.overlap_kernel or KernelKind.FWD_GEMM,
+                )
+        for member in task.collective.ranks:
+            self._advance(task, member, now)
+
+    def _advance(self, task: Task, rank: int, now: float) -> None:
+        self._pos[rank] += 1
+        previous = self._iteration_end.get(task.iteration, 0.0)
+        self._iteration_end[task.iteration] = max(previous, now)
+        self._try_start(rank, now)
+
+    # ------------------------------------------------------------------
+    # Durations, activity, traffic helpers
+    # ------------------------------------------------------------------
+
+    def _compute_duration(self, spec: ComputeSpec, gpu: int) -> float:
+        if spec.fixed_duration_s is not None:
+            return max(spec.fixed_duration_s, spec.min_duration_s)
+        node = self.cluster.node_of(gpu)
+        local = self.cluster.local_index(gpu)
+        freq = self._governors[node].freq_of(local)
+        sustained = self.cluster.node.gpu.sustained_flops
+        duration = spec.flops / (sustained * spec.efficiency * freq)
+        if spec.overlapped_comm_s > 0:
+            duration = fused_duration(duration, spec.overlapped_comm_s)
+        return max(duration, spec.min_duration_s)
+
+    def _set_activity(self, gpu: int, activity: Activity, delta: int) -> None:
+        """Stack (or unstack) a kernel's fractional activity on a GPU."""
+        self._compute_active[gpu] += delta * activity.compute
+        self._comm_active[gpu] += delta * activity.comm
+        self._memory_active[gpu] += delta * activity.memory
+        if min(
+            self._compute_active[gpu],
+            self._comm_active[gpu],
+            self._memory_active[gpu],
+        ) < -1e-9:
+            raise RuntimeError(f"negative activity level on GPU {gpu}")
+
+    def _activity_of(self, gpu: int) -> Activity:
+        return Activity(
+            compute=min(1.0, max(0.0, self._compute_active[gpu])),
+            comm=min(1.0, max(0.0, self._comm_active[gpu])),
+            memory=min(1.0, max(0.0, self._memory_active[gpu])),
+        )
+
+    def _nic_nodes_for(self, gpus: tuple[int, ...]) -> tuple[int, ...]:
+        nodes = sorted({self.cluster.node_of(g) for g in gpus})
+        return tuple(nodes) if len(nodes) > 1 else ()
+
+    def _begin_pcie_rates(
+        self, cost: CommCost, duration: float, repeat: int
+    ) -> list[tuple[int, float]]:
+        rates = []
+        for gpu, by_kind in cost.link_bytes.items():
+            pcie = by_kind.get(LinkKind.PCIE, 0.0) * repeat
+            if pcie > 0:
+                rate = pcie / duration
+                self._pcie_rate[gpu] += rate
+                rates.append((gpu, rate))
+        return rates
+
+    def _end_pcie_rates(self, rates: list[tuple[int, float]]) -> None:
+        for gpu, rate in rates:
+            self._pcie_rate[gpu] = max(0.0, self._pcie_rate[gpu] - rate)
+
+    def _record_scaled_traffic(self, cost: CommCost, repeat: int) -> None:
+        if repeat == 1:
+            self.traffic.record(cost)
+            return
+        scaled = CommCost(
+            duration_s=cost.duration_s * repeat,
+            link_bytes={
+                gpu: {kind: b * repeat for kind, b in by_kind.items()}
+                for gpu, by_kind in cost.link_bytes.items()
+            },
+            nic_nodes=cost.nic_nodes,
+            inter_node_bytes=cost.inter_node_bytes * repeat,
+        )
+        self.traffic.record(scaled)
+
+    def _record(
+        self,
+        task: Task,
+        gpu: int,
+        rank: int,
+        start: float,
+        end: float,
+        kind: KernelKind,
+    ) -> None:
+        self._records.append(
+            KernelRecord(
+                gpu=gpu,
+                rank=rank,
+                kind=kind,
+                start_s=start,
+                end_s=end,
+                iteration=task.iteration,
+                microbatch=task.microbatch,
+                stage=task.stage,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Physics loop
+    # ------------------------------------------------------------------
+
+    def _prewarm(self) -> None:
+        """Initialise die temperatures at a busy-cluster steady state."""
+        node = self.cluster.node
+        busy = Activity(compute=self.settings.prewarm_busy_fraction)
+        power = gpu_power(node.gpu, busy, 1.0)
+        for thermal in self._thermal:
+            thermal.set_equilibrium([power] * node.gpus_per_node)
+
+    def _advance_physics(self, to_time: float) -> None:
+        dt = self.settings.physics_dt_s
+        while to_time - self._phys_time >= dt:
+            self._physics_step(dt)
+
+    def _flush_physics(self, end_time: float) -> None:
+        remaining = end_time - self._phys_time
+        if remaining > 1e-9:
+            self._physics_step(remaining)
+
+    def _physics_step(self, dt: float) -> None:
+        per_node = self.cluster.node.gpus_per_node
+        gpu_spec = self.cluster.node.gpu
+        for node_idx in range(self.cluster.num_nodes):
+            governor = self._governors[node_idx]
+            thermal = self._thermal[node_idx]
+            powers = []
+            for local in range(per_node):
+                gpu = node_idx * per_node + local
+                power = gpu_power(
+                    gpu_spec,
+                    self._activity_of(gpu),
+                    governor.freq_of(local),
+                )
+                powers.append(power)
+                self._last_power[gpu] = power
+            temps = thermal.step(dt, powers)
+            governor.update(dt, temps, powers)
+        self._phys_time += dt
+        if self._phys_time >= self._next_sample:
+            self._sample_telemetry(self._phys_time)
+            self._next_sample += self.settings.telemetry_interval_s
+
+    def _sample_telemetry(self, time_s: float) -> None:
+        per_node = self.cluster.node.gpus_per_node
+        for gpu in range(self.cluster.total_gpus):
+            node_idx = gpu // per_node
+            local = gpu % per_node
+            self.telemetry.record(
+                gpu,
+                GpuSample(
+                    time_s=time_s,
+                    power_w=self._last_power[gpu],
+                    temp_c=self._thermal[node_idx].temps_c[local],
+                    freq_ratio=self._governors[node_idx].freq_of(local),
+                    compute_util=(
+                        1.0 if self._compute_active[gpu] > 0 else 0.0
+                    ),
+                    comm_util=1.0 if self._comm_active[gpu] > 0 else 0.0,
+                    pcie_bytes_per_s=max(0.0, self._pcie_rate[gpu]),
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def _push(self, time_s: float, name: str, payload: tuple) -> None:
+        heapq.heappush(self._heap, (time_s, next(self._seq), name, payload))
+
+    def _per_gpu_from_governors(self, extract) -> list[float]:
+        values: list[float] = []
+        for governor in self._governors:
+            values.extend(extract(governor))
+        return values
+
+    def _check_finished(self) -> None:
+        stuck = [
+            rank
+            for rank in range(self.world)
+            if self._pos[rank] < len(self.graph.queues[rank])
+        ]
+        if stuck:
+            details = []
+            for rank in stuck[:8]:
+                task = self.graph.queues[rank][self._pos[rank]]
+                details.append(
+                    f"rank {rank} stuck at task {task.uid} "
+                    f"({task.kind.value}/{task.kernel.value})"
+                )
+            raise DeadlockError(
+                f"{len(stuck)} ranks never finished: " + "; ".join(details)
+            )
+
+
+def simulate(
+    mesh: DeviceMesh, graph: TaskGraph, settings: SimSettings | None = None
+) -> SimOutcome:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(mesh, graph, settings).run()

@@ -1,0 +1,145 @@
+"""Cluster models: the three testbeds of Table 3 plus custom builders.
+
+A :class:`ClusterSpec` is a set of identical nodes joined by an inter-node
+fabric. Global GPU ranks are dense: rank ``r`` lives on node ``r // g`` at
+local index ``r % g`` where ``g`` is GPUs per node — matching how SLURM
+exposes the paper's machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.interconnect import INFINIBAND_100G, LinkSpec, infiniband
+from repro.hardware.node import (
+    HGX_H100_NODE,
+    HGX_H200_NODE,
+    MI250_NODE,
+    NodeSpec,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous multi-node GPU cluster.
+
+    Attributes:
+        name: identifier used by benchmarks and result tables.
+        node: node blueprint (all nodes identical).
+        num_nodes: node count.
+        inter_node_link: fabric between nodes (InfiniBand in the paper).
+    """
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+    inter_node_link: LinkSpec = INFINIBAND_100G
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+
+    @property
+    def total_gpus(self) -> int:
+        """Logical GPU count across the cluster."""
+        return self.num_nodes * self.node.gpus_per_node
+
+    @property
+    def aggregate_sustained_flops(self) -> float:
+        """Cluster-wide sustained FLOP/s at boost clock."""
+        return self.total_gpus * self.node.gpu.sustained_flops
+
+    @property
+    def total_memory_bytes(self) -> float:
+        """Cluster-wide HBM capacity."""
+        return self.total_gpus * self.node.gpu.memory_bytes
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting global GPU ``rank``."""
+        self._check_rank(rank)
+        return rank // self.node.gpus_per_node
+
+    def local_index(self, rank: int) -> int:
+        """Within-node index of global GPU ``rank``."""
+        self._check_rank(rank)
+        return rank % self.node.gpus_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether two global ranks share a node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> range:
+        """Global ranks hosted on ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        g = self.node.gpus_per_node
+        return range(node * g, (node + 1) * g)
+
+    def with_inter_node_gbps(self, gbps: float) -> "ClusterSpec":
+        """Variant with a different inter-node bandwidth (Section 7.1)."""
+        return replace(
+            self,
+            name=f"{self.name}-ib{int(gbps)}g",
+            inter_node_link=infiniband(gbps),
+        )
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.total_gpus:
+            raise ValueError(
+                f"rank {rank} out of range for {self.total_gpus}-GPU cluster"
+            )
+
+
+# Table 3 clusters -----------------------------------------------------------
+
+H200_X32 = ClusterSpec(name="h200x32", node=HGX_H200_NODE, num_nodes=4)
+H100_X64 = ClusterSpec(name="h100x64", node=HGX_H100_NODE, num_nodes=8)
+MI250_X32 = ClusterSpec(name="mi250x32", node=MI250_NODE, num_nodes=4)
+
+_CATALOG = {c.name: c for c in (H200_X32, H100_X64, MI250_X32)}
+
+
+def cluster_names() -> list[str]:
+    """Names of the paper's evaluated clusters."""
+    return sorted(_CATALOG)
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up a cluster by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _CATALOG:
+        raise KeyError(f"unknown cluster {name!r}; known: {cluster_names()}")
+    return _CATALOG[key]
+
+
+def one_gpu_per_node(base: ClusterSpec, num_nodes: int) -> ClusterSpec:
+    """The Section 4.2 validation setup: 1 GPU per node across ``num_nodes``.
+
+    Removes intra-node sharing (each GPU owns the full PCIe path and NIC),
+    producing the more uniform communication topology of Figure 8.
+    """
+    node = replace(
+        base.node,
+        name=f"{base.node.name}-1gpu",
+        gpus_per_node=1,
+        airflow=_single_gpu_airflow(),
+        node_power_cap_watts=base.node.gpu.tdp_watts * 1.1,
+        nic_count=1,
+        package_of=(0,),
+    )
+    return ClusterSpec(
+        name=f"{base.name}-1pern{num_nodes}",
+        node=node,
+        num_nodes=num_nodes,
+        inter_node_link=base.inter_node_link,
+    )
+
+
+def _single_gpu_airflow():
+    from repro.hardware.node import AirflowLayout
+
+    return AirflowLayout(
+        upstream=((),),
+        inlet_offset_c=(0.0,),
+        preheat_c_per_w=0.0,
+    )

@@ -1,0 +1,174 @@
+"""GPU device models.
+
+A :class:`GPUSpec` carries the performance, power, and thermal parameters
+of one logical GPU (one H100/H200, or one MI250 GCD). Performance and power
+numbers come from Table 3 of the paper and vendor datasheets; thermal
+parameters are calibrated so steady-state temperatures and throttling
+onset match the ranges reported in Figures 4, 9-10, and 17-19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB, TERA
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one logical GPU.
+
+    Attributes:
+        name: vendor model, e.g. ``"H200"``.
+        architecture: microarchitecture family, e.g. ``"Hopper"``.
+        memory_bytes: HBM capacity.
+        peak_flops_fp16: dense FP16/BF16 peak, FLOP/s.
+        mfu: sustained fraction of peak achieved by large training GEMMs
+            (model FLOP utilisation ceiling for the compute model).
+        tdp_watts: board power limit.
+        idle_watts: power at idle clocks.
+        base_clock_ratio: lowest throttled clock as a fraction of boost.
+        throttle_temp_c: core temperature at which DVFS starts stepping
+            the clock down.
+        shutdown_temp_c: hardware slowdown ceiling; the governor never
+            allows crossing it.
+        thermal_resistance_c_per_w: steady-state degC per watt between die
+            and local inlet air (die + heatsink + local airflow; the sum
+            of the two-node RC resistances).
+        thermal_capacitance_j_per_c: heat capacity of the heatsink node
+            (the slow pole of the two-node RC model).
+        die_resistance_c_per_w: die-to-heatsink resistance (fast pole);
+            sets how far bursts lift the die above the sink.
+        die_capacitance_j_per_c: die heat capacity; with the die
+            resistance it sets the ~1 s burst response the paper's peak
+            power/temperature excursions ride on.
+        sm_count: streaming multiprocessors (occupancy model, Fig. 20).
+        max_warps_per_sm: scheduler limit used to normalise occupancy.
+        is_chiplet: True for MI250 GCDs (paired dies share a package).
+        hbm_bandwidth_bytes_per_s: HBM bandwidth; bounds memory-bound
+            kernels such as the optimizer step.
+        gemm_half_point_tokens: microbatch token count at which training
+            GEMMs reach half of their asymptotic efficiency. CDNA2 needs
+            much larger tiles than Hopper to saturate, which is why the
+            MI250 gains so much from bigger microbatches (Figure 14).
+    """
+
+    name: str
+    architecture: str
+    memory_bytes: float
+    peak_flops_fp16: float
+    mfu: float
+    tdp_watts: float
+    idle_watts: float
+    base_clock_ratio: float
+    throttle_temp_c: float
+    shutdown_temp_c: float
+    thermal_resistance_c_per_w: float
+    thermal_capacitance_j_per_c: float
+    sm_count: int
+    max_warps_per_sm: int
+    is_chiplet: bool = False
+    hbm_bandwidth_bytes_per_s: float = 3.0e12
+    gemm_half_point_tokens: int = 768
+    die_resistance_c_per_w: float = 0.03
+    die_capacitance_j_per_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mfu <= 1:
+            raise ValueError("mfu must be in (0, 1]")
+        if self.die_resistance_c_per_w >= self.thermal_resistance_c_per_w:
+            raise ValueError(
+                "die resistance must be below the total thermal resistance"
+            )
+        if not 0 < self.base_clock_ratio <= 1:
+            raise ValueError("base_clock_ratio must be in (0, 1]")
+        if self.throttle_temp_c >= self.shutdown_temp_c:
+            raise ValueError("throttle_temp_c must be below shutdown_temp_c")
+
+    @property
+    def sustained_flops(self) -> float:
+        """Sustained FLOP/s at boost clock for large training kernels."""
+        return self.peak_flops_fp16 * self.mfu
+
+
+# Catalog -------------------------------------------------------------------
+# H100 and H200 share the Hopper compute engine (1 PFLOPS FP16, 700 W);
+# H200 has 141 GB HBM3e vs H100's 80 GB HBM3. The MI250 exposes two GCDs,
+# each 0.18 PFLOPS sustained-class with 64 GB HBM2e and a 250 W share of
+# the 500 W package.
+
+H100 = GPUSpec(
+    name="H100",
+    architecture="Hopper",
+    memory_bytes=80 * GB,
+    peak_flops_fp16=1.0e15,
+    mfu=0.42,
+    tdp_watts=700.0,
+    idle_watts=75.0,
+    base_clock_ratio=0.55,
+    throttle_temp_c=84.0,
+    shutdown_temp_c=92.0,
+    thermal_resistance_c_per_w=0.085,
+    thermal_capacitance_j_per_c=950.0,
+    sm_count=132,
+    max_warps_per_sm=64,
+    hbm_bandwidth_bytes_per_s=3.35e12,
+    gemm_half_point_tokens=768,
+)
+
+H200 = GPUSpec(
+    name="H200",
+    architecture="Hopper",
+    memory_bytes=141 * GB,
+    peak_flops_fp16=1.0e15,
+    mfu=0.42,
+    tdp_watts=700.0,
+    idle_watts=80.0,
+    base_clock_ratio=0.55,
+    throttle_temp_c=84.0,
+    shutdown_temp_c=92.0,
+    thermal_resistance_c_per_w=0.085,
+    thermal_capacitance_j_per_c=980.0,
+    sm_count=132,
+    max_warps_per_sm=64,
+    hbm_bandwidth_bytes_per_s=4.8e12,
+    gemm_half_point_tokens=768,
+)
+
+# One MI250 GCD (the cluster exposes 8 logical GPUs = 4 packages per node).
+MI250_GCD = GPUSpec(
+    name="MI250-GCD",
+    architecture="CDNA2",
+    memory_bytes=64 * GB,
+    peak_flops_fp16=0.18e15,  # half of the 0.36 PFLOPS package
+    mfu=0.38,
+    tdp_watts=250.0,  # half of the 500 W package
+    idle_watts=45.0,
+    base_clock_ratio=0.60,
+    throttle_temp_c=95.0,  # CDNA2 junction throttle is higher than Hopper's
+    shutdown_temp_c=105.0,
+    thermal_resistance_c_per_w=0.13,
+    thermal_capacitance_j_per_c=600.0,
+    sm_count=110,  # compute units per GCD
+    max_warps_per_sm=32,
+    is_chiplet=True,
+    hbm_bandwidth_bytes_per_s=1.6e12,
+    gemm_half_point_tokens=4096,
+    die_resistance_c_per_w=0.05,
+    die_capacitance_j_per_c=15.0,
+)
+
+_CATALOG = {spec.name.lower(): spec for spec in (H100, H200, MI250_GCD)}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _CATALOG:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(_CATALOG)}")
+    return _CATALOG[key]
+
+
+def effective_tflops(spec: GPUSpec) -> float:
+    """Sustained training throughput in TFLOP/s (reporting helper)."""
+    return spec.sustained_flops / TERA

@@ -1,0 +1,186 @@
+"""Server node models, including airflow/cooling layout (paper Figure 16).
+
+The thermal findings of the paper come from *where air flows*: HGX nodes
+move air front-to-back, so rear GPUs inhale air preheated by front GPUs;
+MI250 nodes additionally show skew between the two GCDs of one package.
+:class:`NodeSpec` encodes that layout as, per logical GPU, (a) the list of
+upstream GPUs whose dissipated heat preheats its intake and (b) a static
+inlet offset from its position in the chassis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.gpu import H100, H200, MI250_GCD, GPUSpec
+from repro.hardware.interconnect import (
+    NVLINK4,
+    PCIE_GEN4,
+    PCIE_GEN5,
+    XGMI,
+    XGMI_INTRA_PACKAGE,
+    LinkSpec,
+)
+
+
+@dataclass(frozen=True)
+class AirflowLayout:
+    """Cooling geometry of one node.
+
+    Attributes:
+        upstream: ``upstream[i]`` lists local GPU indices whose exhaust
+            preheats GPU ``i``'s intake air.
+        inlet_offset_c: static inlet temperature offset per GPU from its
+            chassis position (rear positions are warmer even at idle).
+        preheat_c_per_w: inlet degC rise per watt dissipated by each
+            upstream GPU.
+    """
+
+    upstream: tuple[tuple[int, ...], ...]
+    inlet_offset_c: tuple[float, ...]
+    preheat_c_per_w: float
+
+    def __post_init__(self) -> None:
+        if len(self.upstream) != len(self.inlet_offset_c):
+            raise ValueError("upstream and inlet_offset_c must align")
+        for i, ups in enumerate(self.upstream):
+            if i in ups:
+                raise ValueError(f"GPU {i} cannot be upstream of itself")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One server node.
+
+    Attributes:
+        name: chassis identifier.
+        gpu: logical GPU populating the node.
+        gpus_per_node: logical GPU count.
+        intra_node_link: GPU<->GPU fabric (NVLink / xGMI).
+        host_pcie: GPU<->NIC path.
+        airflow: cooling geometry.
+        node_power_cap_watts: chassis power budget across all GPUs; the
+            governor scales clocks down when aggregate draw exceeds it.
+        nic_count: InfiniBand NICs; flows from all GPUs share them.
+        package_of: maps logical GPU -> physical package (chiplets share
+            a package; monolithic GPUs map 1:1).
+        intra_package_link: fabric between GCDs of one package, if any.
+        ambient_c: machine-room supply air temperature at the intake.
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    intra_node_link: LinkSpec
+    host_pcie: LinkSpec
+    airflow: AirflowLayout
+    node_power_cap_watts: float
+    nic_count: int = 1
+    package_of: tuple[int, ...] = field(default=())
+    intra_package_link: LinkSpec | None = None
+    ambient_c: float = 28.0
+
+    def __post_init__(self) -> None:
+        if len(self.airflow.upstream) != self.gpus_per_node:
+            raise ValueError("airflow layout must cover every GPU")
+        if self.package_of and len(self.package_of) != self.gpus_per_node:
+            raise ValueError("package_of must cover every GPU")
+
+    def packages(self) -> dict[int, list[int]]:
+        """Physical package -> list of logical GPUs it contains."""
+        mapping = self.package_of or tuple(range(self.gpus_per_node))
+        grouped: dict[int, list[int]] = {}
+        for local, package in enumerate(mapping):
+            grouped.setdefault(package, []).append(local)
+        return grouped
+
+    def same_package(self, a: int, b: int) -> bool:
+        """Whether local GPUs ``a`` and ``b`` share a physical package."""
+        mapping = self.package_of or tuple(range(self.gpus_per_node))
+        return mapping[a] == mapping[b]
+
+    def depth_of(self, local: int) -> float:
+        """Airflow depth of a GPU in [0, 1]: 0 = intake, 1 = exhaust."""
+        offsets = self.airflow.inlet_offset_c
+        span = max(offsets) - min(offsets)
+        if span == 0:
+            return 0.0
+        return (offsets[local] - min(offsets)) / span
+
+
+def _hgx_airflow() -> AirflowLayout:
+    """HGX 8-GPU baseboard: two ranks of four, front-to-back airflow.
+
+    GPUs 0-3 sit at the intake; GPUs 4-7 sit directly behind them and
+    inhale their exhaust (Figure 16a).
+    """
+    upstream = tuple(
+        tuple() if i < 4 else (i - 4,) for i in range(8)
+    )
+    inlet_offset = tuple(0.0 if i < 4 else 6.0 for i in range(8))
+    return AirflowLayout(
+        upstream=upstream,
+        inlet_offset_c=inlet_offset,
+        preheat_c_per_w=0.016,
+    )
+
+
+def _mi250_airflow() -> AirflowLayout:
+    """MI250 node: 4 packages in the airflow path, 2 GCDs per package.
+
+    Within a package the odd GCD sits downstream of the even one
+    (5-10 degC skew per Figure 18); packages deeper in the chassis get a
+    warmer intake.
+    """
+    upstream: list[tuple[int, ...]] = []
+    inlet_offset: list[float] = []
+    for gcd in range(8):
+        package = gcd // 2
+        ups: list[int] = []
+        if gcd % 2 == 1:
+            ups.append(gcd - 1)  # downstream GCD of the same package
+        if package >= 2:
+            ups.extend((2 * (package - 2), 2 * (package - 2) + 1))
+        upstream.append(tuple(ups))
+        inlet_offset.append(2.5 * (package % 2) + 3.0 * (package // 2))
+    return AirflowLayout(
+        upstream=tuple(upstream),
+        inlet_offset_c=tuple(inlet_offset),
+        preheat_c_per_w=0.03,
+    )
+
+
+HGX_H200_NODE = NodeSpec(
+    name="HGX-H200",
+    gpu=H200,
+    gpus_per_node=8,
+    intra_node_link=NVLINK4,
+    host_pcie=PCIE_GEN5,
+    airflow=_hgx_airflow(),
+    node_power_cap_watts=8 * 700.0 * 0.95,
+    nic_count=2,
+)
+
+HGX_H100_NODE = NodeSpec(
+    name="HGX-H100",
+    gpu=H100,
+    gpus_per_node=8,
+    intra_node_link=NVLINK4,
+    host_pcie=PCIE_GEN5,
+    airflow=_hgx_airflow(),
+    node_power_cap_watts=8 * 700.0 * 0.95,
+    nic_count=2,
+)
+
+MI250_NODE = NodeSpec(
+    name="MI250",
+    gpu=MI250_GCD,
+    gpus_per_node=8,
+    intra_node_link=XGMI,
+    host_pcie=PCIE_GEN4,
+    airflow=_mi250_airflow(),
+    node_power_cap_watts=4 * 500.0 * 1.1,
+    nic_count=1,
+    package_of=(0, 0, 1, 1, 2, 2, 3, 3),
+    intra_package_link=XGMI_INTRA_PACKAGE,
+)

@@ -1,0 +1,32 @@
+"""Distributed inference characterization and serving (Section 7.2)."""
+
+from repro.inference.engine import InferencePoint, sweep_inference
+from repro.inference.latency import (
+    InferenceLatency,
+    decode_bound_batch_size,
+    decode_seconds_per_token,
+    prefill_seconds,
+    request_latency,
+)
+from repro.inference.serving import (
+    ROUTERS,
+    ServingConfig,
+    ServingOutcome,
+    compare_routers,
+    simulate_serving,
+)
+
+__all__ = [
+    "ROUTERS",
+    "InferenceLatency",
+    "InferencePoint",
+    "decode_bound_batch_size",
+    "decode_seconds_per_token",
+    "prefill_seconds",
+    "request_latency",
+    "ServingConfig",
+    "ServingOutcome",
+    "compare_routers",
+    "simulate_serving",
+    "sweep_inference",
+]

@@ -1,0 +1,64 @@
+"""Distributed inference characterization helpers (Section 7.2).
+
+Inference runs forward-only with fixed weights: less inter-GPU traffic,
+lower average power, but bursty attention/GEMM kernels keep peaks high.
+The Figure 23 microbatch sweep lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import RunResult
+from repro.core.sweep import cached_run_inference
+
+
+@dataclass(frozen=True)
+class InferencePoint:
+    """One Figure 23 bar group: a (strategy, microbatch) inference run."""
+
+    parallelism: str
+    microbatch_size: int
+    result: RunResult
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.result.efficiency().tokens_per_s
+
+    @property
+    def avg_power_w(self) -> float:
+        return self.result.stats().avg_power_w
+
+    @property
+    def peak_power_w(self) -> float:
+        return self.result.stats().peak_power_w
+
+    @property
+    def avg_temp_c(self) -> float:
+        return self.result.stats().avg_temp_c
+
+
+def sweep_inference(
+    model: str,
+    cluster: str,
+    strategies: list[str],
+    microbatch_sizes: list[int],
+    global_batch_size: int = 128,
+) -> list[InferencePoint]:
+    """Run the Figure 23 grid: strategies x microbatch sizes."""
+    points = []
+    for strategy in strategies:
+        for mb in microbatch_sizes:
+            result = cached_run_inference(
+                model=model,
+                cluster=cluster,
+                parallelism=strategy,
+                microbatch_size=mb,
+                global_batch_size=global_batch_size,
+            )
+            points.append(
+                InferencePoint(
+                    parallelism=strategy, microbatch_size=mb, result=result
+                )
+            )
+    return points

@@ -1,0 +1,133 @@
+"""Analytic prefill/decode inference latency model.
+
+The paper's related work (Splitwise) splits LLM inference into a
+compute-bound **prefill** phase and a memory-bandwidth-bound **decode**
+phase with very different power profiles; Section 7.2 observes exactly
+that signature (bursty attention/GEMM peaks over a low average). This
+module provides the standard first-order latency model for both phases
+on our hardware specs, so serving simulations can derive service times
+from the actual model/cluster instead of a hand-picked constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.kernels import stage_gemm_efficiency
+from repro.hardware.gpu import GPUSpec
+from repro.models.config import ModelConfig
+from repro.models.flops import model_forward_flops
+
+
+@dataclass(frozen=True)
+class InferenceLatency:
+    """Latencies of one batched inference request.
+
+    Attributes:
+        prefill_s: time to process the prompt (compute-bound).
+        decode_per_token_s: time per generated token (weight-streaming,
+            memory-bandwidth-bound).
+        tokens_generated: decode length used for the totals.
+    """
+
+    prefill_s: float
+    decode_per_token_s: float
+    tokens_generated: int
+
+    @property
+    def decode_s(self) -> float:
+        """Total decode time."""
+        return self.decode_per_token_s * self.tokens_generated
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end request latency."""
+        return self.prefill_s + self.decode_s
+
+    @property
+    def decode_fraction(self) -> float:
+        """Share of the request spent decoding."""
+        return self.decode_s / self.total_s if self.total_s else 0.0
+
+
+def prefill_seconds(
+    model: ModelConfig,
+    gpu: GPUSpec,
+    num_gpus: int,
+    batch_size: int,
+    prompt_tokens: int,
+    tp: int = 1,
+) -> float:
+    """Prompt-processing time: one forward pass over the prompt batch.
+
+    Compute-bound: the full forward FLOPs over ``batch * prompt`` tokens
+    at the cluster's sustained rate, degraded by GEMM granularity.
+    """
+    if num_gpus < 1 or batch_size < 1 or prompt_tokens < 1:
+        raise ValueError("counts must be positive")
+    tokens = batch_size * prompt_tokens
+    flops = model_forward_flops(model, tokens)
+    efficiency = stage_gemm_efficiency(
+        model, tokens, tp, half_point_tokens=gpu.gemm_half_point_tokens
+    )
+    return flops / (num_gpus * gpu.sustained_flops * efficiency)
+
+
+def decode_seconds_per_token(
+    model: ModelConfig,
+    gpu: GPUSpec,
+    num_gpus: int,
+    batch_size: int,
+) -> float:
+    """Per-token decode latency: stream the active weights once.
+
+    Memory-bandwidth-bound: each decode step reads every active
+    parameter (top-k experts for MoE) from HBM; batching amortises the
+    read across the batch until compute catches up, which at LLM scales
+    it does not for moderate batches.
+    """
+    if num_gpus < 1 or batch_size < 1:
+        raise ValueError("counts must be positive")
+    active_bytes = model.active_params_per_token * model.bytes_per_param
+    bytes_per_gpu = active_bytes / num_gpus
+    return bytes_per_gpu / gpu.hbm_bandwidth_bytes_per_s
+
+
+def request_latency(
+    model: ModelConfig,
+    gpu: GPUSpec,
+    num_gpus: int,
+    batch_size: int = 1,
+    prompt_tokens: int = 512,
+    output_tokens: int = 128,
+    tp: int = 1,
+) -> InferenceLatency:
+    """Latency of one batched request through prefill + decode."""
+    return InferenceLatency(
+        prefill_s=prefill_seconds(
+            model, gpu, num_gpus, batch_size, prompt_tokens, tp
+        ),
+        decode_per_token_s=decode_seconds_per_token(
+            model, gpu, num_gpus, batch_size
+        ),
+        tokens_generated=output_tokens,
+    )
+
+
+def decode_bound_batch_size(
+    model: ModelConfig, gpu: GPUSpec, tp: int = 1
+) -> int:
+    """Batch size where decode flips from memory- to compute-bound.
+
+    Below this batch, adding requests is nearly free (the weight stream
+    dominates); above it, decode steps start paying compute. This is the
+    arithmetic-intensity crossover ``HBM_bw * 2 flops/byte`` against the
+    sustained FLOP rate.
+    """
+    flops_per_token = 2.0 * model.active_params_per_token
+    seconds_compute_one = flops_per_token / gpu.sustained_flops
+    seconds_memory = (
+        model.active_params_per_token * model.bytes_per_param
+        / gpu.hbm_bandwidth_bytes_per_s
+    )
+    return max(1, int(seconds_memory / seconds_compute_one))

@@ -1,0 +1,149 @@
+"""Catalog of the models evaluated in the paper (Table 1 plus Section 4.2
+and Section 3.2 variants).
+
+Architectural parameters follow the published model cards (GPT-3, Llama 3,
+Mixtral) with the paper's training sequence length. ``get_model`` accepts
+the catalog name case-insensitively.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import ModelConfig, MoEConfig
+
+# Table 1 models ------------------------------------------------------------
+
+GPT3_175B = ModelConfig(
+    name="gpt3-175b",
+    num_layers=96,
+    hidden_size=12288,
+    num_heads=96,
+    ffn_hidden_size=4 * 12288,
+    vocab_size=51200,
+    seq_length=2048,
+)
+
+GPT3_30B = ModelConfig(
+    name="gpt3-30b",
+    num_layers=48,
+    hidden_size=7168,
+    num_heads=56,
+    ffn_hidden_size=4 * 7168,
+    vocab_size=51200,
+    seq_length=2048,
+)
+
+LLAMA3_70B = ModelConfig(
+    name="llama3-70b",
+    num_layers=80,
+    hidden_size=8192,
+    num_heads=64,
+    ffn_hidden_size=28672,
+    vocab_size=128256,
+    seq_length=2048,
+    num_query_groups=8,
+    extras={"gated_mlp": True},
+)
+
+LLAMA3_30B = ModelConfig(
+    name="llama3-30b",
+    num_layers=60,
+    hidden_size=6144,
+    num_heads=48,
+    ffn_hidden_size=21504,
+    vocab_size=128256,
+    seq_length=2048,
+    num_query_groups=8,
+    extras={"gated_mlp": True},
+)
+
+MIXTRAL_8X22B = ModelConfig(
+    name="mixtral-8x22b",
+    num_layers=56,
+    hidden_size=6144,
+    num_heads=48,
+    ffn_hidden_size=16384,
+    vocab_size=32768,
+    seq_length=2048,
+    moe=MoEConfig(num_experts=8, top_k=2),
+    num_query_groups=8,
+    extras={"gated_mlp": True},
+)
+
+MIXTRAL_8X7B = ModelConfig(
+    name="mixtral-8x7b",
+    num_layers=32,
+    hidden_size=4096,
+    num_heads=32,
+    ffn_hidden_size=14336,
+    vocab_size=32000,
+    seq_length=2048,
+    moe=MoEConfig(num_experts=8, top_k=2),
+    num_query_groups=8,
+    extras={"gated_mlp": True},
+)
+
+# Section 4.2 (1-GPU-per-node) reduced models --------------------------------
+
+GPT3_13B = ModelConfig(
+    name="gpt3-13b",
+    num_layers=40,
+    hidden_size=5120,
+    num_heads=40,
+    ffn_hidden_size=4 * 5120,
+    vocab_size=51200,
+    seq_length=2048,
+)
+
+MIXTRAL_4X7B = ModelConfig(
+    name="mixtral-4x7b",
+    num_layers=32,
+    hidden_size=4096,
+    num_heads=32,
+    ffn_hidden_size=14336,
+    vocab_size=32000,
+    seq_length=2048,
+    moe=MoEConfig(num_experts=4, top_k=2),
+    num_query_groups=8,
+    extras={"gated_mlp": True},
+)
+
+_CATALOG: dict[str, ModelConfig] = {
+    model.name: model
+    for model in (
+        GPT3_175B,
+        GPT3_30B,
+        LLAMA3_70B,
+        LLAMA3_30B,
+        MIXTRAL_8X22B,
+        MIXTRAL_8X7B,
+        GPT3_13B,
+        MIXTRAL_4X7B,
+    )
+}
+
+TABLE1_MODELS = (
+    GPT3_175B,
+    GPT3_30B,
+    LLAMA3_70B,
+    LLAMA3_30B,
+    MIXTRAL_8X22B,
+    MIXTRAL_8X7B,
+)
+
+
+def model_names() -> list[str]:
+    """All model names available in the catalog."""
+    return sorted(_CATALOG)
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model by catalog name (case-insensitive).
+
+    Raises:
+        KeyError: if the name is not in the catalog, with the list of
+            valid names in the message.
+    """
+    key = name.lower()
+    if key not in _CATALOG:
+        raise KeyError(f"unknown model {name!r}; known: {model_names()}")
+    return _CATALOG[key]

@@ -1,0 +1,209 @@
+"""Transformer model architecture descriptions.
+
+A :class:`ModelConfig` captures the architectural parameters that drive the
+systems behaviour the paper studies: parameter count (memory, DP/FSDP
+communication volume), per-layer FLOPs and activation sizes (compute and
+TP/PP communication volume), and Mixture-of-Experts structure (EP all-to-all
+volume and expert load).
+
+Dataset content never enters the model: only batch geometry (sequence
+length, micro/global batch sizes) matters for the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import BYTES_FP16
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """Mixture-of-Experts structure of a sparse model.
+
+    Attributes:
+        num_experts: experts per MoE layer (e.g. 8 for Mixtral-8x7B).
+        top_k: experts activated per token.
+        capacity_factor: per-expert buffer slack used by dispatchers; it
+            scales all-to-all payloads and expert imbalance headroom.
+    """
+
+    num_experts: int
+    top_k: int = 2
+    capacity_factor: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.num_experts < 2:
+            raise ValueError("MoE model needs at least 2 experts")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of a dense or MoE transformer language model.
+
+    Attributes:
+        name: human-readable identifier, e.g. ``"gpt3-175b"``.
+        num_layers: transformer blocks.
+        hidden_size: model (embedding) dimension.
+        num_heads: attention heads.
+        ffn_hidden_size: MLP intermediate dimension. For MoE models this is
+            the per-expert intermediate dimension.
+        vocab_size: vocabulary entries (embedding + LM head).
+        seq_length: training sequence length in tokens.
+        moe: MoE structure, or None for dense models.
+        num_query_groups: KV groups for grouped-query attention (Llama 3);
+            equal to ``num_heads`` for classic multi-head attention.
+        bytes_per_param: parameter precision (FP16/BF16 -> 2).
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    ffn_hidden_size: int
+    vocab_size: int = 51200
+    seq_length: int = 2048
+    moe: MoEConfig | None = None
+    num_query_groups: int | None = None
+    bytes_per_param: int = BYTES_FP16
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.hidden_size % self.num_heads:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        groups = self.num_query_groups
+        if groups is not None and self.num_heads % groups:
+            raise ValueError("num_heads must be divisible by num_query_groups")
+
+    # ------------------------------------------------------------------
+    # Derived architecture quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def is_moe(self) -> bool:
+        """Whether this is a Mixture-of-Experts model."""
+        return self.moe is not None
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of a single attention head."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_groups(self) -> int:
+        """Number of key/value head groups (GQA), defaulting to MHA."""
+        return self.num_query_groups or self.num_heads
+
+    @property
+    def attention_params(self) -> int:
+        """Parameters of one attention block (QKV + output projection)."""
+        h = self.hidden_size
+        kv_dim = self.kv_groups * self.head_dim
+        return h * h + 2 * h * kv_dim + h * h  # Q, K+V, output proj
+
+    @property
+    def mlp_params_per_expert(self) -> int:
+        """Parameters of one MLP (or one expert's MLP for MoE).
+
+        Uses the gated (SwiGLU-style) three-matrix MLP when the config was
+        built with ``extras={"gated_mlp": True}`` (Llama/Mixtral), else the
+        classic two-matrix GELU MLP (GPT-3).
+        """
+        matrices = 3 if self.extras.get("gated_mlp") else 2
+        return matrices * self.hidden_size * self.ffn_hidden_size
+
+    @property
+    def layer_params(self) -> int:
+        """Parameters of one transformer layer (all experts included)."""
+        experts = self.moe.num_experts if self.moe else 1
+        router = self.hidden_size * self.moe.num_experts if self.moe else 0
+        norms = 2 * self.hidden_size
+        return (
+            self.attention_params
+            + experts * self.mlp_params_per_expert
+            + router
+            + norms
+        )
+
+    @property
+    def embedding_params(self) -> int:
+        """Parameters of the (tied) token embedding / LM head."""
+        return self.vocab_size * self.hidden_size
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count of the model."""
+        return self.num_layers * self.layer_params + self.embedding_params
+
+    @property
+    def active_params_per_token(self) -> int:
+        """Parameters exercised per token (MoE activates only top-k experts)."""
+        if not self.moe:
+            return self.total_params
+        active_layer = (
+            self.attention_params
+            + self.moe.top_k * self.mlp_params_per_expert
+            + self.hidden_size * self.moe.num_experts
+            + 2 * self.hidden_size
+        )
+        return self.num_layers * active_layer + self.embedding_params
+
+    def activation_bytes_per_token(self) -> int:
+        """Stored activation footprint per token per layer (bytes).
+
+        Follows the Megatron analysis (Korthikanti et al.): roughly
+        ``34 * hidden + 5 * heads * seq`` bytes per token per layer at FP16
+        with selective structures; we use the dominant ``s*b*h`` terms that
+        drive both memory pressure and recomputation cost.
+        """
+        h = self.hidden_size
+        ffn = self.ffn_hidden_size
+        per_token = 10 * h + 4 * ffn  # attention I/O + MLP intermediates
+        if self.moe:
+            per_token += 2 * self.moe.top_k * ffn
+        return per_token * self.bytes_per_param // BYTES_FP16 * BYTES_FP16
+
+    def scaled(self, name: str, param_fraction: float) -> "ModelConfig":
+        """Return a variant scaled to roughly ``param_fraction`` of the
+        parameters.
+
+        Mirrors the paper's AMD-cluster methodology (Section 3.2): shrink
+        layers/heads/hidden proportionally so the variant fits smaller
+        memory while keeping architectural ratios. Layers and width each
+        take a cube-root share of the reduction (params ~ layers * h^2).
+        """
+        if not 0 < param_fraction <= 1:
+            raise ValueError("param_fraction must be in (0, 1]")
+        layer_fraction = param_fraction ** (1.0 / 3.0)
+        factor = param_fraction ** (1.0 / 3.0)
+        hidden = _round_to(self.hidden_size * factor, 128)
+        heads = max(8, _round_to(self.num_heads * factor, 8))
+        while hidden % heads:
+            heads -= 8
+        groups = self.num_query_groups
+        if groups is not None:
+            groups = max(4, min(groups, heads))
+            while heads % groups:
+                groups -= 1
+        return ModelConfig(
+            name=name,
+            num_layers=max(4, int(self.num_layers * layer_fraction)),
+            hidden_size=hidden,
+            num_heads=heads,
+            ffn_hidden_size=_round_to(self.ffn_hidden_size * factor, 128),
+            vocab_size=self.vocab_size,
+            seq_length=self.seq_length,
+            moe=self.moe,
+            num_query_groups=groups,
+            bytes_per_param=self.bytes_per_param,
+            extras=dict(self.extras),
+        )
+
+
+def _round_to(value: float, multiple: int) -> int:
+    """Round ``value`` to the nearest positive multiple of ``multiple``."""
+    return max(multiple, int(round(value / multiple)) * multiple)

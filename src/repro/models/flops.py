@@ -1,0 +1,105 @@
+"""Analytic FLOP counts for transformer training.
+
+The simulator turns these counts into kernel durations via each GPU's
+sustained throughput. Counts follow the standard Megatron accounting:
+a dense matmul of an ``m x k`` activation with a ``k x n`` weight costs
+``2*m*k*n`` FLOPs; the backward pass costs twice the forward pass (grad
+w.r.t. input + grad w.r.t. weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class LayerFlops:
+    """Forward-pass FLOPs of one transformer layer for a token batch.
+
+    Attributes:
+        attention: attention projections + score/value matmuls.
+        mlp: MLP (active experts only, for MoE).
+        router: MoE router, zero for dense layers.
+    """
+
+    attention: float
+    mlp: float
+    router: float
+
+    @property
+    def forward(self) -> float:
+        """Total forward FLOPs for the layer."""
+        return self.attention + self.mlp + self.router
+
+    @property
+    def backward(self) -> float:
+        """Total backward FLOPs (2x forward, standard accounting)."""
+        return 2.0 * self.forward
+
+
+def layer_flops(model: ModelConfig, tokens: int) -> LayerFlops:
+    """Forward FLOPs of one layer processing ``tokens`` tokens.
+
+    Args:
+        model: architecture.
+        tokens: number of tokens in the (micro)batch, i.e.
+            ``microbatch_size * seq_length``.
+    """
+    if tokens <= 0:
+        raise ValueError("tokens must be positive")
+    h = model.hidden_size
+    seq = model.seq_length
+    kv_dim = model.kv_groups * model.head_dim
+
+    # Projections: Q (h->h), K and V (h->kv_dim), output (h->h).
+    proj = 2 * tokens * h * (h + 2 * kv_dim + h)
+    # Scores and context: two batched matmuls over seq positions per head.
+    scores = 2 * tokens * seq * h * 2
+    attention = proj + scores
+
+    matrices = 3 if model.extras.get("gated_mlp") else 2
+    mlp_one_expert = 2 * tokens * h * model.ffn_hidden_size * matrices
+    if model.moe:
+        mlp = model.moe.top_k * mlp_one_expert
+        router = 2 * tokens * h * model.moe.num_experts
+    else:
+        mlp = mlp_one_expert
+        router = 0.0
+    return LayerFlops(attention=attention, mlp=mlp, router=router)
+
+
+def model_forward_flops(model: ModelConfig, tokens: int) -> float:
+    """Forward FLOPs for the full model on ``tokens`` tokens.
+
+    Includes the LM head projection into the vocabulary.
+    """
+    per_layer = layer_flops(model, tokens).forward
+    lm_head = 2 * tokens * model.hidden_size * model.vocab_size
+    return model.num_layers * per_layer + lm_head
+
+
+def model_step_flops(
+    model: ModelConfig, tokens: int, recompute: bool = False
+) -> float:
+    """FLOPs of one optimizer step over ``tokens`` tokens.
+
+    forward + backward (2x forward) = 3x; activation recomputation replays
+    the forward pass during backward, adding another 1x -> 4x.
+    """
+    multiplier = 4.0 if recompute else 3.0
+    return multiplier * model_forward_flops(model, tokens)
+
+
+def stage_forward_flops(
+    model: ModelConfig, tokens: int, num_stage_layers: int, has_lm_head: bool
+) -> float:
+    """Forward FLOPs of one pipeline stage holding ``num_stage_layers`` layers."""
+    if num_stage_layers < 0:
+        raise ValueError("num_stage_layers must be >= 0")
+    per_layer = layer_flops(model, tokens).forward
+    total = num_stage_layers * per_layer
+    if has_lm_head:
+        total += 2 * tokens * model.hidden_size * model.vocab_size
+    return total

@@ -1,0 +1,215 @@
+"""Per-GPU memory footprint model.
+
+The paper selects parallelism configurations by "the minimal total model
+parallelism (Tensor x Pipeline x Expert) required to fit within GPU memory"
+(Section 3.1). This module provides the fit check the enumeration uses.
+
+The footprint follows the Megatron/ZeRO accounting:
+
+* weights: FP16 copy of the rank's shard;
+* gradients: FP16, same size as the weight shard;
+* optimizer states: FP32 master weights + two Adam moments (16 bytes per
+  parameter at mixed precision), divided across DP ranks under ZeRO-1 or
+  across FSDP ranks under full sharding;
+* activations: stored per microbatch in flight; pipeline rank 0 holds up to
+  ``pp`` microbatches under 1F1B. Activation recomputation stores only
+  layer-boundary tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.units import BYTES_FP16
+
+# Adam at mixed precision: fp32 master (4) + momentum (4) + variance (4),
+# plus fp32 gradient accumulation buffer (4) as in Megatron's distributed
+# optimizer accounting.
+OPTIMIZER_BYTES_PER_PARAM = 16
+GRADIENT_BYTES_PER_PARAM = BYTES_FP16
+# Fraction of GPU memory usable for model state (CUDA context, NCCL
+# buffers, fragmentation reserve).
+USABLE_MEMORY_FRACTION = 0.92
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU memory footprint in bytes, by category."""
+
+    weights: float
+    gradients: float
+    optimizer: float
+    activations: float
+
+    @property
+    def total(self) -> float:
+        """Total bytes across all categories."""
+        return self.weights + self.gradients + self.optimizer + self.activations
+
+
+def shard_params_split(
+    model: ModelConfig,
+    tp: int,
+    pp: int,
+    ep: int = 1,
+    fsdp: int = 1,
+) -> tuple[float, float]:
+    """(dense, expert) parameters held by one GPU under a given split.
+
+    TP divides attention/MLP matrices; PP divides layers; EP divides
+    experts. FSDP additionally shards the resident weight copy. The split
+    matters for gradient synchronisation: dense parameters reduce across
+    the full DP group while expert parameters reduce only across the
+    outer DP replicas.
+    """
+    if min(tp, pp, ep, fsdp) < 1:
+        raise ValueError("parallel widths must be >= 1")
+    experts = model.moe.num_experts if model.moe else 1
+    if ep > experts:
+        raise ValueError(f"ep={ep} exceeds {experts} experts")
+
+    layers_per_stage = model.num_layers / pp
+    dense_layer = model.attention_params + 2 * model.hidden_size
+    router = model.hidden_size * experts if model.moe else 0
+    if model.moe:
+        expert_params = experts * model.mlp_params_per_expert
+        dense_per_layer = dense_layer / tp + router
+        expert_per_layer = expert_params / (ep * tp)
+    else:
+        dense_per_layer = (
+            dense_layer + model.mlp_params_per_expert
+        ) / tp + router
+        expert_per_layer = 0.0
+    embedding = model.embedding_params / tp  # first/last stage only; bound
+    dense = (layers_per_stage * dense_per_layer + embedding) / fsdp
+    expert = layers_per_stage * expert_per_layer / fsdp
+    return dense, expert
+
+
+def shard_params(
+    model: ModelConfig,
+    tp: int,
+    pp: int,
+    ep: int = 1,
+    fsdp: int = 1,
+) -> float:
+    """Total parameters held by one GPU under the given split."""
+    dense, expert = shard_params_split(model, tp=tp, pp=pp, ep=ep, fsdp=fsdp)
+    return dense + expert
+
+
+# Fraction of per-layer activations living inside TP-sharded regions
+# (attention/MLP internals); the rest (layernorm I/O, residual stream,
+# dropout masks) is replicated across TP ranks unless sequence
+# parallelism shards it along the sequence dimension.
+TP_SHARDED_ACTIVATION_FRACTION = 0.65
+
+
+def activation_bytes(
+    model: ModelConfig,
+    microbatch_size: int,
+    tp: int,
+    pp: int,
+    recompute: bool = False,
+    sequence_parallel: bool = True,
+    pipeline_schedule: str = "1f1b",
+    num_microbatches: int | None = None,
+) -> float:
+    """Peak stored-activation bytes on the most loaded pipeline rank.
+
+    Under 1F1B, stage 0 keeps activations for up to ``pp`` in-flight
+    microbatches; under GPipe every microbatch is in flight at the end
+    of the forward wave (pass ``num_microbatches``). With full
+    recomputation only the layer-input tensors are stashed;
+    intermediates are regenerated during backward. Sequence parallelism
+    shards the otherwise-replicated activation regions along the
+    sequence, so everything divides by ``tp``.
+    """
+    if microbatch_size < 1:
+        raise ValueError("microbatch_size must be >= 1")
+    tokens = microbatch_size * model.seq_length
+    layers_per_stage = max(1, model.num_layers // pp)
+    if pipeline_schedule == "gpipe":
+        if num_microbatches is None:
+            raise ValueError("GPipe memory needs num_microbatches")
+        in_flight = num_microbatches
+    elif pipeline_schedule == "1f1b":
+        in_flight = min(pp, 8) if pp > 1 else 1
+    else:
+        raise ValueError(f"unknown pipeline_schedule {pipeline_schedule!r}")
+
+    if recompute:
+        per_layer = tokens * model.hidden_size * model.bytes_per_param
+        if sequence_parallel:
+            per_layer /= tp
+    else:
+        full = tokens * model.activation_bytes_per_token()
+        if sequence_parallel or tp == 1:
+            per_layer = full / tp
+        else:
+            sharded = TP_SHARDED_ACTIVATION_FRACTION
+            per_layer = full * (sharded / tp + (1.0 - sharded))
+    return layers_per_stage * per_layer * in_flight
+
+
+def memory_breakdown(
+    model: ModelConfig,
+    microbatch_size: int,
+    tp: int,
+    pp: int,
+    dp: int = 1,
+    ep: int = 1,
+    fsdp: int = 1,
+    zero1: bool = True,
+    recompute: bool = False,
+    sequence_parallel: bool = True,
+) -> MemoryBreakdown:
+    """Full per-GPU footprint for a training configuration.
+
+    Args:
+        zero1: partition optimizer states across the ``dp`` ranks
+            (Megatron distributed optimizer / ZeRO-1). The paper enables
+            this for all dense models and disables it for MoE.
+    """
+    params = shard_params(model, tp=tp, pp=pp, ep=ep, fsdp=fsdp)
+    optimizer_shard = dp * fsdp if zero1 else fsdp
+    return MemoryBreakdown(
+        weights=params * model.bytes_per_param,
+        gradients=params * GRADIENT_BYTES_PER_PARAM,
+        optimizer=params * OPTIMIZER_BYTES_PER_PARAM / max(1, optimizer_shard)
+        * fsdp,  # FSDP already shards `params`; optimizer follows that shard
+        activations=activation_bytes(
+            model, microbatch_size, tp=tp, pp=pp, recompute=recompute,
+            sequence_parallel=sequence_parallel,
+        ),
+    )
+
+
+def fits_in_memory(
+    model: ModelConfig,
+    gpu_memory_bytes: float,
+    microbatch_size: int,
+    tp: int,
+    pp: int,
+    dp: int = 1,
+    ep: int = 1,
+    fsdp: int = 1,
+    zero1: bool = True,
+    recompute: bool = False,
+    sequence_parallel: bool = True,
+) -> bool:
+    """Whether the configuration fits in ``gpu_memory_bytes`` per GPU."""
+    usage = memory_breakdown(
+        model,
+        microbatch_size,
+        tp=tp,
+        pp=pp,
+        dp=dp,
+        ep=ep,
+        fsdp=fsdp,
+        zero1=zero1,
+        recompute=recompute,
+        sequence_parallel=sequence_parallel,
+    )
+    return usage.total <= USABLE_MEMORY_FRACTION * gpu_memory_bytes

@@ -1,0 +1,33 @@
+"""Training-time optimization models: recomputation, overlap, LoRA."""
+
+from repro.optimizations.lora import (
+    lora_fraction,
+    lora_params,
+    lora_params_per_layer,
+)
+from repro.optimizations.overlap import (
+    OVERLAP_COMM_SLOWDOWN,
+    OVERLAP_COMPUTE_SLOWDOWN,
+    OverlapEstimate,
+    fused_duration,
+    overlap_estimate,
+)
+from repro.optimizations.recompute import (
+    RecomputeTradeoff,
+    enables_configuration,
+    recompute_tradeoff,
+)
+
+__all__ = [
+    "OVERLAP_COMM_SLOWDOWN",
+    "OVERLAP_COMPUTE_SLOWDOWN",
+    "OverlapEstimate",
+    "RecomputeTradeoff",
+    "enables_configuration",
+    "fused_duration",
+    "lora_fraction",
+    "lora_params",
+    "lora_params_per_layer",
+    "overlap_estimate",
+    "recompute_tradeoff",
+]

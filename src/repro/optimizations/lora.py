@@ -1,0 +1,47 @@
+"""Low-rank adaptation (LoRA) finetuning model (Section 4.3, Figure 12).
+
+LoRA freezes the base model and trains rank-``r`` adapter pairs on the
+attention and MLP projection matrices. Systems-wise this (a) shrinks the
+gradient and optimizer-state volume to the adapter parameters — nearly
+eliminating data-parallel synchronisation traffic — and (b) cheapens the
+backward pass, which no longer computes weight gradients for frozen
+matrices.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import ModelConfig
+
+
+def lora_params_per_layer(model: ModelConfig, rank: int) -> int:
+    """Trainable adapter parameters of one transformer layer.
+
+    Adapters wrap the four attention projections and the MLP matrices:
+    each wrapped ``d_in x d_out`` matrix gains ``r * (d_in + d_out)``
+    parameters.
+    """
+    if rank < 1:
+        raise ValueError("LoRA rank must be >= 1")
+    h = model.hidden_size
+    kv_dim = model.kv_groups * model.head_dim
+    ffn = model.ffn_hidden_size
+    wrapped_dims = [
+        (h, h),       # Q projection
+        (h, kv_dim),  # K projection
+        (h, kv_dim),  # V projection
+        (h, h),       # output projection
+    ]
+    matrices = 3 if model.extras.get("gated_mlp") else 2
+    wrapped_dims.extend([(h, ffn)] * (matrices - 1))
+    wrapped_dims.append((ffn, h))
+    return sum(rank * (d_in + d_out) for d_in, d_out in wrapped_dims)
+
+
+def lora_params(model: ModelConfig, rank: int) -> int:
+    """Total trainable parameters under LoRA finetuning."""
+    return model.num_layers * lora_params_per_layer(model, rank)
+
+
+def lora_fraction(model: ModelConfig, rank: int) -> float:
+    """Trainable fraction of the full model's parameters."""
+    return lora_params(model, rank) / model.total_params

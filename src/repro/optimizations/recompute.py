@@ -1,0 +1,80 @@
+"""Activation recomputation analysis helpers (Section 4.3).
+
+The graph-level transform lives in the builder (an extra forward-replay
+kernel per backward); this module provides the analytic side used by the
+config enumeration and the ablation benches: memory saved vs. compute
+added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.models.flops import model_forward_flops
+from repro.models.memory import activation_bytes
+
+
+@dataclass(frozen=True)
+class RecomputeTradeoff:
+    """Quantified cost/benefit of activation recomputation.
+
+    Attributes:
+        memory_saved_bytes: activation memory freed on the peak rank.
+        extra_flops_per_iteration: added forward-replay FLOPs.
+        compute_overhead: extra compute as a fraction of the baseline
+            3x-forward step (1/3 for full recomputation).
+    """
+
+    memory_saved_bytes: float
+    extra_flops_per_iteration: float
+    compute_overhead: float
+
+
+def recompute_tradeoff(
+    model: ModelConfig,
+    microbatch_size: int,
+    tp: int,
+    pp: int,
+    tokens_per_iteration: int,
+) -> RecomputeTradeoff:
+    """Memory saved and compute added by full activation recomputation."""
+    stashed = activation_bytes(
+        model, microbatch_size, tp=tp, pp=pp, recompute=False
+    )
+    checkpointed = activation_bytes(
+        model, microbatch_size, tp=tp, pp=pp, recompute=True
+    )
+    extra = model_forward_flops(model, tokens_per_iteration)
+    return RecomputeTradeoff(
+        memory_saved_bytes=stashed - checkpointed,
+        extra_flops_per_iteration=extra,
+        compute_overhead=1.0 / 3.0,
+    )
+
+
+def enables_configuration(
+    model: ModelConfig,
+    gpu_memory_bytes: float,
+    microbatch_size: int,
+    tp: int,
+    pp: int,
+    dp: int = 1,
+    ep: int = 1,
+) -> bool:
+    """Whether recomputation unlocks a config that stashing cannot fit.
+
+    The paper's E8-T1-P4 Mixtral-8x22B example: infeasible under
+    stashing, feasible (and 2x more efficient) with recomputation.
+    """
+    from repro.models.memory import fits_in_memory
+
+    without = fits_in_memory(
+        model, gpu_memory_bytes, microbatch_size,
+        tp=tp, pp=pp, dp=dp, ep=ep, recompute=False,
+    )
+    with_recompute = fits_in_memory(
+        model, gpu_memory_bytes, microbatch_size,
+        tp=tp, pp=pp, dp=dp, ep=ep, recompute=True,
+    )
+    return with_recompute and not without

@@ -1,0 +1,141 @@
+"""Enumeration of valid parallelism configurations for a model + cluster.
+
+Implements the paper's methodology (Section 3.1): find the minimal total
+model parallelism (TP x PP x EP) that fits GPU memory, then explore valid
+configurations, limiting tensor parallelism to within-node execution.
+Expert parallelism is carved out of the data-parallel dimension
+(Megatron semantics), so EP widths must divide the DP width left over by
+the TP x PP grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.models.memory import fits_in_memory
+from repro.parallelism.strategy import ParallelismConfig
+
+
+@dataclass(frozen=True)
+class ConfigSearchSpace:
+    """Bounds for the configuration search.
+
+    Attributes:
+        max_pp: cap on pipeline depth (layers per stage must stay >= 1).
+        microbatch_size: microbatch used for the memory-fit check.
+        allow_fsdp: include TP+FSDP 2-D configurations.
+        require_tp_intra_node: reject TP groups spanning nodes (the paper
+            always restricts TP to a node).
+        sequence_parallel: assume Megatron sequence parallelism for the
+            activation-memory check (the NeMo default).
+    """
+
+    max_pp: int = 32
+    microbatch_size: int = 1
+    allow_fsdp: bool = True
+    require_tp_intra_node: bool = True
+    sequence_parallel: bool = True
+
+
+def _powers_of_two_up_to(limit: int) -> list[int]:
+    values = []
+    width = 1
+    while width <= limit:
+        values.append(width)
+        width *= 2
+    return values
+
+
+def valid_configs(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    space: ConfigSearchSpace | None = None,
+    recompute: bool = False,
+    zero1: bool = True,
+) -> list[ParallelismConfig]:
+    """All strategies that fit memory and cover the cluster exactly.
+
+    Returned configs have DP filled across leftover GPUs. MoE models get
+    EP widths dividing both the expert count and the DP width; dense
+    models have ``ep == 1``.
+    """
+    space = space or ConfigSearchSpace()
+    total = cluster.total_gpus
+    per_node = cluster.node.gpus_per_node
+    tp_limit = per_node if space.require_tp_intra_node else total
+    experts = model.moe.num_experts if model.moe else 1
+
+    found: list[ParallelismConfig] = []
+    for tp in _powers_of_two_up_to(min(tp_limit, total)):
+        for pp in _powers_of_two_up_to(min(space.max_pp, total)):
+            if pp > model.num_layers:
+                continue
+            grid = tp * pp
+            if grid > total or total % grid:
+                continue
+            dp = total // grid
+            for ep in _powers_of_two_up_to(experts):
+                if model.moe is None and ep > 1:
+                    continue
+                if dp % ep:
+                    continue
+                candidate = ParallelismConfig(tp=tp, pp=pp, dp=dp, ep=ep)
+                if _fits(model, cluster, candidate, space, recompute, zero1):
+                    found.append(candidate)
+    if space.allow_fsdp and model.moe is None:
+        found.extend(_fsdp_configs(model, cluster, space, recompute))
+    return found
+
+
+def _fsdp_configs(model, cluster, space, recompute) -> list[ParallelismConfig]:
+    total = cluster.total_gpus
+    per_node = cluster.node.gpus_per_node
+    configs = []
+    for tp in _powers_of_two_up_to(per_node):
+        if total % tp or total // tp < 2:
+            continue
+        candidate = ParallelismConfig(
+            tp=tp, pp=1, dp=total // tp, use_fsdp=True
+        )
+        if _fits(model, cluster, candidate, space, recompute, zero1=False):
+            configs.append(candidate)
+    return configs
+
+
+def _fits(model, cluster, config, space, recompute, zero1) -> bool:
+    return fits_in_memory(
+        model,
+        cluster.node.gpu.memory_bytes,
+        microbatch_size=space.microbatch_size,
+        tp=config.tp,
+        pp=config.pp,
+        dp=config.dp,
+        ep=config.ep,
+        fsdp=config.dp if config.use_fsdp else 1,
+        zero1=zero1 and not config.use_fsdp,
+        recompute=recompute,
+        sequence_parallel=space.sequence_parallel,
+    )
+
+
+def minimal_model_parallel(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    space: ConfigSearchSpace | None = None,
+    recompute: bool = False,
+) -> int:
+    """Smallest TP x PP x EP product that fits GPU memory.
+
+    Raises:
+        ValueError: if nothing fits even at the largest split.
+    """
+    configs = valid_configs(model, cluster, space, recompute=recompute)
+    plain = [c for c in configs if not c.use_fsdp]
+    if not plain:
+        raise ValueError(
+            f"{model.name} does not fit on {cluster.name} at any "
+            "searched parallelism"
+        )
+    return min(c.model_parallel_size for c in plain)

@@ -1,0 +1,227 @@
+"""Rank mapping and communication groups in Megatron order.
+
+NeMo and Megatron-LM assign ranks in the order TP -> EP -> DP -> PP
+(paper Section 3.1): TP varies fastest across consecutive ranks, PP
+slowest. Expert parallelism lives *inside* the data-parallel dimension:
+the full DP width ``dp`` factors into ``ep`` (inner, consecutive ranks)
+times ``dp_outer = dp / ep`` (outer). This ordering keeps TP groups — and,
+when TP is narrow, EP groups — inside a node, and it is the root cause of
+several communication patterns the paper observes.
+
+A :class:`DeviceMesh` binds a strategy to a cluster, optionally through a
+placement permutation (logical rank -> physical GPU), which is how the
+Section 6 thermal-aware placement is expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cluster import ClusterSpec
+from repro.parallelism.strategy import ParallelismConfig
+
+
+@dataclass(frozen=True)
+class RankCoords:
+    """Position of one rank in the parallelism grid.
+
+    Attributes:
+        tp: tensor-parallel index, in ``[0, tp)``.
+        ep: expert-parallel index, in ``[0, ep)``.
+        dp: *outer* data-parallel index, in ``[0, dp / ep)``.
+        pp: pipeline stage, in ``[0, pp)``.
+    """
+
+    tp: int
+    ep: int
+    dp: int
+    pp: int
+
+
+def _check_complete(config: ParallelismConfig) -> None:
+    if not config.is_complete:
+        raise ValueError(
+            f"{config.name}: ep={config.ep} does not divide dp={config.dp}"
+        )
+
+
+def coords_of(rank: int, config: ParallelismConfig) -> RankCoords:
+    """Grid coordinates of a global rank under Megatron ordering."""
+    _check_complete(config)
+    if not 0 <= rank < config.world_size:
+        raise ValueError(f"rank {rank} out of range for {config.world_size}")
+    tp_idx = rank % config.tp
+    rest = rank // config.tp
+    ep_idx = rest % config.ep
+    rest //= config.ep
+    dp_idx = rest % config.dp_outer
+    pp_idx = rest // config.dp_outer
+    return RankCoords(tp=tp_idx, ep=ep_idx, dp=dp_idx, pp=pp_idx)
+
+
+def rank_of(coords: RankCoords, config: ParallelismConfig) -> int:
+    """Inverse of :func:`coords_of`."""
+    _check_complete(config)
+    for label, idx, width in (
+        ("tp", coords.tp, config.tp),
+        ("ep", coords.ep, config.ep),
+        ("dp", coords.dp, config.dp_outer),
+        ("pp", coords.pp, config.pp),
+    ):
+        if not 0 <= idx < width:
+            raise ValueError(f"{label} index {idx} out of range [0, {width})")
+    return (
+        ((coords.pp * config.dp_outer + coords.dp) * config.ep + coords.ep)
+        * config.tp
+        + coords.tp
+    )
+
+
+def replica_index(coords: RankCoords, config: ParallelismConfig) -> int:
+    """Full data-parallel replica index (batch shard) of a rank.
+
+    Every (ep, dp_outer) pair is one replica for batch-sharding purposes;
+    there are ``dp`` replicas in total.
+    """
+    return coords.dp * config.ep + coords.ep
+
+
+def tp_group(rank: int, config: ParallelismConfig) -> list[int]:
+    """Ranks sharing this rank's tensor-parallel AllReduce group."""
+    base = coords_of(rank, config)
+    return [
+        rank_of(RankCoords(t, base.ep, base.dp, base.pp), config)
+        for t in range(config.tp)
+    ]
+
+
+def ep_group(rank: int, config: ParallelismConfig) -> list[int]:
+    """Ranks sharing this rank's expert-parallel AllToAll group."""
+    base = coords_of(rank, config)
+    return [
+        rank_of(RankCoords(base.tp, e, base.dp, base.pp), config)
+        for e in range(config.ep)
+    ]
+
+
+def dp_group(rank: int, config: ParallelismConfig) -> list[int]:
+    """Full data-parallel group (non-expert gradient synchronisation).
+
+    Spans both the EP and outer-DP dimensions: attention/embedding
+    parameters are replicated across all of them.
+    """
+    base = coords_of(rank, config)
+    return [
+        rank_of(RankCoords(base.tp, e, d, base.pp), config)
+        for d in range(config.dp_outer)
+        for e in range(config.ep)
+    ]
+
+
+def expert_dp_group(rank: int, config: ParallelismConfig) -> list[int]:
+    """Outer-DP group for expert-parameter gradient synchronisation.
+
+    Expert weights are sharded across EP, so their gradients reduce only
+    across the outer data-parallel replicas.
+    """
+    base = coords_of(rank, config)
+    return [
+        rank_of(RankCoords(base.tp, base.ep, d, base.pp), config)
+        for d in range(config.dp_outer)
+    ]
+
+
+def pp_group(rank: int, config: ParallelismConfig) -> list[int]:
+    """Ranks forming this rank's pipeline, ordered by stage."""
+    base = coords_of(rank, config)
+    return [
+        rank_of(RankCoords(base.tp, base.ep, base.dp, p), config)
+        for p in range(config.pp)
+    ]
+
+
+@dataclass(frozen=True)
+class DeviceMesh:
+    """A strategy bound to a cluster through a placement permutation.
+
+    Attributes:
+        cluster: physical cluster.
+        config: parallelism strategy; ``config.world_size`` must equal
+            ``cluster.total_gpus`` and EP must tile DP.
+        placement: ``placement[logical_rank] -> physical gpu id``;
+            defaults to the identity (consecutive-ID placement, the
+            baseline the paper's Section 6 improves on).
+    """
+
+    cluster: ClusterSpec
+    config: ParallelismConfig
+    placement: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        _check_complete(self.config)
+        if self.config.world_size != self.cluster.total_gpus:
+            raise ValueError(
+                f"strategy {self.config.name} needs {self.config.world_size} "
+                f"GPUs but cluster {self.cluster.name} has "
+                f"{self.cluster.total_gpus}"
+            )
+        if self.placement:
+            if sorted(self.placement) != list(range(self.cluster.total_gpus)):
+                raise ValueError("placement must be a permutation of GPUs")
+        else:
+            object.__setattr__(
+                self, "placement", tuple(range(self.cluster.total_gpus))
+            )
+
+    def gpu_of(self, rank: int) -> int:
+        """Physical GPU hosting a logical rank."""
+        return self.placement[rank]
+
+    def gpus_of(self, ranks: list[int]) -> list[int]:
+        """Physical GPUs hosting the given logical ranks, in order."""
+        return [self.placement[r] for r in ranks]
+
+    def spans_nodes(self, ranks: list[int]) -> bool:
+        """Whether a logical group crosses node boundaries physically."""
+        nodes = {self.cluster.node_of(self.placement[r]) for r in ranks}
+        return len(nodes) > 1
+
+    def with_placement(self, placement: list[int]) -> "DeviceMesh":
+        """A copy with a different logical->physical permutation."""
+        return DeviceMesh(
+            cluster=self.cluster,
+            config=self.config,
+            placement=tuple(placement),
+        )
+
+
+def all_tp_groups(config: ParallelismConfig) -> list[list[int]]:
+    """Every distinct TP group, each a list of global ranks."""
+    return _all_groups(config, tp_group)
+
+
+def all_ep_groups(config: ParallelismConfig) -> list[list[int]]:
+    """Every distinct EP group."""
+    return _all_groups(config, ep_group)
+
+
+def all_dp_groups(config: ParallelismConfig) -> list[list[int]]:
+    """Every distinct full-DP group."""
+    return _all_groups(config, dp_group)
+
+
+def all_pp_groups(config: ParallelismConfig) -> list[list[int]]:
+    """Every distinct pipeline, ordered by stage."""
+    return _all_groups(config, pp_group)
+
+
+def _all_groups(config, group_fn) -> list[list[int]]:
+    seen: set[tuple[int, ...]] = set()
+    groups: list[list[int]] = []
+    for rank in range(config.world_size):
+        group = group_fn(rank, config)
+        key = tuple(group)
+        if key not in seen:
+            seen.add(key)
+            groups.append(group)
+    return groups

@@ -1,0 +1,29 @@
+"""GPU power modelling."""
+
+from repro.power.model import (
+    BUSY_COMM,
+    BUSY_COMPUTE,
+    BUSY_OVERLAPPED,
+    COMM_INTENSITY,
+    COMPUTE_INTENSITY,
+    FREQ_POWER_EXP,
+    IDLE,
+    MEMORY_INTENSITY,
+    Activity,
+    energy_joules,
+    gpu_power,
+)
+
+__all__ = [
+    "BUSY_COMM",
+    "BUSY_COMPUTE",
+    "BUSY_OVERLAPPED",
+    "COMM_INTENSITY",
+    "COMPUTE_INTENSITY",
+    "FREQ_POWER_EXP",
+    "IDLE",
+    "MEMORY_INTENSITY",
+    "Activity",
+    "energy_joules",
+    "gpu_power",
+]

@@ -1,0 +1,27 @@
+"""Datacenter-scale performance projection (paper Section 7.1)."""
+
+from repro.projection.scaling import (
+    COMM_CATEGORIES,
+    ProjectionPoint,
+    dp_allreduce_seconds,
+    project_scaling,
+    scaling_gain,
+)
+from repro.projection.validate import (
+    ValidationPoint,
+    scaled_cluster,
+    validate_projection,
+    worst_error,
+)
+
+__all__ = [
+    "COMM_CATEGORIES",
+    "ProjectionPoint",
+    "dp_allreduce_seconds",
+    "project_scaling",
+    "scaling_gain",
+    "ValidationPoint",
+    "scaled_cluster",
+    "validate_projection",
+    "worst_error",
+]

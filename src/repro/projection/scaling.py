@@ -1,0 +1,171 @@
+"""Datacenter-scale projection (paper Section 7.1, Figure 22).
+
+The paper projects GPT-3 175B training to up to 8K GPUs by growing the
+data-parallel degree on top of a measured DP=1 configuration: measured
+compute and communication time are divided by the DP degree (strong
+scaling over a fixed global batch), and an analytically modelled DP
+AllReduce is added. Inter-node bandwidth multipliers (100G -> 800G)
+divide the inter-node communication term. We implement the identical
+procedure over our simulated kernel latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import RunResult
+from repro.engine.kernels import KernelCategory
+from repro.units import GBPS
+
+
+@dataclass(frozen=True)
+class ProjectionPoint:
+    """One projected cluster scale.
+
+    Attributes:
+        dp: data-parallel degree stacked on the measured config.
+        total_gpus: tp * pp * dp.
+        compute_s: projected per-iteration compute time.
+        comm_s: projected per-iteration non-DP communication time.
+        dp_allreduce_s: modeled gradient AllReduce time.
+        iteration_s: projected iteration time.
+        strong_scaling: speedup vs DP=1 divided by the ideal speedup
+            (1.0 = perfect scaling).
+        tokens_per_s_per_gpu: projected per-device throughput.
+    """
+
+    dp: int
+    total_gpus: int
+    compute_s: float
+    comm_s: float
+    dp_allreduce_s: float
+    iteration_s: float
+    strong_scaling: float
+    tokens_per_s_per_gpu: float
+
+
+COMM_CATEGORIES = (
+    KernelCategory.ALLREDUCE,
+    KernelCategory.SENDRECV,
+    KernelCategory.ALLTOALL,
+    KernelCategory.ALLGATHER_RS,
+)
+
+
+def dp_allreduce_seconds(
+    grad_bytes_per_rank: float,
+    dp: int,
+    inter_node_gbps: float,
+    fabric_oversubscription: float = 1.0,
+) -> float:
+    """Ring AllReduce time across ``dp`` replicas over the IB fabric.
+
+    ``fabric_oversubscription`` divides the effective per-node fabric
+    rate (a leaf/spine fat-tree's cross-leaf penalty; see
+    :mod:`repro.hardware.fabric`).
+    """
+    if dp < 2:
+        return 0.0
+    if inter_node_gbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if fabric_oversubscription < 1.0:
+        raise ValueError("oversubscription must be >= 1.0")
+    bandwidth = (
+        inter_node_gbps * GBPS * 0.9 / fabric_oversubscription
+    )
+    return 2.0 * (dp - 1) / dp * grad_bytes_per_rank / bandwidth
+
+
+def project_scaling(
+    base: RunResult,
+    dp_degrees: list[int],
+    inter_node_gbps: float = 100.0,
+    baseline_gbps: float = 100.0,
+    fabric_oversubscription: float = 1.0,
+) -> list[ProjectionPoint]:
+    """Project a measured DP=1 run to larger DP degrees (Figure 22).
+
+    Args:
+        base: measured run whose strategy covers the cluster with
+            model parallelism only (``dp == 1``).
+        dp_degrees: DP degrees to project (1 reproduces the measurement).
+        inter_node_gbps: projected fabric rate; communication measured at
+            ``baseline_gbps`` is scaled by the ratio.
+        baseline_gbps: fabric rate of the measured run.
+        fabric_oversubscription: leaf/spine oversubscription of the
+            projected fabric; divides the effective AllReduce rate
+            (1.0 = non-blocking, the paper's implicit assumption).
+    """
+    if base.parallelism.dp != 1:
+        raise ValueError("projection base must be a DP=1 configuration")
+    if any(d < 1 for d in dp_degrees):
+        raise ValueError("dp degrees must be >= 1")
+
+    breakdown = base.kernel_breakdown()
+    compute_base = breakdown.get(KernelCategory.COMPUTE) + breakdown.get(
+        KernelCategory.OPTIMIZER
+    )
+    comm_base = sum(breakdown.get(c) for c in COMM_CATEGORIES)
+    bw_multiplier = inter_node_gbps / baseline_gbps
+    # The measured communication mixes intra-node (unaffected by the IB
+    # upgrade) and inter-node traffic; apportion by the traffic ledger.
+    ledger = base.outcome.traffic
+    total_bytes = sum(
+        ledger.total_for(g) for g in range(base.cluster.total_gpus)
+    )
+    inter_fraction = (
+        ledger.inter_node_bytes / total_bytes if total_bytes > 0 else 0.0
+    )
+    comm_intra = comm_base * (1.0 - inter_fraction)
+    comm_inter = comm_base * inter_fraction / bw_multiplier
+
+    model_parallel = base.parallelism.tp * base.parallelism.pp
+    grad_bytes = (
+        base.model.total_params / model_parallel * base.model.bytes_per_param
+    )
+    tokens = base.outcome.tokens_per_iteration
+
+    # Strong-scaling reference: the DP=1 iteration under the same fabric.
+    base_iteration = compute_base + comm_intra + comm_inter
+
+    points = []
+    for dp in sorted(dp_degrees):
+        compute = compute_base / dp
+        comm = (comm_intra + comm_inter) / dp
+        allreduce = dp_allreduce_seconds(
+            grad_bytes, dp, inter_node_gbps,
+            fabric_oversubscription=fabric_oversubscription,
+        )
+        iteration = compute + comm + allreduce
+        total_gpus = model_parallel * dp
+        points.append(
+            ProjectionPoint(
+                dp=dp,
+                total_gpus=total_gpus,
+                compute_s=compute,
+                comm_s=comm,
+                dp_allreduce_s=allreduce,
+                iteration_s=iteration,
+                strong_scaling=base_iteration / (iteration * dp),
+                tokens_per_s_per_gpu=tokens / iteration / total_gpus,
+            )
+        )
+    return points
+
+
+def scaling_gain(
+    low_bw: list[ProjectionPoint], high_bw: list[ProjectionPoint]
+) -> float:
+    """Max strong-scaling improvement of the high-bandwidth projection.
+
+    The paper reports up to 4.2x better strong scaling at 800G vs 100G.
+    """
+    by_dp = {p.dp: p for p in low_bw}
+    gains = [
+        p.strong_scaling / by_dp[p.dp].strong_scaling
+        for p in high_bw
+        if p.dp in by_dp and by_dp[p.dp].strong_scaling > 0
+    ]
+    if not gains:
+        raise ValueError("projections share no DP degrees")
+    return max(gains)

@@ -1,0 +1,124 @@
+"""Cross-validation of the Section 7.1 projection against direct
+simulation.
+
+The paper's datacenter-scale numbers come from an analytic projection
+(divide measured compute/comm by the DP degree, add a modeled AllReduce)
+because nobody simulates 8K GPUs kernel-by-kernel. Here we can check the
+projection where both methods are affordable: scale the cluster to small
+DP degrees, simulate the full run, and compare against the projection
+from the DP=1 measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.experiment import run_training
+from repro.core.results import RunResult
+from repro.engine.simulator import SimSettings
+from repro.hardware.cluster import ClusterSpec
+from repro.parallelism.strategy import ParallelismConfig
+from repro.projection.scaling import ProjectionPoint, project_scaling
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """Projected vs directly simulated iteration time at one DP degree.
+
+    Attributes:
+        dp: data-parallel degree.
+        total_gpus: simulated cluster size.
+        projected_s: analytic iteration time (Section 7.1 procedure).
+        simulated_s: measured iteration time from a full simulation.
+        error: ``projected / simulated - 1`` (signed relative error).
+    """
+
+    dp: int
+    total_gpus: int
+    projected_s: float
+    simulated_s: float
+
+    @property
+    def error(self) -> float:
+        return self.projected_s / self.simulated_s - 1.0
+
+
+def scaled_cluster(base: ClusterSpec, multiplier: int) -> ClusterSpec:
+    """A cluster with ``multiplier`` times the nodes of ``base``."""
+    if multiplier < 1:
+        raise ValueError("multiplier must be >= 1")
+    return replace(
+        base,
+        name=f"{base.name}-x{multiplier}",
+        num_nodes=base.num_nodes * multiplier,
+    )
+
+
+def validate_projection(
+    model: str,
+    base_cluster: ClusterSpec,
+    model_parallel: ParallelismConfig,
+    dp_degrees: list[int],
+    global_batch_size: int = 64,
+    settings: SimSettings | None = None,
+) -> tuple[RunResult, list[ValidationPoint]]:
+    """Compare the analytic projection against direct simulations.
+
+    Args:
+        model: catalog model name.
+        base_cluster: cluster the DP=1 configuration exactly covers.
+        model_parallel: TP x PP strategy with ``dp == 1``.
+        dp_degrees: degrees to validate (>= 2; clusters are scaled up by
+            the same factor and simulated directly).
+        global_batch_size: fixed global batch (strong scaling).
+        settings: simulator knobs for all runs.
+
+    Returns:
+        ``(base run, validation points)``.
+    """
+    if model_parallel.dp != 1:
+        raise ValueError("model_parallel must have dp == 1")
+    if model_parallel.world_size != base_cluster.total_gpus:
+        raise ValueError("model_parallel must cover the base cluster")
+
+    base_run = run_training(
+        model=model,
+        cluster=base_cluster,
+        parallelism=model_parallel,
+        microbatch_size=1,
+        global_batch_size=global_batch_size,
+        settings=settings,
+    )
+    projections: dict[int, ProjectionPoint] = {
+        p.dp: p for p in project_scaling(base_run, sorted(set(dp_degrees)))
+    }
+
+    points = []
+    for dp in sorted(set(dp_degrees)):
+        if dp < 2:
+            raise ValueError("validate DP degrees >= 2 (1 is the base)")
+        cluster = scaled_cluster(base_cluster, dp)
+        simulated = run_training(
+            model=model,
+            cluster=cluster,
+            parallelism=replace(model_parallel, dp=dp),
+            microbatch_size=1,
+            global_batch_size=global_batch_size,
+            settings=settings,
+        )
+        points.append(
+            ValidationPoint(
+                dp=dp,
+                total_gpus=cluster.total_gpus,
+                projected_s=projections[dp].iteration_s,
+                simulated_s=simulated.efficiency().step_time_s,
+            )
+        )
+    return base_run, points
+
+
+def worst_error(points: list[ValidationPoint]) -> float:
+    """Largest absolute relative error across validation points."""
+    if not points:
+        raise ValueError("no validation points")
+    return max(abs(p.error) for p in points)

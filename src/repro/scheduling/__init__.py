@@ -1,0 +1,29 @@
+"""Thermal- and telemetry-aware workload scheduling (Sections 6, 7.3)."""
+
+from repro.scheduling.adaptive import (
+    adaptive_microbatch,
+    speed_balanced_stage_layers,
+    stage_mean_clock,
+)
+from repro.scheduling.thermal_aware import (
+    PlacementComparison,
+    asymmetric_stage_layers,
+    build_comparison,
+    expected_heat_rank,
+    imbalance_percent,
+    node_gpus_by_coolness,
+    thermal_aware_placement,
+)
+
+__all__ = [
+    "PlacementComparison",
+    "adaptive_microbatch",
+    "speed_balanced_stage_layers",
+    "stage_mean_clock",
+    "asymmetric_stage_layers",
+    "build_comparison",
+    "expected_heat_rank",
+    "imbalance_percent",
+    "node_gpus_by_coolness",
+    "thermal_aware_placement",
+]

@@ -1,0 +1,107 @@
+"""Adaptive, telemetry-driven scheduling policies (paper Section 7.3).
+
+The paper's recommendations call for "thermal- and power-aware scheduling
+policies that adapt dynamically to temperature and utilisation" and
+"adaptive microbatch scaling to match device performance". This module
+implements both as closed-loop policies over the simulator's telemetry:
+
+* :func:`speed_balanced_stage_layers` rebalances pipeline layers using
+  the *measured* per-GPU clock ratios of a previous run — a generalised,
+  data-driven version of the Figure 21 asymmetric split;
+* :func:`adaptive_microbatch` searches the microbatch sizes that divide
+  the per-replica batch and picks the best-throughput one, the tuning
+  knob Section 5 shows cannot be set open-loop.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import RunResult
+from repro.core.sweep import cached_run_training
+from repro.parallelism.mapping import coords_of
+
+
+def stage_mean_clock(result: RunResult) -> list[float]:
+    """Measured mean clock ratio per pipeline stage of a finished run."""
+    config = result.parallelism
+    freq = result.outcome.mean_freq_ratio
+    totals = [0.0] * config.pp
+    counts = [0] * config.pp
+    for rank in range(config.world_size):
+        stage = coords_of(rank, config).pp
+        totals[stage] += freq[result.placement[rank]]
+        counts[stage] += 1
+    return [total / count for total, count in zip(totals, counts)]
+
+
+def speed_balanced_stage_layers(
+    result: RunResult, num_layers: int | None = None
+) -> list[int]:
+    """Layer split proportional to each stage's measured clock speed.
+
+    Stages whose GPUs sustained higher clocks in the measured run get
+    proportionally more layers; throttled (hot, degraded) stages are
+    offloaded. Rounding preserves the total layer count and keeps every
+    stage at >= 1 layer.
+    """
+    config = result.parallelism
+    num_layers = num_layers or result.model.num_layers
+    if config.pp < 2:
+        raise ValueError("rebalancing needs a pipeline (pp >= 2)")
+    speeds = stage_mean_clock(result)
+    total_speed = sum(speeds)
+    raw = [num_layers * speed / total_speed for speed in speeds]
+    layers = [max(1, int(share)) for share in raw]
+    # Distribute the remainder to the stages with the largest fractional
+    # parts (then to the fastest stages).
+    remainder = num_layers - sum(layers)
+    order = sorted(
+        range(config.pp),
+        key=lambda s: (raw[s] - int(raw[s]), speeds[s]),
+        reverse=True,
+    )
+    index = 0
+    while remainder != 0:
+        stage = order[index % config.pp]
+        if remainder > 0:
+            layers[stage] += 1
+            remainder -= 1
+        elif layers[stage] > 1:
+            layers[stage] -= 1
+            remainder += 1
+        index += 1
+    return layers
+
+
+def adaptive_microbatch(
+    model: str,
+    cluster: str,
+    parallelism: str,
+    candidates: tuple[int, ...] = (1, 2, 4, 8),
+    global_batch_size: int = 128,
+) -> tuple[int, RunResult]:
+    """Pick the best-throughput microbatch size by measurement.
+
+    Returns ``(best_microbatch, its RunResult)``. Candidates that do not
+    divide the per-replica batch are skipped.
+    """
+    best: tuple[int, RunResult] | None = None
+    for microbatch in candidates:
+        try:
+            result = cached_run_training(
+                model=model,
+                cluster=cluster,
+                parallelism=parallelism,
+                microbatch_size=microbatch,
+                global_batch_size=global_batch_size,
+            )
+        except ValueError:
+            continue
+        if (
+            best is None
+            or result.efficiency().tokens_per_s
+            > best[1].efficiency().tokens_per_s
+        ):
+            best = (microbatch, result)
+    if best is None:
+        raise ValueError("no candidate microbatch size divides the batch")
+    return best

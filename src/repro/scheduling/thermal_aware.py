@@ -1,0 +1,138 @@
+"""Thermal-aware pipeline-stage placement (paper Section 6, Figure 21).
+
+The baseline maps pipeline stages to consecutive device IDs, mixing hot
+(rear) and cool (front) GPUs inside every stage; the hottest GPU then
+throttles and drags its whole tensor-parallel stage down. The
+thermal-aware strategy instead clusters GPUs by expected temperature:
+
+* **Symmetric**: each node contributes one all-cool and one all-hot
+  stage; cool stages take the early (heavier, embedding-side) pipeline
+  positions.
+* **Asymmetric**: additionally gives the cool stages extra layers,
+  offloading the hot GPUs (the paper's 21/19 split for Llama3-70B and
+  13/11 for GPT3-175B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.parallelism.mapping import DeviceMesh, RankCoords, coords_of
+from repro.parallelism.strategy import OptimizationConfig, ParallelismConfig
+
+
+def expected_heat_rank(cluster: ClusterSpec, local: int) -> float:
+    """Heuristic hotness of a local GPU position (higher = hotter).
+
+    Combines the static inlet offset with the upstream-GPU count — the
+    same information a deployment reads off idle-state telemetry.
+    """
+    airflow = cluster.node.airflow
+    return airflow.inlet_offset_c[local] + 2.0 * len(airflow.upstream[local])
+
+
+def node_gpus_by_coolness(cluster: ClusterSpec, node: int) -> list[int]:
+    """Physical GPUs of one node, coolest first."""
+    return sorted(
+        cluster.ranks_on_node(node),
+        key=lambda g: expected_heat_rank(cluster, cluster.local_index(g)),
+    )
+
+
+def thermal_aware_placement(
+    cluster: ClusterSpec, config: ParallelismConfig
+) -> list[int]:
+    """Logical-rank -> physical-GPU permutation for thermal-aware PP.
+
+    Requires ``dp == 1`` (each pipeline domain must align with a thermal
+    group; the paper disables DP for this experiment), TP confined to a
+    node, and a whole number of stages per node.
+
+    Cool stage groups take early pipeline positions; hot groups take the
+    late ones.
+    """
+    if config.dp != 1 or config.ep != 1:
+        raise ValueError("thermal-aware placement requires dp == ep == 1")
+    per_node = cluster.node.gpus_per_node
+    if config.tp > per_node or per_node % config.tp:
+        raise ValueError("TP groups must tile a node exactly")
+    stages_per_node, rem = divmod(config.pp, cluster.num_nodes)
+    if rem or stages_per_node * config.tp != per_node:
+        raise ValueError(
+            "stages must tile nodes exactly "
+            f"(pp={config.pp}, nodes={cluster.num_nodes}, tp={config.tp})"
+        )
+
+    # Stage -> physical GPU group. Node i contributes its coolest TP-sized
+    # group to early stage slot i, next group to slot num_nodes + i, etc.
+    stage_gpus: dict[int, list[int]] = {}
+    for node in range(cluster.num_nodes):
+        ordered = node_gpus_by_coolness(cluster, node)
+        for group_idx in range(stages_per_node):
+            stage = group_idx * cluster.num_nodes + node
+            start = group_idx * config.tp
+            stage_gpus[stage] = ordered[start:start + config.tp]
+
+    placement = [0] * config.world_size
+    for rank in range(config.world_size):
+        coords = coords_of(rank, config)
+        placement[rank] = stage_gpus[coords.pp][coords.tp]
+    return placement
+
+
+def asymmetric_stage_layers(
+    num_layers: int, num_stages: int, extra_per_cool_stage: int = 1
+) -> list[int]:
+    """Layer split giving the cool (early) half extra layers.
+
+    The early half of the stages receives ``extra_per_cool_stage`` layers
+    each, taken from the late (hot) half — e.g. 80 layers over 4 stages
+    becomes [21, 21, 19, 19].
+    """
+    if num_stages % 2:
+        raise ValueError("asymmetric split needs an even stage count")
+    if num_layers % num_stages:
+        raise ValueError("num_layers must divide evenly before skewing")
+    base = num_layers // num_stages
+    half = num_stages // 2
+    layers = [base + extra_per_cool_stage] * half
+    layers += [base - extra_per_cool_stage] * half
+    if min(layers) < 1:
+        raise ValueError("asymmetric split leaves a stage empty")
+    return layers
+
+
+@dataclass(frozen=True)
+class PlacementComparison:
+    """Figure 21 rows: baseline vs symmetric vs asymmetric placements."""
+
+    baseline_placement: tuple[int, ...]
+    symmetric_placement: tuple[int, ...]
+    asymmetric_stage_layers: tuple[int, ...]
+
+
+def build_comparison(
+    cluster: ClusterSpec,
+    config: ParallelismConfig,
+    num_layers: int,
+    extra_per_cool_stage: int = 1,
+) -> PlacementComparison:
+    """Assemble the three Figure 21 variants for a model/cluster pair."""
+    symmetric = thermal_aware_placement(cluster, config)
+    return PlacementComparison(
+        baseline_placement=tuple(range(config.world_size)),
+        symmetric_placement=tuple(symmetric),
+        asymmetric_stage_layers=tuple(
+            asymmetric_stage_layers(
+                num_layers, config.pp, extra_per_cool_stage
+            )
+        ),
+    )
+
+
+def imbalance_percent(stage_layers: list[int]) -> float:
+    """Layer imbalance of a split, as max-over-min minus one, in percent."""
+    if not stage_layers:
+        raise ValueError("empty stage list")
+    return (max(stage_layers) / min(stage_layers) - 1.0) * 100.0

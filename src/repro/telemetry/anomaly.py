@@ -1,0 +1,190 @@
+"""Telemetry anomaly detection (paper Section 7.3).
+
+The paper's closing recommendation calls for "system infrastructure
+capable of detecting and responding to power, frequency, and performance
+anomalies in real time". This module is that detector over our telemetry
+streams: it flags GPUs whose mean clock, power, or temperature deviates
+from the fleet by a robust threshold, classifies the likely cause, and
+groups GPU-level findings into node-level incidents (a whole slow node
+is a power-delivery problem, one hot GPU is a cooling problem).
+
+Used with :mod:`repro.core.faults`, it closes the loop on the Section 1
+incident: inject a node power failure, then recover it from telemetry
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.hardware.cluster import ClusterSpec
+from repro.telemetry.monitor import TelemetryLog
+
+
+class AnomalyKind(Enum):
+    """What the deviation pattern points at."""
+
+    POWER_DELIVERY = "power-delivery"      # low clock AND low power
+    THERMAL = "thermal"                    # low clock AND high temperature
+    UNDERUTILIZED = "underutilized"        # low power at normal clock
+
+
+@dataclass(frozen=True)
+class GpuAnomaly:
+    """One flagged GPU.
+
+    Attributes:
+        gpu: physical GPU id.
+        kind: classified cause.
+        clock_deficit: fleet-median clock minus this GPU's mean clock.
+        power_delta_w: this GPU's mean power minus the fleet median.
+        temp_delta_c: this GPU's mean temperature minus the fleet median.
+    """
+
+    gpu: int
+    kind: AnomalyKind
+    clock_deficit: float
+    power_delta_w: float
+    temp_delta_c: float
+
+
+@dataclass(frozen=True)
+class NodeIncident:
+    """A node-level grouping of GPU anomalies.
+
+    When most of a node's GPUs show the same power-delivery signature,
+    the incident is the node (the paper's Section 1 failure), not the
+    GPUs.
+    """
+
+    node: int
+    kind: AnomalyKind
+    gpus: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Detection thresholds.
+
+    Attributes:
+        clock_deficit_threshold: flag when a GPU's mean clock sits this
+            far below the fleet median (fraction of boost).
+        temp_excess_c: temperature delta marking a thermal cause.
+        power_deficit_w: power delta marking a power-delivery cause.
+        node_fraction: fraction of a node's GPUs sharing a signature
+            before the finding escalates to a node incident.
+    """
+
+    clock_deficit_threshold: float = 0.05
+    temp_excess_c: float = 4.0
+    power_deficit_w: float = 30.0
+    node_fraction: float = 0.75
+
+
+def _mean(values: np.ndarray) -> float:
+    return float(values.mean()) if len(values) else 0.0
+
+
+def detect_gpu_anomalies(
+    telemetry: TelemetryLog,
+    config: DetectorConfig | None = None,
+    start_s: float = 0.0,
+    end_s: float = float("inf"),
+    throttle_temp_c: float | None = None,
+) -> list[GpuAnomaly]:
+    """Flag GPUs deviating from the fleet over a telemetry window.
+
+    Args:
+        throttle_temp_c: the GPU's thermal-throttle threshold, when
+            known. A slow GPU running near it is a thermal case even if
+            its power also reads low (throttling sheds power); a slow
+            GPU far below it with depressed power is a power-delivery
+            case (the Section 1 incident signature).
+    """
+    config = config or DetectorConfig()
+    clocks, powers, temps = [], [], []
+    for gpu in range(telemetry.num_gpus):
+        series = telemetry.series(gpu).window(start_s, end_s)
+        clocks.append(_mean(series.freq_ratio))
+        powers.append(_mean(series.power_w))
+        temps.append(_mean(series.temp_c))
+    clock_median = float(np.median(clocks))
+    power_median = float(np.median(powers))
+    temp_median = float(np.median(temps))
+
+    anomalies = []
+    for gpu in range(telemetry.num_gpus):
+        clock_deficit = clock_median - clocks[gpu]
+        power_delta = powers[gpu] - power_median
+        temp_delta = temps[gpu] - temp_median
+        near_throttle = (
+            throttle_temp_c is not None
+            and temps[gpu] >= throttle_temp_c - 2.0
+        )
+        if clock_deficit >= config.clock_deficit_threshold:
+            if near_throttle:
+                kind = AnomalyKind.THERMAL
+            elif power_delta <= -config.power_deficit_w:
+                kind = AnomalyKind.POWER_DELIVERY
+            elif temp_delta >= config.temp_excess_c:
+                kind = AnomalyKind.THERMAL
+            else:
+                # Throttled without a clear local cause: treat as
+                # thermal (the common case on thermally imbalanced
+                # nodes whose whole fleet runs warm).
+                kind = AnomalyKind.THERMAL
+        elif power_delta <= -config.power_deficit_w:
+            kind = AnomalyKind.UNDERUTILIZED
+        else:
+            continue
+        anomalies.append(
+            GpuAnomaly(
+                gpu=gpu,
+                kind=kind,
+                clock_deficit=clock_deficit,
+                power_delta_w=power_delta,
+                temp_delta_c=temp_delta,
+            )
+        )
+    return anomalies
+
+
+def group_node_incidents(
+    anomalies: list[GpuAnomaly],
+    cluster: ClusterSpec,
+    config: DetectorConfig | None = None,
+) -> list[NodeIncident]:
+    """Escalate GPU anomalies shared by most of a node to node incidents."""
+    config = config or DetectorConfig()
+    per_node: dict[tuple[int, AnomalyKind], list[int]] = {}
+    for anomaly in anomalies:
+        node = cluster.node_of(anomaly.gpu)
+        per_node.setdefault((node, anomaly.kind), []).append(anomaly.gpu)
+    incidents = []
+    threshold = config.node_fraction * cluster.node.gpus_per_node
+    for (node, kind), gpus in sorted(per_node.items(),
+                                     key=lambda kv: kv[0][0]):
+        if len(gpus) >= threshold:
+            incidents.append(
+                NodeIncident(node=node, kind=kind, gpus=tuple(sorted(gpus)))
+            )
+    return incidents
+
+
+def diagnose(
+    telemetry: TelemetryLog,
+    cluster: ClusterSpec,
+    config: DetectorConfig | None = None,
+    start_s: float = 0.0,
+    end_s: float = float("inf"),
+) -> tuple[list[GpuAnomaly], list[NodeIncident]]:
+    """One-call detection: GPU anomalies plus node-level incidents."""
+    anomalies = detect_gpu_anomalies(
+        telemetry, config, start_s, end_s,
+        throttle_temp_c=cluster.node.gpu.throttle_temp_c,
+    )
+    incidents = group_node_incidents(anomalies, cluster, config)
+    return anomalies, incidents

@@ -1,0 +1,67 @@
+"""CSV export of telemetry, matching the artifact's output schema.
+
+The paper's artifact stores system telemetry as per-run CSV files; this
+module writes the same shape so downstream plotting scripts can consume
+either source.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.telemetry.monitor import TelemetryLog
+
+TELEMETRY_HEADER = (
+    "time_s",
+    "gpu",
+    "power_w",
+    "temp_c",
+    "freq_ratio",
+    "compute_util",
+    "comm_util",
+    "pcie_bytes_per_s",
+)
+
+
+def write_telemetry_csv(telemetry: TelemetryLog, path: str | Path) -> Path:
+    """Write every GPU's samples to one long-format CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TELEMETRY_HEADER)
+        for gpu in range(telemetry.num_gpus):
+            series = telemetry.series(gpu)
+            for i in range(len(series.times_s)):
+                writer.writerow(
+                    (
+                        f"{series.times_s[i]:.6f}",
+                        gpu,
+                        f"{series.power_w[i]:.3f}",
+                        f"{series.temp_c[i]:.3f}",
+                        f"{series.freq_ratio[i]:.4f}",
+                        f"{series.compute_util[i]:.1f}",
+                        f"{series.comm_util[i]:.1f}",
+                        f"{series.pcie_bytes_per_s[i]:.1f}",
+                    )
+                )
+    return path
+
+
+def read_telemetry_csv(path: str | Path) -> dict[int, list[dict[str, float]]]:
+    """Read a telemetry CSV back into per-GPU row dictionaries."""
+    path = Path(path)
+    out: dict[int, list[dict[str, float]]] = {}
+    with path.open() as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            gpu = int(row["gpu"])
+            out.setdefault(gpu, []).append(
+                {
+                    key: float(value)
+                    for key, value in row.items()
+                    if key != "gpu"
+                }
+            )
+    return out

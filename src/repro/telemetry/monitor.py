@@ -1,0 +1,120 @@
+"""Zeus-style telemetry: sampled per-GPU time series.
+
+The simulator samples every GPU at a fixed interval (the paper's modified
+Zeus polls NVML/AMD-SMI similarly), recording board power, die
+temperature, clock ratio, compute/communication utilisation flags, and
+instantaneous PCIe throughput. Downstream analysis (Figures 4, 6, 9-10,
+12-14, 17-19, 23) consumes these series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GpuSample:
+    """One telemetry sample of one GPU."""
+
+    time_s: float
+    power_w: float
+    temp_c: float
+    freq_ratio: float
+    compute_util: float
+    comm_util: float
+    pcie_bytes_per_s: float
+
+
+@dataclass
+class GpuSeries:
+    """Telemetry time series of one GPU, as parallel numpy arrays."""
+
+    times_s: np.ndarray
+    power_w: np.ndarray
+    temp_c: np.ndarray
+    freq_ratio: np.ndarray
+    compute_util: np.ndarray
+    comm_util: np.ndarray
+    pcie_bytes_per_s: np.ndarray
+
+    def window(self, start_s: float, end_s: float) -> "GpuSeries":
+        """Restrict the series to ``[start_s, end_s)``."""
+        mask = (self.times_s >= start_s) & (self.times_s < end_s)
+        return GpuSeries(
+            times_s=self.times_s[mask],
+            power_w=self.power_w[mask],
+            temp_c=self.temp_c[mask],
+            freq_ratio=self.freq_ratio[mask],
+            compute_util=self.compute_util[mask],
+            comm_util=self.comm_util[mask],
+            pcie_bytes_per_s=self.pcie_bytes_per_s[mask],
+        )
+
+    def energy_joules(self) -> float:
+        """Trapezoidal energy integral over the series."""
+        if len(self.times_s) < 2:
+            return 0.0
+        return float(np.trapezoid(self.power_w, self.times_s))
+
+
+@dataclass
+class TelemetryLog:
+    """Collected samples for every GPU of a run."""
+
+    num_gpus: int
+    sample_interval_s: float
+    _raw: list[list[GpuSample]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._raw:
+            self._raw = [[] for _ in range(self.num_gpus)]
+
+    def record(self, gpu: int, sample: GpuSample) -> None:
+        """Append one sample for one GPU."""
+        self._raw[gpu].append(sample)
+
+    def series(self, gpu: int) -> GpuSeries:
+        """Materialise one GPU's samples as arrays."""
+        samples = self._raw[gpu]
+        return GpuSeries(
+            times_s=np.array([s.time_s for s in samples]),
+            power_w=np.array([s.power_w for s in samples]),
+            temp_c=np.array([s.temp_c for s in samples]),
+            freq_ratio=np.array([s.freq_ratio for s in samples]),
+            compute_util=np.array([s.compute_util for s in samples]),
+            comm_util=np.array([s.comm_util for s in samples]),
+            pcie_bytes_per_s=np.array(
+                [s.pcie_bytes_per_s for s in samples]
+            ),
+        )
+
+    def all_series(self) -> list[GpuSeries]:
+        """Series for every GPU, indexed by physical GPU id."""
+        return [self.series(g) for g in range(self.num_gpus)]
+
+    def total_energy_joules(
+        self, start_s: float = 0.0, end_s: float = float("inf")
+    ) -> float:
+        """Cluster-wide energy over a time window."""
+        return sum(
+            self.series(g).window(start_s, end_s).energy_joules()
+            for g in range(self.num_gpus)
+        )
+
+    def aggregate_power(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, total power) across all GPUs on the common grid.
+
+        Sample times are aligned by construction (the simulator samples
+        every GPU at the same instants).
+        """
+        if self.num_gpus == 0 or not self._raw[0]:
+            return np.array([]), np.array([])
+        times = self.series(0).times_s
+        total = np.zeros_like(times)
+        for g in range(self.num_gpus):
+            series = self.series(g)
+            n = min(len(total), len(series.power_w))
+            total[:n] += series.power_w[:n]
+        return times, total

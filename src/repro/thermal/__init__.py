@@ -1,0 +1,19 @@
+"""Thermal RC model and DVFS throttling governor."""
+
+from repro.thermal.rc_model import NodeThermalState
+from repro.thermal.throttle import (
+    HYSTERESIS_C,
+    RECOVERY_STEP,
+    THROTTLE_GAIN_PER_C,
+    DvfsGovernor,
+    GovernorStats,
+)
+
+__all__ = [
+    "HYSTERESIS_C",
+    "RECOVERY_STEP",
+    "THROTTLE_GAIN_PER_C",
+    "DvfsGovernor",
+    "GovernorStats",
+    "NodeThermalState",
+]

@@ -1,0 +1,177 @@
+"""Two-node RC thermal model of a node's GPUs with airflow coupling.
+
+Each GPU is modelled as two thermal nodes: the **die** (small capacity,
+fast ~1 s response) coupled through the die/TIM resistance to the
+**heatsink** (large capacity, ~1 min response), which discharges into the
+GPU's local inlet air. The fast die pole is what carries the paper's
+Section 5 finding: longer compute bursts at larger microbatches lift the
+die well above the (slow) heatsink temperature, raising peak temperature
+and triggering throttling even when average power barely moves.
+
+The inlet is where the Figure 16 imbalance enters: a GPU's inlet
+temperature is the room ambient plus its static chassis-position offset
+plus preheat from every upstream GPU's dissipated power:
+
+``T_inlet_i = ambient + offset_i + k * sum_{j in upstream(i)} P_j``
+
+Integration uses the exact matrix-exponential propagator of the 2x2
+linear system per step (unconditionally stable for any dt); propagators
+are cached per distinct dt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.node import NodeSpec
+
+
+def _system_matrix(node: NodeSpec) -> np.ndarray:
+    """State matrix A of d[T_die, T_sink]/dt = A x + b(u)."""
+    gpu = node.gpu
+    r_ds = gpu.die_resistance_c_per_w
+    r_sa = gpu.thermal_resistance_c_per_w - r_ds
+    c_die = gpu.die_capacitance_j_per_c
+    c_sink = gpu.thermal_capacitance_j_per_c
+    return np.array(
+        [
+            [-1.0 / (r_ds * c_die), 1.0 / (r_ds * c_die)],
+            [
+                1.0 / (r_ds * c_sink),
+                -(1.0 / r_ds + 1.0 / r_sa) / c_sink,
+            ],
+        ]
+    )
+
+
+def _expm_2x2(matrix: np.ndarray, dt: float) -> np.ndarray:
+    """exp(A * dt) for a diagonalisable real 2x2 matrix."""
+    eigenvalues, eigenvectors = np.linalg.eig(matrix * dt)
+    return np.real(
+        eigenvectors @ np.diag(np.exp(eigenvalues))
+        @ np.linalg.inv(eigenvectors)
+    )
+
+
+@dataclass
+class NodeThermalState:
+    """Die and heatsink temperatures of one node's GPUs.
+
+    Attributes:
+        node: hardware description.
+        temps_c: current *die* temperatures (what NVML reports and the
+            governor throttles on).
+        sink_temps_c: current heatsink temperatures.
+    """
+
+    node: NodeSpec
+    temps_c: list[float] = field(default_factory=list)
+    sink_temps_c: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        idle = [
+            self.node.ambient_c + offset
+            for offset in self.node.airflow.inlet_offset_c
+        ]
+        if not self.temps_c:
+            self.temps_c = list(idle)
+        if not self.sink_temps_c:
+            self.sink_temps_c = list(self.temps_c)
+        for label, values in (
+            ("temps_c", self.temps_c),
+            ("sink_temps_c", self.sink_temps_c),
+        ):
+            if len(values) != self.node.gpus_per_node:
+                raise ValueError(f"{label} must cover every GPU in the node")
+        self._matrix = _system_matrix(self.node)
+        self._propagators: dict[float, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+
+    def inlet_temps(self, powers_w: list[float]) -> list[float]:
+        """Per-GPU inlet air temperature given current board powers."""
+        airflow = self.node.airflow
+        inlets = []
+        for i in range(self.node.gpus_per_node):
+            preheat = airflow.preheat_c_per_w * sum(
+                powers_w[j] for j in airflow.upstream[i]
+            )
+            inlets.append(
+                self.node.ambient_c + airflow.inlet_offset_c[i] + preheat
+            )
+        return inlets
+
+    def equilibrium_temps(self, powers_w: list[float]) -> list[float]:
+        """Steady-state die temperatures for constant ``powers_w``."""
+        self._check_powers(powers_w)
+        r_total = self.node.gpu.thermal_resistance_c_per_w
+        inlets = self.inlet_temps(powers_w)
+        return [
+            inlet + power * r_total
+            for inlet, power in zip(inlets, powers_w)
+        ]
+
+    def equilibrium_sink_temps(self, powers_w: list[float]) -> list[float]:
+        """Steady-state heatsink temperatures for constant powers."""
+        self._check_powers(powers_w)
+        gpu = self.node.gpu
+        r_sa = gpu.thermal_resistance_c_per_w - gpu.die_resistance_c_per_w
+        inlets = self.inlet_temps(powers_w)
+        return [
+            inlet + power * r_sa for inlet, power in zip(inlets, powers_w)
+        ]
+
+    def set_equilibrium(self, powers_w: list[float]) -> None:
+        """Jump both thermal nodes to the steady state of ``powers_w``."""
+        self.temps_c = self.equilibrium_temps(powers_w)
+        self.sink_temps_c = self.equilibrium_sink_temps(powers_w)
+
+    def step(self, dt_s: float, powers_w: list[float]) -> list[float]:
+        """Advance by ``dt_s`` under constant powers; return die temps."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        self._check_powers(powers_w)
+        if dt_s == 0:
+            return list(self.temps_c)
+
+        propagator = self._propagators.get(dt_s)
+        if propagator is None:
+            propagator = _expm_2x2(self._matrix, dt_s)
+            self._propagators[dt_s] = propagator
+
+        die_eq = np.array(self.equilibrium_temps(powers_w))
+        sink_eq = np.array(self.equilibrium_sink_temps(powers_w))
+        state = np.column_stack((self.temps_c, self.sink_temps_c))
+        equilibrium = np.column_stack((die_eq, sink_eq))
+        state = equilibrium + (state - equilibrium) @ propagator.T
+        self.temps_c = state[:, 0].tolist()
+        self.sink_temps_c = state[:, 1].tolist()
+        return list(self.temps_c)
+
+    def hottest(self) -> float:
+        """Current hottest die temperature in the node."""
+        return max(self.temps_c)
+
+    def front_rear_gap(self) -> float:
+        """Mean rear-half minus mean front-half die temperature (degC).
+
+        "Front" and "rear" are derived from airflow depth; positive values
+        mean rear GPUs run hotter, the paper's persistent imbalance.
+        """
+        depths = [
+            self.node.depth_of(i) for i in range(self.node.gpus_per_node)
+        ]
+        median = sorted(depths)[len(depths) // 2]
+        front = [t for t, d in zip(self.temps_c, depths) if d < median]
+        rear = [t for t, d in zip(self.temps_c, depths) if d >= median]
+        if not front or not rear:
+            return 0.0
+        return sum(rear) / len(rear) - sum(front) / len(front)
+
+    def _check_powers(self, powers_w: list[float]) -> None:
+        if len(powers_w) != self.node.gpus_per_node:
+            raise ValueError("powers_w must cover every GPU in the node")
+        if any(p < 0 for p in powers_w):
+            raise ValueError("powers must be non-negative")

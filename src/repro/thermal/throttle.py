@@ -1,0 +1,131 @@
+"""DVFS governor: thermal throttling and node power capping.
+
+Mirrors the behaviour the paper measures through NVML/AMD-SMI clock
+telemetry: when a die crosses its throttle temperature, the governor steps
+the clock down proportionally to the excess; once the die cools below the
+threshold minus a hysteresis band, the clock recovers gradually. A node-
+level power cap additionally scales every GPU in the node down when the
+chassis budget is exceeded.
+
+The governor also keeps the throttle-time statistics behind the paper's
+normalised throttling heatmaps (Figures 17b, 18b, 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.node import NodeSpec
+from repro.units import clamp
+
+# Clock step per update when above the throttle temperature, per degC of
+# excess, and the recovery step when below.
+THROTTLE_GAIN_PER_C = 0.03
+RECOVERY_STEP = 0.05
+HYSTERESIS_C = 3.0
+
+
+@dataclass
+class GovernorStats:
+    """Accumulated throttling statistics for one GPU."""
+
+    throttled_time_s: float = 0.0
+    observed_time_s: float = 0.0
+    freq_time_integral: float = 0.0  # integral of freq_ratio over time
+
+    @property
+    def throttle_ratio(self) -> float:
+        """Fraction of observed time spent below nominal clock."""
+        if self.observed_time_s == 0:
+            return 0.0
+        return self.throttled_time_s / self.observed_time_s
+
+    @property
+    def mean_freq_ratio(self) -> float:
+        """Time-weighted mean clock ratio."""
+        if self.observed_time_s == 0:
+            return 1.0
+        return self.freq_time_integral / self.observed_time_s
+
+
+@dataclass
+class DvfsGovernor:
+    """Per-node clock governor.
+
+    Attributes:
+        node: hardware description (throttle points, power cap).
+        freq_ratios: current clock ratio per GPU, 1.0 = boost.
+        power_cap_scale: fault-injection multiplier on the chassis power
+            budget (a node-level power failure collapses it).
+        max_clock: fault-injection ceiling on the clock ratio.
+    """
+
+    node: NodeSpec
+    freq_ratios: list[float] = field(default_factory=list)
+    stats: list[GovernorStats] = field(default_factory=list)
+    power_cap_scale: float = 1.0
+    max_clock: float = 1.0
+
+    def __post_init__(self) -> None:
+        count = self.node.gpus_per_node
+        if not self.freq_ratios:
+            self.freq_ratios = [1.0] * count
+        if len(self.freq_ratios) != count:
+            raise ValueError("freq_ratios must cover every GPU")
+        if not self.stats:
+            self.stats = [GovernorStats() for _ in range(count)]
+
+    def update(
+        self, dt_s: float, temps_c: list[float], powers_w: list[float]
+    ) -> list[float]:
+        """Advance the governor by ``dt_s`` and return new clock ratios.
+
+        Args:
+            dt_s: elapsed time the given temperatures/powers were held.
+            temps_c: die temperatures at the end of the interval.
+            powers_w: board powers during the interval (for the node cap).
+        """
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        gpu = self.node.gpu
+        if len(temps_c) != self.node.gpus_per_node:
+            raise ValueError("temps_c must cover every GPU")
+
+        # Node power cap: uniform scaling factor if the chassis exceeds
+        # its budget. Applied before per-GPU thermal decisions. Fault
+        # injection can shrink the budget (node power failure).
+        budget = self.node.node_power_cap_watts * self.power_cap_scale
+        total_power = sum(powers_w)
+        cap_scale = 1.0
+        if total_power > budget:
+            cap_scale = budget / total_power
+
+        for i, temp in enumerate(temps_c):
+            ratio = self.freq_ratios[i]
+            if temp > gpu.throttle_temp_c:
+                excess = temp - gpu.throttle_temp_c
+                ratio -= THROTTLE_GAIN_PER_C * excess
+            elif temp < gpu.throttle_temp_c - HYSTERESIS_C:
+                ratio += RECOVERY_STEP
+            ratio *= cap_scale
+            ceiling = min(1.0, self.max_clock)
+            floor = min(gpu.base_clock_ratio * self.power_cap_scale
+                        if self.power_cap_scale < 1.0
+                        else gpu.base_clock_ratio, ceiling)
+            ratio = clamp(ratio, floor, ceiling)
+            self.freq_ratios[i] = ratio
+
+            stat = self.stats[i]
+            stat.observed_time_s += dt_s
+            stat.freq_time_integral += ratio * dt_s
+            if ratio < 1.0 - 1e-9:
+                stat.throttled_time_s += dt_s
+        return list(self.freq_ratios)
+
+    def freq_of(self, local_gpu: int) -> float:
+        """Current clock ratio of one GPU."""
+        return self.freq_ratios[local_gpu]
+
+    def throttle_ratios(self) -> list[float]:
+        """Per-GPU fraction of time spent throttled (heatmap rows)."""
+        return [s.throttle_ratio for s in self.stats]

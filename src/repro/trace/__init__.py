@@ -1,0 +1,29 @@
+"""Chakra-style execution trace aggregation and export."""
+
+from repro.trace.export import (
+    TRACE_HEADER,
+    read_trace_csv,
+    write_trace_csv,
+)
+from repro.trace.chakra import (
+    KernelBreakdown,
+    PressureSummary,
+    comm_skew,
+    filter_records,
+    mean_breakdown,
+    per_rank_breakdown,
+    pressure_summary,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "KernelBreakdown",
+    "read_trace_csv",
+    "write_trace_csv",
+    "PressureSummary",
+    "comm_skew",
+    "filter_records",
+    "mean_breakdown",
+    "per_rank_breakdown",
+    "pressure_summary",
+]

@@ -1,0 +1,144 @@
+"""Chakra-style trace analysis: per-rank kernel-time breakdowns.
+
+The paper's Figures 3, 7, 8, 11 and 15 are all views over the same data:
+kernel records grouped by rank and kernel category. This module provides
+those aggregations, plus the scheduler-pressure averages behind Figure 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.kernels import (
+    KernelCategory,
+    KernelRecord,
+    pressure_of,
+)
+
+
+@dataclass
+class KernelBreakdown:
+    """Total kernel time per category for one rank (or aggregated)."""
+
+    seconds: dict[KernelCategory, float] = field(default_factory=dict)
+
+    def add(self, category: KernelCategory, duration_s: float) -> None:
+        self.seconds[category] = self.seconds.get(category, 0.0) + duration_s
+
+    def total(self) -> float:
+        """Total kernel time across categories."""
+        return sum(self.seconds.values())
+
+    def fraction(self, category: KernelCategory) -> float:
+        """Share of total kernel time spent in ``category``."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.seconds.get(category, 0.0) / total
+
+    def get(self, category: KernelCategory) -> float:
+        """Seconds spent in ``category``."""
+        return self.seconds.get(category, 0.0)
+
+    def scaled(self, factor: float) -> "KernelBreakdown":
+        """A copy with every bucket multiplied by ``factor``."""
+        copy = KernelBreakdown()
+        for category, seconds in self.seconds.items():
+            copy.add(category, seconds * factor)
+        return copy
+
+
+def filter_records(
+    records: list[KernelRecord],
+    iteration: int | None = None,
+    min_iteration: int | None = None,
+) -> list[KernelRecord]:
+    """Select records of one iteration, or from ``min_iteration`` onward."""
+    out = records
+    if iteration is not None:
+        out = [r for r in out if r.iteration == iteration]
+    if min_iteration is not None:
+        out = [r for r in out if r.iteration >= min_iteration]
+    return out
+
+
+def per_rank_breakdown(
+    records: list[KernelRecord],
+) -> dict[int, KernelBreakdown]:
+    """Kernel-category time per logical rank (Figures 11, 15)."""
+    out: dict[int, KernelBreakdown] = {}
+    for record in records:
+        out.setdefault(record.rank, KernelBreakdown()).add(
+            record.category, record.duration_s
+        )
+    return out
+
+
+def mean_breakdown(records: list[KernelRecord]) -> KernelBreakdown:
+    """Kernel-category time averaged across ranks (Figures 3, 7, 8)."""
+    per_rank = per_rank_breakdown(records)
+    if not per_rank:
+        return KernelBreakdown()
+    mean = KernelBreakdown()
+    for breakdown in per_rank.values():
+        for category, seconds in breakdown.seconds.items():
+            mean.add(category, seconds / len(per_rank))
+    return mean
+
+
+def comm_skew(records: list[KernelRecord]) -> float:
+    """Max/mean ratio of per-rank communication time (>= 1.0).
+
+    The paper uses cross-rank communication-time skew to show load
+    imbalance under TP-heavy configurations (Figure 3, Section 4.2).
+    """
+    per_rank = per_rank_breakdown(records)
+    comm_categories = (
+        KernelCategory.ALLREDUCE,
+        KernelCategory.SENDRECV,
+        KernelCategory.ALLTOALL,
+        KernelCategory.ALLGATHER_RS,
+    )
+    totals = [
+        sum(b.get(c) for c in comm_categories) for b in per_rank.values()
+    ]
+    if not totals:
+        return 1.0
+    mean = sum(totals) / len(totals)
+    if mean == 0:
+        return 1.0
+    return max(totals) / mean
+
+
+@dataclass(frozen=True)
+class PressureSummary:
+    """Time-weighted scheduler pressure of a run (Figure 20 bars)."""
+
+    occupancy: float
+    warps_per_sm: float
+    threadblocks_per_sm: float
+
+
+def pressure_summary(
+    records: list[KernelRecord], wall_time_s: float
+) -> PressureSummary:
+    """Average occupancy/warps/threadblocks over a run's wall time.
+
+    Idle time contributes zero pressure; concurrent kernels (overlap)
+    stack, matching how DCGM-style counters report them.
+    """
+    if wall_time_s <= 0:
+        raise ValueError("wall_time_s must be positive")
+    occupancy = warps = blocks = 0.0
+    for record in records:
+        profile = pressure_of(record.kind)
+        weight = record.duration_s / wall_time_s
+        occupancy += profile.occupancy * weight
+        warps += profile.warps_per_sm * weight
+        blocks += profile.threadblocks_per_sm * weight
+    gpus = len({r.gpu for r in records}) or 1
+    return PressureSummary(
+        occupancy=min(1.0, occupancy / gpus),
+        warps_per_sm=warps / gpus,
+        threadblocks_per_sm=blocks / gpus,
+    )

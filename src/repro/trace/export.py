@@ -1,0 +1,70 @@
+"""CSV export of kernel traces, mirroring the artifact's Chakra outputs.
+
+The paper's artifact stores per-rank execution traces; this module writes
+the simulator's kernel records in a long-format CSV that the same style
+of plotting scripts can consume, and reads them back.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.engine.kernels import KernelKind, KernelRecord
+
+TRACE_HEADER = (
+    "gpu",
+    "rank",
+    "kernel",
+    "category",
+    "start_s",
+    "end_s",
+    "iteration",
+    "microbatch",
+    "stage",
+)
+
+
+def write_trace_csv(records: list[KernelRecord], path: str | Path) -> Path:
+    """Write kernel records to a CSV trace file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_HEADER)
+        for record in records:
+            writer.writerow(
+                (
+                    record.gpu,
+                    record.rank,
+                    record.kind.value,
+                    record.category.value,
+                    f"{record.start_s:.9f}",
+                    f"{record.end_s:.9f}",
+                    record.iteration,
+                    record.microbatch,
+                    record.stage,
+                )
+            )
+    return path
+
+
+def read_trace_csv(path: str | Path) -> list[KernelRecord]:
+    """Read a trace CSV back into kernel records."""
+    kinds = {kind.value: kind for kind in KernelKind}
+    records = []
+    with Path(path).open() as handle:
+        for row in csv.DictReader(handle):
+            records.append(
+                KernelRecord(
+                    gpu=int(row["gpu"]),
+                    rank=int(row["rank"]),
+                    kind=kinds[row["kernel"]],
+                    start_s=float(row["start_s"]),
+                    end_s=float(row["end_s"]),
+                    iteration=int(row["iteration"]),
+                    microbatch=int(row["microbatch"]),
+                    stage=int(row["stage"]),
+                )
+            )
+    return records

@@ -1,0 +1,46 @@
+"""Unit constants and small helpers shared across the library.
+
+All quantities in the library use SI base units unless a name says
+otherwise: time in seconds, data in bytes, rates in bytes/second, power in
+watts, energy in joules, temperature in degrees Celsius, frequency as a
+dimensionless ratio of nominal clock (1.0 = boost clock).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+MS = 1e-3
+US = 1e-6
+
+# Bytes per element for the precisions the paper trains in (FP16/BF16).
+BYTES_FP16 = 2
+BYTES_FP32 = 4
+
+GBPS = GIGA / 8  # 1 Gbit/s in bytes/second (network-style units)
+
+
+def gib(num_bytes: float) -> float:
+    """Convert a byte count to GiB for human-readable reporting."""
+    return num_bytes / GB
+
+
+def tflops(flops_per_second: float) -> float:
+    """Convert FLOP/s to TFLOP/s for human-readable reporting."""
+    return flops_per_second / TERA
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError(f"clamp: low ({low}) > high ({high})")
+    return max(low, min(high, value))

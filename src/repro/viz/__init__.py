@@ -1,0 +1,51 @@
+"""SVG figure generation (artifact-style visualization scripts)."""
+
+from repro.viz.charts import (
+    ChartSpec,
+    HeatmapSpec,
+    Series,
+    grouped_bar_chart,
+    heatmap,
+    line_chart,
+    stacked_bar_chart,
+)
+from repro.viz.figures import (
+    energy_efficiency_comparison,
+    kernel_breakdown_figure,
+    microbatch_sweep_figure,
+    temperature_heatmap_figure,
+    thermal_timeseries_figure,
+    throttle_heatmap_figure,
+    throughput_comparison,
+)
+from repro.viz.palette import (
+    CATEGORICAL,
+    SEQUENTIAL,
+    SURFACE,
+    sequential_color,
+    series_color,
+)
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "CATEGORICAL",
+    "SEQUENTIAL",
+    "SURFACE",
+    "ChartSpec",
+    "HeatmapSpec",
+    "Series",
+    "SvgCanvas",
+    "energy_efficiency_comparison",
+    "grouped_bar_chart",
+    "heatmap",
+    "kernel_breakdown_figure",
+    "line_chart",
+    "microbatch_sweep_figure",
+    "sequential_color",
+    "series_color",
+    "stacked_bar_chart",
+    "temperature_heatmap_figure",
+    "thermal_timeseries_figure",
+    "throttle_heatmap_figure",
+    "throughput_comparison",
+]

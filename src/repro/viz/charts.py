@@ -1,0 +1,316 @@
+"""Chart builders: grouped bars, stacked bars, heatmaps, time series.
+
+Each builder follows the dataviz method's mark specs: thin marks with
+4px rounded data-ends, a 2px surface gap between adjacent fills, 2px
+series lines with >=8px markers where points matter, recessive grid and
+axes, text in ink tokens (never series colors), a legend whenever two or
+more series share a plot, and direct value labels on bars (the palette's
+contrast WARN makes labels mandatory relief). One y-axis per chart,
+always.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.viz.palette import (
+    GRID,
+    SURFACE,
+    TEXT_PRIMARY,
+    TEXT_SECONDARY,
+    sequential_color,
+    series_color,
+)
+from repro.viz.svg import SvgCanvas
+
+MARGIN_LEFT = 64.0
+MARGIN_RIGHT = 24.0
+MARGIN_TOP = 56.0
+MARGIN_BOTTOM = 56.0
+LEGEND_ROW = 20.0
+BAR_GAP = 2.0  # the 2px surface gap between adjacent fills
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series."""
+
+    name: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("series needs at least one value")
+
+
+@dataclass
+class ChartSpec:
+    """Shared chart inputs.
+
+    Attributes:
+        title: chart heading.
+        categories: x-axis category labels.
+        series: the data; every series must match ``categories`` length.
+        unit: y-axis unit label, e.g. ``"tokens/s"``.
+        width / height: canvas size in px.
+    """
+
+    title: str
+    categories: tuple[str, ...]
+    series: tuple[Series, ...]
+    unit: str = ""
+    width: float = 760.0
+    height: float = 380.0
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError("chart needs at least one series")
+        for entry in self.series:
+            if len(entry.values) != len(self.categories):
+                raise ValueError(
+                    f"series {entry.name!r} has {len(entry.values)} values "
+                    f"for {len(self.categories)} categories"
+                )
+        if len(self.series) > 8:
+            raise ValueError("more than 8 series: fold into 'Other'")
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value / 1000:,.0f}k"
+    if abs(value) >= 100:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def _chart_frame(spec: ChartSpec, max_value: float) -> tuple[SvgCanvas, float,
+                                                             float, float]:
+    """Canvas + plot geometry with title, grid, y labels, and legend."""
+    canvas = SvgCanvas(spec.width, spec.height, SURFACE)
+    canvas.text(MARGIN_LEFT, 24, spec.title, TEXT_PRIMARY, size=15,
+                weight="600")
+    if spec.unit:
+        canvas.text(MARGIN_LEFT, 42, spec.unit, TEXT_SECONDARY, size=11)
+
+    plot_left = MARGIN_LEFT
+    plot_top = MARGIN_TOP
+    plot_width = spec.width - MARGIN_LEFT - MARGIN_RIGHT
+    plot_height = spec.height - MARGIN_TOP - MARGIN_BOTTOM
+    if len(spec.series) >= 2:
+        plot_height -= LEGEND_ROW
+
+    # Recessive horizontal grid with ink-token labels.
+    ticks = 4
+    for i in range(ticks + 1):
+        fraction = i / ticks
+        y = plot_top + plot_height * (1 - fraction)
+        canvas.line(plot_left, y, plot_left + plot_width, y, GRID, 1)
+        canvas.text(
+            plot_left - 8, y + 4, _format_value(max_value * fraction),
+            TEXT_SECONDARY, size=10, anchor="end",
+        )
+
+    # Legend (always present for >= 2 series).
+    if len(spec.series) >= 2:
+        x = plot_left
+        y = spec.height - 14
+        for index, entry in enumerate(spec.series):
+            canvas.rect(x, y - 9, 10, 10, series_color(index), rx=2)
+            canvas.text(x + 14, y, entry.name, TEXT_SECONDARY, size=11)
+            x += 14 + 7 * len(entry.name) + 22
+    return canvas, plot_left, plot_top, plot_height
+
+
+def grouped_bar_chart(spec: ChartSpec) -> str:
+    """Grouped vertical bars with direct value labels."""
+    max_value = max(
+        max(entry.values) for entry in spec.series
+    ) or 1.0
+    canvas, left, top, plot_height = _chart_frame(spec, max_value)
+    plot_width = spec.width - MARGIN_LEFT - MARGIN_RIGHT
+    baseline = top + plot_height
+
+    groups = len(spec.categories)
+    group_width = plot_width / groups
+    bar_width = min(
+        36.0, (group_width * 0.75 - BAR_GAP * len(spec.series))
+        / len(spec.series),
+    )
+    for g, category in enumerate(spec.categories):
+        group_left = left + g * group_width
+        total_bars = bar_width * len(spec.series) + BAR_GAP * (
+            len(spec.series) - 1
+        )
+        x = group_left + (group_width - total_bars) / 2
+        for index, entry in enumerate(spec.series):
+            value = entry.values[g]
+            height = plot_height * (value / max_value) if max_value else 0.0
+            canvas.rect(
+                x, baseline - height, bar_width, height,
+                series_color(index), rx=4,
+            )
+            canvas.text(
+                x + bar_width / 2, baseline - height - 5,
+                _format_value(value), TEXT_SECONDARY, size=9,
+                anchor="middle",
+            )
+            x += bar_width + BAR_GAP
+        canvas.text(
+            group_left + group_width / 2, baseline + 16, category,
+            TEXT_PRIMARY, size=11, anchor="middle",
+        )
+    return canvas.to_string()
+
+
+def stacked_bar_chart(spec: ChartSpec) -> str:
+    """Stacked vertical bars (kernel-breakdown style) with 2px spacers."""
+    totals = [
+        sum(entry.values[g] for entry in spec.series)
+        for g in range(len(spec.categories))
+    ]
+    max_value = max(totals) or 1.0
+    canvas, left, top, plot_height = _chart_frame(spec, max_value)
+    plot_width = spec.width - MARGIN_LEFT - MARGIN_RIGHT
+    baseline = top + plot_height
+
+    groups = len(spec.categories)
+    group_width = plot_width / groups
+    bar_width = min(48.0, group_width * 0.6)
+    for g, category in enumerate(spec.categories):
+        x = left + g * group_width + (group_width - bar_width) / 2
+        y = baseline
+        for index, entry in enumerate(spec.series):
+            value = entry.values[g]
+            height = plot_height * (value / max_value)
+            if height <= 0:
+                continue
+            y -= height
+            canvas.rect(
+                x, y, bar_width, max(0.0, height - BAR_GAP),
+                series_color(index),
+                rx=2,
+            )
+        canvas.text(
+            x + bar_width / 2, baseline + 16, category, TEXT_PRIMARY,
+            size=11, anchor="middle",
+        )
+        canvas.text(
+            x + bar_width / 2, baseline - plot_height
+            * (totals[g] / max_value) - 5,
+            _format_value(totals[g]), TEXT_SECONDARY, size=9,
+            anchor="middle",
+        )
+    return canvas.to_string()
+
+
+def line_chart(
+    spec: ChartSpec, x_values: tuple[float, ...] | None = None,
+    x_label: str = "",
+) -> str:
+    """Multi-series line chart (time-series panels)."""
+    max_value = max(max(entry.values) for entry in spec.series) or 1.0
+    canvas, left, top, plot_height = _chart_frame(spec, max_value)
+    plot_width = spec.width - MARGIN_LEFT - MARGIN_RIGHT
+    baseline = top + plot_height
+
+    xs = x_values or tuple(range(len(spec.categories)))
+    span = (max(xs) - min(xs)) or 1.0
+
+    def x_of(value: float) -> float:
+        return left + plot_width * (value - min(xs)) / span
+
+    for index, entry in enumerate(spec.series):
+        points = [
+            (x_of(xs[i]), baseline - plot_height * (v / max_value))
+            for i, v in enumerate(entry.values)
+        ]
+        if len(points) >= 2:
+            canvas.polyline(points, series_color(index), width=2)
+        # Direct label at the line's end (selective labelling).
+        end_x, end_y = points[-1]
+        canvas.circle(end_x, end_y, 4, series_color(index), stroke=SURFACE)
+        canvas.text(
+            end_x - 4, end_y - 8, entry.name, TEXT_SECONDARY, size=10,
+            anchor="end",
+        )
+    if x_label:
+        canvas.text(
+            left + plot_width / 2, baseline + 28, x_label, TEXT_SECONDARY,
+            size=11, anchor="middle",
+        )
+    return canvas.to_string()
+
+
+@dataclass
+class HeatmapSpec:
+    """Heatmap inputs (sequential magnitude encoding).
+
+    Attributes:
+        title: heading.
+        row_labels / col_labels: axis labels.
+        values: row-major matrix.
+        unit: what a cell measures.
+    """
+
+    title: str
+    row_labels: tuple[str, ...]
+    col_labels: tuple[str, ...]
+    values: tuple[tuple[float, ...], ...]
+    unit: str = ""
+    width: float = 720.0
+    cell_height: float = 34.0
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.row_labels):
+            raise ValueError("one row of values per row label")
+        for row in self.values:
+            if len(row) != len(self.col_labels):
+                raise ValueError("one value per column label")
+
+
+def heatmap(spec: HeatmapSpec) -> str:
+    """Sequential-ramp heatmap with per-cell value labels."""
+    rows, cols = len(spec.row_labels), len(spec.col_labels)
+    height = MARGIN_TOP + rows * spec.cell_height + 40
+    canvas = SvgCanvas(spec.width, height, SURFACE)
+    canvas.text(MARGIN_LEFT, 24, spec.title, TEXT_PRIMARY, size=15,
+                weight="600")
+    if spec.unit:
+        canvas.text(MARGIN_LEFT, 42, spec.unit, TEXT_SECONDARY, size=11)
+
+    flat = [v for row in spec.values for v in row]
+    low, high = min(flat), max(flat)
+    cell_width = (spec.width - MARGIN_LEFT - MARGIN_RIGHT) / cols
+    midpoint = (low + high) / 2
+
+    for r, row_label in enumerate(spec.row_labels):
+        y = MARGIN_TOP + r * spec.cell_height
+        canvas.text(
+            MARGIN_LEFT - 8, y + spec.cell_height / 2 + 4, row_label,
+            TEXT_SECONDARY, size=10, anchor="end",
+        )
+        for c in range(cols):
+            value = spec.values[r][c]
+            canvas.rect(
+                MARGIN_LEFT + c * cell_width + BAR_GAP / 2, y + BAR_GAP / 2,
+                cell_width - BAR_GAP, spec.cell_height - BAR_GAP,
+                sequential_color(value, low, high), rx=2,
+            )
+            # Ink flips for legibility on dark ramp steps.
+            ink = SURFACE if value > midpoint else TEXT_PRIMARY
+            canvas.text(
+                MARGIN_LEFT + (c + 0.5) * cell_width,
+                y + spec.cell_height / 2 + 4,
+                _format_value(value), ink, size=9, anchor="middle",
+            )
+    for c, col_label in enumerate(spec.col_labels):
+        canvas.text(
+            MARGIN_LEFT + (c + 0.5) * cell_width,
+            MARGIN_TOP + rows * spec.cell_height + 16,
+            col_label, TEXT_PRIMARY, size=10, anchor="middle",
+        )
+    return canvas.to_string()

@@ -1,0 +1,207 @@
+"""Paper-figure SVG generators over :class:`~repro.core.results.RunResult`.
+
+These mirror the artifact's visualization scripts: feed them the
+simulated runs and they render the corresponding paper figure as a
+standalone SVG file. Each returns the SVG string; pass ``path`` to also
+write it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.engine.kernels import KernelCategory
+from repro.viz.charts import (
+    ChartSpec,
+    HeatmapSpec,
+    Series,
+    grouped_bar_chart,
+    heatmap,
+    line_chart,
+    stacked_bar_chart,
+)
+
+BREAKDOWN_CATEGORIES = (
+    KernelCategory.COMPUTE,
+    KernelCategory.ALLREDUCE,
+    KernelCategory.SENDRECV,
+    KernelCategory.ALLTOALL,
+    KernelCategory.ALLGATHER_RS,
+    KernelCategory.OPTIMIZER,
+)
+
+
+def _maybe_save(svg: str, path: str | Path | None) -> str:
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(svg)
+    return svg
+
+
+def throughput_comparison(
+    results: dict[str, RunResult],
+    title: str = "Training throughput",
+    path: str | Path | None = None,
+) -> str:
+    """Figure 2-style grouped bars: tokens/s per labelled run."""
+    if not results:
+        raise ValueError("no results given")
+    labels = tuple(results)
+    values = tuple(
+        results[label].efficiency().tokens_per_s for label in labels
+    )
+    spec = ChartSpec(
+        title=title,
+        categories=labels,
+        series=(Series(name="tokens/s", values=values),),
+        unit="tokens/s",
+    )
+    return _maybe_save(grouped_bar_chart(spec), path)
+
+
+def energy_efficiency_comparison(
+    results: dict[str, RunResult],
+    title: str = "Energy efficiency",
+    path: str | Path | None = None,
+) -> str:
+    """Figure 2-style bars for tokens/J."""
+    labels = tuple(results)
+    values = tuple(
+        results[label].efficiency().tokens_per_joule for label in labels
+    )
+    spec = ChartSpec(
+        title=title,
+        categories=labels,
+        series=(Series(name="tokens/J", values=values),),
+        unit="tokens/J",
+    )
+    return _maybe_save(grouped_bar_chart(spec), path)
+
+
+def kernel_breakdown_figure(
+    results: dict[str, RunResult],
+    title: str = "Kernel time per iteration",
+    path: str | Path | None = None,
+) -> str:
+    """Figure 3/7/8-style stacked kernel-time bars per configuration."""
+    labels = tuple(results)
+    series = []
+    for category in BREAKDOWN_CATEGORIES:
+        values = tuple(
+            results[label].kernel_breakdown().get(category)
+            for label in labels
+        )
+        if any(v > 0 for v in values):
+            series.append(Series(name=category.value, values=values))
+    spec = ChartSpec(
+        title=title,
+        categories=labels,
+        series=tuple(series),
+        unit="seconds / iteration",
+    )
+    return _maybe_save(stacked_bar_chart(spec), path)
+
+
+def temperature_heatmap_figure(
+    result: RunResult,
+    title: str = "Mean GPU temperature",
+    path: str | Path | None = None,
+) -> str:
+    """Figure 17a/18a-style (node x local GPU) temperature heatmap."""
+    matrix = result.temperature_heatmap()
+    spec = HeatmapSpec(
+        title=f"{title} — {result.parallelism.name}",
+        row_labels=tuple(
+            f"node {n}" for n in range(matrix.shape[0])
+        ),
+        col_labels=tuple(
+            f"GPU {g}" for g in range(matrix.shape[1])
+        ),
+        values=tuple(tuple(float(v) for v in row) for row in matrix),
+        unit="degC (rear positions are the right columns' siblings)",
+    )
+    return _maybe_save(heatmap(spec), path)
+
+
+def throttle_heatmap_figure(
+    result: RunResult,
+    title: str = "Clock throttling ratio",
+    path: str | Path | None = None,
+) -> str:
+    """Figure 17b/18b-style throttling heatmap."""
+    per_node = result.cluster.node.gpus_per_node
+    matrix = np.array(result.throttle_ratio()).reshape(-1, per_node)
+    spec = HeatmapSpec(
+        title=f"{title} — {result.parallelism.name}",
+        row_labels=tuple(f"node {n}" for n in range(matrix.shape[0])),
+        col_labels=tuple(f"GPU {g}" for g in range(per_node)),
+        values=tuple(tuple(float(v) for v in row) for row in matrix),
+        unit="fraction of time throttled",
+    )
+    return _maybe_save(heatmap(spec), path)
+
+
+def thermal_timeseries_figure(
+    result: RunResult,
+    gpus: tuple[int, ...] = (0, 4),
+    labels: tuple[str, ...] = ("front GPU", "rear GPU"),
+    path: str | Path | None = None,
+) -> str:
+    """Figure 19-style temperature-over-time panel, front vs rear."""
+    if len(gpus) != len(labels):
+        raise ValueError("one label per GPU")
+    telemetry = result.outcome.telemetry
+    series_list = []
+    times = None
+    for gpu, label in zip(gpus, labels):
+        series = telemetry.series(gpu)
+        if times is None or len(series.times_s) < len(times):
+            times = series.times_s
+        series_list.append((label, series.temp_c))
+    length = len(times)
+    spec = ChartSpec(
+        title=f"GPU temperature over time — {result.label}",
+        categories=tuple(str(i) for i in range(length)),
+        series=tuple(
+            Series(name=label, values=tuple(float(v) for v in temps[:length]))
+            for label, temps in series_list
+        ),
+        unit="degC",
+    )
+    return _maybe_save(
+        line_chart(
+            spec,
+            x_values=tuple(float(t) for t in times[:length]),
+            x_label="time (s)",
+        ),
+        path,
+    )
+
+
+def microbatch_sweep_figure(
+    sweeps: dict[str, dict[int, RunResult]],
+    title: str = "Microbatch scaling",
+    path: str | Path | None = None,
+) -> str:
+    """Figure 13/14-style: throughput per strategy across microbatches."""
+    microbatches = sorted(
+        {mb for per_strategy in sweeps.values() for mb in per_strategy}
+    )
+    series = []
+    for strategy, per_mb in sweeps.items():
+        values = tuple(
+            per_mb[mb].efficiency().tokens_per_s if mb in per_mb else 0.0
+            for mb in microbatches
+        )
+        series.append(Series(name=strategy, values=values))
+    spec = ChartSpec(
+        title=title,
+        categories=tuple(f"mb{mb}" for mb in microbatches),
+        series=tuple(series),
+        unit="tokens/s",
+    )
+    return _maybe_save(grouped_bar_chart(spec), path)

@@ -1,0 +1,79 @@
+"""Chart palette: the validated reference instance of the dataviz method.
+
+Values come from the design-system-agnostic reference palette (validated
+with the six-check palette validator: lightness band, chroma floor,
+worst adjacent CVD dE 24.2, contrast). Three categorical slots sit below
+3:1 contrast on the light surface, so every chart in
+:mod:`repro.viz.charts` ships visible direct value labels (the relief
+rule). Categorical hues are assigned in this fixed order and never
+cycled; sequential encoding uses the single blue ramp.
+"""
+
+from __future__ import annotations
+
+# Light-mode chart surface and ink tokens.
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e7e6e2"
+
+# Categorical slots, fixed order (identity encoding).
+CATEGORICAL = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+)
+
+# Sequential blue ramp, steps 100 -> 700 (light -> dark), for magnitude.
+SEQUENTIAL = (
+    "#cde2fb",
+    "#b7d3f6",
+    "#9ec5f4",
+    "#86b6ef",
+    "#6da7ec",
+    "#5598e7",
+    "#3987e5",
+    "#2a78d6",
+    "#256abf",
+    "#1c5cab",
+    "#184f95",
+    "#104281",
+    "#0d366b",
+)
+
+
+def series_color(index: int) -> str:
+    """Categorical color for series ``index``.
+
+    More than 8 series is a design error (fold into "Other"); raising
+    keeps the fixed-order rule honest.
+    """
+    if index < 0:
+        raise ValueError("series index must be >= 0")
+    if index >= len(CATEGORICAL):
+        raise ValueError(
+            "more than 8 series: fold extras into 'Other' or use small "
+            "multiples (categorical hues are never generated)"
+        )
+    return CATEGORICAL[index]
+
+
+def sequential_color(value: float, low: float, high: float) -> str:
+    """Sequential-ramp color for ``value`` within ``[low, high]``.
+
+    Light steps mean "near low"; the ramp is a single hue so magnitude
+    reads as lightness, per the color formula.
+    """
+    if high < low:
+        raise ValueError("high must be >= low")
+    if high == low:
+        return SEQUENTIAL[len(SEQUENTIAL) // 2]
+    fraction = (value - low) / (high - low)
+    fraction = min(1.0, max(0.0, fraction))
+    index = round(fraction * (len(SEQUENTIAL) - 1))
+    return SEQUENTIAL[index]

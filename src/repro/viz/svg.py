@@ -1,0 +1,132 @@
+"""Minimal SVG document builder (no third-party dependencies).
+
+The benchmarks run in an offline environment without matplotlib, so the
+figure generators emit SVG directly. This module is a small, explicit
+element builder — enough for the bar charts, heatmaps, and time-series
+panels the paper's figures need, nothing more.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+FONT_FAMILY = "system-ui, -apple-system, 'Segoe UI', sans-serif"
+
+
+class SvgCanvas:
+    """An SVG document accumulated element by element.
+
+    Coordinates are standard SVG (origin top-left, y grows downward).
+    """
+
+    def __init__(self, width: float, height: float, background: str) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = [
+            f'<rect x="0" y="0" width="{width:g}" height="{height:g}" '
+            f'fill="{background}"/>'
+        ]
+
+    # -- primitives ------------------------------------------------------
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str,
+        rx: float = 0.0,
+        stroke: str | None = None,
+        stroke_width: float = 0.0,
+    ) -> None:
+        """Add a rectangle (rounded via ``rx``)."""
+        stroke_attr = (
+            f' stroke="{stroke}" stroke-width="{stroke_width:g}"'
+            if stroke
+            else ""
+        )
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{max(0.0, width):.2f}" '
+            f'height="{max(0.0, height):.2f}" rx="{rx:g}" '
+            f'fill="{fill}"{stroke_attr}/>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str,
+        width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        """Add a straight line."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" '
+            f'stroke-width="{width:g}"{dash_attr}/>'
+        )
+
+    def polyline(
+        self, points: list[tuple[float, float]], stroke: str,
+        width: float = 2.0,
+    ) -> None:
+        """Add an unfilled polyline (a data series)."""
+        if len(points) < 2:
+            raise ValueError("polyline needs at least 2 points")
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:g}" stroke-linejoin="round"/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, fill: str,
+               stroke: str | None = None) -> None:
+        """Add a circle marker."""
+        stroke_attr = f' stroke="{stroke}" stroke-width="2"' if stroke else ""
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:g}" '
+            f'fill="{fill}"{stroke_attr}/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        fill: str,
+        size: float = 12.0,
+        anchor: str = "start",
+        weight: str = "normal",
+    ) -> None:
+        """Add a text label (content is XML-escaped)."""
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" fill="{fill}" '
+            f'font-size="{size:g}" font-family="{FONT_FAMILY}" '
+            f'text-anchor="{anchor}" font-weight="{weight}">'
+            f"{escape(content)}</text>"
+        )
+
+    # -- output ----------------------------------------------------------
+
+    def to_string(self) -> str:
+        """Serialise the document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:g}" height="{self.height:g}" '
+            f'viewBox="0 0 {self.width:g} {self.height:g}">\n  {body}\n</svg>'
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the document to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path

@@ -1,0 +1,105 @@
+"""Shared fixtures: small models and clusters that simulate in milliseconds.
+
+Unit tests should not pay for paper-scale simulations; these fixtures
+provide a scaled-down dense model, a small MoE, and a 2-node/8-GPU
+cluster with the same airflow structure as the paper's HGX nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import SimSettings
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.gpu import H200
+from repro.hardware.interconnect import (
+    INFINIBAND_100G,
+    NVLINK4,
+    PCIE_GEN5,
+)
+from repro.hardware.node import AirflowLayout, NodeSpec
+from repro.models.config import ModelConfig, MoEConfig
+
+
+@pytest.fixture
+def tiny_model() -> ModelConfig:
+    """A small dense transformer (fast to simulate, divisible layers)."""
+    return ModelConfig(
+        name="tiny-dense",
+        num_layers=8,
+        hidden_size=2048,
+        num_heads=16,
+        ffn_hidden_size=8192,
+        vocab_size=32000,
+        seq_length=1024,
+    )
+
+
+@pytest.fixture
+def tiny_moe() -> ModelConfig:
+    """A small Mixture-of-Experts transformer (4 experts, top-2)."""
+    return ModelConfig(
+        name="tiny-moe",
+        num_layers=8,
+        hidden_size=2048,
+        num_heads=16,
+        ffn_hidden_size=4096,
+        vocab_size=32000,
+        seq_length=1024,
+        moe=MoEConfig(num_experts=4, top_k=2),
+    )
+
+
+def _small_airflow() -> AirflowLayout:
+    """4-GPU front/rear layout mirroring the HGX airflow structure."""
+    return AirflowLayout(
+        upstream=((), (), (0,), (1,)),
+        inlet_offset_c=(0.0, 0.0, 6.0, 6.0),
+        preheat_c_per_w=0.016,
+    )
+
+
+def small_node() -> NodeSpec:
+    """A 4-GPU H200-style node."""
+    return NodeSpec(
+        name="small-h200",
+        gpu=H200,
+        gpus_per_node=4,
+        intra_node_link=NVLINK4,
+        host_pcie=PCIE_GEN5,
+        airflow=_small_airflow(),
+        node_power_cap_watts=4 * 700.0 * 0.95,
+        nic_count=1,
+    )
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """2 nodes x 4 GPUs: big enough for TP/PP/DP/EP interplay, tiny to run."""
+    return ClusterSpec(
+        name="small-2x4",
+        node=small_node(),
+        num_nodes=2,
+        inter_node_link=INFINIBAND_100G,
+    )
+
+
+@pytest.fixture
+def single_node_cluster() -> ClusterSpec:
+    """One 4-GPU node: no inter-node traffic at all."""
+    return ClusterSpec(
+        name="small-1x4",
+        node=small_node(),
+        num_nodes=1,
+        inter_node_link=INFINIBAND_100G,
+    )
+
+
+@pytest.fixture
+def fast_settings() -> SimSettings:
+    """Coarser physics/telemetry for unit-test speed."""
+    return SimSettings(
+        physics_dt_s=0.002,
+        telemetry_interval_s=0.005,
+        thermal_prewarm=True,
+    )

@@ -1,0 +1,100 @@
+"""Tests for the experiment-campaign runner."""
+
+import csv
+
+import pytest
+
+from repro.core.campaign import (
+    ExperimentSpec,
+    paper_campaign,
+    run_campaign,
+)
+from repro.parallelism.strategy import OptimizationConfig
+
+TINY_SPECS = [
+    ExperimentSpec(
+        name="a_tp4pp2",
+        model="gpt3-13b",
+        cluster="mi250x32",
+        parallelism="TP4-PP2",
+        global_batch_size=16,
+    ),
+    ExperimentSpec(
+        name="b_tp8pp1_act",
+        model="gpt3-13b",
+        cluster="mi250x32",
+        parallelism="TP8-PP1",
+        optimizations=OptimizationConfig(activation_recompute=True),
+        global_batch_size=16,
+    ),
+]
+
+
+class TestExperimentSpec:
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="", model="m", cluster="c", parallelism="TP1"
+            )
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="a/b", model="m", cluster="c", parallelism="TP1"
+            )
+
+
+class TestRunCampaign:
+    def test_runs_all_specs(self, tmp_path):
+        campaign = run_campaign(TINY_SPECS, output_dir=tmp_path)
+        assert set(campaign.results) == {"a_tp4pp2", "b_tp8pp1_act"}
+        assert campaign.result("a_tp4pp2").efficiency().tokens_per_s > 0
+
+    def test_writes_artifacts_and_summary(self, tmp_path):
+        campaign = run_campaign(TINY_SPECS, output_dir=tmp_path)
+        assert (tmp_path / "a_tp4pp2" / "summary.json").exists()
+        assert (tmp_path / "b_tp8pp1_act" / "telemetry.csv").exists()
+        with (tmp_path / "summary.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[1]["optimizations"] == "act"
+        assert float(rows[0]["tokens_per_s"]) > 0
+
+    def test_no_output_dir_skips_artifacts(self):
+        campaign = run_campaign(TINY_SPECS[:1])
+        assert campaign.directory is None
+        assert campaign.summary_rows[0]["name"] == "a_tp4pp2"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign([TINY_SPECS[0], TINY_SPECS[0]])
+
+    def test_progress_callback(self):
+        seen = []
+        run_campaign(
+            TINY_SPECS[:1],
+            on_result=lambda spec, result: seen.append(spec.name),
+        )
+        assert seen == ["a_tp4pp2"]
+
+
+class TestPaperCampaign:
+    def test_nvidia_grid_shape(self):
+        specs = paper_campaign()
+        assert len(specs) == 2 * 8 * 3  # clusters x (model,strategy) x opts
+        names = [spec.name for spec in specs]
+        assert len(set(names)) == len(names)
+        assert any("mixtral-8x22b" in s.model for s in specs)
+
+    def test_mi250_grid(self):
+        specs = paper_campaign(clusters=("mi250x32",))
+        assert all(spec.cluster == "mi250x32" for spec in specs)
+        assert any(spec.model == "llama3-30b" for spec in specs)
+
+    def test_base_only(self):
+        specs = paper_campaign(include_optimizations=False)
+        assert all(
+            spec.optimizations.label == "Base" for spec in specs
+        )
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            paper_campaign(clusters=("dgx1",))

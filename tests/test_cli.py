@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2-PP4", "--act"]
+        )
+        assert args.act and not args.cc
+        assert args.microbatch == 1
+
+    def test_sweep_accepts_repeated_strategies(self):
+        args = build_parser().parse_args(
+            ["sweep", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2", "--parallelism", "TP4",
+             "--microbatch", "1", "2"]
+        )
+        assert args.parallelism == ["TP2", "TP4"]
+        assert args.microbatch == [1, 2]
+
+
+class TestCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt3-175b" in out
+        assert "h200x32" in out
+
+    def test_configs(self, capsys):
+        assert main(
+            ["configs", "--model", "gpt3-30b", "--cluster", "mi250x32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "valid configurations" in out
+        assert "TP2-PP4" in out
+
+    def test_run_with_artifact(self, capsys, tmp_path):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--output", str(tmp_path / "artifact"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tokens/s" in out
+        summary = json.loads(
+            (tmp_path / "artifact" / "summary.json").read_text()
+        )
+        assert summary["model"] == "gpt3-13b"
+
+    def test_run_with_fault_injection(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--fail-node", "1",
+            ]
+        )
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP8-PP1", "--microbatch", "1", "2",
+                "--global-batch", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("TP8-PP1") == 2
+
+    def test_figures(self, capsys, tmp_path):
+        code = main(
+            [
+                "figures", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--output", str(tmp_path / "figs"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "figs" / "temperature.svg").exists()
+        assert (tmp_path / "figs" / "breakdown.svg").exists()
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        code = main(
+            ["configs", "--model", "gpt5", "--cluster", "h200x32"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_strategy_is_clean_error(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TPx", "--global-batch", "16",
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,141 @@
+"""Tests for collective cost models."""
+
+import pytest
+
+from repro.comm.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    broadcast,
+    reduce_scatter,
+    send_recv,
+)
+from repro.comm.traffic import TrafficLedger
+from repro.hardware.cluster import H200_X32
+from repro.hardware.interconnect import LinkKind
+from repro.units import GB, MB
+
+
+class TestAllReduce:
+    def test_single_rank_is_free(self):
+        assert allreduce(H200_X32, [0], 1 * GB).duration_s == 0.0
+
+    def test_intra_node_cheaper_than_inter(self):
+        intra = allreduce(H200_X32, [0, 1, 2, 3], 1 * GB)
+        inter = allreduce(H200_X32, [0, 8, 16, 24], 1 * GB)
+        assert intra.duration_s < inter.duration_s
+
+    def test_monotone_in_payload(self):
+        small = allreduce(H200_X32, [0, 1], 1 * MB)
+        large = allreduce(H200_X32, [0, 1], 1 * GB)
+        assert large.duration_s > small.duration_s
+
+    def test_traffic_recorded_for_all_members(self):
+        cost = allreduce(H200_X32, [0, 1, 2, 3], 1 * GB)
+        assert set(cost.link_bytes) == {0, 1, 2, 3}
+
+    def test_inter_node_sets_nic_nodes(self):
+        cost = allreduce(H200_X32, [0, 8], 1 * GB)
+        assert cost.nic_nodes == (0, 1)
+        assert cost.inter_node_bytes > 0
+
+    def test_intra_node_has_no_nic_nodes(self):
+        cost = allreduce(H200_X32, [0, 1], 1 * GB)
+        assert cost.nic_nodes == ()
+        assert cost.inter_node_bytes == 0
+
+    def test_bandwidth_scale_slows(self):
+        base = allreduce(H200_X32, [0, 8], 1 * GB)
+        contended = allreduce(H200_X32, [0, 8], 1 * GB, bandwidth_scale=0.5)
+        assert contended.duration_s > base.duration_s
+
+    def test_ring_volume_factor(self):
+        """AllReduce moves ~2x the AllGather volume (2(n-1)/n vs (n-1)/n)."""
+        ar = allreduce(H200_X32, [0, 1, 2, 3], 1 * GB)
+        ag = allgather(H200_X32, [0, 1, 2, 3], 1 * GB)
+        assert ar.duration_s == pytest.approx(2 * ag.duration_s, rel=0.05)
+
+
+class TestAllGatherReduceScatter:
+    def test_symmetric_costs(self):
+        ag = allgather(H200_X32, [0, 1, 8, 9], 1 * GB)
+        rs = reduce_scatter(H200_X32, [0, 1, 8, 9], 1 * GB)
+        assert ag.duration_s == pytest.approx(rs.duration_s)
+
+
+class TestAllToAll:
+    def test_intra_node_is_much_cheaper(self):
+        """EP confined to a node avoids the NIC (paper Section 4.2)."""
+        local = alltoall(H200_X32, list(range(8)), 256 * MB)
+        spread = alltoall(H200_X32, [0, 4, 8, 12, 16, 20, 24, 28], 256 * MB)
+        assert spread.duration_s > 5 * local.duration_s
+
+    def test_single_rank_free(self):
+        assert alltoall(H200_X32, [3], 1 * GB).duration_s == 0.0
+
+    def test_traffic_covers_group(self):
+        cost = alltoall(H200_X32, [0, 1, 8, 9], 64 * MB)
+        assert set(cost.link_bytes) >= {0, 1, 8, 9}
+
+
+class TestSendRecv:
+    def test_intra_faster_than_inter(self):
+        intra = send_recv(H200_X32, 0, 1, 64 * MB)
+        inter = send_recv(H200_X32, 0, 8, 64 * MB)
+        assert intra.duration_s < inter.duration_s
+
+    def test_unchunked_slower_across_nodes(self):
+        chunked = send_recv(H200_X32, 0, 8, 64 * MB, chunked=True)
+        unchunked = send_recv(H200_X32, 0, 8, 64 * MB, chunked=False)
+        assert unchunked.duration_s > chunked.duration_s
+
+    def test_nic_nodes_for_inter_node(self):
+        cost = send_recv(H200_X32, 0, 8, 1 * MB)
+        assert cost.nic_nodes == (0, 1)
+
+
+class TestBroadcast:
+    def test_costs_scale_with_group(self):
+        two = broadcast(H200_X32, [0, 8], 64 * MB)
+        assert two.duration_s > 0
+
+
+class TestTrafficLedger:
+    def test_record_and_totals(self):
+        ledger = TrafficLedger(num_gpus=32)
+        ledger.record(allreduce(H200_X32, [0, 1, 2, 3], 1 * GB))
+        assert ledger.total_for(0) > 0
+        assert ledger.bytes_for(0, LinkKind.NVLINK) > 0
+        assert ledger.total_for(31) == 0
+
+    def test_skew_balanced_ring(self):
+        ledger = TrafficLedger(num_gpus=32)
+        ledger.record(allreduce(H200_X32, list(range(8)), 1 * GB))
+        assert ledger.skew() > 1.0  # only 8 of 32 GPUs participate
+
+    def test_merge(self):
+        a = TrafficLedger(num_gpus=32)
+        b = TrafficLedger(num_gpus=32)
+        a.record(send_recv(H200_X32, 0, 8, 1 * MB))
+        b.record(send_recv(H200_X32, 0, 8, 1 * MB))
+        merged = a.merged(b)
+        assert merged.total_for(0) == pytest.approx(2 * a.total_for(0))
+        assert merged.inter_node_bytes == pytest.approx(
+            2 * a.inter_node_bytes
+        )
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            TrafficLedger(num_gpus=4).merged(TrafficLedger(num_gpus=8))
+
+    def test_per_gpu_matrix_length(self):
+        ledger = TrafficLedger(num_gpus=32)
+        assert len(ledger.per_gpu_matrix()) == 32
+
+    def test_out_of_range_gpu_rejected(self):
+        from repro.comm.collectives import CommCost
+
+        ledger = TrafficLedger(num_gpus=2)
+        bad = CommCost(duration_s=1.0, link_bytes={5: {LinkKind.PCIE: 1.0}})
+        with pytest.raises(ValueError):
+            ledger.record(bad)

@@ -1,0 +1,51 @@
+"""Tests for the shared-NIC contention model."""
+
+import pytest
+
+from repro.comm.contention import MIN_SHARE, NicContention
+
+
+class TestNicContention:
+    def test_first_flow_gets_full_bandwidth(self):
+        contention = NicContention(num_nodes=4)
+        assert contention.begin((0, 1)) == 1.0
+
+    def test_second_flow_halves_share(self):
+        contention = NicContention(num_nodes=4)
+        contention.begin((0, 1))
+        assert contention.begin((0, 2)) == pytest.approx(0.5)
+
+    def test_share_uses_most_contended_node(self):
+        contention = NicContention(num_nodes=4)
+        contention.begin((0,))
+        contention.begin((0,))
+        contention.begin((1,))
+        # A flow over nodes 0 and 1: node 0 has 3 flows after begin.
+        assert contention.begin((0, 1)) == pytest.approx(1 / 3)
+
+    def test_end_releases(self):
+        contention = NicContention(num_nodes=2)
+        contention.begin((0,))
+        contention.end((0,))
+        assert contention.active_flows(0) == 0
+        assert contention.begin((0,)) == 1.0
+
+    def test_share_floor(self):
+        contention = NicContention(num_nodes=1)
+        for _ in range(100):
+            contention.begin((0,))
+        assert contention.share((0,)) == MIN_SHARE
+
+    def test_end_without_begin_raises(self):
+        contention = NicContention(num_nodes=2)
+        with pytest.raises(ValueError):
+            contention.end((0,))
+
+    def test_out_of_range_node(self):
+        contention = NicContention(num_nodes=2)
+        with pytest.raises(ValueError):
+            contention.begin((5,))
+
+    def test_empty_nodes_full_share(self):
+        contention = NicContention(num_nodes=2)
+        assert contention.share(()) == 1.0

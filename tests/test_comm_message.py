@@ -1,0 +1,88 @@
+"""Tests for message-size effects (chunking, ramp-up)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.message import (
+    chunking_efficiency,
+    effective_bandwidth,
+    segment_time,
+    transfer_time,
+)
+from repro.hardware.cluster import H200_X32
+from repro.hardware.topology import resolve_path
+from repro.units import GB, MB
+
+
+class TestEffectiveBandwidth:
+    def test_half_bandwidth_point(self):
+        """At size == latency * bandwidth, exactly half of peak."""
+        peak, latency = 10e9, 10e-6
+        half_point = peak * latency
+        assert effective_bandwidth(peak, latency, half_point) == (
+            pytest.approx(peak / 2)
+        )
+
+    def test_large_messages_approach_peak(self):
+        peak = 10e9
+        assert effective_bandwidth(peak, 10e-6, 100 * GB) == pytest.approx(
+            peak, rel=0.01
+        )
+
+    @given(
+        size=st.floats(min_value=1.0, max_value=1e12),
+        bigger=st.floats(min_value=1.1, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_size(self, size, bigger):
+        peak, latency = 10e9, 10e-6
+        assert effective_bandwidth(peak, latency, size * bigger) > (
+            effective_bandwidth(peak, latency, size)
+        )
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            effective_bandwidth(1e9, 1e-6, 0)
+
+
+class TestTransferTime:
+    def test_chunked_never_slower(self):
+        path = resolve_path(H200_X32, 0, 8)  # inter-node, 3 segments
+        for size in (1e3, 1 * MB, 1 * GB):
+            chunked = transfer_time(path, size, chunked=True)
+            unchunked = transfer_time(path, size, chunked=False)
+            assert chunked <= unchunked
+
+    def test_unchunked_pays_store_and_forward(self):
+        """Sparse un-pipelined transfers serialize their hops — the TP+PP
+        pathology (paper Section 4.2)."""
+        path = resolve_path(H200_X32, 0, 8)
+        size = 64 * MB
+        assert chunking_efficiency(path, size) > 1.2
+
+    def test_single_hop_chunking_is_noop(self):
+        path = resolve_path(H200_X32, 0, 1)  # NVLink only
+        assert chunking_efficiency(path, 1 * MB) == pytest.approx(1.0)
+
+    def test_contention_scale_slows_transfer(self):
+        path = resolve_path(H200_X32, 0, 8)
+        fast = transfer_time(path, 1 * MB, bandwidth_scale=1.0)
+        slow = transfer_time(path, 1 * MB, bandwidth_scale=0.25)
+        assert slow > fast
+
+    def test_invalid_scale(self):
+        path = resolve_path(H200_X32, 0, 1)
+        with pytest.raises(ValueError):
+            transfer_time(path, 1 * MB, bandwidth_scale=0.0)
+        with pytest.raises(ValueError):
+            transfer_time(path, 1 * MB, bandwidth_scale=1.5)
+
+    @given(size=st.floats(min_value=1e3, max_value=1e11))
+    @settings(max_examples=40, deadline=None)
+    def test_time_monotone_in_size(self, size):
+        path = resolve_path(H200_X32, 0, 8)
+        assert transfer_time(path, 2 * size) > transfer_time(path, size)
+
+    def test_segment_time_includes_latency(self):
+        assert segment_time(1e9, 1e-3, 1.0) > 1e-3

@@ -1,0 +1,207 @@
+"""Tests for pipeline schedules (1F1B and interleaved)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.schedule import (
+    Direction,
+    interleaved_1f1b,
+    one_f_one_b,
+    pipeline_bubble_fraction,
+    schedule_for,
+    validate_schedule,
+)
+
+
+class TestOneFOneB:
+    @given(
+        num_stages=st.integers(1, 16),
+        num_microbatches=st.integers(1, 64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_valid_for_all_shapes(self, num_stages, num_microbatches):
+        for stage in range(num_stages):
+            ops = one_f_one_b(stage, num_stages, num_microbatches)
+            validate_schedule(ops, num_microbatches)
+            assert len(ops) == 2 * num_microbatches
+
+    def test_last_stage_alternates_strictly(self):
+        ops = one_f_one_b(3, 4, 6)
+        directions = [op.direction for op in ops]
+        assert directions[:4] == [
+            Direction.FORWARD,
+            Direction.BACKWARD,
+            Direction.FORWARD,
+            Direction.BACKWARD,
+        ]
+
+    def test_first_stage_has_warmup(self):
+        ops = one_f_one_b(0, 4, 8)
+        warmup = [op for op in ops[:3]]
+        assert all(op.direction is Direction.FORWARD for op in warmup)
+
+    def test_microbatch_ordering(self):
+        """Forwards and backwards each run microbatches in order."""
+        ops = one_f_one_b(1, 4, 8)
+        forwards = [
+            op.microbatch for op in ops if op.direction is Direction.FORWARD
+        ]
+        backwards = [
+            op.microbatch for op in ops if op.direction is Direction.BACKWARD
+        ]
+        assert forwards == sorted(forwards)
+        assert backwards == sorted(backwards)
+
+    def test_arg_validation(self):
+        with pytest.raises(ValueError):
+            one_f_one_b(4, 4, 8)
+        with pytest.raises(ValueError):
+            one_f_one_b(0, 0, 8)
+        with pytest.raises(ValueError):
+            one_f_one_b(0, 4, 0)
+
+
+class TestInterleaved:
+    @given(
+        num_stages=st.sampled_from([2, 4, 8]),
+        groups=st.integers(1, 4),
+        num_chunks=st.sampled_from([2, 3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_valid_for_divisible_microbatches(
+        self, num_stages, groups, num_chunks
+    ):
+        num_microbatches = groups * num_stages
+        for stage in range(num_stages):
+            ops = interleaved_1f1b(
+                stage, num_stages, num_microbatches, num_chunks
+            )
+            validate_schedule(ops, num_microbatches, num_chunks)
+
+    def test_rejects_indivisible_microbatches(self):
+        with pytest.raises(ValueError):
+            interleaved_1f1b(0, 4, 6, 2)
+
+    def test_rejects_single_chunk(self):
+        with pytest.raises(ValueError):
+            interleaved_1f1b(0, 4, 8, 1)
+
+    def test_uses_both_chunks(self):
+        ops = interleaved_1f1b(0, 4, 8, 2)
+        chunks = {op.chunk for op in ops}
+        assert chunks == {0, 1}
+
+
+class TestScheduleFor:
+    def test_dispatches_plain(self):
+        ops = schedule_for(0, 4, 8, interleaved=False)
+        assert all(op.chunk == 0 for op in ops)
+
+    def test_dispatches_interleaved(self):
+        ops = schedule_for(0, 4, 8, interleaved=True)
+        assert {op.chunk for op in ops} == {0, 1}
+
+    def test_single_stage_ignores_interleaving(self):
+        ops = schedule_for(0, 1, 4, interleaved=True)
+        validate_schedule(ops, 4)
+
+
+class TestValidateSchedule:
+    def test_catches_backward_before_forward(self):
+        from repro.engine.schedule import PipelineOp
+
+        bad = [PipelineOp(Direction.BACKWARD, 0)]
+        with pytest.raises(ValueError):
+            validate_schedule(bad, 1)
+
+    def test_catches_duplicates(self):
+        from repro.engine.schedule import PipelineOp
+
+        bad = [
+            PipelineOp(Direction.FORWARD, 0),
+            PipelineOp(Direction.FORWARD, 0),
+        ]
+        with pytest.raises(ValueError):
+            validate_schedule(bad, 1)
+
+    def test_catches_missing_coverage(self):
+        from repro.engine.schedule import PipelineOp
+
+        incomplete = [
+            PipelineOp(Direction.FORWARD, 0),
+            PipelineOp(Direction.BACKWARD, 0),
+        ]
+        with pytest.raises(ValueError):
+            validate_schedule(incomplete, 2)
+
+
+class TestBubbleFraction:
+    def test_known_value(self):
+        # p=4, m=12: bubble = 3 / 15.
+        assert pipeline_bubble_fraction(4, 12) == pytest.approx(0.2)
+
+    def test_interleaving_shrinks_bubble(self):
+        plain = pipeline_bubble_fraction(8, 16, 1)
+        interleaved = pipeline_bubble_fraction(8, 16, 2)
+        assert interleaved < plain
+
+    def test_more_microbatches_shrink_bubble(self):
+        assert pipeline_bubble_fraction(8, 64) < pipeline_bubble_fraction(
+            8, 8
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_bubble_fraction(0, 8)
+
+
+class TestGpipe:
+    def test_all_forwards_then_backwards(self):
+        from repro.engine.schedule import gpipe
+
+        ops = gpipe(1, 4, 6)
+        directions = [op.direction for op in ops]
+        assert directions[:6] == [Direction.FORWARD] * 6
+        assert directions[6:] == [Direction.BACKWARD] * 6
+        validate_schedule(ops, 6)
+
+    def test_backwards_in_reverse_order(self):
+        from repro.engine.schedule import gpipe
+
+        ops = gpipe(0, 2, 4)
+        backwards = [
+            op.microbatch for op in ops
+            if op.direction is Direction.BACKWARD
+        ]
+        assert backwards == [3, 2, 1, 0]
+
+    def test_schedule_for_dispatch(self):
+        ops = schedule_for(0, 4, 8, flavor="gpipe")
+        assert all(op.chunk == 0 for op in ops)
+        with pytest.raises(ValueError):
+            schedule_for(0, 4, 8, flavor="zigzag")
+
+
+class TestGpipeMemory:
+    def test_gpipe_stores_every_microbatch(self):
+        from repro.models.catalog import GPT3_175B
+        from repro.models.memory import activation_bytes
+
+        one_f_one_b_bytes = activation_bytes(
+            GPT3_175B, 1, tp=2, pp=8, pipeline_schedule="1f1b"
+        )
+        gpipe_bytes = activation_bytes(
+            GPT3_175B, 1, tp=2, pp=8, pipeline_schedule="gpipe",
+            num_microbatches=32,
+        )
+        assert gpipe_bytes == pytest.approx(one_f_one_b_bytes * 4)
+
+    def test_gpipe_requires_microbatch_count(self):
+        from repro.models.catalog import GPT3_175B
+        from repro.models.memory import activation_bytes
+
+        with pytest.raises(ValueError):
+            activation_bytes(
+                GPT3_175B, 1, tp=2, pp=8, pipeline_schedule="gpipe"
+            )

@@ -1,0 +1,147 @@
+"""Tests for GPU, node, and cluster hardware models (Table 3)."""
+
+import pytest
+
+from repro.hardware.cluster import (
+    H100_X64,
+    H200_X32,
+    MI250_X32,
+    cluster_names,
+    get_cluster,
+    one_gpu_per_node,
+)
+from repro.hardware.gpu import H100, H200, MI250_GCD, GPUSpec, get_gpu
+from repro.hardware.interconnect import LinkKind, LinkSpec, infiniband
+from repro.hardware.node import HGX_H200_NODE, MI250_NODE
+from repro.units import GB, GBPS
+
+
+class TestGpuSpecs:
+    def test_table3_memory(self):
+        assert H200.memory_bytes == 141 * GB
+        assert H100.memory_bytes == 80 * GB
+        assert MI250_GCD.memory_bytes == 64 * GB
+
+    def test_table3_peak_flops(self):
+        assert H200.peak_flops_fp16 == pytest.approx(1.0e15)
+        assert H100.peak_flops_fp16 == pytest.approx(1.0e15)
+        # One GCD is half of the 0.36 PFLOPS package.
+        assert MI250_GCD.peak_flops_fp16 == pytest.approx(0.18e15)
+
+    def test_table3_tdp(self):
+        assert H200.tdp_watts == 700.0
+        assert MI250_GCD.tdp_watts == 250.0  # half of 500 W package
+
+    def test_h200_memory_ratio(self):
+        """Paper: H200 has 1.76x the per-GPU memory of H100."""
+        assert H200.memory_bytes / H100.memory_bytes == pytest.approx(
+            1.76, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec(
+                name="bad", architecture="x", memory_bytes=1, mfu=1.5,
+                peak_flops_fp16=1, tdp_watts=1, idle_watts=0,
+                base_clock_ratio=0.5, throttle_temp_c=80,
+                shutdown_temp_c=90, thermal_resistance_c_per_w=0.1,
+                thermal_capacitance_j_per_c=100, sm_count=1,
+                max_warps_per_sm=1,
+            )
+
+    def test_lookup(self):
+        assert get_gpu("h200") is H200
+        with pytest.raises(KeyError):
+            get_gpu("b200")
+
+
+class TestNodes:
+    def test_hgx_rear_gpus_are_preheated(self):
+        airflow = HGX_H200_NODE.airflow
+        for rear in range(4, 8):
+            assert airflow.upstream[rear] == (rear - 4,)
+        for front in range(4):
+            assert airflow.upstream[front] == ()
+
+    def test_hgx_depth_ordering(self):
+        node = HGX_H200_NODE
+        assert node.depth_of(0) < node.depth_of(4)
+
+    def test_mi250_packages_pair_gcds(self):
+        packages = MI250_NODE.packages()
+        assert len(packages) == 4
+        assert all(len(gcds) == 2 for gcds in packages.values())
+        assert MI250_NODE.same_package(0, 1)
+        assert not MI250_NODE.same_package(1, 2)
+
+    def test_mi250_intra_package_skew(self):
+        """Odd GCDs sit downstream of their package sibling (Fig. 18)."""
+        airflow = MI250_NODE.airflow
+        for gcd in range(1, 8, 2):
+            assert gcd - 1 in airflow.upstream[gcd]
+
+
+class TestClusters:
+    def test_table3_sizes(self):
+        assert H200_X32.total_gpus == 32
+        assert H100_X64.total_gpus == 64
+        assert MI250_X32.total_gpus == 32
+
+    def test_h100_has_double_aggregate_compute(self):
+        ratio = (
+            H100_X64.aggregate_sustained_flops
+            / H200_X32.aggregate_sustained_flops
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_similar_total_memory(self):
+        """Paper: the two NVIDIA clusters have similar total memory."""
+        ratio = H100_X64.total_memory_bytes / H200_X32.total_memory_bytes
+        assert 0.85 < ratio < 1.35
+
+    def test_rank_math(self):
+        assert H200_X32.node_of(0) == 0
+        assert H200_X32.node_of(31) == 3
+        assert H200_X32.local_index(13) == 5
+        assert H200_X32.same_node(8, 15)
+        assert not H200_X32.same_node(7, 8)
+        assert list(H200_X32.ranks_on_node(1)) == list(range(8, 16))
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            H200_X32.node_of(32)
+        with pytest.raises(ValueError):
+            H200_X32.ranks_on_node(4)
+
+    def test_lookup(self):
+        assert get_cluster("H200X32") is H200_X32
+        assert set(cluster_names()) == {"h100x64", "h200x32", "mi250x32"}
+
+    def test_bandwidth_variant(self):
+        fast = H200_X32.with_inter_node_gbps(800)
+        assert fast.inter_node_link.bandwidth_bytes_per_s == pytest.approx(
+            800 * GBPS
+        )
+        assert fast.total_gpus == 32
+
+    def test_one_gpu_per_node(self):
+        cluster = one_gpu_per_node(H200_X32, num_nodes=4)
+        assert cluster.total_gpus == 4
+        assert cluster.node.gpus_per_node == 1
+        assert cluster.node.airflow.upstream == ((),)
+
+
+class TestLinks:
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(kind=LinkKind.PCIE, bandwidth_bytes_per_s=0,
+                     latency_s=1e-6)
+        with pytest.raises(ValueError):
+            LinkSpec(kind=LinkKind.PCIE, bandwidth_bytes_per_s=1,
+                     latency_s=1e-6, efficiency=1.5)
+
+    def test_infiniband_factory(self):
+        link = infiniband(400)
+        assert link.bandwidth_bytes_per_s == pytest.approx(400 * GBPS)
+        with pytest.raises(ValueError):
+            infiniband(0)

@@ -1,0 +1,94 @@
+"""Tests for topology path resolution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import H200_X32, MI250_X32
+from repro.hardware.interconnect import LinkKind
+from repro.hardware.topology import (
+    group_spans_nodes,
+    resolve_path,
+    ring_paths,
+    slowest_hop,
+)
+
+
+class TestResolvePath:
+    def test_intra_node_uses_nvlink(self):
+        path = resolve_path(H200_X32, 0, 5)
+        assert not path.inter_node
+        assert [link.kind for link in path.links] == [LinkKind.NVLINK]
+
+    def test_inter_node_crosses_pcie_and_ib(self):
+        path = resolve_path(H200_X32, 0, 8)
+        assert path.inter_node
+        kinds = [link.kind for link in path.links]
+        assert kinds == [
+            LinkKind.PCIE, LinkKind.INFINIBAND, LinkKind.PCIE,
+        ]
+        assert path.uses_pcie
+
+    def test_inter_node_bottleneck_is_ib(self):
+        path = resolve_path(H200_X32, 0, 8)
+        ib = H200_X32.inter_node_link
+        assert path.bottleneck_bandwidth == pytest.approx(
+            ib.peak_effective_bandwidth
+        )
+
+    def test_mi250_same_package_uses_fast_link(self):
+        same_package = resolve_path(MI250_X32, 0, 1)
+        cross_package = resolve_path(MI250_X32, 0, 2)
+        assert (
+            same_package.bottleneck_bandwidth
+            > cross_package.bottleneck_bandwidth
+        )
+
+    def test_same_rank_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_path(H200_X32, 3, 3)
+
+    @given(
+        src=st.integers(0, 31),
+        dst=st.integers(0, 31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_paths_symmetric(self, src, dst):
+        """Bandwidth/latency are direction-independent."""
+        if src == dst:
+            return
+        forward = resolve_path(H200_X32, src, dst)
+        backward = resolve_path(H200_X32, dst, src)
+        assert forward.bottleneck_bandwidth == backward.bottleneck_bandwidth
+        assert forward.latency_s == backward.latency_s
+
+
+class TestGroups:
+    def test_group_spans_nodes(self):
+        assert not group_spans_nodes(H200_X32, range(8))
+        assert group_spans_nodes(H200_X32, [0, 8])
+
+    def test_ring_paths_wrap_around(self):
+        ranks = [0, 1, 8, 9]
+        paths = ring_paths(H200_X32, ranks)
+        assert len(paths) == 4
+        assert paths[-1].src == 9 and paths[-1].dst == 0
+
+    def test_ring_needs_two_distinct(self):
+        with pytest.raises(ValueError):
+            ring_paths(H200_X32, [3])
+        with pytest.raises(ValueError):
+            ring_paths(H200_X32, [3, 3])
+
+    def test_slowest_hop(self):
+        paths = ring_paths(H200_X32, [0, 1, 8])
+        slow = slowest_hop(paths)
+        assert slow.inter_node
+
+    def test_slowest_hop_empty(self):
+        with pytest.raises(ValueError):
+            slowest_hop([])
+
+    def test_intra_node_ring_all_nvlink(self):
+        paths = ring_paths(H200_X32, list(range(8)))
+        assert all(not p.inter_node for p in paths)

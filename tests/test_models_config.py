@@ -1,0 +1,148 @@
+"""Tests for model architecture configs and the Table 1 catalog."""
+
+import pytest
+
+from repro.models.catalog import (
+    GPT3_13B,
+    GPT3_30B,
+    GPT3_175B,
+    LLAMA3_30B,
+    LLAMA3_70B,
+    MIXTRAL_4X7B,
+    MIXTRAL_8X7B,
+    MIXTRAL_8X22B,
+    TABLE1_MODELS,
+    get_model,
+    model_names,
+)
+from repro.models.config import ModelConfig, MoEConfig
+
+
+class TestModelConfigValidation:
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", num_layers=2, hidden_size=100, num_heads=7,
+                ffn_hidden_size=400,
+            )
+
+    def test_num_layers_positive(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", num_layers=0, hidden_size=128, num_heads=8,
+                ffn_hidden_size=512,
+            )
+
+    def test_query_groups_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", num_layers=2, hidden_size=128, num_heads=8,
+                ffn_hidden_size=512, num_query_groups=3,
+            )
+
+    def test_moe_validation(self):
+        with pytest.raises(ValueError):
+            MoEConfig(num_experts=1)
+        with pytest.raises(ValueError):
+            MoEConfig(num_experts=4, top_k=5)
+
+
+class TestDerivedQuantities:
+    def test_head_dim(self):
+        model = ModelConfig(
+            name="m", num_layers=2, hidden_size=1024, num_heads=8,
+            ffn_hidden_size=4096,
+        )
+        assert model.head_dim == 128
+
+    def test_gqa_kv_groups_default_to_mha(self):
+        model = ModelConfig(
+            name="m", num_layers=2, hidden_size=1024, num_heads=8,
+            ffn_hidden_size=4096,
+        )
+        assert model.kv_groups == 8
+
+    def test_moe_layer_params_exceed_dense(self):
+        dense = ModelConfig(
+            name="d", num_layers=2, hidden_size=1024, num_heads=8,
+            ffn_hidden_size=4096,
+        )
+        moe = ModelConfig(
+            name="s", num_layers=2, hidden_size=1024, num_heads=8,
+            ffn_hidden_size=4096, moe=MoEConfig(num_experts=8, top_k=2),
+        )
+        assert moe.layer_params > dense.layer_params
+
+    def test_moe_active_params_below_total(self):
+        assert (
+            MIXTRAL_8X22B.active_params_per_token < MIXTRAL_8X22B.total_params
+        )
+
+    def test_dense_active_equals_total(self):
+        assert GPT3_175B.active_params_per_token == GPT3_175B.total_params
+
+
+class TestCatalogParameterCounts:
+    """Catalog models should land near their nominal sizes (Table 1)."""
+
+    @pytest.mark.parametrize(
+        "model, nominal_billion",
+        [
+            (GPT3_175B, 175),
+            (GPT3_30B, 30),
+            (LLAMA3_70B, 70),
+            (LLAMA3_30B, 30),
+            (MIXTRAL_8X22B, 141),
+            (MIXTRAL_8X7B, 47),
+            (GPT3_13B, 13),
+        ],
+    )
+    def test_total_params_near_nominal(self, model, nominal_billion):
+        actual = model.total_params / 1e9
+        assert actual == pytest.approx(nominal_billion, rel=0.15)
+
+    def test_table1_has_six_models(self):
+        assert len(TABLE1_MODELS) == 6
+
+    def test_mixtral_4x7b_smaller_than_8x7b(self):
+        assert MIXTRAL_4X7B.total_params < MIXTRAL_8X7B.total_params
+
+
+class TestCatalogLookup:
+    def test_lookup_case_insensitive(self):
+        assert get_model("GPT3-175B") is GPT3_175B
+
+    def test_unknown_model_raises_with_names(self):
+        with pytest.raises(KeyError, match="gpt3-175b"):
+            get_model("nonexistent")
+
+    def test_model_names_sorted(self):
+        names = model_names()
+        assert names == sorted(names)
+        assert "mixtral-8x22b" in names
+
+
+class TestScaled:
+    def test_scaled_preserves_ratios(self):
+        scaled = GPT3_175B.scaled("gpt3-small", 0.5)
+        assert scaled.hidden_size % scaled.num_heads == 0
+        assert scaled.total_params < GPT3_175B.total_params
+        assert scaled.total_params == pytest.approx(
+            0.5 * GPT3_175B.total_params, rel=0.2
+        )
+
+    def test_scaled_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            GPT3_175B.scaled("bad", 0.0)
+        with pytest.raises(ValueError):
+            GPT3_175B.scaled("bad", 1.5)
+
+    def test_scaled_keeps_moe(self):
+        scaled = MIXTRAL_8X22B.scaled("mixtral-small", 0.5)
+        assert scaled.moe is not None
+        assert scaled.moe.num_experts == 8
+
+    def test_amd_30b_methodology(self):
+        """Section 3.2: scale GPT-3 down to ~30B for the MI250 cluster."""
+        scaled = GPT3_175B.scaled("gpt3-scaled", 30 / 175)
+        assert 10e9 < scaled.total_params < 60e9

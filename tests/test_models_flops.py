@@ -1,0 +1,87 @@
+"""Tests for the analytic FLOP model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.catalog import GPT3_175B, MIXTRAL_8X22B
+from repro.models.flops import (
+    layer_flops,
+    model_forward_flops,
+    model_step_flops,
+    stage_forward_flops,
+)
+
+
+class TestLayerFlops:
+    def test_positive_components(self):
+        flops = layer_flops(GPT3_175B, tokens=2048)
+        assert flops.attention > 0
+        assert flops.mlp > 0
+        assert flops.router == 0  # dense model
+
+    def test_moe_router_flops(self):
+        flops = layer_flops(MIXTRAL_8X22B, tokens=2048)
+        assert flops.router > 0
+
+    def test_backward_is_twice_forward(self):
+        flops = layer_flops(GPT3_175B, tokens=2048)
+        assert flops.backward == pytest.approx(2 * flops.forward)
+
+    def test_rejects_nonpositive_tokens(self):
+        with pytest.raises(ValueError):
+            layer_flops(GPT3_175B, tokens=0)
+
+    @given(tokens=st.integers(min_value=1, max_value=1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_in_tokens(self, tokens):
+        """Doubling tokens doubles layer FLOPs exactly."""
+        one = layer_flops(GPT3_175B, tokens).forward
+        two = layer_flops(GPT3_175B, 2 * tokens).forward
+        assert two == pytest.approx(2 * one, rel=1e-9)
+
+    def test_moe_activates_topk_experts_only(self):
+        """Per-token MoE MLP work is top_k experts, not all experts."""
+        flops = layer_flops(MIXTRAL_8X22B, tokens=2048)
+        one_expert = (
+            2 * 2048 * MIXTRAL_8X22B.hidden_size
+            * MIXTRAL_8X22B.ffn_hidden_size * 3
+        )
+        assert flops.mlp == pytest.approx(
+            MIXTRAL_8X22B.moe.top_k * one_expert
+        )
+
+
+class TestModelFlops:
+    def test_sixnd_rule_of_thumb(self):
+        """Step FLOPs should approximate the 6*N*D rule for dense LLMs."""
+        tokens = 128 * 2048
+        step = model_step_flops(GPT3_175B, tokens)
+        rule = 6 * GPT3_175B.total_params * tokens
+        assert step == pytest.approx(rule, rel=0.25)
+
+    def test_recompute_adds_one_forward(self):
+        tokens = 2048
+        base = model_step_flops(GPT3_175B, tokens, recompute=False)
+        recompute = model_step_flops(GPT3_175B, tokens, recompute=True)
+        forward = model_forward_flops(GPT3_175B, tokens)
+        assert recompute - base == pytest.approx(forward, rel=1e-9)
+
+    def test_stage_flops_sum_to_model(self):
+        """Stage FLOPs over an even split sum to the full forward."""
+        tokens = 2048
+        pp = 8
+        per_stage = GPT3_175B.num_layers // pp
+        total = sum(
+            stage_forward_flops(
+                GPT3_175B, tokens, per_stage, has_lm_head=(s == pp - 1)
+            )
+            for s in range(pp)
+        )
+        assert total == pytest.approx(
+            model_forward_flops(GPT3_175B, tokens), rel=1e-9
+        )
+
+    def test_stage_rejects_negative_layers(self):
+        with pytest.raises(ValueError):
+            stage_forward_flops(GPT3_175B, 2048, -1, has_lm_head=False)

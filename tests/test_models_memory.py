@@ -1,0 +1,160 @@
+"""Tests for the per-GPU memory footprint model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.catalog import GPT3_175B, LLAMA3_70B, MIXTRAL_8X22B
+from repro.models.memory import (
+    activation_bytes,
+    fits_in_memory,
+    memory_breakdown,
+    shard_params,
+    shard_params_split,
+)
+from repro.units import GB
+
+H100_MEMORY = 80 * GB
+H200_MEMORY = 141 * GB
+
+
+class TestShardParams:
+    def test_full_model_at_no_parallelism(self):
+        shard = shard_params(GPT3_175B, tp=1, pp=1)
+        assert shard == pytest.approx(GPT3_175B.total_params, rel=0.02)
+
+    @given(
+        tp=st.sampled_from([1, 2, 4, 8]),
+        pp=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=16, deadline=None)
+    def test_monotone_in_tp_and_pp(self, tp, pp):
+        base = shard_params(GPT3_175B, tp=tp, pp=pp)
+        assert shard_params(GPT3_175B, tp=2 * tp, pp=pp) < base
+        assert shard_params(GPT3_175B, tp=tp, pp=2 * pp) < base
+
+    def test_ep_shards_experts_only(self):
+        """EP reduces expert params; dense part is untouched."""
+        dense1, expert1 = shard_params_split(MIXTRAL_8X22B, tp=1, pp=1, ep=1)
+        dense8, expert8 = shard_params_split(MIXTRAL_8X22B, tp=1, pp=1, ep=8)
+        assert dense1 == pytest.approx(dense8)
+        assert expert8 == pytest.approx(expert1 / 8)
+
+    def test_ep_cannot_exceed_experts(self):
+        with pytest.raises(ValueError):
+            shard_params(MIXTRAL_8X22B, tp=1, pp=1, ep=16)
+
+    def test_dense_model_has_no_expert_shard(self):
+        _, expert = shard_params_split(GPT3_175B, tp=1, pp=1)
+        assert expert == 0.0
+
+    def test_rejects_zero_widths(self):
+        with pytest.raises(ValueError):
+            shard_params(GPT3_175B, tp=0, pp=1)
+
+
+class TestActivationBytes:
+    def test_recompute_saves_memory(self):
+        stash = activation_bytes(GPT3_175B, 1, tp=2, pp=8, recompute=False)
+        checkpoint = activation_bytes(GPT3_175B, 1, tp=2, pp=8, recompute=True)
+        assert checkpoint < stash / 3
+
+    def test_scales_with_microbatch(self):
+        one = activation_bytes(GPT3_175B, 1, tp=2, pp=8)
+        four = activation_bytes(GPT3_175B, 4, tp=2, pp=8)
+        assert four == pytest.approx(4 * one, rel=1e-9)
+
+    def test_rejects_zero_microbatch(self):
+        with pytest.raises(ValueError):
+            activation_bytes(GPT3_175B, 0, tp=1, pp=1)
+
+
+class TestMemoryBreakdown:
+    def test_total_is_sum(self):
+        usage = memory_breakdown(GPT3_175B, 1, tp=8, pp=8, dp=1)
+        assert usage.total == pytest.approx(
+            usage.weights + usage.gradients + usage.optimizer
+            + usage.activations
+        )
+
+    def test_zero1_shrinks_optimizer(self):
+        dp4 = memory_breakdown(GPT3_175B, 1, tp=8, pp=4, dp=4, zero1=True)
+        dp1 = memory_breakdown(GPT3_175B, 1, tp=8, pp=4, dp=4, zero1=False)
+        assert dp4.optimizer == pytest.approx(dp1.optimizer / 4)
+
+
+class TestFitsInMemory:
+    def test_gpt3_175b_needs_model_parallelism(self):
+        """175B cannot fit a single 80 GB GPU (paper Section 3.1)."""
+        assert not fits_in_memory(GPT3_175B, H100_MEMORY, 1, tp=1, pp=1)
+
+    def test_gpt3_175b_fits_with_tp8_pp8(self):
+        assert fits_in_memory(
+            GPT3_175B, H100_MEMORY, 1, tp=8, pp=8, dp=1
+        )
+
+    def test_h200_fits_smaller_splits_than_h100(self):
+        """1.76x memory means the H200 admits smaller model parallelism."""
+        tp, pp = 8, 4
+        h200 = fits_in_memory(LLAMA3_70B, H200_MEMORY, 1, tp=1, pp=tp * pp // 8)
+        h100 = fits_in_memory(LLAMA3_70B, H100_MEMORY, 1, tp=1, pp=tp * pp // 8)
+        assert h200 or not h100  # H200 never fits less than H100
+
+    def test_recompute_unlocks_configs(self):
+        """Some configs only fit with activation recomputation (Fig. 9)."""
+        fits_any = False
+        for pp in (2, 4, 8):
+            without = fits_in_memory(
+                MIXTRAL_8X22B, H200_MEMORY, 1, tp=1, pp=pp, ep=8, dp=8,
+                zero1=False, recompute=False,
+            )
+            with_act = fits_in_memory(
+                MIXTRAL_8X22B, H200_MEMORY, 1, tp=1, pp=pp, ep=8, dp=8,
+                zero1=False, recompute=True,
+            )
+            assert with_act or not without
+            fits_any = fits_any or with_act
+        assert fits_any
+
+
+class TestSequenceParallelism:
+    def test_sp_divides_all_activations_by_tp(self):
+        with_sp = activation_bytes(
+            GPT3_175B, 1, tp=8, pp=8, sequence_parallel=True
+        )
+        without = activation_bytes(
+            GPT3_175B, 1, tp=8, pp=8, sequence_parallel=False
+        )
+        assert without > 3 * with_sp
+
+    def test_sp_noop_at_tp1(self):
+        with_sp = activation_bytes(
+            GPT3_175B, 1, tp=1, pp=8, sequence_parallel=True
+        )
+        without = activation_bytes(
+            GPT3_175B, 1, tp=1, pp=8, sequence_parallel=False
+        )
+        assert with_sp == pytest.approx(without)
+
+    def test_sp_shards_recompute_stash(self):
+        sharded = activation_bytes(
+            GPT3_175B, 1, tp=8, pp=8, recompute=True,
+            sequence_parallel=True,
+        )
+        replicated = activation_bytes(
+            GPT3_175B, 1, tp=8, pp=8, recompute=True,
+            sequence_parallel=False,
+        )
+        assert sharded == pytest.approx(replicated / 8)
+
+    def test_gpt3_175b_on_h100_needs_sp_or_recompute(self):
+        """The Korthikanti configuration class: TP8-PP8 at mb1 fits the
+        80 GB H100 with sequence parallelism or recomputation, not bare."""
+        assert fits_in_memory(GPT3_175B, H100_MEMORY, 1, tp=8, pp=8)
+        assert not fits_in_memory(
+            GPT3_175B, H100_MEMORY, 1, tp=8, pp=8, sequence_parallel=False
+        )
+        assert fits_in_memory(
+            GPT3_175B, H100_MEMORY, 1, tp=8, pp=8, recompute=True,
+            sequence_parallel=False,
+        )

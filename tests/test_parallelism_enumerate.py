@@ -1,0 +1,99 @@
+"""Tests for valid-configuration enumeration (paper Section 3.1)."""
+
+import pytest
+
+from repro.hardware.cluster import H100_X64, H200_X32, MI250_X32
+from repro.models.catalog import (
+    GPT3_30B,
+    GPT3_175B,
+    LLAMA3_70B,
+    MIXTRAL_8X22B,
+)
+from repro.models.memory import fits_in_memory
+from repro.parallelism.enumerate import (
+    ConfigSearchSpace,
+    minimal_model_parallel,
+    valid_configs,
+)
+
+
+class TestValidConfigs:
+    def test_all_cover_cluster(self):
+        for config in valid_configs(LLAMA3_70B, H200_X32):
+            assert config.world_size == 32
+
+    def test_all_fit_memory(self):
+        for config in valid_configs(GPT3_175B, H200_X32):
+            assert fits_in_memory(
+                GPT3_175B,
+                H200_X32.node.gpu.memory_bytes,
+                1,
+                tp=config.tp,
+                pp=config.pp,
+                dp=config.dp,
+                ep=config.ep,
+                fsdp=config.dp if config.use_fsdp else 1,
+                zero1=not config.use_fsdp,
+            )
+
+    def test_tp_stays_within_node(self):
+        for config in valid_configs(GPT3_175B, H200_X32):
+            assert config.tp <= H200_X32.node.gpus_per_node
+
+    def test_tp_can_span_nodes_when_allowed(self):
+        space = ConfigSearchSpace(require_tp_intra_node=False)
+        configs = valid_configs(GPT3_30B, H100_X64, space)
+        assert any(c.tp > 8 for c in configs)
+
+    def test_dense_model_never_gets_ep(self):
+        assert all(
+            c.ep == 1 for c in valid_configs(GPT3_175B, H200_X32)
+        )
+
+    def test_moe_model_gets_ep_options(self):
+        configs = valid_configs(MIXTRAL_8X22B, H200_X32)
+        assert any(c.ep == 8 for c in configs)
+        assert all(c.dp % c.ep == 0 for c in configs)
+
+    def test_fsdp_configs_present_for_dense(self):
+        configs = valid_configs(LLAMA3_70B, H200_X32)
+        fsdp = [c for c in configs if c.use_fsdp]
+        assert fsdp
+        assert all(c.pp == 1 for c in fsdp)
+
+    def test_fsdp_can_be_disabled(self):
+        space = ConfigSearchSpace(allow_fsdp=False)
+        configs = valid_configs(LLAMA3_70B, H200_X32, space)
+        assert not any(c.use_fsdp for c in configs)
+
+    def test_larger_microbatch_shrinks_space(self):
+        small = valid_configs(
+            GPT3_175B, H100_X64, ConfigSearchSpace(microbatch_size=1)
+        )
+        large = valid_configs(
+            GPT3_175B, H100_X64, ConfigSearchSpace(microbatch_size=8)
+        )
+        assert len(large) <= len(small)
+
+
+class TestMinimalModelParallel:
+    def test_gpt3_175b_needs_more_splitting_on_h100(self):
+        """Smaller per-GPU memory -> larger minimal model parallelism."""
+        h200 = minimal_model_parallel(GPT3_175B, H200_X32)
+        h100 = minimal_model_parallel(GPT3_175B, H100_X64)
+        assert h100 >= h200
+        assert h200 > 1
+
+    def test_recompute_shrinks_minimal_split(self):
+        base = minimal_model_parallel(GPT3_175B, H100_X64)
+        act = minimal_model_parallel(GPT3_175B, H100_X64, recompute=True)
+        assert act <= base
+
+    def test_30b_fits_mi250_with_model_parallelism(self):
+        assert minimal_model_parallel(GPT3_30B, MI250_X32) <= 32
+
+    def test_raises_when_nothing_fits(self):
+        huge = GPT3_175B.scaled("gpt3-huge", 1.0)
+        tiny_space = ConfigSearchSpace(max_pp=1, microbatch_size=64)
+        with pytest.raises(ValueError):
+            minimal_model_parallel(huge, MI250_X32, tiny_space)

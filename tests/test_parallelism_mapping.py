@@ -1,0 +1,170 @@
+"""Tests for Megatron-order rank mapping and communication groups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import H200_X32
+from repro.parallelism.mapping import (
+    DeviceMesh,
+    all_dp_groups,
+    all_ep_groups,
+    all_pp_groups,
+    all_tp_groups,
+    coords_of,
+    dp_group,
+    ep_group,
+    expert_dp_group,
+    pp_group,
+    rank_of,
+    replica_index,
+    tp_group,
+)
+from repro.parallelism.strategy import ParallelismConfig
+
+CONFIGS = [
+    ParallelismConfig(tp=2, pp=4, dp=4),
+    ParallelismConfig(tp=1, pp=4, dp=8, ep=8),
+    ParallelismConfig(tp=4, pp=2, dp=4, ep=2),
+    ParallelismConfig(tp=8, pp=1, dp=4),
+    ParallelismConfig(tp=1, pp=1, dp=32, ep=4),
+]
+
+
+@st.composite
+def config_and_rank(draw):
+    config = draw(st.sampled_from(CONFIGS))
+    rank = draw(st.integers(0, config.world_size - 1))
+    return config, rank
+
+
+class TestBijection:
+    @given(config_and_rank())
+    @settings(max_examples=100, deadline=None)
+    def test_coords_round_trip(self, config_rank):
+        config, rank = config_rank
+        assert rank_of(coords_of(rank, config), config) == rank
+
+    def test_rank_out_of_range(self):
+        config = CONFIGS[0]
+        with pytest.raises(ValueError):
+            coords_of(config.world_size, config)
+
+    def test_coords_out_of_range(self):
+        from repro.parallelism.mapping import RankCoords
+
+        with pytest.raises(ValueError):
+            rank_of(RankCoords(tp=2, ep=0, dp=0, pp=0), CONFIGS[0])
+
+
+class TestMegatronOrder:
+    def test_tp_varies_fastest(self):
+        """Consecutive ranks differ in TP index (Section 3.1 mapping)."""
+        config = ParallelismConfig(tp=4, pp=2, dp=4)
+        assert tp_group(0, config) == [0, 1, 2, 3]
+
+    def test_pp_varies_slowest(self):
+        config = ParallelismConfig(tp=4, pp=2, dp=4)
+        pipeline = pp_group(0, config)
+        assert pipeline == [0, 16]
+
+    def test_ep_after_tp(self):
+        """EP ranks are consecutive once TP is fixed (intra-node when
+        tp * ep <= gpus_per_node, the paper's locality lever)."""
+        config = ParallelismConfig(tp=1, pp=4, dp=8, ep=8)
+        assert ep_group(0, config) == list(range(8))
+
+    def test_ep_group_spans_nodes_with_wide_tp(self):
+        """TP4 pushes the EP stride to 4: all-to-all leaves the node."""
+        config = ParallelismConfig(tp=4, pp=1, dp=8, ep=8)
+        group = ep_group(0, config)
+        assert group == [0, 4, 8, 12, 16, 20, 24, 28]
+
+
+class TestGroups:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_tp_groups_partition_world(self, config):
+        groups = all_tp_groups(config)
+        seen = sorted(r for g in groups for r in g)
+        assert seen == list(range(config.world_size))
+        assert all(len(g) == config.tp for g in groups)
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_dp_groups_partition_world(self, config):
+        groups = all_dp_groups(config)
+        seen = sorted(r for g in groups for r in g)
+        assert seen == list(range(config.world_size))
+        assert all(len(g) == config.dp for g in groups)
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_pp_groups_partition_world(self, config):
+        groups = all_pp_groups(config)
+        assert all(len(g) == config.pp for g in groups)
+        assert len(groups) * config.pp == config.world_size
+
+    def test_expert_dp_group_size(self):
+        config = ParallelismConfig(tp=1, pp=1, dp=32, ep=4)
+        assert len(expert_dp_group(0, config)) == 8
+        assert len(dp_group(0, config)) == 32
+
+    @given(config_and_rank())
+    @settings(max_examples=60, deadline=None)
+    def test_groups_contain_self(self, config_rank):
+        config, rank = config_rank
+        assert rank in tp_group(rank, config)
+        assert rank in dp_group(rank, config)
+        assert rank in ep_group(rank, config)
+        assert rank in pp_group(rank, config)
+
+    def test_replica_index_covers_dp(self):
+        config = ParallelismConfig(tp=1, pp=2, dp=16, ep=4)
+        replicas = {
+            replica_index(coords_of(r, config), config)
+            for r in range(config.world_size)
+        }
+        assert replicas == set(range(16))
+
+    def test_ep_groups_count(self):
+        config = ParallelismConfig(tp=1, pp=4, dp=8, ep=8)
+        assert len(all_ep_groups(config)) == 4
+
+
+class TestDeviceMesh:
+    def test_identity_placement_default(self):
+        mesh = DeviceMesh(
+            cluster=H200_X32, config=ParallelismConfig(tp=2, pp=4, dp=4)
+        )
+        assert mesh.gpu_of(5) == 5
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceMesh(cluster=H200_X32, config=ParallelismConfig(tp=2, pp=4))
+
+    def test_placement_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            DeviceMesh(
+                cluster=H200_X32,
+                config=ParallelismConfig(tp=2, pp=4, dp=4),
+                placement=tuple([0] * 32),
+            )
+
+    def test_with_placement(self):
+        mesh = DeviceMesh(
+            cluster=H200_X32, config=ParallelismConfig(tp=2, pp=4, dp=4)
+        )
+        reversed_mesh = mesh.with_placement(list(reversed(range(32))))
+        assert reversed_mesh.gpu_of(0) == 31
+
+    def test_spans_nodes(self):
+        mesh = DeviceMesh(
+            cluster=H200_X32, config=ParallelismConfig(tp=2, pp=4, dp=4)
+        )
+        assert not mesh.spans_nodes([0, 1, 2])
+        assert mesh.spans_nodes([0, 31])
+
+    def test_incomplete_ep_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceMesh(
+                cluster=H200_X32,
+                config=ParallelismConfig(tp=1, pp=4, dp=8, ep=3),
+            )

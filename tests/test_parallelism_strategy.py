@@ -1,0 +1,126 @@
+"""Tests for strategy configuration and the paper naming scheme."""
+
+import pytest
+
+from repro.parallelism.strategy import (
+    ACT,
+    ACT_CC,
+    BASE,
+    CC,
+    OptimizationConfig,
+    ParallelismConfig,
+    parse_strategy,
+)
+
+
+class TestParallelismConfig:
+    def test_world_size_excludes_ep(self):
+        """EP lives inside DP: world = tp * pp * dp."""
+        cfg = ParallelismConfig(tp=2, pp=4, dp=8, ep=8)
+        assert cfg.world_size == 64
+        assert cfg.dp_outer == 1
+
+    def test_model_parallel_size_is_paper_metric(self):
+        cfg = ParallelismConfig(tp=1, pp=4, dp=8, ep=8)
+        assert cfg.model_parallel_size == 32
+
+    def test_dp_outer(self):
+        cfg = ParallelismConfig(tp=1, pp=1, dp=16, ep=4)
+        assert cfg.dp_outer == 4
+
+    def test_incomplete_config_rejects_dp_outer(self):
+        cfg = ParallelismConfig(tp=1, pp=4, ep=8)  # dp=1 < ep
+        assert not cfg.is_complete
+        with pytest.raises(ValueError):
+            _ = cfg.dp_outer
+
+    def test_widths_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(tp=0)
+
+    def test_fsdp_needs_dp(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(tp=8, dp=1, use_fsdp=True)
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "config, expected",
+        [
+            (ParallelismConfig(tp=2, pp=16), "TP2-PP16"),
+            (ParallelismConfig(tp=1, pp=4, ep=8, dp=8), "EP8-TP1-PP4"),
+            (ParallelismConfig(tp=8, dp=4, use_fsdp=True), "TP8-FSDP4"),
+            (ParallelismConfig(), "TP1"),
+        ],
+    )
+    def test_name(self, config, expected):
+        assert config.name == expected
+
+    @pytest.mark.parametrize(
+        "name", ["TP2-PP16", "EP8-TP1-PP4", "TP8-FSDP4", "TP4-PP4"]
+    )
+    def test_parse_round_trip(self, name):
+        assert parse_strategy(name).name == name
+
+    def test_parse_case_insensitive(self):
+        assert parse_strategy("tp4-pp8").tp == 4
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_strategy("TPx-PP2")
+
+    def test_parse_explicit_dp(self):
+        cfg = parse_strategy("TP2-PP4-DP4")
+        assert cfg.dp == 4
+
+
+class TestFillDp:
+    def test_fill_remaining_gpus(self):
+        cfg = parse_strategy("TP4-PP4").fill_dp(32)
+        assert cfg.dp == 2
+        assert cfg.world_size == 32
+
+    def test_fill_ep_takes_dp(self):
+        """EP8-TP1-PP4 on 32 GPUs: dp = 8 with all of it expert-parallel."""
+        cfg = parse_strategy("EP8-TP1-PP4").fill_dp(32)
+        assert cfg.dp == 8
+        assert cfg.dp_outer == 1
+
+    def test_fill_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            parse_strategy("TP4-PP3").fill_dp(32)
+
+    def test_fill_rejects_ep_not_dividing_dp(self):
+        with pytest.raises(ValueError):
+            parse_strategy("EP8-TP1-PP8").fill_dp(32)  # dp would be 4
+
+    def test_fsdp_must_cover_cluster(self):
+        cfg = parse_strategy("TP8-FSDP4")
+        assert cfg.fill_dp(32) == cfg
+        with pytest.raises(ValueError):
+            cfg.fill_dp(64)
+
+
+class TestOptimizationConfig:
+    def test_labels(self):
+        assert BASE.label == "Base"
+        assert ACT.label == "act"
+        assert CC.label == "cc"
+        assert ACT_CC.label == "act+cc"
+        assert OptimizationConfig(lora=True).label == "lora"
+
+    def test_defaults_match_paper(self):
+        """ZeRO-1 distributed optimizer is on by default (Section 3.1)."""
+        assert BASE.distributed_optimizer
+        assert not BASE.activation_recompute
+
+
+class TestSequenceParallelDefault:
+    def test_on_by_default_like_nemo(self):
+        assert BASE.sequence_parallel
+
+    def test_nosp_label(self):
+        assert OptimizationConfig(sequence_parallel=False).label == "nosp"
+        assert OptimizationConfig(
+            activation_recompute=True, sequence_parallel=False
+        ).label == "act+nosp"

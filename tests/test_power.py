@@ -1,0 +1,86 @@
+"""Tests for the GPU power model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.gpu import H200, MI250_GCD
+from repro.power.model import (
+    BUSY_COMM,
+    BUSY_COMPUTE,
+    BUSY_OVERLAPPED,
+    IDLE,
+    Activity,
+    energy_joules,
+    gpu_power,
+)
+
+
+class TestActivity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Activity(compute=1.5)
+        with pytest.raises(ValueError):
+            Activity(comm=-0.1)
+
+    def test_intensity_clamped(self):
+        assert BUSY_OVERLAPPED.intensity == 1.0
+
+    def test_comm_lighter_than_compute(self):
+        assert BUSY_COMM.intensity < BUSY_COMPUTE.intensity
+
+
+class TestGpuPower:
+    def test_idle_power(self):
+        assert gpu_power(H200, IDLE, 1.0) == pytest.approx(H200.idle_watts)
+
+    def test_full_compute_reaches_tdp(self):
+        assert gpu_power(H200, BUSY_COMPUTE, 1.0) == pytest.approx(
+            H200.tdp_watts
+        )
+
+    def test_power_bounded_by_tdp(self):
+        assert gpu_power(H200, BUSY_OVERLAPPED, 1.0) <= H200.tdp_watts
+
+    def test_throttled_clock_cuts_power_superlinearly(self):
+        full = gpu_power(H200, BUSY_COMPUTE, 1.0)
+        throttled = gpu_power(H200, BUSY_COMPUTE, 0.8)
+        dynamic_full = full - H200.idle_watts
+        dynamic_throttled = throttled - H200.idle_watts
+        assert dynamic_throttled < 0.8 * dynamic_full
+
+    def test_overlap_draws_more_than_either_alone(self):
+        """CC-overlap stacks compute and comm activity (Section 4.3)."""
+        overlap = gpu_power(H200, BUSY_OVERLAPPED, 1.0)
+        assert overlap >= gpu_power(H200, BUSY_COMPUTE, 1.0)
+        assert overlap > gpu_power(H200, BUSY_COMM, 1.0)
+
+    def test_mi250_lower_absolute_power(self):
+        assert gpu_power(MI250_GCD, BUSY_COMPUTE, 1.0) < gpu_power(
+            H200, BUSY_COMPUTE, 1.0
+        )
+
+    def test_invalid_freq(self):
+        with pytest.raises(ValueError):
+            gpu_power(H200, IDLE, 0.0)
+        with pytest.raises(ValueError):
+            gpu_power(H200, IDLE, 1.2)
+
+    @given(
+        compute=st.floats(0, 1),
+        comm=st.floats(0, 1),
+        freq=st.floats(0.5, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_power_within_physical_bounds(self, compute, comm, freq):
+        power = gpu_power(H200, Activity(compute=compute, comm=comm), freq)
+        assert H200.idle_watts <= power <= H200.tdp_watts
+
+
+class TestEnergy:
+    def test_energy_product(self):
+        assert energy_joules(700.0, 10.0) == pytest.approx(7000.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            energy_joules(100.0, -1.0)

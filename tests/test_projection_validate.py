@@ -1,0 +1,81 @@
+"""Tests for projection cross-validation helpers."""
+
+import pytest
+
+from repro.engine.simulator import SimSettings
+from repro.hardware.cluster import MI250_X32
+from repro.parallelism.strategy import ParallelismConfig
+from repro.projection.validate import (
+    ValidationPoint,
+    scaled_cluster,
+    validate_projection,
+    worst_error,
+)
+
+FAST = SimSettings(physics_dt_s=0.05, telemetry_interval_s=0.1)
+
+
+class TestScaledCluster:
+    def test_multiplies_nodes(self):
+        scaled = scaled_cluster(MI250_X32, 4)
+        assert scaled.num_nodes == 16
+        assert scaled.total_gpus == 128
+        assert scaled.node is MI250_X32.node
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            scaled_cluster(MI250_X32, 0)
+
+
+class TestValidationPoint:
+    def test_error_sign(self):
+        optimistic = ValidationPoint(
+            dp=2, total_gpus=64, projected_s=9.0, simulated_s=10.0
+        )
+        assert optimistic.error == pytest.approx(-0.1)
+
+    def test_worst_error(self):
+        points = [
+            ValidationPoint(2, 64, 9.0, 10.0),
+            ValidationPoint(4, 128, 12.0, 10.0),
+        ]
+        assert worst_error(points) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            worst_error([])
+
+
+class TestValidateProjection:
+    def test_end_to_end_small(self):
+        base, points = validate_projection(
+            model="gpt3-13b",
+            base_cluster=MI250_X32,
+            model_parallel=ParallelismConfig(tp=8, pp=4),
+            dp_degrees=[2],
+            global_batch_size=32,
+            settings=FAST,
+        )
+        assert base.parallelism.dp == 1
+        assert len(points) == 1
+        assert points[0].total_gpus == 64
+        assert points[0].projected_s > 0
+        assert points[0].simulated_s > 0
+
+    def test_rejects_dp_base(self):
+        with pytest.raises(ValueError):
+            validate_projection(
+                model="gpt3-13b",
+                base_cluster=MI250_X32,
+                model_parallel=ParallelismConfig(tp=8, pp=4, dp=2),
+                dp_degrees=[2],
+                settings=FAST,
+            )
+
+    def test_rejects_dp_one_validation(self):
+        with pytest.raises(ValueError):
+            validate_projection(
+                model="gpt3-13b",
+                base_cluster=MI250_X32,
+                model_parallel=ParallelismConfig(tp=8, pp=4),
+                dp_degrees=[1],
+                settings=FAST,
+            )

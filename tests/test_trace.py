@@ -1,0 +1,152 @@
+"""Tests for Chakra-style trace aggregation."""
+
+import pytest
+
+from repro.engine.kernels import (
+    KernelCategory,
+    KernelKind,
+    KernelRecord,
+    category_of,
+    compute_efficiency,
+    pressure_of,
+)
+from repro.trace.chakra import (
+    comm_skew,
+    filter_records,
+    mean_breakdown,
+    per_rank_breakdown,
+    pressure_summary,
+)
+
+
+def _record(rank, kind, start, end, iteration=0, gpu=None):
+    return KernelRecord(
+        gpu=gpu if gpu is not None else rank,
+        rank=rank,
+        kind=kind,
+        start_s=start,
+        end_s=end,
+        iteration=iteration,
+    )
+
+
+class TestKernelTaxonomy:
+    def test_every_kind_has_category(self):
+        for kind in KernelKind:
+            assert category_of(kind) in KernelCategory
+
+    def test_comm_kernels_have_high_occupancy_few_warps(self):
+        """NCCL kernels: near-full occupancy, few warps (Figure 20)."""
+        comm = pressure_of(KernelKind.TP_ALLREDUCE)
+        compute = pressure_of(KernelKind.FWD_GEMM)
+        assert comm.occupancy > compute.occupancy
+        assert comm.warps_per_sm < compute.warps_per_sm
+
+    def test_compute_efficiency_saturates(self):
+        assert compute_efficiency(100) < compute_efficiency(10_000) < 1.0
+        with pytest.raises(ValueError):
+            compute_efficiency(0)
+
+
+class TestBreakdowns:
+    def test_per_rank_groups_by_category(self):
+        records = [
+            _record(0, KernelKind.FWD_GEMM, 0.0, 1.0),
+            _record(0, KernelKind.TP_ALLREDUCE, 1.0, 1.5),
+            _record(1, KernelKind.FWD_GEMM, 0.0, 2.0),
+        ]
+        by_rank = per_rank_breakdown(records)
+        assert by_rank[0].get(KernelCategory.COMPUTE) == pytest.approx(1.0)
+        assert by_rank[0].get(KernelCategory.ALLREDUCE) == pytest.approx(0.5)
+        assert by_rank[1].total() == pytest.approx(2.0)
+
+    def test_mean_breakdown_averages_ranks(self):
+        records = [
+            _record(0, KernelKind.FWD_GEMM, 0.0, 1.0),
+            _record(1, KernelKind.FWD_GEMM, 0.0, 3.0),
+        ]
+        mean = mean_breakdown(records)
+        assert mean.get(KernelCategory.COMPUTE) == pytest.approx(2.0)
+
+    def test_fraction(self):
+        records = [
+            _record(0, KernelKind.FWD_GEMM, 0.0, 3.0),
+            _record(0, KernelKind.PP_SEND, 3.0, 4.0),
+        ]
+        breakdown = per_rank_breakdown(records)[0]
+        assert breakdown.fraction(KernelCategory.COMPUTE) == pytest.approx(
+            0.75
+        )
+
+    def test_empty_breakdown(self):
+        assert mean_breakdown([]).total() == 0.0
+
+    def test_scaled(self):
+        records = [_record(0, KernelKind.FWD_GEMM, 0.0, 2.0)]
+        scaled = mean_breakdown(records).scaled(0.5)
+        assert scaled.get(KernelCategory.COMPUTE) == pytest.approx(1.0)
+
+
+class TestFilters:
+    def test_filter_by_iteration(self):
+        records = [
+            _record(0, KernelKind.FWD_GEMM, 0.0, 1.0, iteration=0),
+            _record(0, KernelKind.FWD_GEMM, 1.0, 2.0, iteration=1),
+        ]
+        assert len(filter_records(records, iteration=1)) == 1
+        assert len(filter_records(records, min_iteration=1)) == 1
+        assert len(filter_records(records, min_iteration=0)) == 2
+
+
+class TestCommSkew:
+    def test_balanced_is_one(self):
+        records = [
+            _record(0, KernelKind.TP_ALLREDUCE, 0.0, 1.0),
+            _record(1, KernelKind.TP_ALLREDUCE, 0.0, 1.0),
+        ]
+        assert comm_skew(records) == pytest.approx(1.0)
+
+    def test_skewed_exceeds_one(self):
+        records = [
+            _record(0, KernelKind.TP_ALLREDUCE, 0.0, 3.0),
+            _record(1, KernelKind.TP_ALLREDUCE, 0.0, 1.0),
+        ]
+        assert comm_skew(records) == pytest.approx(1.5)
+
+    def test_no_comm_is_one(self):
+        records = [_record(0, KernelKind.FWD_GEMM, 0.0, 1.0)]
+        assert comm_skew(records) == 1.0
+
+
+class TestPressureSummary:
+    def test_time_weighting(self):
+        records = [
+            _record(0, KernelKind.FWD_GEMM, 0.0, 1.0),
+            _record(0, KernelKind.TP_ALLREDUCE, 1.0, 2.0),
+        ]
+        summary = pressure_summary(records, wall_time_s=2.0)
+        assert 0 < summary.occupancy <= 1.0
+        assert summary.warps_per_sm > 0
+
+    def test_idle_time_dilutes_pressure(self):
+        records = [_record(0, KernelKind.FWD_GEMM, 0.0, 1.0)]
+        busy = pressure_summary(records, wall_time_s=1.0)
+        diluted = pressure_summary(records, wall_time_s=10.0)
+        assert diluted.warps_per_sm < busy.warps_per_sm
+
+    def test_invalid_wall_time(self):
+        with pytest.raises(ValueError):
+            pressure_summary([], wall_time_s=0.0)
+
+
+class TestTraceExport:
+    def test_round_trip(self, tmp_path):
+        from repro.trace.export import read_trace_csv, write_trace_csv
+
+        records = [
+            _record(0, KernelKind.FWD_GEMM, 0.0, 1.5),
+            _record(3, KernelKind.TP_ALLREDUCE, 1.5, 2.0, iteration=1),
+        ]
+        path = write_trace_csv(records, tmp_path / "trace.csv")
+        loaded = read_trace_csv(path)
+        assert loaded == records

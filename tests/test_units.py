@@ -1,0 +1,40 @@
+"""Tests for unit constants and helpers."""
+
+import pytest
+
+from repro.units import GB, GBPS, KB, MB, TERA, clamp, gib, tflops
+
+
+class TestConstants:
+    def test_byte_units_chain(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_gbps_is_bytes_per_second(self):
+        # 100 Gbps == 12.5e9 bytes/s.
+        assert 100 * GBPS == pytest.approx(12.5e9)
+
+    def test_gib_round_trip(self):
+        assert gib(8 * GB) == pytest.approx(8.0)
+
+    def test_tflops(self):
+        assert tflops(2 * TERA) == pytest.approx(2.0)
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+    def test_degenerate_interval(self):
+        assert clamp(5.0, 3.0, 3.0) == 3.0
