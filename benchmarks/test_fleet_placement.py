@@ -1,0 +1,88 @@
+"""Fleet placement ablation: packed vs spread vs thermal-aware under a
+facility power cap.
+
+Shape: under a constrained power budget the packed policy keeps
+re-landing jobs on just-released (still hot) nodes, so attempts start
+thermally derated while most of the job's power draw persists — the
+straggler effect at fleet granularity. The thermal-aware policy rotates
+onto the coolest free nodes and wins on goodput-per-joule; byte-identical
+telemetry across same-seed runs is the determinism contract.
+"""
+
+from paper import print_table
+
+from repro.datacenter import (
+    ArrivalConfig,
+    FleetConfig,
+    PowerCapConfig,
+    simulate_fleet,
+)
+from repro.telemetry.export import write_fleet_telemetry_csv
+
+POLICIES = ("packed", "spread", "thermal-aware")
+
+
+def _config(policy: str) -> FleetConfig:
+    return FleetConfig(
+        policy=policy,
+        power_cap=PowerCapConfig(facility_cap_w=10_000.0),
+        arrivals=ArrivalConfig(
+            num_jobs=16, mean_interarrival_s=15.0, seed=0
+        ),
+    )
+
+
+def test_fleet_placement_policies(benchmark, tmp_path):
+    def build():
+        return {
+            policy: simulate_fleet(_config(policy)) for policy in POLICIES
+        }
+
+    outcomes = benchmark.pedantic(build, rounds=1, iterations=1)
+    metrics = {policy: o.metrics() for policy, o in outcomes.items()}
+
+    print_table(
+        "Fleet placement under a 10 kW facility cap (16 jobs, seed 0)",
+        ["Policy", "Makespan s", "Goodput tok/s", "Goodput tok/J",
+         "Mean wait s", "Deferred", "Temp spread C"],
+        [
+            (
+                policy,
+                m.makespan_s,
+                m.goodput_tokens_per_s,
+                m.goodput_tokens_per_joule,
+                m.mean_queue_wait_s,
+                m.deferred_admissions,
+                m.mean_temp_spread_c,
+            )
+            for policy, m in metrics.items()
+        ],
+    )
+
+    # Same arrivals everywhere; every policy finishes the workload.
+    for m in metrics.values():
+        assert m.jobs_completed == m.jobs_submitted == 16
+        assert m.goodput_tokens == metrics["packed"].goodput_tokens
+
+    # The headline claim: thermal-aware placement beats packed on
+    # goodput-per-joule when the power cap forces node reuse decisions.
+    assert (
+        metrics["thermal-aware"].goodput_tokens_per_joule
+        > metrics["packed"].goodput_tokens_per_joule
+    )
+
+    # Blind rotation already recovers most of the gap; temperature
+    # awareness should not lose to it on energy while also not idling
+    # the fleet longer than packed does.
+    assert (
+        metrics["spread"].goodput_tokens_per_joule
+        > metrics["packed"].goodput_tokens_per_joule
+    )
+
+    # Determinism contract: a same-seed rerun serialises byte-identically.
+    rerun = simulate_fleet(_config("thermal-aware"))
+    first = write_fleet_telemetry_csv(
+        outcomes["thermal-aware"].samples, tmp_path / "first.csv"
+    )
+    second = write_fleet_telemetry_csv(rerun.samples, tmp_path / "second.csv")
+    assert first.read_bytes() == second.read_bytes()

@@ -21,6 +21,15 @@ per-figure reproduction index.
 """
 
 from repro.core.experiment import run_inference, run_training
+from repro.datacenter import (
+    POLICIES,
+    ArrivalConfig,
+    FleetConfig,
+    FleetMetrics,
+    FleetOutcome,
+    PowerCapConfig,
+    simulate_fleet,
+)
 from repro.core.faults import FaultSpec, power_failure
 from repro.core.results import RunResult
 from repro.core.sweep import (
@@ -59,9 +68,16 @@ __all__ = [
     "H200_X32",
     "MI250_X32",
     "TABLE1_MODELS",
+    "ArrivalConfig",
     "ClusterSpec",
     "ConfigSearchSpace",
     "FaultSpec",
+    "FleetConfig",
+    "FleetMetrics",
+    "FleetOutcome",
+    "POLICIES",
+    "PowerCapConfig",
+    "simulate_fleet",
     "power_failure",
     "ModelConfig",
     "MoEConfig",

@@ -12,6 +12,8 @@ Usage::
         --parallelism TP4-PP8-DP1 --output figures/
     python -m repro full-sweep --cluster h200x32 --cluster h100x64 \\
         --output results/
+    python -m repro fleet --policy thermal-aware --seed 0 \\
+        --power-cap-kw 10 --output results/fleet
 
 Mirrors the paper artifact's script surface (prepare/launch/
 full_sweep/visualize) on top of the simulated testbed.
@@ -52,7 +54,15 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="LoRA finetuning")
     parser.add_argument(
         "--fail-node", type=int, default=None,
-        help="inject a power failure on this node (Section 1 incident)",
+        help="alias for --fault-node with the default power scale",
+    )
+    parser.add_argument(
+        "--fault-node", type=int, default=None,
+        help="inject a power fault on this node (Section 1 incident)",
+    )
+    parser.add_argument(
+        "--fault-power-scale", type=float, default=0.25,
+        help="power-cap multiplier the faulted node is pinned to",
     )
 
 
@@ -65,9 +75,15 @@ def _opts_from(args: argparse.Namespace) -> OptimizationConfig:
 
 
 def _settings_from(args: argparse.Namespace) -> SimSettings:
-    if getattr(args, "fail_node", None) is not None:
+    node = getattr(args, "fault_node", None)
+    if node is None:
+        node = getattr(args, "fail_node", None)
+    if node is not None:
+        scale = getattr(args, "fault_power_scale", 0.25)
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("--fault-power-scale must be in (0, 1]")
         return SimSettings(
-            faults=FaultSpec(node_power_cap_scale={args.fail_node: 0.25})
+            faults=FaultSpec(node_power_cap_scale={node: scale})
         )
     return SimSettings()
 
@@ -206,6 +222,52 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Simulate a multi-job fleet and print the goodput/energy summary."""
+    import math
+
+    from repro.datacenter import (
+        ArrivalConfig,
+        FleetConfig,
+        PowerCapConfig,
+        format_fleet_summary,
+        simulate_fleet,
+    )
+
+    cap_w = math.inf if args.power_cap_kw is None else args.power_cap_kw * 1e3
+    config = FleetConfig(
+        clusters=tuple(args.cluster or ("h200x32",)),
+        policy=args.policy,
+        seed=args.seed,
+        power_cap=PowerCapConfig(facility_cap_w=cap_w, mode=args.cap_mode),
+        arrivals=ArrivalConfig(
+            num_jobs=args.jobs,
+            mean_interarrival_s=args.mean_arrival_s,
+            seed=args.seed,
+        ),
+        node_mtbf_s=args.mtbf_s,
+        repair_time_s=args.repair_s,
+    )
+    try:
+        outcome = simulate_fleet(config)
+    except RuntimeError as error:  # unplaceable queue / runaway guard
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_fleet_summary(outcome.metrics()))
+    if args.output:
+        from repro.telemetry.export import write_fleet_telemetry_csv
+        from repro.viz.figures import fleet_timeline_figure
+
+        output = Path(args.output)
+        csv_path = write_fleet_telemetry_csv(
+            outcome.samples, output / "fleet_telemetry.csv"
+        )
+        fleet_timeline_figure(outcome, path=output / "fleet_timeline.svg")
+        print(f"telemetry     : {csv_path}")
+        print(f"timeline      : {output / 'fleet_timeline.svg'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -273,6 +335,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     full_sweep.add_argument("--output", required=True)
     full_sweep.set_defaults(func=cmd_full_sweep)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="simulate a multi-job fleet with power/thermal-aware placement",
+    )
+    fleet.add_argument(
+        "--policy", default="packed",
+        choices=("packed", "spread", "thermal-aware"),
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--cluster", action="append", default=None,
+        help="repeatable: clusters in the fleet pool (default h200x32)",
+    )
+    fleet.add_argument("--jobs", type=int, default=12,
+                       help="number of arriving jobs")
+    fleet.add_argument("--mean-arrival-s", type=float, default=20.0,
+                       help="mean interarrival time (exponential)")
+    fleet.add_argument(
+        "--power-cap-kw", type=float, default=None,
+        help="facility power cap in kW (default: uncapped)",
+    )
+    fleet.add_argument("--cap-mode", default="defer",
+                       choices=("defer", "cap"))
+    fleet.add_argument("--mtbf-s", type=float, default=0.0,
+                       help="per-node mean time between failures (0 = off)")
+    fleet.add_argument("--repair-s", type=float, default=180.0,
+                       help="node repair time after a fault")
+    fleet.add_argument("--output", default=None,
+                       help="write fleet telemetry CSV + timeline SVG here")
+    fleet.set_defaults(func=cmd_fleet)
 
     return parser
 

@@ -87,6 +87,10 @@ def run_campaign(
 ) -> CampaignResult:
     """Execute every spec; optionally write artifacts and summary.csv.
 
+    Specs that share an identical simulation configuration simulate
+    once and reuse the result (each spec name still gets its own
+    artifact directory and summary row).
+
     Args:
         specs: experiments to run (names must be unique).
         output_dir: when given, write ``<dir>/<name>/`` artifacts and a
@@ -100,15 +104,27 @@ def run_campaign(
     directory = Path(output_dir) if output_dir is not None else None
     results: dict[str, RunResult] = {}
     rows: list[dict] = []
+    simulated: dict[tuple, RunResult] = {}
     for spec in specs:
-        result = run_training(
-            model=spec.model,
-            cluster=spec.cluster,
-            parallelism=spec.parallelism,
-            optimizations=spec.optimizations,
-            microbatch_size=spec.microbatch_size,
-            global_batch_size=spec.global_batch_size,
+        key = (
+            spec.model,
+            spec.cluster,
+            spec.parallelism,
+            spec.optimizations,
+            spec.microbatch_size,
+            spec.global_batch_size,
         )
+        result = simulated.get(key)
+        if result is None:
+            result = run_training(
+                model=spec.model,
+                cluster=spec.cluster,
+                parallelism=spec.parallelism,
+                optimizations=spec.optimizations,
+                microbatch_size=spec.microbatch_size,
+                global_batch_size=spec.global_batch_size,
+            )
+            simulated[key] = result
         results[spec.name] = result
         summary = run_summary(result)
         row = {"name": spec.name}

@@ -78,9 +78,16 @@ def run_sweep(
     iterations: int = 2,
     on_result: Callable[[SweepPoint, RunResult], None] | None = None,
 ) -> dict[SweepPoint, RunResult]:
-    """Run every sweep point (memoised) and return results by point."""
+    """Run every distinct sweep point (memoised) and return results.
+
+    Duplicate points — common when figure grids overlap — are skipped
+    before simulating, so each configuration runs (and reports via
+    ``on_result``) exactly once.
+    """
     results: dict[SweepPoint, RunResult] = {}
     for point in points:
+        if point in results:
+            continue
         result = cached_run_training(
             model=point.model,
             cluster=point.cluster,

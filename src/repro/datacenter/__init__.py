@@ -1,0 +1,87 @@
+"""Fleet-scale multi-job simulation with thermal/power-aware placement.
+
+The layer above a single run: a pool of clusters, stochastic job
+arrivals, placement policies (``packed`` / ``spread`` /
+``thermal-aware``), a facility power-cap admission controller, and node
+faults with checkpoint/restart recovery. See ``docs/datacenter.md``.
+"""
+
+from repro.datacenter.arrivals import (
+    DEFAULT_TEMPLATES,
+    ArrivalConfig,
+    JobArrival,
+    JobTemplate,
+    generate_arrivals,
+)
+from repro.datacenter.fleet import (
+    FleetConfig,
+    FleetFault,
+    FleetOutcome,
+    FleetSim,
+    simulate_fleet,
+)
+from repro.datacenter.jobs import (
+    JobKind,
+    JobProfile,
+    JobRecord,
+    JobSpec,
+    JobState,
+    PlacementInterval,
+    clear_profile_cache,
+    profile_job,
+    sub_cluster,
+)
+from repro.datacenter.metrics import (
+    FleetMetrics,
+    FleetSample,
+    fleet_metrics,
+    format_fleet_summary,
+)
+from repro.datacenter.placement import (
+    POLICIES,
+    NodeState,
+    Placement,
+    select_nodes,
+    thermal_derate,
+)
+from repro.datacenter.powercap import (
+    CAP_MODES,
+    Admission,
+    AdmissionController,
+    PowerCapConfig,
+)
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "ArrivalConfig",
+    "CAP_MODES",
+    "DEFAULT_TEMPLATES",
+    "FleetConfig",
+    "FleetFault",
+    "FleetMetrics",
+    "FleetOutcome",
+    "FleetSample",
+    "FleetSim",
+    "JobArrival",
+    "JobKind",
+    "JobProfile",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobTemplate",
+    "NodeState",
+    "POLICIES",
+    "Placement",
+    "PlacementInterval",
+    "PowerCapConfig",
+    "clear_profile_cache",
+    "fleet_metrics",
+    "format_fleet_summary",
+    "generate_arrivals",
+    "profile_job",
+    "select_nodes",
+    "simulate_fleet",
+    "sub_cluster",
+    "thermal_derate",
+]

@@ -1,0 +1,155 @@
+"""Seeded stochastic job arrivals for the fleet simulator.
+
+Jobs arrive on a Poisson process and are sampled from a weighted mix of
+:class:`JobTemplate` shapes — training jobs drawn from the paper's model
+catalog x parallelism strategies, plus batch-inference jobs (Section
+7.2). Everything is driven by one ``random.Random(seed)``, so a given
+seed always produces the identical submission trace; placement policies
+are compared on the same arrivals, as the serving ablation does for its
+routers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datacenter.jobs import JobKind, JobSpec
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """One sampleable job shape.
+
+    Attributes:
+        kind / model / parallelism / nodes_required: job shape (see
+            :class:`~repro.datacenter.jobs.JobSpec`).
+        min_iterations / max_iterations: uniform range the sampled job's
+            iteration debt is drawn from.
+        weight: relative sampling probability within the mix.
+        microbatch_size / global_batch_size / checkpoint_interval:
+            forwarded to the spec.
+    """
+
+    kind: JobKind
+    model: str
+    parallelism: str
+    nodes_required: int
+    min_iterations: int = 4
+    max_iterations: int = 12
+    weight: float = 1.0
+    microbatch_size: int = 1
+    global_batch_size: int = 16
+    checkpoint_interval: int = 4
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("template weight must be positive")
+        if not 1 <= self.min_iterations <= self.max_iterations:
+            raise ValueError("need 1 <= min_iterations <= max_iterations")
+
+
+# A small-model mix that profiles in well under a second per shape: two
+# training shapes, a larger pipeline job, and a batch-inference job.
+# Iteration debts are sized so a job runs for a few node-thermal time
+# constants — long enough for placement history to matter.
+DEFAULT_TEMPLATES: tuple[JobTemplate, ...] = (
+    JobTemplate(
+        kind=JobKind.TRAINING,
+        model="gpt3-13b",
+        parallelism="TP8-PP1",
+        nodes_required=1,
+        weight=3.0,
+        min_iterations=12,
+        max_iterations=36,
+    ),
+    JobTemplate(
+        kind=JobKind.TRAINING,
+        model="gpt3-13b",
+        parallelism="TP4-PP2",
+        nodes_required=1,
+        weight=2.0,
+        min_iterations=10,
+        max_iterations=24,
+    ),
+    JobTemplate(
+        kind=JobKind.TRAINING,
+        model="gpt3-13b",
+        parallelism="TP8-PP2",
+        nodes_required=2,
+        weight=2.0,
+        min_iterations=8,
+        max_iterations=20,
+    ),
+    JobTemplate(
+        kind=JobKind.INFERENCE,
+        model="gpt3-13b",
+        parallelism="TP8-PP1",
+        nodes_required=1,
+        weight=2.0,
+        min_iterations=16,
+        max_iterations=40,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Parameters of the stochastic submission trace.
+
+    Attributes:
+        num_jobs: jobs submitted over the run.
+        mean_interarrival_s: mean of the exponential gap between
+            submissions.
+        templates: weighted mix of job shapes.
+        seed: RNG seed; the whole trace is a pure function of it.
+    """
+
+    num_jobs: int = 12
+    mean_interarrival_s: float = 20.0
+    templates: tuple[JobTemplate, ...] = DEFAULT_TEMPLATES
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+        if self.mean_interarrival_s <= 0:
+            raise ValueError("mean_interarrival_s must be positive")
+        if not self.templates:
+            raise ValueError("need at least one job template")
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One submission event: a job and the time it enters the queue."""
+
+    time_s: float
+    spec: JobSpec
+
+
+def generate_arrivals(config: ArrivalConfig) -> list[JobArrival]:
+    """Sample the full submission trace (deterministic per seed)."""
+    rng = random.Random(config.seed)
+    weights = [t.weight for t in config.templates]
+    arrivals: list[JobArrival] = []
+    now = 0.0
+    for index in range(config.num_jobs):
+        now += rng.expovariate(1.0 / config.mean_interarrival_s)
+        template = rng.choices(config.templates, weights=weights, k=1)[0]
+        iterations = rng.randint(
+            template.min_iterations, template.max_iterations
+        )
+        spec = JobSpec(
+            name=f"job{index:03d}-{template.kind.value[:5]}-{template.model}",
+            kind=template.kind,
+            model=template.model,
+            parallelism=template.parallelism,
+            nodes_required=template.nodes_required,
+            iterations=iterations,
+            microbatch_size=template.microbatch_size,
+            global_batch_size=template.global_batch_size,
+            checkpoint_interval=template.checkpoint_interval,
+            seed=index,
+        )
+        arrivals.append(JobArrival(time_s=now, spec=spec))
+    return arrivals

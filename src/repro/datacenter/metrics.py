@@ -1,0 +1,146 @@
+"""Fleet-level telemetry and summary metrics.
+
+The fleet samples its aggregate state at every discrete event (arrival,
+job start/finish, fault, repair): committed and modelled power,
+per-cluster temperature spread, queue depth. After a run,
+:func:`fleet_metrics` distils the job records into the headline numbers
+the paper's datacenter discussion needs — above all **goodput**: tokens
+that survived to a checkpoint or to job completion, as opposed to
+throughput, which also counts fault-discarded work. Goodput-per-joule is
+the figure of merit the placement benchmark compares policies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datacenter.jobs import JobRecord, JobState
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One row of fleet telemetry, taken at a discrete event.
+
+    Attributes:
+        time_s: event time.
+        event: event kind (``arrival``/``start``/``done``/``fault``/
+            ``repair``).
+        running_jobs / queued_jobs: instantaneous counts.
+        busy_nodes: nodes occupied by jobs.
+        committed_w: admission-controller ledger (idle floor + admitted
+            dynamic draw) — the quantity the power cap bounds.
+        power_w: modelled actual draw (idle floor + thermally/cap
+            derated dynamic draw of running jobs).
+        mean_temp_c / peak_temp_c: across all fleet nodes.
+        temp_spread_c: max over clusters of (hottest - coolest node).
+    """
+
+    time_s: float
+    event: str
+    running_jobs: int
+    queued_jobs: int
+    busy_nodes: int
+    committed_w: float
+    power_w: float
+    mean_temp_c: float
+    peak_temp_c: float
+    temp_spread_c: float
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Headline numbers of one fleet run.
+
+    ``goodput_tokens_per_joule`` divides durable tokens by *all* energy
+    the fleet spent (jobs, lost work, idle nodes) — wasted heat counts
+    against the policy that caused it.
+    """
+
+    jobs_submitted: int
+    jobs_completed: int
+    restarts: int
+    goodput_tokens: int
+    simulated_tokens: int
+    makespan_s: float
+    goodput_tokens_per_s: float
+    throughput_tokens_per_s: float
+    energy_j: float
+    goodput_tokens_per_joule: float
+    mean_queue_wait_s: float
+    max_queue_wait_s: float
+    peak_committed_w: float
+    peak_power_w: float
+    mean_temp_spread_c: float
+    deferred_admissions: int
+    capped_admissions: int
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Durable share of all simulated tokens (1.0 = no lost work)."""
+        if self.simulated_tokens == 0:
+            return 1.0
+        return self.goodput_tokens / self.simulated_tokens
+
+
+def fleet_metrics(
+    records: list[JobRecord],
+    samples: list[FleetSample],
+    makespan_s: float,
+    energy_j: float,
+    peak_committed_w: float,
+    deferred: int,
+    capped: int,
+) -> FleetMetrics:
+    """Aggregate job records and telemetry into a :class:`FleetMetrics`."""
+    completed = [r for r in records if r.state is JobState.COMPLETED]
+    goodput = sum(r.goodput_tokens for r in records)
+    simulated = sum(r.simulated_tokens for r in records)
+    waits = [r.queue_wait_s for r in records]
+    spreads = [s.temp_spread_c for s in samples]
+    horizon = max(makespan_s, 1e-9)
+    return FleetMetrics(
+        jobs_submitted=len(records),
+        jobs_completed=len(completed),
+        restarts=sum(r.restarts for r in records),
+        goodput_tokens=goodput,
+        simulated_tokens=simulated,
+        makespan_s=makespan_s,
+        goodput_tokens_per_s=goodput / horizon,
+        throughput_tokens_per_s=simulated / horizon,
+        energy_j=energy_j,
+        goodput_tokens_per_joule=goodput / energy_j if energy_j > 0 else 0.0,
+        mean_queue_wait_s=sum(waits) / len(waits) if waits else 0.0,
+        max_queue_wait_s=max(waits) if waits else 0.0,
+        peak_committed_w=peak_committed_w,
+        peak_power_w=max((s.power_w for s in samples), default=0.0),
+        mean_temp_spread_c=(
+            sum(spreads) / len(spreads) if spreads else 0.0
+        ),
+        deferred_admissions=deferred,
+        capped_admissions=capped,
+    )
+
+
+def format_fleet_summary(metrics: FleetMetrics) -> str:
+    """Human-readable goodput/energy summary for the CLI."""
+    lines = [
+        f"jobs          : {metrics.jobs_completed}/"
+        f"{metrics.jobs_submitted} completed, "
+        f"{metrics.restarts} restarts",
+        f"makespan      : {metrics.makespan_s:.1f} s",
+        f"goodput       : {metrics.goodput_tokens_per_s:,.0f} tokens/s "
+        f"({metrics.goodput_tokens:,} durable tokens)",
+        f"throughput    : {metrics.throughput_tokens_per_s:,.0f} tokens/s "
+        f"({metrics.goodput_fraction * 100:.1f}% goodput)",
+        f"energy        : {metrics.energy_j / 1e6:.2f} MJ",
+        f"goodput/J     : {metrics.goodput_tokens_per_joule:.4f} tokens/J",
+        f"queue wait    : mean {metrics.mean_queue_wait_s:.1f} s, "
+        f"max {metrics.max_queue_wait_s:.1f} s",
+        f"peak power    : {metrics.peak_power_w / 1000:.1f} kW "
+        f"(committed peak {metrics.peak_committed_w / 1000:.1f} kW)",
+        f"temp spread   : {metrics.mean_temp_spread_c:.1f} C mean "
+        f"per-cluster",
+        f"admissions    : {metrics.deferred_admissions} deferred, "
+        f"{metrics.capped_admissions} frequency-capped",
+    ]
+    return "\n".join(lines)

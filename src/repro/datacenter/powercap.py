@@ -1,0 +1,126 @@
+"""Facility power-cap admission control (paper Section 7.1 scaled up).
+
+The paper projects single-job power to datacenter scale; this module
+closes the loop the other way: given a facility budget, the fleet must
+decide what to do when starting one more job would push aggregate draw
+over it. Two modes:
+
+* ``defer`` — the job stays queued until enough draw is released
+  (capacity-preserving, latency-paying);
+* ``cap`` — the job is admitted at a reduced clock chosen so its
+  dynamic draw fits the remaining headroom (latency-preserving,
+  throughput-paying). Dynamic power is modelled as scaling with the
+  square of the clock ratio, the same convexity the paper's DVFS data
+  shows.
+
+The controller's ledger works on *committed* power — the idle floor of
+every node plus each admitted job's (possibly capped) dynamic draw — so
+the invariant "committed draw never exceeds the facility cap" holds by
+construction and is asserted by the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+CAP_MODES = ("defer", "cap")
+
+
+@dataclass(frozen=True)
+class PowerCapConfig:
+    """Facility power budget and the policy for enforcing it.
+
+    Attributes:
+        facility_cap_w: total budget across every node in the fleet
+            (``inf`` disables admission control).
+        mode: ``defer`` or ``cap`` (see module docstring).
+        min_clock: floor below which a capped admission is refused and
+            the job deferred instead.
+    """
+
+    facility_cap_w: float = math.inf
+    mode: str = "defer"
+    min_clock: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.facility_cap_w <= 0:
+            raise ValueError("facility_cap_w must be positive")
+        if self.mode not in CAP_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; known: {CAP_MODES}")
+        if not 0 < self.min_clock <= 1.0:
+            raise ValueError("min_clock must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Admission:
+    """Outcome of one admission request.
+
+    ``admitted`` with ``clock < 1.0`` means the job was frequency-capped
+    to fit; ``admitted=False`` means it must wait in the queue.
+    """
+
+    admitted: bool
+    clock: float = 1.0
+    committed_w: float = 0.0
+
+
+class AdmissionController:
+    """Tracks committed facility draw and admits/defers/caps jobs."""
+
+    def __init__(self, config: PowerCapConfig, idle_floor_w: float) -> None:
+        if idle_floor_w < 0:
+            raise ValueError("idle_floor_w must be >= 0")
+        if config.facility_cap_w < idle_floor_w:
+            raise ValueError(
+                f"facility cap {config.facility_cap_w:.0f} W is below the "
+                f"fleet idle floor {idle_floor_w:.0f} W"
+            )
+        self.config = config
+        self.idle_floor_w = idle_floor_w
+        self._committed_dynamic_w = 0.0
+        self.deferred = 0
+        self.capped = 0
+        self.peak_committed_w = idle_floor_w
+
+    @property
+    def committed_w(self) -> float:
+        """Idle floor plus every admitted job's committed dynamic draw."""
+        return self.idle_floor_w + self._committed_dynamic_w
+
+    @property
+    def headroom_w(self) -> float:
+        """Budget still available for dynamic draw."""
+        return self.config.facility_cap_w - self.committed_w
+
+    def admit(self, dynamic_w: float) -> Admission:
+        """Try to admit a job that adds ``dynamic_w`` above idle.
+
+        Returns an :class:`Admission`; on success the draw is committed
+        until :meth:`release` is called with the same committed value.
+        """
+        if dynamic_w < 0:
+            raise ValueError("dynamic_w must be >= 0")
+        headroom = self.headroom_w
+        if dynamic_w <= headroom:
+            return self._commit(dynamic_w, clock=1.0)
+        if self.config.mode == "cap" and dynamic_w > 0 and headroom > 0:
+            # Dynamic draw ~ clock^2: the largest admissible clock is
+            # sqrt(headroom / full dynamic draw).
+            clock = math.sqrt(headroom / dynamic_w)
+            if clock >= self.config.min_clock:
+                self.capped += 1
+                return self._commit(dynamic_w * clock * clock, clock=clock)
+        self.deferred += 1
+        return Admission(admitted=False)
+
+    def release(self, committed_w: float) -> None:
+        """Return a finished (or interrupted) job's committed draw."""
+        self._committed_dynamic_w = max(
+            0.0, self._committed_dynamic_w - committed_w
+        )
+
+    def _commit(self, dynamic_w: float, clock: float) -> Admission:
+        self._committed_dynamic_w += dynamic_w
+        self.peak_committed_w = max(self.peak_committed_w, self.committed_w)
+        return Admission(admitted=True, clock=clock, committed_w=dynamic_w)

@@ -10,8 +10,10 @@ from repro.telemetry.anomaly import (
     group_node_incidents,
 )
 from repro.telemetry.export import (
+    FLEET_TELEMETRY_HEADER,
     TELEMETRY_HEADER,
     read_telemetry_csv,
+    write_fleet_telemetry_csv,
     write_telemetry_csv,
 )
 from repro.telemetry.metrics import (
@@ -27,7 +29,9 @@ from repro.telemetry.metrics import (
 from repro.telemetry.monitor import GpuSample, GpuSeries, TelemetryLog
 
 __all__ = [
+    "FLEET_TELEMETRY_HEADER",
     "TELEMETRY_HEADER",
+    "write_fleet_telemetry_csv",
     "AnomalyKind",
     "DetectorConfig",
     "GpuAnomaly",

@@ -2,15 +2,22 @@
 
 The paper's artifact stores system telemetry as per-run CSV files; this
 module writes the same shape so downstream plotting scripts can consume
-either source.
+either source. Fleet-level telemetry (one row per discrete fleet event)
+uses the same fixed-precision formatting, so a seeded fleet run always
+serialises byte-identically — the determinism contract the fleet
+benchmarks assert.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
 
 from repro.telemetry.monitor import TelemetryLog
+
+if TYPE_CHECKING:
+    from repro.datacenter.metrics import FleetSample
 
 TELEMETRY_HEADER = (
     "time_s",
@@ -46,6 +53,47 @@ def write_telemetry_csv(telemetry: TelemetryLog, path: str | Path) -> Path:
                         f"{series.pcie_bytes_per_s[i]:.1f}",
                     )
                 )
+    return path
+
+
+FLEET_TELEMETRY_HEADER = (
+    "time_s",
+    "event",
+    "running_jobs",
+    "queued_jobs",
+    "busy_nodes",
+    "committed_w",
+    "power_w",
+    "mean_temp_c",
+    "peak_temp_c",
+    "temp_spread_c",
+)
+
+
+def write_fleet_telemetry_csv(
+    samples: Iterable["FleetSample"], path: str | Path
+) -> Path:
+    """Write fleet event samples to CSV (byte-deterministic per seed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(FLEET_TELEMETRY_HEADER)
+        for sample in samples:
+            writer.writerow(
+                (
+                    f"{sample.time_s:.6f}",
+                    sample.event,
+                    sample.running_jobs,
+                    sample.queued_jobs,
+                    sample.busy_nodes,
+                    f"{sample.committed_w:.3f}",
+                    f"{sample.power_w:.3f}",
+                    f"{sample.mean_temp_c:.3f}",
+                    f"{sample.peak_temp_c:.3f}",
+                    f"{sample.temp_spread_c:.3f}",
+                )
+            )
     return path
 
 

@@ -9,6 +9,7 @@ write it.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.viz.charts import (
     line_chart,
     stacked_bar_chart,
 )
+
+if TYPE_CHECKING:
+    from repro.datacenter.fleet import FleetOutcome
 
 BREAKDOWN_CATEGORIES = (
     KernelCategory.COMPUTE,
@@ -180,6 +184,100 @@ def thermal_timeseries_figure(
         ),
         path,
     )
+
+
+def fleet_timeline_figure(
+    outcome: "FleetOutcome",
+    title: str = "Fleet timeline",
+    path: str | Path | None = None,
+) -> str:
+    """Gantt-style fleet schedule: one row per node, one bar per attempt.
+
+    Training and inference attempts take the first two categorical
+    colors; attempts a node fault interrupted carry a red outline
+    (their post-checkpoint work was lost). The footer reports the
+    policy and the goodput/energy headline.
+    """
+    from repro.datacenter.jobs import JobKind
+    from repro.viz.palette import (
+        CATEGORICAL,
+        GRID,
+        SURFACE,
+        TEXT_PRIMARY,
+        TEXT_SECONDARY,
+    )
+    from repro.viz.svg import SvgCanvas
+
+    rows: list[tuple[int, int]] = [
+        (ci, ni)
+        for ci, cluster in enumerate(outcome.clusters)
+        for ni in range(cluster.num_nodes)
+    ]
+    row_of = {key: i for i, key in enumerate(rows)}
+    makespan = max(outcome.makespan_s, 1e-9)
+
+    left, top, row_h, gap = 110.0, 56.0, 22.0, 4.0
+    plot_w = 720.0
+    height = top + len(rows) * (row_h + gap) + 64.0
+    width = left + plot_w + 40.0
+    canvas = SvgCanvas(width, height, background=SURFACE)
+    canvas.text(16, 28, title, fill=TEXT_PRIMARY, size=16, weight="bold")
+
+    def x_of(t: float) -> float:
+        return left + plot_w * (t / makespan)
+
+    for i, (ci, ni) in enumerate(rows):
+        y = top + i * (row_h + gap)
+        canvas.text(
+            16, y + row_h * 0.7,
+            f"{outcome.clusters[ci].name}/n{ni}",
+            fill=TEXT_SECONDARY, size=11,
+        )
+        canvas.rect(left, y, plot_w, row_h, fill=GRID, rx=2)
+
+    kind_fill = {
+        JobKind.TRAINING: CATEGORICAL[0],
+        JobKind.INFERENCE: CATEGORICAL[1],
+    }
+    fault_stroke = CATEGORICAL[5]
+    for job_idx, record in enumerate(outcome.records.values()):
+        for interval in record.intervals:
+            x0 = x_of(interval.start_s)
+            bar_w = max(1.5, x_of(interval.end_s) - x0)
+            for node in interval.nodes:
+                y = top + row_of[(interval.cluster, node)] * (row_h + gap)
+                canvas.rect(
+                    x0, y + 2, bar_w, row_h - 4,
+                    fill=kind_fill[record.spec.kind], rx=2,
+                    stroke=fault_stroke if interval.interrupted else None,
+                    stroke_width=2.0 if interval.interrupted else 0.0,
+                )
+                if bar_w > 24:
+                    canvas.text(
+                        x0 + 3, y + row_h * 0.68, f"j{job_idx}",
+                        fill=SURFACE, size=10, weight="bold",
+                    )
+
+    axis_y = top + len(rows) * (row_h + gap) + 6
+    canvas.line(left, axis_y, left + plot_w, axis_y, stroke=TEXT_SECONDARY)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = left + plot_w * frac
+        canvas.line(x, axis_y, x, axis_y + 4, stroke=TEXT_SECONDARY)
+        canvas.text(
+            x, axis_y + 16, f"{makespan * frac:.0f}s",
+            fill=TEXT_SECONDARY, size=10, anchor="middle",
+        )
+    metrics = outcome.metrics()
+    canvas.text(
+        16, height - 14,
+        f"policy={outcome.config.policy}  "
+        f"goodput={metrics.goodput_tokens_per_s:,.0f} tok/s  "
+        f"goodput/J={metrics.goodput_tokens_per_joule:.3f}  "
+        f"restarts={metrics.restarts}  "
+        f"train/infer = blue/aqua, red outline = fault-interrupted",
+        fill=TEXT_SECONDARY, size=11,
+    )
+    return _maybe_save(canvas.to_string(), path)
 
 
 def microbatch_sweep_figure(

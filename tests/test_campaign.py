@@ -63,6 +63,20 @@ class TestRunCampaign:
         assert campaign.directory is None
         assert campaign.summary_rows[0]["name"] == "a_tp4pp2"
 
+    def test_identical_configs_simulate_once(self):
+        twin = ExperimentSpec(
+            name="a_tp4pp2_twin",
+            model="gpt3-13b",
+            cluster="mi250x32",
+            parallelism="TP4-PP2",
+            global_batch_size=16,
+        )
+        campaign = run_campaign([TINY_SPECS[0], twin])
+        assert campaign.result("a_tp4pp2") is campaign.result(
+            "a_tp4pp2_twin"
+        )
+        assert len(campaign.summary_rows) == 2
+
     def test_duplicate_names_rejected(self):
         with pytest.raises(ValueError):
             run_campaign([TINY_SPECS[0], TINY_SPECS[0]])

@@ -20,6 +20,22 @@ class TestParser:
         assert args.act and not args.cc
         assert args.microbatch == 1
 
+    def test_fault_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2", "--fault-node", "2",
+             "--fault-power-scale", "0.5"]
+        )
+        assert args.fault_node == 2
+        assert args.fault_power_scale == 0.5
+        assert args.fail_node is None
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.policy == "packed"
+        assert args.seed == 0
+        assert args.power_cap_kw is None
+
     def test_sweep_accepts_repeated_strategies(self):
         args = build_parser().parse_args(
             ["sweep", "--model", "m", "--cluster", "c",
@@ -71,6 +87,43 @@ class TestCommands:
         )
         assert code == 0
         assert "throughput" in capsys.readouterr().out
+
+    def test_run_with_fault_node_flags(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--fault-node", "1", "--fault-power-scale", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_run_with_bad_fault_scale_is_clean_error(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--fault-node", "1", "--fault-power-scale", "1.5",
+            ]
+        )
+        assert code == 2
+        assert "fault-power-scale" in capsys.readouterr().err
+
+    def test_fleet(self, capsys, tmp_path):
+        code = main(
+            [
+                "fleet", "--policy", "thermal-aware", "--seed", "0",
+                "--jobs", "4", "--power-cap-kw", "12",
+                "--output", str(tmp_path / "fleet"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "4/4 completed" in out
+        assert (tmp_path / "fleet" / "fleet_telemetry.csv").exists()
+        assert (tmp_path / "fleet" / "fleet_timeline.svg").exists()
 
     def test_sweep(self, capsys):
         code = main(

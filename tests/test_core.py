@@ -156,6 +156,19 @@ class TestSweep:
         results = run_sweep(points, global_batch_size=16)
         assert set(results) == set(points)
 
+    def test_run_sweep_deduplicates_points(self):
+        clear_cache()
+        point = SweepPoint(model="gpt3-13b", cluster="mi250x32",
+                           parallelism="TP2-PP4")
+        seen = []
+        results = run_sweep(
+            [point, point, point],
+            global_batch_size=16,
+            on_result=lambda p, r: seen.append(p),
+        )
+        assert list(results) == [point]
+        assert seen == [point]
+
     def test_normalize_by_best(self):
         a = SweepPoint(model="m", cluster="c", parallelism="TP1")
         b = SweepPoint(model="m", cluster="c", parallelism="TP2-PP1")

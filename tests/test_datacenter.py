@@ -1,0 +1,269 @@
+"""Unit tests for the datacenter fleet building blocks."""
+
+import math
+
+import pytest
+
+from repro.core.faults import power_failure
+from repro.datacenter.arrivals import (
+    DEFAULT_TEMPLATES,
+    ArrivalConfig,
+    JobTemplate,
+    generate_arrivals,
+)
+from repro.datacenter.jobs import (
+    JobKind,
+    JobRecord,
+    JobSpec,
+    profile_job,
+    sub_cluster,
+)
+from repro.datacenter.metrics import fleet_metrics, format_fleet_summary
+from repro.datacenter.placement import (
+    NodeState,
+    select_nodes,
+    thermal_derate,
+)
+from repro.datacenter.powercap import AdmissionController, PowerCapConfig
+from repro.hardware.cluster import get_cluster
+
+
+def _nodes(temps, busy=(), cluster=0):
+    return [
+        NodeState(
+            cluster=cluster, node=i, temp_c=t, busy=(i in busy),
+            last_release_s=float(i % 3),
+        )
+        for i, t in enumerate(temps)
+    ]
+
+
+class TestSelectNodes:
+    def test_packed_picks_lowest_indices(self):
+        placement = select_nodes("packed", _nodes([60, 30, 28, 29]), 2)
+        assert placement.cluster == 0
+        assert placement.nodes == (0, 1)
+
+    def test_spread_prefers_least_recently_released(self):
+        nodes = _nodes([28, 28, 28, 28])
+        nodes[0].last_release_s = 100.0
+        nodes[3].last_release_s = -1.0
+        placement = select_nodes("spread", nodes, 2)
+        assert 0 not in placement.nodes
+        assert 3 in placement.nodes
+
+    def test_thermal_aware_picks_coolest(self):
+        placement = select_nodes(
+            "thermal-aware", _nodes([80, 30, 28, 75]), 2
+        )
+        assert placement.nodes == (1, 2)
+
+    def test_thermal_aware_picks_coolest_cluster(self):
+        nodes = _nodes([70, 70], cluster=0) + _nodes([30, 30], cluster=1)
+        placement = select_nodes("thermal-aware", nodes, 2)
+        assert placement.cluster == 1
+
+    def test_busy_and_unhealthy_nodes_excluded(self):
+        nodes = _nodes([28, 28, 28], busy={0})
+        nodes[1].healthy = False
+        placement = select_nodes("packed", nodes, 1)
+        assert placement.nodes == (2,)
+
+    def test_none_when_no_cluster_fits(self):
+        nodes = _nodes([28, 28], cluster=0) + _nodes([28, 28], cluster=1)
+        assert select_nodes("packed", nodes, 3) is None
+
+    def test_jobs_never_span_clusters(self):
+        nodes = _nodes([28], cluster=0) + _nodes([28], cluster=1)
+        assert select_nodes("packed", nodes, 2) is None
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            select_nodes("random", _nodes([28]), 1)
+
+
+class TestThermalDerate:
+    def test_cool_node_runs_at_full_clock(self):
+        assert thermal_derate(30.0, 45.0, 95.0, 0.6) == 1.0
+
+    def test_hot_node_hits_the_floor(self):
+        assert thermal_derate(120.0, 45.0, 95.0, 0.6) == 0.6
+
+    def test_linear_in_between(self):
+        mid = thermal_derate(70.0, 45.0, 95.0, 0.6)
+        assert 0.6 < mid < 1.0
+        assert mid == pytest.approx(1.0 - 0.5 * 0.4)
+
+    def test_invalid_curve_raises(self):
+        with pytest.raises(ValueError):
+            thermal_derate(50.0, 95.0, 45.0, 0.6)
+
+
+class TestAdmissionController:
+    def test_admits_within_budget(self):
+        ctl = AdmissionController(
+            PowerCapConfig(facility_cap_w=10_000.0), idle_floor_w=2_000.0
+        )
+        admission = ctl.admit(5_000.0)
+        assert admission.admitted and admission.clock == 1.0
+        assert ctl.committed_w == 7_000.0
+
+    def test_defers_when_over_budget(self):
+        ctl = AdmissionController(
+            PowerCapConfig(facility_cap_w=10_000.0), idle_floor_w=2_000.0
+        )
+        ctl.admit(7_000.0)
+        admission = ctl.admit(2_000.0)
+        assert not admission.admitted
+        assert ctl.deferred == 1
+        assert ctl.committed_w <= 10_000.0
+
+    def test_cap_mode_frequency_caps_to_fit(self):
+        ctl = AdmissionController(
+            PowerCapConfig(facility_cap_w=10_000.0, mode="cap"),
+            idle_floor_w=2_000.0,
+        )
+        ctl.admit(4_000.0)
+        admission = ctl.admit(8_000.0)  # only 4 kW headroom left
+        assert admission.admitted
+        assert admission.clock == pytest.approx(math.sqrt(0.5))
+        assert admission.committed_w == pytest.approx(4_000.0)
+        assert ctl.capped == 1
+        assert ctl.committed_w <= 10_000.0
+
+    def test_cap_mode_defers_below_min_clock(self):
+        ctl = AdmissionController(
+            PowerCapConfig(
+                facility_cap_w=10_000.0, mode="cap", min_clock=0.9
+            ),
+            idle_floor_w=2_000.0,
+        )
+        ctl.admit(4_000.0)
+        assert not ctl.admit(8_000.0).admitted
+        assert ctl.deferred == 1
+
+    def test_release_returns_headroom(self):
+        ctl = AdmissionController(
+            PowerCapConfig(facility_cap_w=10_000.0), idle_floor_w=2_000.0
+        )
+        admission = ctl.admit(8_000.0)
+        ctl.release(admission.committed_w)
+        assert ctl.committed_w == 2_000.0
+        assert ctl.peak_committed_w == 10_000.0
+
+    def test_cap_below_idle_floor_raises(self):
+        with pytest.raises(ValueError, match="idle floor"):
+            AdmissionController(
+                PowerCapConfig(facility_cap_w=1_000.0), idle_floor_w=2_000.0
+            )
+
+
+class TestArrivals:
+    def test_trace_is_deterministic_per_seed(self):
+        config = ArrivalConfig(num_jobs=8, seed=3)
+        assert generate_arrivals(config) == generate_arrivals(config)
+        other = generate_arrivals(ArrivalConfig(num_jobs=8, seed=4))
+        assert other != generate_arrivals(config)
+
+    def test_trace_shape(self):
+        arrivals = generate_arrivals(ArrivalConfig(num_jobs=10, seed=0))
+        assert len(arrivals) == 10
+        times = [a.time_s for a in arrivals]
+        assert times == sorted(times)
+        names = {a.spec.name for a in arrivals}
+        assert len(names) == 10
+        for arrival in arrivals:
+            template_range = {
+                (t.min_iterations, t.max_iterations)
+                for t in DEFAULT_TEMPLATES
+            }
+            low = min(lo for lo, _ in template_range)
+            high = max(hi for _, hi in template_range)
+            assert low <= arrival.spec.iterations <= high
+
+    def test_invalid_template_raises(self):
+        with pytest.raises(ValueError):
+            JobTemplate(
+                kind=JobKind.TRAINING, model="m", parallelism="TP8",
+                nodes_required=1, min_iterations=5, max_iterations=2,
+            )
+        with pytest.raises(ValueError):
+            ArrivalConfig(num_jobs=0)
+
+
+class TestJobs:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                name="", kind=JobKind.TRAINING, model="gpt3-13b",
+                parallelism="TP8-PP1", nodes_required=1, iterations=4,
+            )
+        with pytest.raises(ValueError):
+            JobSpec(
+                name="j", kind=JobKind.TRAINING, model="gpt3-13b",
+                parallelism="TP8-PP1", nodes_required=0, iterations=4,
+            )
+
+    def test_sub_cluster_slices_nodes(self):
+        cluster = get_cluster("h200x32")
+        sub = sub_cluster(cluster, 2)
+        assert sub.num_nodes == 2
+        assert sub.node == cluster.node
+        assert sub_cluster(cluster, cluster.num_nodes) is cluster
+        with pytest.raises(ValueError):
+            sub_cluster(cluster, cluster.num_nodes + 1)
+
+    def test_profile_job_is_memoised(self):
+        spec = JobSpec(
+            name="p", kind=JobKind.TRAINING, model="gpt3-13b",
+            parallelism="TP8-PP1", nodes_required=1, iterations=4,
+        )
+        cluster = get_cluster("h200x32")
+        first = profile_job(spec, cluster)
+        assert profile_job(spec, cluster) is first
+        assert first.step_time_s > 0
+        assert first.tokens_per_iteration > 0
+        assert first.power_w >= first.idle_power_w
+        assert first.dynamic_power_w() > 0
+
+    def test_faulted_profile_differs(self):
+        healthy = JobSpec(
+            name="h", kind=JobKind.TRAINING, model="gpt3-13b",
+            parallelism="TP8-PP1", nodes_required=1, iterations=4,
+        )
+        degraded = JobSpec(
+            name="d", kind=JobKind.TRAINING, model="gpt3-13b",
+            parallelism="TP8-PP1", nodes_required=1, iterations=4,
+            fault=power_failure(node=0, severity=0.5),
+        )
+        cluster = get_cluster("h200x32")
+        base = profile_job(healthy, cluster)
+        slow = profile_job(degraded, cluster)
+        assert slow.step_time_s > base.step_time_s
+
+    def test_record_token_accounting(self):
+        spec = JobSpec(
+            name="a", kind=JobKind.TRAINING, model="gpt3-13b",
+            parallelism="TP8-PP1", nodes_required=1, iterations=10,
+        )
+        record = JobRecord(spec=spec, submit_s=0.0)
+        assert record.goodput_tokens == 0
+        record.profile = profile_job(spec, get_cluster("h200x32"))
+        record.completed_iterations = 6
+        record.lost_iterations = 2
+        per = record.profile.tokens_per_iteration
+        assert record.goodput_tokens == 6 * per
+        assert record.simulated_tokens == 8 * per
+        assert record.remaining_iterations == 4
+
+
+class TestFleetMetrics:
+    def test_empty_run_is_safe(self):
+        metrics = fleet_metrics(
+            records=[], samples=[], makespan_s=0.0, energy_j=0.0,
+            peak_committed_w=0.0, deferred=0, capped=0,
+        )
+        assert metrics.goodput_fraction == 1.0
+        assert metrics.goodput_tokens_per_joule == 0.0
+        summary = format_fleet_summary(metrics)
+        assert "goodput" in summary

@@ -1,0 +1,218 @@
+"""End-to-end tests of the discrete-event fleet simulator."""
+
+import pytest
+
+from repro.datacenter import (
+    ArrivalConfig,
+    FleetConfig,
+    FleetFault,
+    FleetSim,
+    JobKind,
+    JobState,
+    JobTemplate,
+    PowerCapConfig,
+    simulate_fleet,
+)
+from repro.hardware.cluster import get_cluster
+from repro.telemetry.export import write_fleet_telemetry_csv
+
+SMALL_ARRIVALS = ArrivalConfig(num_jobs=6, mean_interarrival_s=10.0, seed=0)
+
+ONE_JOB = ArrivalConfig(
+    num_jobs=1,
+    templates=(
+        JobTemplate(
+            kind=JobKind.TRAINING,
+            model="gpt3-13b",
+            parallelism="TP8-PP1",
+            nodes_required=1,
+            min_iterations=10,
+            max_iterations=10,
+            checkpoint_interval=3,
+        ),
+    ),
+    seed=0,
+)
+
+
+class TestFleetRuns:
+    def test_all_jobs_complete(self):
+        outcome = simulate_fleet(FleetConfig(arrivals=SMALL_ARRIVALS))
+        metrics = outcome.metrics()
+        assert metrics.jobs_completed == metrics.jobs_submitted == 6
+        assert all(
+            r.state is JobState.COMPLETED
+            for r in outcome.records.values()
+        )
+        assert outcome.makespan_s > 0
+        assert outcome.energy_j > 0
+        assert outcome.samples
+        assert metrics.goodput_tokens == metrics.simulated_tokens
+        assert metrics.restarts == 0
+
+    def test_every_policy_finishes_the_same_workload(self):
+        for policy in ("packed", "spread", "thermal-aware"):
+            outcome = simulate_fleet(
+                FleetConfig(policy=policy, arrivals=SMALL_ARRIVALS)
+            )
+            assert outcome.metrics().jobs_completed == 6
+
+    def test_power_cap_defers_but_everything_completes(self):
+        outcome = simulate_fleet(
+            FleetConfig(
+                arrivals=SMALL_ARRIVALS,
+                power_cap=PowerCapConfig(facility_cap_w=10_000.0),
+            )
+        )
+        metrics = outcome.metrics()
+        assert metrics.jobs_completed == 6
+        assert metrics.deferred_admissions > 0
+        assert all(s.committed_w <= 10_000.0 + 1e-6 for s in outcome.samples)
+        assert metrics.peak_committed_w <= 10_000.0 + 1e-6
+
+    def test_cap_mode_respects_budget_too(self):
+        outcome = simulate_fleet(
+            FleetConfig(
+                arrivals=SMALL_ARRIVALS,
+                power_cap=PowerCapConfig(
+                    facility_cap_w=10_000.0, mode="cap", min_clock=0.3
+                ),
+            )
+        )
+        metrics = outcome.metrics()
+        assert metrics.jobs_completed == 6
+        assert all(s.committed_w <= 10_000.0 + 1e-6 for s in outcome.samples)
+
+
+class TestFaultRecovery:
+    def _fault_mid_run(self):
+        """A forced fault mid-attempt, between checkpoint boundaries."""
+        clean = simulate_fleet(FleetConfig(arrivals=ONE_JOB))
+        record = next(iter(clean.records.values()))
+        attempt = record.intervals[0]
+        step = (attempt.end_s - attempt.start_s) / record.spec.iterations
+        # 4 full steps done, checkpoint_interval=3 -> 3 durable, 1 lost.
+        fault_time = attempt.start_s + 4.5 * step
+        return FleetConfig(
+            arrivals=ONE_JOB,
+            fault_events=(
+                FleetFault(
+                    time_s=fault_time,
+                    cluster=attempt.cluster,
+                    node=attempt.nodes[0],
+                ),
+            ),
+        )
+
+    def test_checkpoint_restart_accounting(self):
+        outcome = simulate_fleet(self._fault_mid_run())
+        record = next(iter(outcome.records.values()))
+        assert record.state is JobState.COMPLETED
+        assert record.restarts == 1
+        assert record.lost_iterations == 1
+        assert record.completed_iterations == record.spec.iterations
+        assert len(record.intervals) == 2
+        assert record.intervals[0].interrupted
+        assert not record.intervals[1].interrupted
+        metrics = outcome.metrics()
+        assert metrics.goodput_tokens < metrics.simulated_tokens
+        assert metrics.goodput_fraction < 1.0
+        assert metrics.goodput_tokens_per_s < metrics.throughput_tokens_per_s
+
+    def test_faulted_node_is_avoided_until_repaired(self):
+        config = self._fault_mid_run()
+        outcome = simulate_fleet(config)
+        record = next(iter(outcome.records.values()))
+        fault = config.fault_events[0]
+        retry = record.intervals[1]
+        # The restart lands before the repair completes, so it must use
+        # different hardware.
+        assert retry.start_s < fault.time_s + config.repair_time_s
+        assert (retry.cluster, retry.nodes[0]) != (fault.cluster, fault.node)
+
+    def test_random_mtbf_faults_are_recovered(self):
+        outcome = simulate_fleet(
+            FleetConfig(
+                arrivals=SMALL_ARRIVALS,
+                node_mtbf_s=300.0,
+                repair_time_s=60.0,
+                seed=1,
+            )
+        )
+        assert outcome.metrics().jobs_completed == 6
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self, tmp_path):
+        config = FleetConfig(
+            arrivals=SMALL_ARRIVALS,
+            policy="thermal-aware",
+            power_cap=PowerCapConfig(facility_cap_w=10_000.0),
+            node_mtbf_s=400.0,
+        )
+        first = write_fleet_telemetry_csv(
+            simulate_fleet(config).samples, tmp_path / "a.csv"
+        )
+        second = write_fleet_telemetry_csv(
+            simulate_fleet(config).samples, tmp_path / "b.csv"
+        )
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_differs(self):
+        base = FleetConfig(arrivals=SMALL_ARRIVALS)
+        other = FleetConfig(
+            arrivals=ArrivalConfig(
+                num_jobs=6, mean_interarrival_s=10.0, seed=7
+            )
+        )
+        assert (
+            simulate_fleet(base).makespan_s
+            != simulate_fleet(other).makespan_s
+        )
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            FleetConfig(policy="roulette")
+
+    def test_oversized_job_rejected(self):
+        huge = ArrivalConfig(
+            num_jobs=1,
+            templates=(
+                JobTemplate(
+                    kind=JobKind.TRAINING, model="gpt3-13b",
+                    parallelism="TP8-PP1", nodes_required=99,
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="largest cluster"):
+            FleetSim(FleetConfig(arrivals=huge))
+
+    def test_fault_on_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            FleetSim(
+                FleetConfig(
+                    arrivals=ONE_JOB,
+                    fault_events=(
+                        FleetFault(time_s=1.0, cluster=0, node=99),
+                    ),
+                )
+            )
+
+    def test_unsatisfiable_power_cap_is_reported(self):
+        cluster = get_cluster("h200x32")
+        idle_floor = (
+            cluster.num_nodes
+            * cluster.node.gpus_per_node
+            * cluster.node.gpu.idle_watts
+        )
+        with pytest.raises(RuntimeError, match="never be placed"):
+            simulate_fleet(
+                FleetConfig(
+                    arrivals=ONE_JOB,
+                    power_cap=PowerCapConfig(
+                        facility_cap_w=idle_floor + 1.0
+                    ),
+                )
+            )

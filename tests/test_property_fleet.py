@@ -1,0 +1,112 @@
+"""Property-based tests: fleet invariants hold across random scenarios.
+
+Three contracts from the issue: concurrently running jobs never share
+nodes, the admission ledger never exceeds the facility power cap, and a
+fixed seed reproduces the fleet run exactly.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import (
+    ArrivalConfig,
+    FleetConfig,
+    JobState,
+    PowerCapConfig,
+    simulate_fleet,
+)
+
+CAPS = (math.inf, 10_000.0, 14_000.0)
+
+
+@st.composite
+def fleet_config(draw):
+    """A random small-but-contended fleet scenario."""
+    cap = draw(st.sampled_from(CAPS))
+    return FleetConfig(
+        policy=draw(st.sampled_from(("packed", "spread", "thermal-aware"))),
+        power_cap=PowerCapConfig(facility_cap_w=cap),
+        arrivals=ArrivalConfig(
+            num_jobs=draw(st.integers(min_value=3, max_value=6)),
+            mean_interarrival_s=draw(
+                st.sampled_from((5.0, 12.0, 25.0))
+            ),
+            seed=draw(st.integers(min_value=0, max_value=50)),
+        ),
+        seed=draw(st.integers(min_value=0, max_value=50)),
+        node_mtbf_s=draw(st.sampled_from((0.0, 500.0))),
+        repair_time_s=60.0,
+    )
+
+
+SLOW_OK = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestFleetInvariants:
+    @given(fleet_config())
+    @SLOW_OK
+    def test_concurrent_jobs_get_disjoint_nodes(self, config):
+        outcome = simulate_fleet(config)
+        attempts = [
+            (name, interval)
+            for name, record in outcome.records.items()
+            for interval in record.intervals
+        ]
+        for i, (name_a, a) in enumerate(attempts):
+            for name_b, b in attempts[i + 1:]:
+                if name_a == name_b or a.cluster != b.cluster:
+                    continue
+                overlap = a.start_s < b.end_s and b.start_s < a.end_s
+                if overlap:
+                    assert not set(a.nodes) & set(b.nodes), (
+                        f"{name_a} and {name_b} share nodes while "
+                        f"running concurrently"
+                    )
+
+    @given(fleet_config())
+    @SLOW_OK
+    def test_committed_power_never_exceeds_cap(self, config):
+        outcome = simulate_fleet(config)
+        cap = config.power_cap.facility_cap_w
+        assert outcome.peak_committed_w <= cap + 1e-6
+        for sample in outcome.samples:
+            assert sample.committed_w <= cap + 1e-6
+            assert sample.committed_w >= outcome.idle_floor_w - 1e-6
+
+    @given(fleet_config())
+    @SLOW_OK
+    def test_all_jobs_complete_with_consistent_accounting(self, config):
+        outcome = simulate_fleet(config)
+        metrics = outcome.metrics()
+        assert metrics.jobs_completed == metrics.jobs_submitted
+        assert metrics.goodput_tokens <= metrics.simulated_tokens
+        for record in outcome.records.values():
+            assert record.state is JobState.COMPLETED
+            assert record.completed_iterations == record.spec.iterations
+            assert record.lost_iterations >= 0
+            assert record.intervals
+            assert sum(
+                1 for i in record.intervals if not i.interrupted
+            ) == 1
+
+    @given(fleet_config())
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_same_seed_reproduces_the_run(self, config):
+        first = simulate_fleet(config)
+        second = simulate_fleet(config)
+        assert first.samples == second.samples
+        assert first.makespan_s == second.makespan_s
+        assert first.energy_j == second.energy_j
+        assert first.metrics() == second.metrics()
+        for name, record in first.records.items():
+            assert second.records[name].intervals == record.intervals

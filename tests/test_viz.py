@@ -16,6 +16,7 @@ from repro.viz.charts import (
     stacked_bar_chart,
 )
 from repro.viz.figures import (
+    fleet_timeline_figure,
     kernel_breakdown_figure,
     microbatch_sweep_figure,
     temperature_heatmap_figure,
@@ -199,3 +200,27 @@ class TestFigureGenerators:
     def test_empty_results_rejected(self):
         with pytest.raises(ValueError):
             throughput_comparison({})
+
+    def test_fleet_timeline(self, tmp_path):
+        from repro.datacenter import ArrivalConfig, FleetConfig, \
+            simulate_fleet
+
+        outcome = simulate_fleet(
+            FleetConfig(
+                arrivals=ArrivalConfig(num_jobs=4, seed=0)
+            )
+        )
+        svg = fleet_timeline_figure(
+            outcome, path=tmp_path / "fleet.svg"
+        )
+        root = _parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        nodes = sum(c.num_nodes for c in outcome.clusters)
+        attempts = sum(
+            len(i.nodes)
+            for r in outcome.records.values()
+            for i in r.intervals
+        )
+        # background + one lane per node + one bar per (attempt, node).
+        assert len(rects) == 1 + nodes + attempts
+        assert (tmp_path / "fleet.svg").exists()
