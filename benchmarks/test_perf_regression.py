@@ -1,0 +1,96 @@
+"""Perf-regression benchmark: optimized simulation stack vs reference.
+
+Times the canonical mi250x32 sweep on both simulator backends —
+``fast_path=False`` is the original scalar implementation kept as the
+oracle/baseline, ``fast_path=True`` is the vectorized physics +
+collective-cost memoisation + cheap-recording path — and asserts the
+optimized path clears ``REPRO_BENCH_MIN_SPEEDUP`` (default 3x). The
+persistent result cache is explicitly out of the measurement: every run
+here is a cold ``run_training`` call, so the speedup comes from the
+hot-path work alone.
+
+Writes ``BENCH_simulation.json`` at the repo root so the performance
+trajectory is tracked from PR to PR (CI uploads it as an artifact).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.experiment import run_training
+from repro.core.store import persistence_disabled
+from repro.engine.simulator import SimSettings
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_simulation.json"
+
+#: The representative sweep: both MI250 paper models, two strategy shapes.
+CANONICAL_SWEEP = [
+    ("gpt3-30b", "mi250x32", "TP2-PP8-DP2"),
+    ("llama3-30b", "mi250x32", "TP4-PP4-DP2"),
+]
+
+REPEATS = 2  # best-of, to shrug off scheduler noise
+
+
+def _best_time(model: str, cluster: str, parallelism: str,
+               fast: bool) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = run_training(
+            model=model,
+            cluster=cluster,
+            parallelism=parallelism,
+            microbatch_size=1,
+            global_batch_size=16,
+            iterations=2,
+            settings=SimSettings(fast_path=fast),
+        )
+        best = min(best, time.perf_counter() - start)
+        assert result.outcome.makespan_s > 0
+    return best
+
+
+def test_simulation_hot_path_speedup():
+    threshold = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+    rows = []
+    with persistence_disabled():
+        for model, cluster, parallelism in CANONICAL_SWEEP:
+            reference = _best_time(model, cluster, parallelism, fast=False)
+            optimized = _best_time(model, cluster, parallelism, fast=True)
+            rows.append(
+                {
+                    "model": model,
+                    "cluster": cluster,
+                    "parallelism": parallelism,
+                    "reference_s": round(reference, 4),
+                    "optimized_s": round(optimized, 4),
+                    "speedup": round(reference / optimized, 3),
+                }
+            )
+    total_reference = sum(row["reference_s"] for row in rows)
+    total_optimized = sum(row["optimized_s"] for row in rows)
+    speedup = total_reference / total_optimized
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "simulation_hot_path",
+                "unit": f"seconds, best of {REPEATS}",
+                "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "threshold": threshold,
+                "speedup": round(speedup, 3),
+                "reference_total_s": round(total_reference, 4),
+                "optimized_total_s": round(total_optimized, 4),
+                "runs": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= threshold, (
+        f"hot-path speedup regressed: {speedup:.2f}x < {threshold:.2f}x "
+        f"(details in {BENCH_PATH.name})"
+    )

@@ -14,9 +14,15 @@ Usage::
         --output results/
     python -m repro fleet --policy thermal-aware --seed 0 \\
         --power-cap-kw 10 --output results/fleet
+    python -m repro cache stats
+    python -m repro cache clear
 
 Mirrors the paper artifact's script surface (prepare/launch/
-full_sweep/visualize) on top of the simulated testbed.
+full_sweep/visualize) on top of the simulated testbed. Multi-run
+subcommands accept ``--jobs N`` to fan simulations out over worker
+processes (``0`` = auto); results are identical regardless of ``N``.
+Simulations are cached persistently under ``.repro_cache/`` (see
+``repro cache`` and docs/performance.md).
 """
 
 from __future__ import annotations
@@ -26,7 +32,6 @@ import sys
 from pathlib import Path
 
 from repro.core.artifact import write_run_artifact
-from repro.core.experiment import run_training
 from repro.core.faults import FaultSpec
 from repro.engine.simulator import SimSettings
 from repro.hardware.cluster import cluster_names, get_cluster
@@ -64,6 +69,10 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "--fault-power-scale", type=float, default=0.25,
         help="power-cap multiplier the faulted node is pinned to",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for simulations (0 = auto: cpu_count-1)",
+    )
 
 
 def _opts_from(args: argparse.Namespace) -> OptimizationConfig:
@@ -89,16 +98,23 @@ def _settings_from(args: argparse.Namespace) -> SimSettings:
 
 
 def _execute(args: argparse.Namespace):
-    return run_training(
+    from repro.core.sweep import SweepPoint, run_sweep
+
+    point = SweepPoint(
         model=args.model,
         cluster=args.cluster,
         parallelism=args.parallelism,
         optimizations=_opts_from(args),
         microbatch_size=args.microbatch,
+    )
+    results = run_sweep(
+        [point],
         global_batch_size=args.global_batch,
         iterations=args.iterations,
+        jobs=getattr(args, "jobs", 1),
         settings=_settings_from(args),
     )
+    return results[point]
 
 
 def _print_summary(result) -> None:
@@ -159,25 +175,42 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a strategy x microbatch grid and print the table."""
+    from repro.core.sweep import SweepPoint, run_sweep
+
+    opts = _opts_from(args)
+    points = [
+        SweepPoint(
+            model=args.model,
+            cluster=args.cluster,
+            parallelism=strategy,
+            optimizations=opts,
+            microbatch_size=microbatch,
+        )
+        for strategy in args.parallelism
+        for microbatch in args.microbatch
+    ]
+    results = run_sweep(
+        points,
+        global_batch_size=args.global_batch,
+        iterations=args.iterations,
+        jobs=args.jobs,
+        settings=_settings_from(args),
+    )
     print(
         f"{'strategy':<16} {'mb':>3} {'tok/s':>10} {'tok/J':>7} "
         f"{'peakT':>6} {'clock':>6}"
     )
-    for strategy in args.parallelism:
-        for microbatch in args.microbatch:
-            run_args = argparse.Namespace(**vars(args))
-            run_args.parallelism = strategy
-            run_args.microbatch = microbatch
-            result = _execute(run_args)
-            efficiency = result.efficiency()
-            stats = result.stats()
-            print(
-                f"{strategy:<16} {microbatch:>3} "
-                f"{efficiency.tokens_per_s:>10,.0f} "
-                f"{efficiency.tokens_per_joule:>7.3f} "
-                f"{stats.peak_temp_c:>6.1f} "
-                f"{stats.mean_freq_ratio:>6.3f}"
-            )
+    for point in points:
+        result = results[point]
+        efficiency = result.efficiency()
+        stats = result.stats()
+        print(
+            f"{point.parallelism:<16} {point.microbatch_size:>3} "
+            f"{efficiency.tokens_per_s:>10,.0f} "
+            f"{efficiency.tokens_per_joule:>7.3f} "
+            f"{stats.peak_temp_c:>6.1f} "
+            f"{stats.mean_freq_ratio:>6.3f}"
+        )
     return 0
 
 
@@ -195,7 +228,7 @@ def cmd_full_sweep(args: argparse.Namespace) -> int:
         )
 
     campaign = run_campaign(specs, output_dir=args.output,
-                            on_result=progress)
+                            on_result=progress, jobs=args.jobs)
     print(f"summary: {campaign.directory / 'summary.csv'}")
     return 0
 
@@ -241,7 +274,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         power_cap=PowerCapConfig(facility_cap_w=cap_w, mode=args.cap_mode),
         arrivals=ArrivalConfig(
-            num_jobs=args.jobs,
+            num_jobs=args.num_jobs,
             mean_interarrival_s=args.mean_arrival_s,
             seed=args.seed,
         ),
@@ -249,7 +282,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         repair_time_s=args.repair_s,
     )
     try:
-        outcome = simulate_fleet(config)
+        outcome = simulate_fleet(config, jobs=args.jobs)
     except RuntimeError as error:  # unplaceable queue / runaway guard
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -265,6 +298,28 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         fleet_timeline_figure(outcome, path=output / "fleet_timeline.svg")
         print(f"telemetry     : {csv_path}")
         print(f"timeline      : {output / 'fleet_timeline.svg'}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent result cache."""
+    from repro.core.store import result_store
+
+    store = result_store()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached results from {store.root}")
+        return 0
+    stats = store.stats()
+    print(f"cache root    : {stats.root}")
+    print(f"schema        : v{stats.schema_version}")
+    print(f"entries       : {stats.entries}")
+    print(f"size          : {stats.total_mb:.1f} MiB")
+    if stats.stale_entries:
+        print(
+            f"stale entries : {stats.stale_entries} "
+            "(older schema; 'repro cache clear' removes them)"
+        )
     return 0
 
 
@@ -316,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--act", action="store_true")
     sweep.add_argument("--cc", action="store_true")
     sweep.add_argument("--lora", action="store_true")
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for simulations (0 = auto: cpu_count-1)",
+    )
     sweep.set_defaults(func=cmd_sweep, fail_node=None)
 
     figures = subparsers.add_parser(
@@ -334,6 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="repeatable: h200x32/h100x64 together, or mi250x32",
     )
     full_sweep.add_argument("--output", required=True)
+    full_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for simulations (0 = auto: cpu_count-1)",
+    )
     full_sweep.set_defaults(func=cmd_full_sweep)
 
     fleet = subparsers.add_parser(
@@ -349,8 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster", action="append", default=None,
         help="repeatable: clusters in the fleet pool (default h200x32)",
     )
-    fleet.add_argument("--jobs", type=int, default=12,
+    fleet.add_argument("--num-jobs", type=int, default=12,
                        help="number of arriving jobs")
+    fleet.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to pre-profile job shapes "
+             "(0 = auto: cpu_count-1)",
+    )
     fleet.add_argument("--mean-arrival-s", type=float, default=20.0,
                        help="mean interarrival time (exponential)")
     fleet.add_argument(
@@ -366,6 +434,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--output", default=None,
                        help="write fleet telemetry CSV + timeline SVG here")
     fleet.set_defaults(func=cmd_fleet)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect or clear the persistent result cache (.repro_cache)",
+    )
+    cache.add_argument(
+        "action", nargs="?", default="stats", choices=("stats", "clear"),
+        help="stats (default) prints entry count and size; "
+             "clear deletes every cached result",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -21,15 +21,15 @@ class TrafficLedger:
     _bytes: dict[int, dict[LinkKind, float]] = field(default_factory=dict)
     inter_node_bytes: float = 0.0
 
-    def record(self, cost: CommCost) -> None:
-        """Fold one collective's traffic into the ledger."""
+    def record(self, cost: CommCost, repeat: int = 1) -> None:
+        """Fold one collective's traffic into the ledger ``repeat`` times."""
         for gpu, by_kind in cost.link_bytes.items():
             if not 0 <= gpu < self.num_gpus:
                 raise ValueError(f"gpu {gpu} out of range")
             own = self._bytes.setdefault(gpu, {})
             for kind, amount in by_kind.items():
-                own[kind] = own.get(kind, 0.0) + amount
-        self.inter_node_bytes += cost.inter_node_bytes
+                own[kind] = own.get(kind, 0.0) + amount * repeat
+        self.inter_node_bytes += cost.inter_node_bytes * repeat
 
     def bytes_for(self, gpu: int, kind: LinkKind) -> float:
         """Bytes GPU ``gpu`` moved over fabric ``kind``."""

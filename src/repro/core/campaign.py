@@ -80,23 +80,43 @@ class CampaignResult:
         return self.results[name]
 
 
+def _spec_kwargs(spec: ExperimentSpec) -> dict:
+    return dict(
+        model=spec.model,
+        cluster=spec.cluster,
+        parallelism=spec.parallelism,
+        optimizations=spec.optimizations,
+        microbatch_size=spec.microbatch_size,
+        global_batch_size=spec.global_batch_size,
+    )
+
+
 def run_campaign(
     specs: list[ExperimentSpec],
     output_dir: str | Path | None = None,
     on_result: Callable[[ExperimentSpec, RunResult], None] | None = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Execute every spec; optionally write artifacts and summary.csv.
 
     Specs that share an identical simulation configuration simulate
     once and reuse the result (each spec name still gets its own
-    artifact directory and summary row).
+    artifact directory and summary row). Runs go through
+    :func:`repro.core.sweep.cached_run_training`, so repeated campaigns
+    reuse the persistent result store.
 
     Args:
         specs: experiments to run (names must be unique).
         output_dir: when given, write ``<dir>/<name>/`` artifacts and a
             campaign-level ``<dir>/summary.csv``.
         on_result: progress callback per finished run.
+        jobs: worker processes for distinct configurations; 1 keeps the
+            serial path, values below 1 mean auto. Results are
+            independent of ``jobs``.
     """
+    from repro.core.parallel import map_runs, resolve_jobs
+    from repro.core.sweep import cached_run_training
+
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ValueError("campaign spec names must be unique")
@@ -104,7 +124,8 @@ def run_campaign(
     directory = Path(output_dir) if output_dir is not None else None
     results: dict[str, RunResult] = {}
     rows: list[dict] = []
-    simulated: dict[tuple, RunResult] = {}
+
+    distinct: dict[tuple, dict] = {}
     for spec in specs:
         key = (
             spec.model,
@@ -114,17 +135,28 @@ def run_campaign(
             spec.microbatch_size,
             spec.global_batch_size,
         )
-        result = simulated.get(key)
-        if result is None:
-            result = run_training(
-                model=spec.model,
-                cluster=spec.cluster,
-                parallelism=spec.parallelism,
-                optimizations=spec.optimizations,
-                microbatch_size=spec.microbatch_size,
-                global_batch_size=spec.global_batch_size,
-            )
-            simulated[key] = result
+        distinct.setdefault(key, _spec_kwargs(spec))
+    jobs = 1 if jobs == 1 else resolve_jobs(jobs)
+    if jobs > 1:
+        payloads = [("train", kwargs) for kwargs in distinct.values()]
+        outputs = map_runs(payloads, jobs)
+        simulated = dict(zip(distinct, outputs))
+    else:
+        simulated = {
+            key: cached_run_training(**kwargs)
+            for key, kwargs in distinct.items()
+        }
+
+    for spec in specs:
+        key = (
+            spec.model,
+            spec.cluster,
+            spec.parallelism,
+            spec.optimizations,
+            spec.microbatch_size,
+            spec.global_batch_size,
+        )
+        result = simulated[key]
         results[spec.name] = result
         summary = run_summary(result)
         row = {"name": spec.name}

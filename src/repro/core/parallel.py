@@ -1,0 +1,84 @@
+"""Process-parallel execution of simulation runs.
+
+:func:`map_runs` fans a list of run payloads over a
+``ProcessPoolExecutor``. The executor's ``map`` keeps result order equal
+to input order regardless of which worker finishes first, so parallel
+sweeps are deterministic: ``jobs`` changes wall-clock time, never
+results. ``jobs=1`` (the default everywhere) bypasses the pool entirely
+and preserves the exact serial code path.
+
+Workers run :func:`repro.core.sweep.cached_run_training` /
+``cached_run_inference``, so they share the persistent on-disk store
+with the parent: a worker's simulation is written once (atomically) and
+every later process reads it back.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+#: Payload shape: ("train" | "infer", kwargs-dict for the cached runner).
+RunPayload = tuple[str, dict]
+
+
+def default_jobs() -> int:
+    """Default worker count: leave one core for the parent process."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Map a user-facing ``--jobs`` value to a worker count.
+
+    ``None`` or values below 1 mean "auto" (:func:`default_jobs`).
+    """
+    if jobs is None or jobs < 1:
+        return default_jobs()
+    return jobs
+
+
+def _run_payload(payload: RunPayload):
+    """Top-level worker entry point (must be picklable)."""
+    from repro.core.sweep import cached_run_inference, cached_run_training
+
+    kind, kwargs = payload
+    runner = cached_run_training if kind == "train" else cached_run_inference
+    return runner(**kwargs)
+
+
+def map_runs(payloads: Sequence[RunPayload], jobs: int) -> list:
+    """Run every payload and return results in input order.
+
+    With ``jobs <= 1`` (or a single payload) this is a plain serial
+    loop. Otherwise payloads fan out over worker processes; if the
+    platform cannot spawn processes (restricted sandboxes), execution
+    silently falls back to the serial path — same results, no failure.
+    """
+    payloads = list(payloads)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_run_payload(payload) for payload in payloads]
+    workers = min(jobs, len(payloads))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_payload, payloads))
+    except (OSError, PermissionError, NotImplementedError):
+        return [_run_payload(payload) for payload in payloads]
+
+
+def map_calls(fn, items: Iterable, jobs: int) -> list:
+    """Generic deterministic fan-out: ``[fn(item) for item in items]``.
+
+    ``fn`` must be a picklable top-level callable. Used for pre-profiling
+    job shapes and other non-RunResult work; the same serial-fallback
+    rules as :func:`map_runs` apply.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError, NotImplementedError):
+        return [fn(item) for item in items]

@@ -1,55 +1,126 @@
 """Sweep harness: run a grid of configurations and tabulate results.
 
 Benchmarks use this to regenerate the paper's multi-configuration figures
-(2, 4, 9, 10, 13, 14, 23). Results are memoised per process so figures
-that share configurations (most of them) do not re-simulate.
+(2, 4, 9, 10, 13, 14, 23). Results are memoised twice over: per process
+(so figures that share configurations do not re-simulate) and on disk via
+:mod:`repro.core.store` (so benchmark reruns across processes reuse
+earlier simulations). Sweep points can also fan out over worker
+processes; see :func:`run_sweep`'s ``jobs`` argument.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.experiment import run_inference, run_training
 from repro.core.results import RunResult
+from repro.core.store import (
+    SCHEMA_VERSION,
+    persistence_enabled,
+    result_store,
+)
 from repro.parallelism.strategy import OptimizationConfig
 
 _CACHE: dict[tuple, RunResult] = {}
 
 
+def freeze(value):
+    """Deterministic, hashable form of a run-configuration value.
+
+    Recurses through dataclasses (``SimSettings``, ``OptimizationConfig``,
+    catalog specs, ...), mappings, sequences, sets, and enums; scalars
+    pass through. The result is stable across processes, which makes it
+    usable both as an in-memory dict key and as input to the on-disk
+    digest.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, freeze(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(
+                (freeze(k), freeze(v)) for k, v in sorted(value.items())
+            ),
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(freeze(item) for item in value)))
+    if isinstance(value, (str, int, float, bool, bytes)) or value is None:
+        return value
+    # Last resort for exotic values: fall back to repr, which keeps the
+    # key usable (hashable) at the price of possible cache misses.
+    return ("repr", repr(value))
+
+
 def _cache_key(kind: str, kwargs: dict) -> tuple:
-    parts: list = [kind]
-    for key in sorted(kwargs):
-        value = kwargs[key]
-        if isinstance(value, (list, tuple)):
-            value = tuple(value)
-        parts.append((key, value))
-    return tuple(parts)
+    return (kind, freeze(kwargs))
+
+
+def key_digest(key: tuple) -> str:
+    """Stable hex digest of a cache key (on-disk addressing).
+
+    The store schema version is folded in, so a version bump invalidates
+    every previously written entry.
+    """
+    payload = repr((SCHEMA_VERSION, key)).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _cached_run(kind: str, runner: Callable[..., RunResult],
+                kwargs: dict) -> RunResult:
+    key = _cache_key(kind, kwargs)
+    result = _CACHE.get(key)
+    if result is not None:
+        return result
+    store = result_store() if persistence_enabled() else None
+    digest = key_digest(key) if store is not None else ""
+    if store is not None:
+        result = store.get(digest)
+    if result is None:
+        result = runner(**kwargs)
+        if store is not None:
+            store.put(digest, result)
+    _CACHE[key] = result
+    return result
 
 
 def cached_run_training(**kwargs) -> RunResult:
     """Memoised :func:`repro.core.experiment.run_training`.
 
-    Only hashable keyword values participate in the key, so pass models,
-    clusters, and strategies by catalog name when using the cache.
+    Results are served from (in order) the in-process memo, the
+    persistent ``.repro_cache`` store, and a fresh simulation. Pass
+    models, clusters, and strategies by catalog name for the most
+    compact keys (full config objects also work).
     """
-    key = _cache_key("train", kwargs)
-    if key not in _CACHE:
-        _CACHE[key] = run_training(**kwargs)
-    return _CACHE[key]
+    return _cached_run("train", run_training, kwargs)
 
 
 def cached_run_inference(**kwargs) -> RunResult:
     """Memoised :func:`repro.core.experiment.run_inference`."""
-    key = _cache_key("infer", kwargs)
-    if key not in _CACHE:
-        _CACHE[key] = run_inference(**kwargs)
-    return _CACHE[key]
+    return _cached_run("infer", run_inference, kwargs)
 
 
 def clear_cache() -> None:
-    """Drop all memoised results (tests use this for isolation)."""
+    """Drop all memoised results, in-memory and persistent.
+
+    Tests rely on this for isolation, so it clears both layers: the
+    per-process memo and the on-disk store the process would read from.
+    """
     _CACHE.clear()
+    result_store().clear()
 
 
 @dataclass(frozen=True)
@@ -72,31 +143,70 @@ class SweepPoint:
         )
 
 
+def _point_kwargs(
+    point: SweepPoint, global_batch_size: int, iterations: int, settings
+) -> dict:
+    kwargs = dict(
+        model=point.model,
+        cluster=point.cluster,
+        parallelism=point.parallelism,
+        optimizations=point.optimizations,
+        microbatch_size=point.microbatch_size,
+        global_batch_size=global_batch_size,
+        iterations=iterations,
+    )
+    if settings is not None:
+        kwargs["settings"] = settings
+    return kwargs
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     global_batch_size: int = 128,
     iterations: int = 2,
     on_result: Callable[[SweepPoint, RunResult], None] | None = None,
+    jobs: int = 1,
+    settings=None,
 ) -> dict[SweepPoint, RunResult]:
     """Run every distinct sweep point (memoised) and return results.
 
     Duplicate points — common when figure grids overlap — are skipped
     before simulating, so each configuration runs (and reports via
     ``on_result``) exactly once.
+
+    Args:
+        points: grid to simulate.
+        global_batch_size / iterations: shared run shape.
+        on_result: progress callback, invoked in point order.
+        jobs: worker processes; 1 keeps the exact serial path, values
+            below 1 (or None) pick :func:`repro.core.parallel.default_jobs`.
+            Results are independent of ``jobs``.
+        settings: optional :class:`~repro.engine.simulator.SimSettings`
+            forwarded to every run.
     """
-    results: dict[SweepPoint, RunResult] = {}
+    from repro.core.parallel import map_runs, resolve_jobs
+
+    ordered: list[SweepPoint] = []
+    seen: set[SweepPoint] = set()
     for point in points:
-        if point in results:
-            continue
-        result = cached_run_training(
-            model=point.model,
-            cluster=point.cluster,
-            parallelism=point.parallelism,
-            optimizations=point.optimizations,
-            microbatch_size=point.microbatch_size,
-            global_batch_size=global_batch_size,
-            iterations=iterations,
+        if point not in seen:
+            seen.add(point)
+            ordered.append(point)
+
+    jobs = 1 if jobs == 1 else resolve_jobs(jobs)
+    payloads = [
+        (
+            "train",
+            _point_kwargs(point, global_batch_size, iterations, settings),
         )
+        for point in ordered
+    ]
+    outputs = map_runs(payloads, jobs)
+
+    results: dict[SweepPoint, RunResult] = {}
+    for point, payload, result in zip(ordered, payloads, outputs):
+        # Seed the in-process memo so later figures reuse worker output.
+        _CACHE.setdefault(_cache_key("train", payload[1]), result)
         results[point] = result
         if on_result is not None:
             on_result(point, result)

@@ -28,6 +28,7 @@ from repro.datacenter.jobs import (
     JobState,
     PlacementInterval,
     clear_profile_cache,
+    preprofile_jobs,
     profile_job,
     sub_cluster,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "fleet_metrics",
     "format_fleet_summary",
     "generate_arrivals",
+    "preprofile_jobs",
     "profile_job",
     "select_nodes",
     "simulate_fleet",

@@ -545,6 +545,25 @@ class FleetSim:
             )
 
 
-def simulate_fleet(config: FleetConfig) -> FleetOutcome:
-    """Convenience wrapper: build a :class:`FleetSim` and run it."""
-    return FleetSim(config).run()
+def simulate_fleet(config: FleetConfig, jobs: int = 1) -> FleetOutcome:
+    """Convenience wrapper: build a :class:`FleetSim` and run it.
+
+    Args:
+        config: the scenario to simulate.
+        jobs: worker processes used to pre-profile distinct job shapes
+            before the event loop starts (see
+            :func:`repro.datacenter.jobs.preprofile_jobs`); 1 keeps the
+            serial lazy-profiling path. Results are independent of
+            ``jobs``.
+    """
+    sim = FleetSim(config)
+    if jobs != 1:
+        from repro.datacenter.jobs import preprofile_jobs
+
+        preprofile_jobs(
+            [arrival.spec for arrival in sim._arrivals],
+            sim.clusters,
+            thermal_training=config.policy == "thermal-aware",
+            jobs=jobs,
+        )
+    return sim.run()

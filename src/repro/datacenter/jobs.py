@@ -192,6 +192,22 @@ def _fault_key(fault: FaultSpec) -> tuple:
     )
 
 
+def _profile_key(
+    spec: JobSpec, cluster: ClusterSpec, thermal_placement: bool
+) -> tuple:
+    return (
+        spec.kind,
+        spec.model,
+        spec.parallelism,
+        spec.nodes_required,
+        spec.microbatch_size,
+        spec.global_batch_size,
+        cluster.name,
+        _fault_key(spec.fault),
+        thermal_placement,
+    )
+
+
 def sub_cluster(cluster: ClusterSpec, num_nodes: int) -> ClusterSpec:
     """A ``num_nodes``-node slice of ``cluster`` for one job.
 
@@ -230,17 +246,7 @@ def profile_job(
             thermal_aware_placement`) when the strategy permits; the
             fleet's thermal-aware policy enables this.
     """
-    key = (
-        spec.kind,
-        spec.model,
-        spec.parallelism,
-        spec.nodes_required,
-        spec.microbatch_size,
-        spec.global_batch_size,
-        cluster.name,
-        _fault_key(spec.fault),
-        thermal_placement,
-    )
+    key = _profile_key(spec, cluster, thermal_placement)
     cached = _PROFILE_CACHE.get(key)
     if cached is not None:
         return cached
@@ -287,6 +293,50 @@ def profile_job(
     )
     _PROFILE_CACHE[key] = profile
     return profile
+
+
+def _profile_payload(item: tuple) -> JobProfile:
+    """Top-level worker entry for parallel pre-profiling (picklable)."""
+    spec, cluster, thermal = item
+    return profile_job(spec, cluster, thermal_placement=thermal)
+
+
+def preprofile_jobs(
+    specs: list[JobSpec],
+    clusters: tuple[ClusterSpec, ...],
+    thermal_training: bool = False,
+    jobs: int = 1,
+) -> int:
+    """Warm the profile cache for every distinct job shape.
+
+    The fleet's event loop profiles lazily at placement time, one shape
+    at a time. This pre-pass simulates all distinct (shape, cluster)
+    combinations up front — optionally across ``jobs`` worker processes
+    via :func:`repro.core.parallel.map_calls` — so the event loop only
+    ever hits the cache. Profiles are placement-independent, which keeps
+    results identical to the lazy path. Returns the number of profiles
+    simulated.
+    """
+    from repro.core.parallel import map_calls
+
+    work: list[tuple] = []
+    keys: list[tuple] = []
+    seen: set[tuple] = set()
+    for spec in specs:
+        for cluster in clusters:
+            if spec.nodes_required > cluster.num_nodes:
+                continue
+            thermal = thermal_training and spec.kind is JobKind.TRAINING
+            key = _profile_key(spec, cluster, thermal)
+            if key in seen or key in _PROFILE_CACHE:
+                continue
+            seen.add(key)
+            keys.append(key)
+            work.append((spec, cluster, thermal))
+    profiles = map_calls(_profile_payload, work, jobs)
+    for key, profile in zip(keys, profiles):
+        _PROFILE_CACHE.setdefault(key, profile)
+    return len(work)
 
 
 def _try_thermal_placement(

@@ -167,6 +167,11 @@ class GraphBuilder:
             compute=self._gemm_eff, comm=0.5, memory=0.3
         )
         self._ar_duration_cache: dict[tuple[int, ...], float] = {}
+        # Rank-mapping memos: the grid is tiny compared with the number
+        # of emitted tasks, so (t, e, dpo, stage) -> rank lookups repeat
+        # thousands of times per build.
+        self._rank_cache: dict[tuple[int, int, int, int], int] = {}
+        self._tp_ranks_cache: dict[tuple[int, int, int], tuple[int, ...]] = {}
         self._per_layer_fwd_flops = layer_flops(model, tokens).forward
         self._lm_head_flops = (
             2.0 * tokens * model.hidden_size * model.vocab_size
@@ -217,8 +222,7 @@ class GraphBuilder:
     ) -> list[tuple[int, int]]:
         """(tp_idx, rank) pairs of one (replica, stage) slice."""
         return [
-            (t, rank_of(RankCoords(tp=t, ep=e, dp=dpo, pp=stage), self.cfg))
-            for t in range(self.cfg.tp)
+            (t, self._rank(t, e, dpo, stage)) for t in range(self.cfg.tp)
         ]
 
     def _emit_slice(
@@ -591,12 +595,24 @@ class GraphBuilder:
             self._shared[key] = task
         self.queues[rank].append(task)
 
+    def _rank(self, t: int, e: int, dpo: int, stage: int) -> int:
+        """Memoised :func:`rank_of` for a grid position."""
+        key = (t, e, dpo, stage)
+        rank = self._rank_cache.get(key)
+        if rank is None:
+            rank = rank_of(RankCoords(t, e, dpo, stage), self.cfg)
+            self._rank_cache[key] = rank
+        return rank
+
     def _tp_ranks(self, dpo: int, e: int, stage: int) -> tuple[int, ...]:
-        cfg = self.cfg
-        return tuple(
-            rank_of(RankCoords(ti, e, dpo, stage), cfg)
-            for ti in range(cfg.tp)
-        )
+        key = (dpo, e, stage)
+        ranks = self._tp_ranks_cache.get(key)
+        if ranks is None:
+            ranks = tuple(
+                self._rank(ti, e, dpo, stage) for ti in range(self.cfg.tp)
+            )
+            self._tp_ranks_cache[key] = ranks
+        return ranks
 
     def _tp_payload(self) -> float:
         return (
@@ -804,8 +820,7 @@ class GraphBuilder:
 
     def _owner_rank(self, vs: int, t: int, e: int, dpo: int) -> int:
         """Rank hosting virtual stage ``vs`` for the given grid position."""
-        stage = vs % self.cfg.pp
-        return rank_of(RankCoords(t, e, dpo, stage), self.cfg)
+        return self._rank(t, e, dpo, vs % self.cfg.pp)
 
     def _emit_send(
         self,

@@ -114,7 +114,7 @@ def pressure_of(kind: KernelKind) -> PressureProfile:
     return _PRESSURE[category_of(kind)]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class KernelRecord:
     """One executed kernel on one GPU (Chakra-style trace entry).
 

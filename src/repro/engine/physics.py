@@ -1,0 +1,383 @@
+"""Physics backends: thermal + DVFS co-simulation strategies.
+
+The simulator integrates one RC thermal model and one DVFS governor per
+node at a fixed step. Two interchangeable backends implement that loop:
+
+* :class:`ScalarPhysics` — the reference implementation, one
+  :class:`~repro.thermal.rc_model.NodeThermalState` and one
+  :class:`~repro.thermal.throttle.DvfsGovernor` per node, stepped with
+  plain Python loops. This is the original (pre-optimization) code path,
+  kept both as a differential-testing oracle and as the baseline the
+  perf-regression benchmark measures speedups against.
+
+* :class:`VectorPhysics` — the hot path. All nodes are stacked into
+  ``(num_nodes, gpus_per_node)`` numpy arrays and the whole cluster is
+  advanced with a handful of vectorized operations per step: inlet
+  temperatures via a precomputed upstream-airflow matrix, the exact
+  2x2 matrix-exponential propagator applied to every (die, heatsink)
+  pair at once, and a vectorized governor (power cap, throttle,
+  recovery, clamp). Clock exponentiation (``freq ** 2.4``, the single
+  most expensive scalar in the loop) is cached per GPU and recomputed
+  only where the clock actually changed since the previous step.
+
+Both backends expose the same small surface the simulator needs:
+``prewarm``, ``step``, ``freq_of``/``freqs``, ``temps``,
+``throttle_ratios`` and ``mean_freq_ratios``. Numerical results agree to
+floating-point noise (the vector path reorders some reductions);
+``tests/test_engine_physics.py`` pins the two together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.faults import FaultSpec
+from repro.hardware.cluster import ClusterSpec
+from repro.power.model import (
+    COMM_INTENSITY,
+    COMPUTE_INTENSITY,
+    FREQ_POWER_EXP,
+    MEMORY_INTENSITY,
+    Activity,
+    gpu_power,
+)
+from repro.thermal.rc_model import NodeThermalState, _expm_2x2, _system_matrix
+from repro.thermal.throttle import (
+    HYSTERESIS_C,
+    RECOVERY_STEP,
+    THROTTLE_GAIN_PER_C,
+    DvfsGovernor,
+)
+
+
+class ScalarPhysics:
+    """Reference backend: per-node thermal/governor objects, Python loops."""
+
+    def __init__(self, cluster: ClusterSpec, faults: FaultSpec) -> None:
+        self.cluster = cluster
+        node = cluster.node
+        self.thermal = [
+            NodeThermalState(node) for _ in range(cluster.num_nodes)
+        ]
+        self.governors = [
+            DvfsGovernor(
+                node,
+                power_cap_scale=faults.power_cap_scale(i),
+                max_clock=faults.max_clock(i),
+            )
+            for i in range(cluster.num_nodes)
+        ]
+
+    def prewarm(self, power_w: float) -> None:
+        """Jump every node to the steady state of a uniform power draw."""
+        per_node = self.cluster.node.gpus_per_node
+        for thermal in self.thermal:
+            thermal.set_equilibrium([power_w] * per_node)
+
+    def step(
+        self,
+        dt_s: float,
+        activity_of,
+    ) -> None:
+        """Advance thermal + governor state by one step.
+
+        Args:
+            dt_s: integration step.
+            activity_of: callable ``gpu -> Activity`` giving the current
+                utilisation of each global GPU.
+        """
+        cluster = self.cluster
+        per_node = cluster.node.gpus_per_node
+        gpu_spec = cluster.node.gpu
+        for node_idx in range(cluster.num_nodes):
+            governor = self.governors[node_idx]
+            thermal = self.thermal[node_idx]
+            powers = []
+            for local in range(per_node):
+                gpu = node_idx * per_node + local
+                power = gpu_power(
+                    gpu_spec,
+                    activity_of(gpu),
+                    governor.freq_of(local),
+                )
+                powers.append(power)
+                self._power_out[gpu] = power
+            temps = thermal.step(dt_s, powers)
+            governor.update(dt_s, temps, powers)
+
+    def bind_power_out(self, power_out: list[float]) -> None:
+        """Register the per-GPU power list the backend writes into."""
+        self._power_out = power_out
+
+    def freq_of(self, gpu: int) -> float:
+        """Current clock ratio of one global GPU."""
+        per_node = self.cluster.node.gpus_per_node
+        return self.governors[gpu // per_node].freq_of(gpu % per_node)
+
+    def temp_of(self, gpu: int) -> float:
+        """Current die temperature of one global GPU."""
+        per_node = self.cluster.node.gpus_per_node
+        return self.thermal[gpu // per_node].temps_c[gpu % per_node]
+
+    def throttle_ratios(self) -> list[float]:
+        """Per-GPU fraction of observed time spent throttled."""
+        values: list[float] = []
+        for governor in self.governors:
+            values.extend(governor.throttle_ratios())
+        return values
+
+    def mean_freq_ratios(self) -> list[float]:
+        """Per-GPU time-weighted mean clock ratio."""
+        values: list[float] = []
+        for governor in self.governors:
+            values.extend(s.mean_freq_ratio for s in governor.stats)
+        return values
+
+
+class VectorPhysics:
+    """Vectorized backend: the whole cluster stepped as stacked arrays."""
+
+    def __init__(self, cluster: ClusterSpec, faults: FaultSpec) -> None:
+        self.cluster = cluster
+        node = cluster.node
+        gpu = node.gpu
+        n, g = cluster.num_nodes, node.gpus_per_node
+        self._n, self._g = n, g
+
+        # Airflow: inlet_i = ambient + offset_i + k * sum_{j up(i)} P_j,
+        # expressed as a per-node (g, g) upstream matrix shared by all
+        # nodes (identical hardware).
+        upstream = np.zeros((g, g))
+        for i, sources in enumerate(node.airflow.upstream):
+            for j in sources:
+                upstream[i, j] = 1.0
+        self._preheat_matrix = node.airflow.preheat_c_per_w * upstream
+        self._inlet_base = node.ambient_c + np.asarray(
+            node.airflow.inlet_offset_c, dtype=float
+        )
+
+        self._r_total = gpu.thermal_resistance_c_per_w
+        self._r_sink_air = self._r_total - gpu.die_resistance_c_per_w
+        self._matrix = _system_matrix(node)
+        self._propagators: dict[float, tuple[float, ...]] = {}
+        self._eq_cache: tuple | None = None
+
+        idle = np.broadcast_to(self._inlet_base, (n, g)).copy()
+        self.die_c = idle.copy()
+        self.sink_c = idle.copy()
+
+        # Governor state and fault knobs, one row per node.
+        self.freq = np.ones((n, g))
+        self._cap_scale = np.array(
+            [faults.power_cap_scale(i) for i in range(n)]
+        )
+        self._budget = node.node_power_cap_watts * self._cap_scale
+        max_clock = np.array([faults.max_clock(i) for i in range(n)])
+        self._ceiling = np.minimum(1.0, max_clock)[:, None]
+        floor = np.where(
+            self._cap_scale < 1.0,
+            gpu.base_clock_ratio * self._cap_scale,
+            gpu.base_clock_ratio,
+        )
+        self._floor = np.minimum(floor[:, None], self._ceiling)
+        self._throttle_temp = gpu.throttle_temp_c
+
+        self.throttled_time = np.zeros((n, g))
+        self.observed_time = 0.0
+        self.freq_integral = np.zeros((n, g))
+        # Governor quiet path: while every clock sits at its ceiling, no
+        # node is power-capped and no die is above the throttle point,
+        # the full where/clip chain is a no-op and is skipped.
+        self._at_ceiling = False
+        self._throttled_mask = np.zeros((n, g))
+        # Per-GPU stats accrue lazily: while the clocks hold still only
+        # the scalar _hold_dt advances, and the array integrals are
+        # settled when the clocks move or the stats are read.
+        self._hold_dt = 0.0
+
+    # -- thermal helpers ------------------------------------------------
+
+    def _inlets(self, powers: np.ndarray) -> np.ndarray:
+        return self._inlet_base + powers @ self._preheat_matrix.T
+
+    def _propagator(self, dt_s: float) -> tuple[float, float, float, float]:
+        propagator = self._propagators.get(dt_s)
+        if propagator is None:
+            matrix = _expm_2x2(self._matrix, dt_s)
+            propagator = (
+                float(matrix[0, 0]),
+                float(matrix[0, 1]),
+                float(matrix[1, 0]),
+                float(matrix[1, 1]),
+            )
+            self._propagators[dt_s] = propagator
+        return propagator
+
+    def prewarm(self, power_w: float) -> None:
+        """Jump every GPU to the steady state of a uniform power draw."""
+        powers = np.full((self._n, self._g), power_w)
+        inlets = self._inlets(powers)
+        self.die_c = inlets + powers * self._r_total
+        self.sink_c = inlets + powers * self._r_sink_air
+
+    def step(self, dt_s: float, powers: np.ndarray) -> None:
+        """Advance thermal state and governor by ``dt_s``.
+
+        Args:
+            dt_s: integration step.
+            powers: per-GPU board powers held over the step, either flat
+                (global-GPU order) or ``(num_nodes, gpus_per_node)``.
+        """
+        powers = powers.reshape(self._n, self._g)
+        # Equilibrium temperatures and the cap factor depend only on the
+        # held powers; kernels start/finish far less often than physics
+        # steps, so reuse them while powers are unchanged.
+        cache = self._eq_cache
+        if cache is not None and np.array_equal(powers, cache[0]):
+            die_eq, sink_eq, cap, capped = cache[1:]
+        else:
+            inlets = self._inlets(powers)
+            die_eq = inlets + powers * self._r_total
+            sink_eq = inlets + powers * self._r_sink_air
+            total = powers.sum(axis=1)
+            over = total > self._budget
+            capped = bool(over.any())
+            cap = np.where(
+                over, self._budget / np.maximum(total, 1e-12), 1.0
+            )[:, None]
+            self._eq_cache = (powers.copy(), die_eq, sink_eq, cap, capped)
+
+        # Thermal: exact propagator toward the step's equilibrium.
+        p00, p01, p10, p11 = self._propagator(dt_s)
+        die_dev = self.die_c - die_eq
+        sink_dev = self.sink_c - sink_eq
+        self.die_c = die_eq + p00 * die_dev + p01 * sink_dev
+        self.sink_c = sink_eq + p10 * die_dev + p11 * sink_dev
+
+        # Governor: node power cap, then per-GPU throttle/recovery.
+        if (
+            self._at_ceiling
+            and not capped
+            and not (self.die_c > self._throttle_temp).any()
+        ):
+            # Quiet path: throttle, recovery, cap and clamp all leave
+            # the clocks exactly where they are.
+            ratio = self.freq
+        else:
+            self._settle_stats()
+            excess = self.die_c - self._throttle_temp
+            ratio = np.where(
+                excess > 0,
+                self.freq - THROTTLE_GAIN_PER_C * excess,
+                np.where(
+                    self.die_c < self._throttle_temp - HYSTERESIS_C,
+                    self.freq + RECOVERY_STEP,
+                    self.freq,
+                ),
+            )
+            ratio = np.minimum(
+                np.maximum(ratio * cap, self._floor), self._ceiling
+            )
+            self.freq = ratio
+            self._at_ceiling = bool((ratio == self._ceiling).all())
+            self._throttled_mask = ratio < 1.0 - 1e-9
+
+        self.observed_time += dt_s
+        self._hold_dt += dt_s
+
+    def _settle_stats(self) -> None:
+        """Fold the pending constant-clock interval into the integrals."""
+        if self._hold_dt:
+            self.freq_integral += self.freq * self._hold_dt
+            self.throttled_time += self._throttled_mask * self._hold_dt
+            self._hold_dt = 0.0
+
+    # -- simulator-facing views ----------------------------------------
+
+    @property
+    def freq_flat(self) -> np.ndarray:
+        """Clock ratios in global-GPU order (flattened view)."""
+        return self.freq.reshape(-1)
+
+    def freq_of(self, gpu: int) -> float:
+        """Current clock ratio of one global GPU."""
+        return float(self.freq[gpu // self._g, gpu % self._g])
+
+    def temp_of(self, gpu: int) -> float:
+        """Current die temperature of one global GPU."""
+        return float(self.die_c[gpu // self._g, gpu % self._g])
+
+    def throttle_ratios(self) -> list[float]:
+        """Per-GPU fraction of observed time spent throttled."""
+        if self.observed_time == 0:
+            return [0.0] * (self._n * self._g)
+        self._settle_stats()
+        return (self.throttled_time / self.observed_time).reshape(-1).tolist()
+
+    def mean_freq_ratios(self) -> list[float]:
+        """Per-GPU time-weighted mean clock ratio."""
+        if self.observed_time == 0:
+            return [1.0] * (self._n * self._g)
+        self._settle_stats()
+        return (self.freq_integral / self.observed_time).reshape(-1).tolist()
+
+
+class PowerVector:
+    """Vectorized per-GPU board-power evaluation with change tracking.
+
+    Mirrors :func:`repro.power.model.gpu_power` across the whole cluster:
+    ``P = idle + span * intensity * freq ** 2.4``. The activity-derived
+    intensity is recomputed only when some kernel started or finished
+    since the last step, and the clock exponential only where the
+    governor actually moved a GPU's clock.
+    """
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        gpu = cluster.node.gpu
+        self._idle = gpu.idle_watts
+        self._span = gpu.tdp_watts - gpu.idle_watts
+        num = cluster.total_gpus
+        self._intensity = np.zeros(num)
+        self._freq_seen = np.ones(num)
+        self._freq_pow = np.ones(num)
+
+    def refresh_intensity(
+        self,
+        compute_active: list[float],
+        comm_active: list[float],
+        memory_active: list[float],
+    ) -> None:
+        """Recompute the activity intensity vector (call when dirty)."""
+        clamp01 = lambda values: np.minimum(  # noqa: E731
+            np.maximum(np.asarray(values), 0.0), 1.0
+        )
+        self._intensity = clamp01(
+            COMPUTE_INTENSITY * clamp01(compute_active)
+            + COMM_INTENSITY * clamp01(comm_active)
+            + MEMORY_INTENSITY * clamp01(memory_active)
+        )
+
+    def powers(self, freq_flat: np.ndarray) -> np.ndarray:
+        """Board power per GPU for the given clock ratios."""
+        changed = freq_flat != self._freq_seen
+        if changed.any():
+            self._freq_pow[changed] = freq_flat[changed] ** FREQ_POWER_EXP
+            self._freq_seen = freq_flat.copy()
+        return self._idle + self._span * self._intensity * self._freq_pow
+
+
+def reference_activity(
+    compute_active: list[float],
+    comm_active: list[float],
+    memory_active: list[float],
+):
+    """Scalar ``gpu -> Activity`` closure for :class:`ScalarPhysics`."""
+
+    def activity_of(gpu: int) -> Activity:
+        return Activity(
+            compute=min(1.0, max(0.0, compute_active[gpu])),
+            comm=min(1.0, max(0.0, comm_active[gpu])),
+            memory=min(1.0, max(0.0, memory_active[gpu])),
+        )
+
+    return activity_of

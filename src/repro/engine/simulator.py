@@ -15,6 +15,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.comm.collectives import (
     CommCost,
     allgather,
@@ -27,14 +29,18 @@ from repro.comm.contention import NicContention
 from repro.comm.traffic import TrafficLedger
 from repro.core.faults import HEALTHY, FaultSpec
 from repro.engine.kernels import KernelKind, KernelRecord
+from repro.engine.physics import (
+    PowerVector,
+    ScalarPhysics,
+    VectorPhysics,
+    reference_activity,
+)
 from repro.engine.task import CollectiveOp, ComputeSpec, Task, TaskGraph, TaskKind
 from repro.hardware.interconnect import LinkKind
 from repro.optimizations.overlap import OVERLAP_COMM_SLOWDOWN, fused_duration
 from repro.parallelism.mapping import DeviceMesh
 from repro.power.model import Activity, gpu_power
 from repro.telemetry.monitor import GpuSample, TelemetryLog
-from repro.thermal.rc_model import NodeThermalState
-from repro.thermal.throttle import DvfsGovernor
 
 EPS = 2e-6
 
@@ -64,6 +70,12 @@ class SimSettings:
             equilibrium estimate.
         faults: node degradations active for the whole run (power
             failures, pinned clocks) — the paper's straggler incident.
+        fast_path: use the vectorized physics backend and the collective
+            cost memo (default). ``False`` selects the scalar reference
+            implementation — bit-for-bit the original code path — which
+            the differential tests and the perf-regression benchmark
+            use as their oracle/baseline. Results agree to floating-
+            point noise.
     """
 
     physics_dt_s: float = 0.05
@@ -71,6 +83,7 @@ class SimSettings:
     thermal_prewarm: bool = True
     prewarm_busy_fraction: float = 0.75
     faults: FaultSpec = HEALTHY
+    fast_path: bool = True
 
 
 @dataclass
@@ -99,7 +112,7 @@ class SimOutcome:
     num_iterations: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _RunningCollective:
     """Book-keeping of an in-flight rendezvous collective."""
 
@@ -138,17 +151,39 @@ class Simulator:
         self._pcie_rate = [0.0] * num_gpus
 
         node = self.cluster.node
-        self._thermal = [
-            NodeThermalState(node) for _ in range(self.cluster.num_nodes)
-        ]
-        self._governors = [
-            DvfsGovernor(
-                node,
-                power_cap_scale=self.settings.faults.power_cap_scale(i),
-                max_clock=self.settings.faults.max_clock(i),
+        self._fast = self.settings.fast_path
+        if self._fast:
+            self._physics = VectorPhysics(self.cluster, self.settings.faults)
+            self._power_vec = PowerVector(self.cluster)
+            self._activity_dirty = True
+            self._last_power = [node.gpu.idle_watts] * num_gpus
+        else:
+            self._physics = ScalarPhysics(self.cluster, self.settings.faults)
+            self._last_power = [node.gpu.idle_watts] * num_gpus
+            self._physics.bind_power_out(self._last_power)
+            self._activity_of_ref = reference_activity(
+                self._compute_active, self._comm_active, self._memory_active
             )
-            for i in range(self.cluster.num_nodes)
-        ]
+
+        # Precomputed rank/GPU index tables (hot-path: avoids repeated
+        # method dispatch through mesh/cluster per event).
+        self._gpu_of = [self.mesh.gpu_of(r) for r in range(self.world)]
+        per_node = node.gpus_per_node
+        self._node_of = [g // per_node for g in range(num_gpus)]
+        self._local_of = [g % per_node for g in range(num_gpus)]
+        self._sustained = node.gpu.sustained_flops
+        # Collective cost memo: (op/kind, group, payload, bandwidth
+        # scale) -> CommCost, shared across microbatches and iterations.
+        self._comm_cache: dict[tuple, CommCost] = {}
+        self._group_cache: dict[tuple[int, ...], tuple] = {}
+        self._nic_cache: dict[tuple[int, ...], tuple[int, ...]] = {}
+        # Fast path folds the (heavily repeated, memoized) comm costs
+        # into the traffic ledger once at the end of the run instead of
+        # walking the ledger dicts on every send/collective.
+        self._traffic_pending: dict[int, list] = {}
+        self._pcie_memo: dict[int, list[tuple[int, float]]] = {}
+        self._queues = graph.queues
+
         self.telemetry = TelemetryLog(
             num_gpus=num_gpus,
             sample_interval_s=self.settings.telemetry_interval_s,
@@ -160,11 +195,11 @@ class Simulator:
         self._waiting: dict[int, tuple[Task, int, float]] = {}
         self._collectives: dict[int, _RunningCollective] = {}
         self._records: list[KernelRecord] = []
+        self._append_record = self._records.append
         self._iteration_end: dict[int, float] = {}
 
         self._phys_time = 0.0
         self._next_sample = 0.0
-        self._last_power = [node.gpu.idle_watts] * num_gpus
         self._now = 0.0
 
         self._handlers = {
@@ -191,6 +226,7 @@ class Simulator:
             self._handlers[name](time_s, *payload)
         makespan = self._now
         self._flush_physics(makespan)
+        self._flush_traffic()
         self._check_finished()
         return SimOutcome(
             records=self._records,
@@ -201,12 +237,8 @@ class Simulator:
             ],
             telemetry=self.telemetry,
             traffic=self.traffic,
-            throttle_ratio=self._per_gpu_from_governors(
-                lambda g: g.throttle_ratios()
-            ),
-            mean_freq_ratio=self._per_gpu_from_governors(
-                lambda g: [s.mean_freq_ratio for s in g.stats]
-            ),
+            throttle_ratio=self._physics.throttle_ratios(),
+            mean_freq_ratio=self._physics.mean_freq_ratios(),
             tokens_per_iteration=self.graph.tokens_per_iteration,
             num_iterations=self.graph.num_iterations,
         )
@@ -216,9 +248,11 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _try_start(self, rank: int, now: float) -> None:
-        if self._pos[rank] >= len(self.graph.queues[rank]):
+        queue = self._queues[rank]
+        pos = self._pos[rank]
+        if pos >= len(queue):
             return
-        task = self.graph.queues[rank][self._pos[rank]]
+        task = queue[pos]
         if task.kind is TaskKind.COMPUTE:
             self._start_compute(task, rank, now)
         elif task.kind is TaskKind.SEND:
@@ -229,29 +263,36 @@ class Simulator:
             self._arrive_collective(task, rank, now)
 
     def _start_compute(self, task: Task, rank: int, now: float) -> None:
-        gpu = self.mesh.gpu_of(rank)
+        gpu = self._gpu_of[rank]
         duration = self._compute_duration(task.compute, gpu)
         self._set_activity(gpu, task.compute.activity, +1)
         self._push(now + duration, "compute", (task, rank, now))
 
     def _start_send(self, task: Task, rank: int, now: float) -> None:
         spec = task.p2p
-        src_gpu = self.mesh.gpu_of(spec.src)
-        dst_gpu = self.mesh.gpu_of(spec.dst)
+        src_gpu = self._gpu_of[spec.src]
+        dst_gpu = self._gpu_of[spec.dst]
         nodes = self._nic_nodes_for((src_gpu, dst_gpu))
         share = self._contention.begin(nodes) if nodes else 1.0
-        cost = send_recv(
-            self.cluster,
-            src_gpu,
-            dst_gpu,
-            spec.payload_bytes,
-            chunked=spec.chunked,
-            bandwidth_scale=share,
-        )
+        key = ("p2p", src_gpu, dst_gpu, spec.payload_bytes, spec.chunked,
+               share)
+        cost = self._comm_cache.get(key) if self._fast else None
+        if cost is None:
+            cost = send_recv(
+                self.cluster,
+                src_gpu,
+                dst_gpu,
+                spec.payload_bytes,
+                chunked=spec.chunked,
+                bandwidth_scale=share,
+            )
+            if self._fast:
+                self._comm_cache[key] = cost
         duration = max(cost.duration_s, EPS)
-        self.traffic.record(cost)
+        self._record_scaled_traffic(cost, 1)
         rates = self._begin_pcie_rates(cost, duration, repeat=1)
         self._comm_active[src_gpu] += 1
+        self._activity_dirty = True
         self._delivery[spec.message_id] = now + duration
         self._push(now + duration, "send", (task, rank, now, nodes, rates))
         waiting = self._waiting.pop(spec.message_id, None)
@@ -262,9 +303,10 @@ class Simulator:
             )
 
     def _start_recv(self, task: Task, rank: int, now: float) -> None:
-        gpu = self.mesh.gpu_of(rank)
+        gpu = self._gpu_of[rank]
         msg = task.p2p.message_id
         self._comm_active[gpu] += 1
+        self._activity_dirty = True
         if msg in self._delivery:
             done = max(now, self._delivery[msg]) + EPS
             self._push(done, "recv", (task, rank, now))
@@ -274,21 +316,35 @@ class Simulator:
     def _arrive_collective(self, task: Task, rank: int, now: float) -> None:
         state = self._collectives.setdefault(task.uid, _RunningCollective())
         state.arrivals[rank] = now
-        gpu = self.mesh.gpu_of(rank)
+        gpu = self._gpu_of[rank]
         self._comm_active[gpu] += 1
+        self._activity_dirty = True
         if len(state.arrivals) == len(task.collective.ranks):
             self._start_collective(task, state, now)
+
+    def _group_of(self, ranks: tuple[int, ...]) -> tuple:
+        """Memoised (gpus, nic_nodes) of a collective's rank group."""
+        group = self._group_cache.get(ranks)
+        if group is None:
+            gpus = self.mesh.gpus_of(list(ranks))
+            group = (gpus, self._nic_nodes_for(tuple(gpus)))
+            self._group_cache[ranks] = group
+        return group
 
     def _start_collective(
         self, task: Task, state: _RunningCollective, now: float
     ) -> None:
         spec = task.collective
-        gpus = self.mesh.gpus_of(list(spec.ranks))
-        nodes = self._nic_nodes_for(tuple(gpus))
+        gpus, nodes = self._group_of(spec.ranks)
         share = self._contention.begin(nodes) if nodes else 1.0
-        cost = _COLLECTIVE_FNS[spec.op](
-            self.cluster, gpus, spec.payload_bytes, bandwidth_scale=share
-        )
+        key = (spec.op, spec.ranks, spec.payload_bytes, share)
+        cost = self._comm_cache.get(key) if self._fast else None
+        if cost is None:
+            cost = _COLLECTIVE_FNS[spec.op](
+                self.cluster, gpus, spec.payload_bytes, bandwidth_scale=share
+            )
+            if self._fast:
+                self._comm_cache[key] = cost
         comm_duration = cost.duration_s * spec.repeat
         self._record_scaled_traffic(cost, spec.repeat)
 
@@ -315,7 +371,7 @@ class Simulator:
     def _on_compute_done(
         self, now: float, task: Task, rank: int, start: float
     ) -> None:
-        gpu = self.mesh.gpu_of(rank)
+        gpu = self._gpu_of[rank]
         self._set_activity(gpu, task.compute.activity, -1)
         self._record(task, gpu, rank, start, now, task.kernel)
         self._advance(task, rank, now)
@@ -329,8 +385,9 @@ class Simulator:
         nodes: tuple[int, ...],
         rates: list[tuple[int, float]],
     ) -> None:
-        gpu = self.mesh.gpu_of(rank)
+        gpu = self._gpu_of[rank]
         self._comm_active[gpu] -= 1
+        self._activity_dirty = True
         self._end_pcie_rates(rates)
         if nodes:
             self._contention.end(nodes)
@@ -340,8 +397,9 @@ class Simulator:
     def _on_recv_done(
         self, now: float, task: Task, rank: int, wait_start: float
     ) -> None:
-        gpu = self.mesh.gpu_of(rank)
+        gpu = self._gpu_of[rank]
         self._comm_active[gpu] -= 1
+        self._activity_dirty = True
         self._record(task, gpu, rank, wait_start, now, task.kernel)
         self._advance(task, rank, now)
 
@@ -351,8 +409,9 @@ class Simulator:
             self._contention.end(state.nic_nodes)
         self._end_pcie_rates(state.pcie_rates)
         for member in task.collective.ranks:
-            gpu = self.mesh.gpu_of(member)
+            gpu = self._gpu_of[member]
             self._comm_active[gpu] -= 1
+            self._activity_dirty = True
             if task.overlap_compute is None:
                 # Rendezvous wait is charged to the comm kernel, as NCCL
                 # profilers report it.
@@ -397,11 +456,8 @@ class Simulator:
     def _compute_duration(self, spec: ComputeSpec, gpu: int) -> float:
         if spec.fixed_duration_s is not None:
             return max(spec.fixed_duration_s, spec.min_duration_s)
-        node = self.cluster.node_of(gpu)
-        local = self.cluster.local_index(gpu)
-        freq = self._governors[node].freq_of(local)
-        sustained = self.cluster.node.gpu.sustained_flops
-        duration = spec.flops / (sustained * spec.efficiency * freq)
+        freq = self._physics.freq_of(gpu)
+        duration = spec.flops / (self._sustained * spec.efficiency * freq)
         if spec.overlapped_comm_s > 0:
             duration = fused_duration(duration, spec.overlapped_comm_s)
         return max(duration, spec.min_duration_s)
@@ -411,6 +467,7 @@ class Simulator:
         self._compute_active[gpu] += delta * activity.compute
         self._comm_active[gpu] += delta * activity.comm
         self._memory_active[gpu] += delta * activity.memory
+        self._activity_dirty = True
         if min(
             self._compute_active[gpu],
             self._comm_active[gpu],
@@ -418,47 +475,64 @@ class Simulator:
         ) < -1e-9:
             raise RuntimeError(f"negative activity level on GPU {gpu}")
 
-    def _activity_of(self, gpu: int) -> Activity:
-        return Activity(
-            compute=min(1.0, max(0.0, self._compute_active[gpu])),
-            comm=min(1.0, max(0.0, self._comm_active[gpu])),
-            memory=min(1.0, max(0.0, self._memory_active[gpu])),
-        )
-
     def _nic_nodes_for(self, gpus: tuple[int, ...]) -> tuple[int, ...]:
-        nodes = sorted({self.cluster.node_of(g) for g in gpus})
-        return tuple(nodes) if len(nodes) > 1 else ()
+        cached = self._nic_cache.get(gpus)
+        if cached is None:
+            node_of = self._node_of
+            nodes = sorted({node_of[g] for g in gpus})
+            cached = tuple(nodes) if len(nodes) > 1 else ()
+            self._nic_cache[gpus] = cached
+        return cached
 
     def _begin_pcie_rates(
         self, cost: CommCost, duration: float, repeat: int
     ) -> list[tuple[int, float]]:
+        entries = self._pcie_entries(cost) if self._fast else None
+        if entries is None:
+            entries = [
+                (gpu, pcie)
+                for gpu, by_kind in cost.link_bytes.items()
+                if (pcie := by_kind.get(LinkKind.PCIE, 0.0)) > 0
+            ]
         rates = []
-        for gpu, by_kind in cost.link_bytes.items():
-            pcie = by_kind.get(LinkKind.PCIE, 0.0) * repeat
-            if pcie > 0:
-                rate = pcie / duration
-                self._pcie_rate[gpu] += rate
-                rates.append((gpu, rate))
+        for gpu, pcie in entries:
+            rate = pcie * repeat / duration
+            self._pcie_rate[gpu] += rate
+            rates.append((gpu, rate))
         return rates
+
+    def _pcie_entries(self, cost: CommCost) -> list[tuple[int, float]]:
+        """Memoised (gpu, PCIe bytes) pairs of a (memoized) comm cost."""
+        entries = self._pcie_memo.get(id(cost))
+        if entries is None:
+            entries = [
+                (gpu, pcie)
+                for gpu, by_kind in cost.link_bytes.items()
+                if (pcie := by_kind.get(LinkKind.PCIE, 0.0)) > 0
+            ]
+            self._pcie_memo[id(cost)] = entries
+        return entries
 
     def _end_pcie_rates(self, rates: list[tuple[int, float]]) -> None:
         for gpu, rate in rates:
             self._pcie_rate[gpu] = max(0.0, self._pcie_rate[gpu] - rate)
 
     def _record_scaled_traffic(self, cost: CommCost, repeat: int) -> None:
-        if repeat == 1:
-            self.traffic.record(cost)
+        if not self._fast:
+            self.traffic.record(cost, repeat)
             return
-        scaled = CommCost(
-            duration_s=cost.duration_s * repeat,
-            link_bytes={
-                gpu: {kind: b * repeat for kind, b in by_kind.items()}
-                for gpu, by_kind in cost.link_bytes.items()
-            },
-            nic_nodes=cost.nic_nodes,
-            inter_node_bytes=cost.inter_node_bytes * repeat,
-        )
-        self.traffic.record(scaled)
+        entry = self._traffic_pending.get(id(cost))
+        if entry is None:
+            # The cost object is held by the value (and the comm memo),
+            # so its id stays unique for the life of the run.
+            self._traffic_pending[id(cost)] = [cost, repeat]
+        else:
+            entry[1] += repeat
+
+    def _flush_traffic(self) -> None:
+        for cost, repeat in self._traffic_pending.values():
+            self.traffic.record(cost, repeat)
+        self._traffic_pending.clear()
 
     def _record(
         self,
@@ -469,16 +543,10 @@ class Simulator:
         end: float,
         kind: KernelKind,
     ) -> None:
-        self._records.append(
+        self._append_record(
             KernelRecord(
-                gpu=gpu,
-                rank=rank,
-                kind=kind,
-                start_s=start,
-                end_s=end,
-                iteration=task.iteration,
-                microbatch=task.microbatch,
-                stage=task.stage,
+                gpu, rank, kind, start, end,
+                task.iteration, task.microbatch, task.stage,
             )
         )
 
@@ -490,9 +558,7 @@ class Simulator:
         """Initialise die temperatures at a busy-cluster steady state."""
         node = self.cluster.node
         busy = Activity(compute=self.settings.prewarm_busy_fraction)
-        power = gpu_power(node.gpu, busy, 1.0)
-        for thermal in self._thermal:
-            thermal.set_equilibrium([power] * node.gpus_per_node)
+        self._physics.prewarm(gpu_power(node.gpu, busy, 1.0))
 
     def _advance_physics(self, to_time: float) -> None:
         dt = self.settings.physics_dt_s
@@ -505,40 +571,48 @@ class Simulator:
             self._physics_step(remaining)
 
     def _physics_step(self, dt: float) -> None:
-        per_node = self.cluster.node.gpus_per_node
-        gpu_spec = self.cluster.node.gpu
-        for node_idx in range(self.cluster.num_nodes):
-            governor = self._governors[node_idx]
-            thermal = self._thermal[node_idx]
-            powers = []
-            for local in range(per_node):
-                gpu = node_idx * per_node + local
-                power = gpu_power(
-                    gpu_spec,
-                    self._activity_of(gpu),
-                    governor.freq_of(local),
+        if self._fast:
+            if self._activity_dirty:
+                self._power_vec.refresh_intensity(
+                    self._compute_active,
+                    self._comm_active,
+                    self._memory_active,
                 )
-                powers.append(power)
-                self._last_power[gpu] = power
-            temps = thermal.step(dt, powers)
-            governor.update(dt, temps, powers)
+                self._activity_dirty = False
+            physics = self._physics
+            powers = self._power_vec.powers(physics.freq_flat)
+            physics.step(dt, powers)
+            self._last_power = powers
+        else:
+            # ScalarPhysics writes per-GPU powers into the bound
+            # self._last_power list as a side effect.
+            self._physics.step(dt, self._activity_of_ref)
         self._phys_time += dt
         if self._phys_time >= self._next_sample:
             self._sample_telemetry(self._phys_time)
             self._next_sample += self.settings.telemetry_interval_s
 
     def _sample_telemetry(self, time_s: float) -> None:
-        per_node = self.cluster.node.gpus_per_node
+        if self._fast:
+            physics = self._physics
+            self.telemetry.record_step(
+                time_s,
+                self._last_power,
+                physics.die_c.reshape(-1),
+                physics.freq_flat,
+                np.asarray(self._compute_active) > 0,
+                np.asarray(self._comm_active) > 0,
+                np.maximum(np.asarray(self._pcie_rate), 0.0),
+            )
+            return
         for gpu in range(self.cluster.total_gpus):
-            node_idx = gpu // per_node
-            local = gpu % per_node
             self.telemetry.record(
                 gpu,
                 GpuSample(
                     time_s=time_s,
                     power_w=self._last_power[gpu],
-                    temp_c=self._thermal[node_idx].temps_c[local],
-                    freq_ratio=self._governors[node_idx].freq_of(local),
+                    temp_c=self._physics.temp_of(gpu),
+                    freq_ratio=self._physics.freq_of(gpu),
                     compute_util=(
                         1.0 if self._compute_active[gpu] > 0 else 0.0
                     ),
@@ -553,12 +627,6 @@ class Simulator:
 
     def _push(self, time_s: float, name: str, payload: tuple) -> None:
         heapq.heappush(self._heap, (time_s, next(self._seq), name, payload))
-
-    def _per_gpu_from_governors(self, extract) -> list[float]:
-        values: list[float] = []
-        for governor in self._governors:
-            values.extend(extract(governor))
-        return values
 
     def _check_finished(self) -> None:
         stuck = [

@@ -43,7 +43,7 @@ class CollectiveOp(Enum):
     ALLTOALL = "alltoall"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeSpec:
     """A compute kernel: duration is derived from FLOPs at run time.
 
@@ -68,7 +68,7 @@ class ComputeSpec:
     overlapped_comm_s: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CollectiveSpec:
     """A rendezvous collective.
 
@@ -86,7 +86,7 @@ class CollectiveSpec:
     repeat: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class P2PSpec:
     """One point-to-point message (pipeline-parallel boundary transfer).
 
@@ -105,7 +105,7 @@ class P2PSpec:
     message_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One node of the task graph.
 
@@ -141,11 +141,14 @@ class Task:
     overlap_kernel: KernelKind | None = None
 
     def __post_init__(self) -> None:
-        if self.kind is TaskKind.COMPUTE and self.compute is None:
-            raise ValueError("COMPUTE task needs a ComputeSpec")
-        if self.kind is TaskKind.COLLECTIVE and self.collective is None:
-            raise ValueError("COLLECTIVE task needs a CollectiveSpec")
-        if self.kind in (TaskKind.SEND, TaskKind.RECV) and self.p2p is None:
+        kind = self.kind
+        if kind is TaskKind.COMPUTE:
+            if self.compute is None:
+                raise ValueError("COMPUTE task needs a ComputeSpec")
+        elif kind is TaskKind.COLLECTIVE:
+            if self.collective is None:
+                raise ValueError("COLLECTIVE task needs a CollectiveSpec")
+        elif self.p2p is None:
             raise ValueError("P2P task needs a P2PSpec")
         if not self.ranks:
             raise ValueError("task must have at least one rank")

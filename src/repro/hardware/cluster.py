@@ -108,7 +108,11 @@ def get_cluster(name: str) -> ClusterSpec:
     """Look up a cluster by name (case-insensitive)."""
     key = name.lower()
     if key not in _CATALOG:
-        raise KeyError(f"unknown cluster {name!r}; known: {cluster_names()}")
+        from repro.suggest import unknown_name_message
+
+        raise KeyError(
+            unknown_name_message("cluster", name, cluster_names())
+        )
     return _CATALOG[key]
 
 

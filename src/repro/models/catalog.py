@@ -145,5 +145,7 @@ def get_model(name: str) -> ModelConfig:
     """
     key = name.lower()
     if key not in _CATALOG:
-        raise KeyError(f"unknown model {name!r}; known: {model_names()}")
+        from repro.suggest import unknown_name_message
+
+        raise KeyError(unknown_name_message("model", name, model_names()))
     return _CATALOG[key]

@@ -15,6 +15,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, replace
 
+from repro.suggest import normalize_name
+
 
 @dataclass(frozen=True)
 class ParallelismConfig:
@@ -142,6 +144,27 @@ class ParallelismConfig:
 
 _NAME_PART = re.compile(r"(EP|TP|PP|FSDP|DP)(\d+)$", re.IGNORECASE)
 
+_EXPECTED_FORMAT = (
+    "expected '-'-separated EP/TP/PP/DP/FSDP widths, "
+    "e.g. 'TP2-PP16', 'EP8-TP1-PP4', or 'tp2-pp2-dp8'"
+)
+
+
+def _strategy_error(name: str, part: str) -> str:
+    message = (
+        f"cannot parse strategy component {part!r} in {name!r}; "
+        f"{_EXPECTED_FORMAT}"
+    )
+    normalized = normalize_name(name)
+    if normalized != name.strip().lower():
+        try:
+            parse_strategy(normalized)
+        except ValueError:
+            pass
+        else:
+            message += f"; did you mean {normalized!r}?"
+    return message
+
 
 def parse_strategy(name: str) -> ParallelismConfig:
     """Parse a paper-style strategy name like ``"EP8-TP1-PP4"``.
@@ -154,7 +177,7 @@ def parse_strategy(name: str) -> ParallelismConfig:
     for part in name.strip().split("-"):
         match = _NAME_PART.match(part.strip())
         if not match:
-            raise ValueError(f"cannot parse strategy component {part!r}")
+            raise ValueError(_strategy_error(name, part))
         key, width = match.group(1).lower(), int(match.group(2))
         if key == "fsdp":
             use_fsdp = True

@@ -1,0 +1,48 @@
+"""Friendly unknown-name errors: "did you mean ...?".
+
+Catalog lookups and strategy parsing reject typos hours into a sweep
+script, so the rejection message should do the diagnosing: show the
+expected spelling and the nearest valid name. Matching first normalises
+the separators users actually type (``tp2_pp2_dp8``, ``gpt3 13b``,
+``tp2/pp2``) to the repo's ``-`` convention, then falls back to fuzzy
+matching.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from typing import Iterable
+
+_SEPARATORS = re.compile(r"[_/\s]+")
+
+
+def normalize_name(name: str) -> str:
+    """Canonical spelling of a user-supplied name: lowercase, ``-``-joined."""
+    return _SEPARATORS.sub("-", name.strip().lower())
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> str | None:
+    """The candidate closest to ``name``, or None when nothing is close."""
+    lowered = {c.lower(): c for c in candidates}
+    if not lowered:
+        return None
+    normalized = normalize_name(name)
+    exact = lowered.get(normalized)
+    if exact is not None:
+        return exact
+    matches = difflib.get_close_matches(
+        normalized, list(lowered), n=1, cutoff=0.6
+    )
+    return lowered[matches[0]] if matches else None
+
+
+def unknown_name_message(
+    kind: str, name: str, candidates: Iterable[str]
+) -> str:
+    """One-line error body for an unknown catalog name."""
+    candidates = list(candidates)
+    suggestion = did_you_mean(name, candidates)
+    hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+    known = ", ".join(sorted(candidates))
+    return f"unknown {kind} {name!r}{hint} (known: {known})"

@@ -14,7 +14,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-@dataclass
+_FIELDS = (
+    "time_s",
+    "power_w",
+    "temp_c",
+    "freq_ratio",
+    "compute_util",
+    "comm_util",
+    "pcie_bytes_per_s",
+)
+
+
+@dataclass(slots=True)
 class GpuSample:
     """One telemetry sample of one GPU."""
 
@@ -61,33 +72,105 @@ class GpuSeries:
 
 @dataclass
 class TelemetryLog:
-    """Collected samples for every GPU of a run."""
+    """Collected samples for every GPU of a run.
+
+    Two append paths feed the log. :meth:`record` appends one sample for
+    one GPU into per-GPU column lists. :meth:`record_step` appends one
+    aligned row for *all* GPUs at once — the simulator's hot path — and
+    stores it as seven whole-cluster rows, so a sampling step costs a
+    handful of list appends instead of ``7 * num_gpus``. :meth:`series`
+    stitches both stores together (row blocks are stacked into
+    ``(steps, num_gpus)`` matrices once and cached).
+    """
 
     num_gpus: int
     sample_interval_s: float
-    _raw: list[list[GpuSample]] = field(default_factory=list)
+    _cols: list[list[list[float]]] = field(default_factory=list, repr=False)
+    _row_time: list[float] = field(default_factory=list, repr=False)
+    _rows: list[list] = field(default_factory=list, repr=False)
+    _stack_cache: tuple | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if not self._raw:
-            self._raw = [[] for _ in range(self.num_gpus)]
+        if not self._cols:
+            self._cols = [
+                [[] for _ in _FIELDS] for _ in range(self.num_gpus)
+            ]
+        if not self._rows:
+            # One row list per non-time field; each entry is a length-
+            # num_gpus snapshot taken at the matching _row_time instant.
+            self._rows = [[] for _ in range(len(_FIELDS) - 1)]
 
     def record(self, gpu: int, sample: GpuSample) -> None:
         """Append one sample for one GPU."""
-        self._raw[gpu].append(sample)
+        cols = self._cols[gpu]
+        cols[0].append(sample.time_s)
+        cols[1].append(sample.power_w)
+        cols[2].append(sample.temp_c)
+        cols[3].append(sample.freq_ratio)
+        cols[4].append(sample.compute_util)
+        cols[5].append(sample.comm_util)
+        cols[6].append(sample.pcie_bytes_per_s)
+
+    def record_step(
+        self,
+        time_s: float,
+        power_w,
+        temp_c,
+        freq_ratio,
+        compute_util,
+        comm_util,
+        pcie_bytes_per_s,
+    ) -> None:
+        """Append one aligned sample for every GPU at once.
+
+        Args:
+            time_s: shared sample instant.
+            power_w..pcie_bytes_per_s: per-GPU sequences indexed by
+                physical GPU id. Snapshots are copied, so callers may
+                reuse or mutate their buffers afterwards.
+        """
+        self._row_time.append(time_s)
+        rows = self._rows
+        rows[0].append(np.array(power_w, dtype=float))
+        rows[1].append(np.array(temp_c, dtype=float))
+        rows[2].append(np.array(freq_ratio, dtype=float))
+        rows[3].append(np.array(compute_util, dtype=float))
+        rows[4].append(np.array(comm_util, dtype=float))
+        rows[5].append(np.array(pcie_bytes_per_s, dtype=float))
+
+    def num_samples(self, gpu: int) -> int:
+        """Number of samples recorded for one GPU."""
+        return len(self._cols[gpu][0]) + len(self._row_time)
+
+    def _stacked(self) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Row-store as (times, per-field (steps, num_gpus) matrices)."""
+        n = len(self._row_time)
+        if self._stack_cache is None or self._stack_cache[0] != n:
+            self._stack_cache = (
+                n,
+                np.asarray(self._row_time, dtype=float),
+                [np.asarray(rows, dtype=float) for rows in self._rows],
+            )
+        return self._stack_cache[1], self._stack_cache[2]
 
     def series(self, gpu: int) -> GpuSeries:
         """Materialise one GPU's samples as arrays."""
-        samples = self._raw[gpu]
+        cols = self._cols[gpu]
+        arrays = [np.asarray(col, dtype=float) for col in cols]
+        if self._row_time:
+            times, mats = self._stacked()
+            arrays = [np.concatenate([arrays[0], times])] + [
+                np.concatenate([arrays[i + 1], mats[i][:, gpu]])
+                for i in range(len(mats))
+            ]
         return GpuSeries(
-            times_s=np.array([s.time_s for s in samples]),
-            power_w=np.array([s.power_w for s in samples]),
-            temp_c=np.array([s.temp_c for s in samples]),
-            freq_ratio=np.array([s.freq_ratio for s in samples]),
-            compute_util=np.array([s.compute_util for s in samples]),
-            comm_util=np.array([s.comm_util for s in samples]),
-            pcie_bytes_per_s=np.array(
-                [s.pcie_bytes_per_s for s in samples]
-            ),
+            times_s=arrays[0],
+            power_w=arrays[1],
+            temp_c=arrays[2],
+            freq_ratio=arrays[3],
+            compute_util=arrays[4],
+            comm_util=arrays[5],
+            pcie_bytes_per_s=arrays[6],
         )
 
     def all_series(self) -> list[GpuSeries]:
@@ -109,7 +192,7 @@ class TelemetryLog:
         Sample times are aligned by construction (the simulator samples
         every GPU at the same instants).
         """
-        if self.num_gpus == 0 or not self._raw[0]:
+        if self.num_gpus == 0 or self.num_samples(0) == 0:
             return np.array([]), np.array([])
         times = self.series(0).times_s
         total = np.zeros_like(times)

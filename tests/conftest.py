@@ -7,6 +7,9 @@ cluster with the same airflow structure as the paper's HGX nodes.
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
 import pytest
 
 from repro.engine.simulator import SimSettings
@@ -19,6 +22,56 @@ from repro.hardware.interconnect import (
 )
 from repro.hardware.node import AirflowLayout, NodeSpec
 from repro.models.config import ModelConfig, MoEConfig
+
+
+def assert_run_results_equal(actual, expected) -> None:
+    """Field-by-field equality of two RunResults, arrays included.
+
+    ``RunResult.outcome`` holds a TelemetryLog and TrafficLedger (plain
+    classes wrapping numpy arrays), so dataclass ``==`` cannot compare
+    whole results; this walks the observable surface instead. Used by
+    the cache and parallel-execution equivalence tests.
+    """
+    assert type(actual) is type(expected)
+    for f in dataclasses.fields(expected):
+        if f.name == "outcome":
+            continue
+        assert getattr(actual, f.name) == getattr(expected, f.name), f.name
+    a, b = actual.outcome, expected.outcome
+    assert a.records == b.records
+    assert a.makespan_s == b.makespan_s
+    assert a.iteration_end_s == b.iteration_end_s
+    np.testing.assert_array_equal(
+        np.asarray(a.throttle_ratio), np.asarray(b.throttle_ratio)
+    )
+    np.testing.assert_array_equal(
+        np.asarray(a.mean_freq_ratio), np.asarray(b.mean_freq_ratio)
+    )
+    assert a.tokens_per_iteration == b.tokens_per_iteration
+    assert a.num_iterations == b.num_iterations
+    assert a.telemetry.num_gpus == b.telemetry.num_gpus
+    for gpu in range(b.telemetry.num_gpus):
+        sa = a.telemetry.series(gpu)
+        sb = b.telemetry.series(gpu)
+        for name in (
+            "times_s", "power_w", "temp_c", "freq_ratio",
+            "compute_util", "comm_util", "pcie_bytes_per_s",
+        ):
+            np.testing.assert_array_equal(
+                getattr(sa, name), getattr(sb, name), err_msg=name
+            )
+        assert a.traffic.total_for(gpu) == b.traffic.total_for(gpu)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Point the persistent result store at per-test scratch space.
+
+    Keeps test runs from writing ``.repro_cache/`` into the repo and
+    from seeing results another test (or a developer run) persisted.
+    The env var is inherited by sweep worker processes.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
 
 
 @pytest.fixture

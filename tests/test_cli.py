@@ -45,6 +45,26 @@ class TestParser:
         assert args.parallelism == ["TP2", "TP4"]
         assert args.microbatch == [1, 2]
 
+    def test_jobs_flag_defaults_to_serial(self):
+        for argv in (
+            ["run", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2"],
+            ["sweep", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2"],
+            ["figures", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2", "--output", "o"],
+            ["full-sweep", "--cluster", "c", "--output", "o"],
+            ["fleet"],
+        ):
+            assert build_parser().parse_args(argv).jobs == 1
+
+    def test_fleet_num_jobs_is_separate_from_workers(self):
+        args = build_parser().parse_args(
+            ["fleet", "--num-jobs", "4", "--jobs", "2"]
+        )
+        assert args.num_jobs == 4
+        assert args.jobs == 2
+
 
 class TestCommands:
     def test_catalog(self, capsys):
@@ -114,7 +134,7 @@ class TestCommands:
         code = main(
             [
                 "fleet", "--policy", "thermal-aware", "--seed", "0",
-                "--jobs", "4", "--power-cap-kw", "12",
+                "--num-jobs", "4", "--power-cap-kw", "12",
                 "--output", str(tmp_path / "fleet"),
             ]
         )
@@ -164,3 +184,57 @@ class TestCommands:
             ]
         )
         assert code == 2
+
+    def test_bad_strategy_suggests_spelling(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "tp4_pp2", "--global-batch", "16",
+            ]
+        )
+        assert code == 2
+        assert "did you mean 'tp4-pp2'" in capsys.readouterr().err
+
+    def test_misspelled_model_suggests_name(self, capsys):
+        code = main(
+            ["configs", "--model", "gpt3_13b", "--cluster", "h200x32"]
+        )
+        assert code == 2
+        assert "did you mean 'gpt3-13b'" in capsys.readouterr().err
+
+    def test_cache_stats_and_clear(self, capsys):
+        from repro.core.sweep import clear_cache
+
+        clear_cache()  # other tests may have memoised this config
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries       : 1" in out
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+        assert main(["cache", "stats"]) == 0
+        assert "entries       : 0" in capsys.readouterr().out
+
+    def test_run_twice_hits_cache(self, capsys):
+        from repro.core.sweep import clear_cache
+
+        clear_cache()
+        argv = [
+            "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+            "--parallelism", "TP4-PP2", "--global-batch", "16",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert second.splitlines()[:8] == first.splitlines()[:8]

@@ -1,0 +1,136 @@
+"""Parallel execution equivalence: ``jobs`` changes wall-clock, never results.
+
+Exercises ``repro.core.parallel`` directly and through every consumer:
+``run_sweep``, ``run_campaign``, and the fleet's pre-profiling pass. The
+serial path (``jobs=1``) is byte-for-byte the pre-existing code; parallel
+results must match it field by field.
+"""
+
+from repro.core.campaign import ExperimentSpec, run_campaign
+from repro.core.parallel import (
+    default_jobs,
+    map_calls,
+    map_runs,
+    resolve_jobs,
+)
+from repro.core.sweep import SweepPoint, clear_cache, run_sweep
+from tests.conftest import assert_run_results_equal
+
+POINTS = [
+    SweepPoint("gpt3-13b", "mi250x32", "TP4-PP2"),
+    SweepPoint("gpt3-13b", "mi250x32", "TP8-PP1"),
+]
+
+
+class TestJobResolution:
+    def test_default_leaves_one_core(self):
+        assert default_jobs() >= 1
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(0) == default_jobs()
+        assert resolve_jobs(-2) == default_jobs()
+        assert resolve_jobs(None) == default_jobs()
+
+
+class TestMapPrimitives:
+    def test_map_calls_preserves_order(self):
+        assert map_calls(abs, [3, -1, -2, 4], jobs=2) == [3, 1, 2, 4]
+
+    def test_map_calls_serial_path(self):
+        assert map_calls(abs, [-5], jobs=4) == [5]
+        assert map_calls(abs, [], jobs=4) == []
+
+    def test_map_runs_empty(self):
+        assert map_runs([], jobs=4) == []
+
+
+class TestSweepEquivalence:
+    def test_parallel_identical_to_serial(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        clear_cache()
+        serial = run_sweep(POINTS, global_batch_size=16)
+
+        # A separate store proves the parallel run truly re-simulates.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        clear_cache()
+        parallel = run_sweep(POINTS, global_batch_size=16, jobs=2)
+
+        assert list(serial) == list(parallel) == POINTS
+        for point in POINTS:
+            assert_run_results_equal(parallel[point], serial[point])
+
+    def test_on_result_order_is_point_order(self):
+        clear_cache()
+        seen = []
+        run_sweep(
+            POINTS,
+            global_batch_size=16,
+            jobs=2,
+            on_result=lambda point, result: seen.append(point),
+        )
+        assert seen == POINTS
+
+    def test_duplicates_run_once(self):
+        clear_cache()
+        seen = []
+        results = run_sweep(
+            POINTS + [POINTS[0]],
+            global_batch_size=16,
+            jobs=2,
+            on_result=lambda point, result: seen.append(point),
+        )
+        assert len(results) == 2
+        assert seen == POINTS
+
+
+class TestCampaignEquivalence:
+    SPECS = [
+        ExperimentSpec(
+            name="a", model="gpt3-13b", cluster="mi250x32",
+            parallelism="TP4-PP2", global_batch_size=16,
+        ),
+        ExperimentSpec(
+            name="b", model="gpt3-13b", cluster="mi250x32",
+            parallelism="TP4-PP2", global_batch_size=16,
+        ),  # same config, different name: must dedupe
+    ]
+
+    def test_parallel_identical_to_serial(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        clear_cache()
+        serial = run_campaign(self.SPECS)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        clear_cache()
+        parallel = run_campaign(self.SPECS, jobs=2)
+
+        assert parallel.summary_rows == serial.summary_rows
+        for name in serial.results:
+            assert_run_results_equal(
+                parallel.results[name], serial.results[name]
+            )
+        # Distinct names sharing a config share one simulation.
+        assert parallel.results["a"] is parallel.results["b"]
+
+
+class TestFleetPreprofile:
+    def test_eager_profiling_matches_lazy(self):
+        from repro.datacenter import (
+            ArrivalConfig,
+            FleetConfig,
+            clear_profile_cache,
+            simulate_fleet,
+        )
+
+        config = FleetConfig(
+            arrivals=ArrivalConfig(num_jobs=2, seed=0)
+        )
+        clear_profile_cache()
+        lazy = simulate_fleet(config)
+        clear_profile_cache()
+        eager = simulate_fleet(config, jobs=2)
+        assert eager.metrics() == lazy.metrics()
+        assert eager.makespan_s == lazy.makespan_s
+        assert eager.energy_j == lazy.energy_j

@@ -69,6 +69,30 @@ class TestNaming:
         with pytest.raises(ValueError):
             parse_strategy("TPx-PP2")
 
+    def test_parse_error_shows_expected_format(self):
+        with pytest.raises(ValueError, match="EP/TP/PP/DP/FSDP"):
+            parse_strategy("TPx-PP2")
+
+    def test_parse_error_suggests_separator_fix(self):
+        with pytest.raises(
+            ValueError, match="did you mean 'tp2-pp2-dp8'"
+        ):
+            parse_strategy("tp2_pp2_dp8")
+
+    def test_parse_error_no_suggestion_for_true_garbage(self):
+        with pytest.raises(ValueError) as excinfo:
+            parse_strategy("banana")
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_catalog_lookups_suggest_nearest_name(self):
+        from repro.hardware.cluster import get_cluster
+        from repro.models.catalog import get_model
+
+        with pytest.raises(KeyError, match="did you mean 'gpt3-13b'"):
+            get_model("gpt3_13b")
+        with pytest.raises(KeyError, match="did you mean 'h200x32'"):
+            get_cluster("h200_x32")
+
     def test_parse_explicit_dp(self):
         cfg = parse_strategy("TP2-PP4-DP4")
         assert cfg.dp == 4
