@@ -14,6 +14,10 @@ Usage::
         --output results/
     python -m repro fleet --policy thermal-aware --seed 0 \\
         --power-cap-kw 10 --output results/fleet
+    python -m repro powerctl sweep --model gpt3-13b --cluster h100x64 \\
+        --parallelism TP4-PP2 --setpoint 0.6 0.7 0.8 0.9 1.0
+    python -m repro powerctl search --model gpt3-13b --cluster h100x64 \\
+        --parallelism TP4-PP2 --max-slowdown 0.05 --jobs 3
     python -m repro cache stats
     python -m repro cache clear
 
@@ -38,9 +42,11 @@ from repro.hardware.cluster import cluster_names, get_cluster
 from repro.models.catalog import get_model, model_names
 from repro.parallelism.enumerate import ConfigSearchSpace, valid_configs
 from repro.parallelism.strategy import OptimizationConfig
+from repro.powerctl.config import NO_POWER_CONTROL, PowerControlConfig
 
 
-def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags describing what to run (shared by run/figures/powerctl)."""
     parser.add_argument("--model", required=True, help="catalog model name")
     parser.add_argument("--cluster", required=True,
                         help="catalog cluster name")
@@ -58,6 +64,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lora", action="store_true",
                         help="LoRA finetuning")
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for simulations (0 = auto: cpu_count-1)",
+    )
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_workload_arguments(parser)
+    parser.add_argument(
         "--fail-node", type=int, default=None,
         help="alias for --fault-node with the default power scale",
     )
@@ -70,8 +84,18 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="power-cap multiplier the faulted node is pinned to",
     )
     parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for simulations (0 = auto: cpu_count-1)",
+        "--governor", default="none",
+        help="powerctl governor: none, static, thermal, or straggler",
+    )
+    parser.add_argument(
+        "--freq-setpoint", type=float, default=1.0,
+        help="static governor: uniform clock-ratio ceiling (implies "
+             "--governor static when below 1.0)",
+    )
+    parser.add_argument(
+        "--power-limit-w", type=float, default=None,
+        help="static governor: per-GPU board power limit in W (implies "
+             "--governor static)",
     )
 
 
@@ -83,7 +107,21 @@ def _opts_from(args: argparse.Namespace) -> OptimizationConfig:
     )
 
 
+def _power_control_from(args: argparse.Namespace) -> PowerControlConfig:
+    governor = getattr(args, "governor", "none")
+    setpoint = getattr(args, "freq_setpoint", 1.0)
+    limit = getattr(args, "power_limit_w", None)
+    if governor == "none" and (limit is not None or setpoint < 1.0):
+        governor = "static"  # capping flags imply the static governor
+    if governor == "none":
+        return NO_POWER_CONTROL
+    return PowerControlConfig(
+        governor=governor, freq_setpoint=setpoint, power_limit_w=limit
+    )
+
+
 def _settings_from(args: argparse.Namespace) -> SimSettings:
+    kwargs: dict = {}
     node = getattr(args, "fault_node", None)
     if node is None:
         node = getattr(args, "fail_node", None)
@@ -91,10 +129,29 @@ def _settings_from(args: argparse.Namespace) -> SimSettings:
         scale = getattr(args, "fault_power_scale", 0.25)
         if not 0.0 < scale <= 1.0:
             raise ValueError("--fault-power-scale must be in (0, 1]")
-        return SimSettings(
-            faults=FaultSpec(node_power_cap_scale={node: scale})
-        )
-    return SimSettings()
+        # Validate the node index up front against the target cluster —
+        # an out-of-range fault would otherwise be silently ignored by
+        # the simulation (every real node stays healthy).
+        cluster_name = getattr(args, "cluster", None)
+        if cluster_name is not None:
+            num_nodes = get_cluster(cluster_name).num_nodes
+            if not 0 <= node < num_nodes:
+                from repro.suggest import unknown_name_message
+
+                raise ValueError(
+                    "--fault-node: "
+                    + unknown_name_message(
+                        "node",
+                        str(node),
+                        tuple(str(i) for i in range(num_nodes)),
+                    )
+                    + f" (cluster {cluster_name!r} has {num_nodes} nodes)"
+                )
+        kwargs["faults"] = FaultSpec(node_power_cap_scale={node: scale})
+    control = _power_control_from(args)
+    if control.active:
+        kwargs["power_control"] = control
+    return SimSettings(**kwargs)
 
 
 def _execute(args: argparse.Namespace):
@@ -126,9 +183,22 @@ def _print_summary(result) -> None:
     print(f"throughput    : {efficiency.tokens_per_s:,.0f} tokens/s")
     print(f"energy        : {efficiency.tokens_per_joule:.3f} tokens/J")
     print(f"avg power     : {stats.avg_power_w / 1000:.1f} kW")
+    per_gpu_power = result.per_gpu_mean_power_w()
+    mean_power = sum(per_gpu_power) / len(per_gpu_power)
+    print(
+        f"per-GPU power : {min(per_gpu_power):.0f}/{mean_power:.0f}/"
+        f"{max(per_gpu_power):.0f} W (min/mean/max)"
+    )
+    print(f"total energy  : {efficiency.energy_j:,.0f} J")
     print(f"peak temp     : {stats.peak_temp_c:.1f} C")
     print(f"mean clock    : {stats.mean_freq_ratio:.3f}")
     print(f"max throttle  : {max(result.throttle_ratio()):.2f}")
+    trace = result.outcome.power_control
+    if trace is not None:
+        print(
+            f"governor      : {trace.governor} "
+            f"({len(trace.decisions)} actuations)"
+        )
 
 
 def cmd_catalog(_args: argparse.Namespace) -> int:
@@ -237,6 +307,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     """Render the figure bundle for one configuration."""
     from repro.viz.figures import (
         kernel_breakdown_figure,
+        powerctl_timeline_figure,
         temperature_heatmap_figure,
         thermal_timeseries_figure,
         throttle_heatmap_figure,
@@ -251,7 +322,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
     temperature_heatmap_figure(result, path=output / "temperature.svg")
     throttle_heatmap_figure(result, path=output / "throttling.svg")
     thermal_timeseries_figure(result, path=output / "timeseries.svg")
-    print(f"wrote 5 figures to {output}")
+    count = 5
+    if result.outcome.power_control is not None:
+        powerctl_timeline_figure(result, path=output / "powerctl.svg")
+        count += 1
+    print(f"wrote {count} figures to {output}")
     return 0
 
 
@@ -268,6 +343,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     )
 
     cap_w = math.inf if args.power_cap_kw is None else args.power_cap_kw * 1e3
+    control = NO_POWER_CONTROL
+    if args.gpu_power_limit_w is not None:
+        control = PowerControlConfig(
+            governor="static", power_limit_w=args.gpu_power_limit_w
+        )
+    elif args.gpu_clock_limit is not None:
+        control = PowerControlConfig(
+            governor="static", freq_setpoint=args.gpu_clock_limit
+        )
     config = FleetConfig(
         clusters=tuple(args.cluster or ("h200x32",)),
         policy=args.policy,
@@ -280,6 +364,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         ),
         node_mtbf_s=args.mtbf_s,
         repair_time_s=args.repair_s,
+        power_control=control,
     )
     try:
         outcome = simulate_fleet(config, jobs=args.jobs)
@@ -298,6 +383,118 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         fleet_timeline_figure(outcome, path=output / "fleet_timeline.svg")
         print(f"telemetry     : {csv_path}")
         print(f"timeline      : {output / 'fleet_timeline.svg'}")
+    return 0
+
+
+def _powerctl_workload_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        optimizations=_opts_from(args),
+        microbatch_size=args.microbatch,
+        global_batch_size=args.global_batch,
+        iterations=args.iterations,
+        settings=_settings_from(args),
+        jobs=args.jobs,
+    )
+
+
+def _print_probe_table(probes, baseline) -> None:
+    print(
+        f"{'setpoint':>8} {'tok/s':>10} {'energy_J':>12} "
+        f"{'clock':>6} {'peakT':>6} {'dE%':>7} {'slow%':>6}"
+    )
+    for probe in sorted(probes, key=lambda p: p.setpoint):
+        saving = (
+            100.0 * (1.0 - probe.energy_j / baseline.energy_j)
+            if baseline.energy_j > 0 else 0.0
+        )
+        slowdown = (
+            100.0 * (probe.step_time_s / baseline.step_time_s - 1.0)
+            if baseline.step_time_s > 0 else 0.0
+        )
+        flag = "" if probe.feasible else "  (infeasible)"
+        print(
+            f"{probe.setpoint:>8.4f} {probe.tokens_per_s:>10,.0f} "
+            f"{probe.energy_j:>12,.0f} "
+            f"{probe.mean_freq_ratio:>6.3f} {probe.peak_temp_c:>6.1f} "
+            f"{saving:>7.1f} {slowdown:>6.1f}{flag}"
+        )
+
+
+def cmd_powerctl_sweep(args: argparse.Namespace) -> int:
+    """Run a grid of static clock ceilings and print the table."""
+    from repro.powerctl.search import sweep_setpoints
+
+    rows = sweep_setpoints(
+        args.model,
+        args.cluster,
+        args.parallelism,
+        args.setpoint,
+        **_powerctl_workload_kwargs(args),
+    )
+    baseline = max(rows, key=lambda row: row[0])[1]
+    base_eff = baseline.efficiency()
+    print(
+        f"{'setpoint':>8} {'tok/s':>10} {'energy_J':>12} {'tok/J':>7} "
+        f"{'clock':>6} {'peakT':>6} {'dE%':>7} {'slow%':>6}"
+    )
+    for setpoint, result in rows:
+        eff = result.efficiency()
+        stats = result.stats()
+        saving = (
+            100.0 * (1.0 - eff.energy_j / base_eff.energy_j)
+            if base_eff.energy_j > 0 else 0.0
+        )
+        slowdown = 100.0 * (eff.step_time_s / base_eff.step_time_s - 1.0)
+        print(
+            f"{setpoint:>8.4f} {eff.tokens_per_s:>10,.0f} "
+            f"{eff.energy_j:>12,.0f} {eff.tokens_per_joule:>7.3f} "
+            f"{stats.mean_freq_ratio:>6.3f} {stats.peak_temp_c:>6.1f} "
+            f"{saving:>7.1f} {slowdown:>6.1f}"
+        )
+    return 0
+
+
+def cmd_powerctl_search(args: argparse.Namespace) -> int:
+    """Golden-section energy-optimal setpoint search."""
+    from repro.powerctl.search import SearchSettings, search_energy_optimal
+
+    max_slowdown = args.max_slowdown if args.max_slowdown >= 0 else None
+    search = SearchSettings(
+        lo=args.lo,
+        hi=args.hi,
+        tolerance=args.tolerance,
+        edp_exponent=args.edp_exponent,
+        max_slowdown=max_slowdown,
+    )
+    outcome = search_energy_optimal(
+        args.model,
+        args.cluster,
+        args.parallelism,
+        search=search,
+        **_powerctl_workload_kwargs(args),
+    )
+    print(
+        f"search        : energy x delay^{search.edp_exponent:g}, "
+        f"bracket [{search.lo:g}, {search.hi:g}], "
+        f"{len(outcome.probes)} probes "
+        f"({outcome.iterations} refinements)"
+    )
+    _print_probe_table(outcome.probes, outcome.baseline)
+    print(
+        f"best setpoint : {outcome.best.setpoint:.4f} "
+        f"({100 * outcome.energy_saving_fraction:.1f}% energy saved, "
+        f"{100 * outcome.slowdown_fraction:+.1f}% step time)"
+    )
+    if args.output:
+        directory = write_run_artifact(outcome.best_result, args.output)
+        trace = outcome.best_result.outcome.power_control
+        if trace is not None:
+            from repro.viz.figures import powerctl_timeline_figure
+
+            powerctl_timeline_figure(
+                outcome.best_result, path=directory / "powerctl.svg"
+            )
+        print(f"artifact      : {directory}")
     return 0
 
 
@@ -431,9 +628,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-node mean time between failures (0 = off)")
     fleet.add_argument("--repair-s", type=float, default=180.0,
                        help="node repair time after a fault")
+    fleet.add_argument(
+        "--gpu-clock-limit", type=float, default=None,
+        help="fleet-wide static clock ceiling applied to every placed "
+             "job (composes with the facility power cap)",
+    )
+    fleet.add_argument(
+        "--gpu-power-limit-w", type=float, default=None,
+        help="fleet-wide per-GPU board power limit in W "
+             "(overrides --gpu-clock-limit)",
+    )
     fleet.add_argument("--output", default=None,
                        help="write fleet telemetry CSV + timeline SVG here")
     fleet.set_defaults(func=cmd_fleet)
+
+    powerctl = subparsers.add_parser(
+        "powerctl",
+        help="GPU power management: setpoint sweeps and the "
+             "energy-optimal search (docs/powerctl.md)",
+    )
+    modes = powerctl.add_subparsers(dest="mode", required=True)
+
+    pc_sweep = modes.add_parser(
+        "sweep", help="run a grid of static clock ceilings"
+    )
+    _add_workload_arguments(pc_sweep)
+    pc_sweep.add_argument(
+        "--setpoint", type=float, nargs="+",
+        default=[0.6, 0.7, 0.8, 0.9, 1.0],
+        help="clock-ratio ceilings to evaluate",
+    )
+    pc_sweep.set_defaults(func=cmd_powerctl_sweep)
+
+    pc_search = modes.add_parser(
+        "search",
+        help="golden-section search for the energy-optimal setpoint",
+    )
+    _add_workload_arguments(pc_search)
+    pc_search.add_argument("--lo", type=float, default=0.55,
+                           help="lower bracket bound")
+    pc_search.add_argument("--hi", type=float, default=1.0,
+                           help="upper bracket bound")
+    pc_search.add_argument("--tolerance", type=float, default=0.03,
+                           help="stop when the bracket is this narrow")
+    pc_search.add_argument(
+        "--edp-exponent", type=float, default=1.0,
+        help="n in the energy x delay^n cost (0 = pure energy)",
+    )
+    pc_search.add_argument(
+        "--max-slowdown", type=float, default=0.05,
+        help="max step-time inflation vs uncapped (negative = unbounded)",
+    )
+    pc_search.add_argument(
+        "--output", default=None,
+        help="write the best run's artifact + powerctl figure here",
+    )
+    pc_search.set_defaults(func=cmd_powerctl_search)
 
     cache = subparsers.add_parser(
         "cache",

@@ -41,6 +41,12 @@ def run_summary(result: RunResult) -> dict:
         "front_rear_gap_c": result.front_rear_gap_c(),
         "max_throttle_ratio": max(result.throttle_ratio()),
         "communication_skew": result.communication_skew(),
+        "per_gpu_energy_j": result.per_gpu_energy_j(),
+        "power_governor": (
+            result.outcome.power_control.governor
+            if result.outcome.power_control is not None
+            else "none"
+        ),
         "kernel_seconds": {
             category.value: seconds
             for category, seconds in result.kernel_breakdown().seconds.items()
@@ -57,6 +63,8 @@ def write_run_artifact(result: RunResult, directory: str | Path) -> Path:
           summary.json     headline metrics (see :func:`run_summary`)
           telemetry.csv    per-GPU sampled time series
           trace.csv        Chakra-style kernel records (measured window)
+          powerctl.csv     governor setpoint/decision trace (only when
+                           the run had power control enabled)
 
     Returns the directory path.
     """
@@ -68,6 +76,12 @@ def write_run_artifact(result: RunResult, directory: str | Path) -> Path:
         result.outcome.telemetry, directory / "telemetry.csv"
     )
     write_trace_csv(result.measured_records(), directory / "trace.csv")
+    if result.outcome.power_control is not None:
+        from repro.telemetry.export import write_powerctl_csv
+
+        write_powerctl_csv(
+            result.outcome.power_control, directory / "powerctl.csv"
+        )
     return directory
 
 

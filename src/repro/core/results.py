@@ -139,6 +139,34 @@ class RunResult:
         """Per-GPU fraction of time spent clock-throttled."""
         return self.outcome.throttle_ratio
 
+    # -- power control ---------------------------------------------------
+
+    def per_gpu_energy_j(self) -> list[float]:
+        """Per-GPU energy (trapezoidal) over the measured window."""
+        telemetry = self.outcome.telemetry
+        return [
+            telemetry.series(gpu)
+            .window(self.window_start_s, self.window_end_s)
+            .energy_joules()
+            for gpu in range(self.cluster.total_gpus)
+        ]
+
+    def per_gpu_mean_power_w(self) -> list[float]:
+        """Per-GPU mean board power over the measured window."""
+        return [g.avg_power_w for g in self.stats().per_gpu]
+
+    def power_control_trace(self):
+        """Setpoint timeline/decision log of the run's powerctl governor.
+
+        None when the run had power control disabled.
+        """
+        return self.outcome.power_control
+
+    def governor_decisions(self) -> list[str]:
+        """Human-readable powerctl actuation log (empty when inactive)."""
+        trace = self.outcome.power_control
+        return list(trace.decisions) if trace is not None else []
+
     def pressure(self):
         """Time-weighted occupancy/warps/threadblocks (Figure 20)."""
         window = self.window_end_s - self.window_start_s

@@ -36,7 +36,9 @@ from pathlib import Path
 from repro.core.results import RunResult
 
 #: Bump when RunResult / SimOutcome / telemetry change observable shape.
-SCHEMA_VERSION = 1
+#: v2: SimOutcome grew power_control (powerctl setpoint trace) and
+#: SimSettings grew the power_control config field.
+SCHEMA_VERSION = 2
 
 DEFAULT_DIR = ".repro_cache"
 

@@ -57,6 +57,11 @@ from repro.datacenter.placement import (
 )
 from repro.datacenter.powercap import AdmissionController, PowerCapConfig
 from repro.hardware.cluster import ClusterSpec, get_cluster
+from repro.powerctl.config import (
+    NO_POWER_CONTROL,
+    PowerControlConfig,
+    freq_for_power_limit,
+)
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,16 @@ class FleetConfig:
             still burning near-full power. Thermal throttling therefore
             costs energy per token, unlike a coordinated admission
             frequency cap (which scales as clock^2 across the job).
+        power_control: fleet-wide GPU power management. Only the
+            ``none`` and ``static`` governors compose at fleet
+            granularity (a uniform clock ceiling or per-GPU power
+            limit applied to every placed job); the closed-loop
+            governors need per-step thermal state and run inside
+            per-job simulations via ``SimSettings.power_control``.
+            The static ceiling multiplies the admission controller's
+            frequency cap, and the job's governed draw (scaling as
+            setpoint^2) is what the facility power cap admits — so a
+            fleet-wide cap frees cap headroom and reduces deferrals.
         max_sim_s: hard wall on simulated time (runaway guard).
     """
 
@@ -116,6 +131,7 @@ class FleetConfig:
     throttle_full_c: float = 95.0
     throttle_min_clock: float = 0.6
     straggler_power_fraction: float = 0.7
+    power_control: PowerControlConfig = NO_POWER_CONTROL
     max_sim_s: float = 1e6
 
     def __post_init__(self) -> None:
@@ -133,6 +149,19 @@ class FleetConfig:
             raise ValueError(
                 "straggler_power_fraction must be in [0, 1]"
             )
+        if self.power_control.active:
+            if self.power_control.governor != "static":
+                raise ValueError(
+                    "fleet power control supports the 'none' and 'static' "
+                    f"governors; {self.power_control.governor!r} is "
+                    "closed-loop and runs inside per-job simulations "
+                    "(SimSettings.power_control)"
+                )
+            if self.power_control.gpu_freq_setpoints:
+                raise ValueError(
+                    "fleet power control is uniform per job; per-GPU "
+                    "setpoints are not supported at fleet granularity"
+                )
 
 
 @dataclass
@@ -355,6 +384,17 @@ class FleetSim:
                     placed = True
                     break  # re-scan from the head: FIFO priority
 
+    def _governed_setpoint(self, cluster: ClusterSpec) -> float:
+        """Uniform clock ceiling the fleet governor imposes on a job."""
+        control = self.config.power_control
+        if not control.active:
+            return 1.0
+        if control.power_limit_w is not None:
+            return freq_for_power_limit(
+                cluster.node.gpu, control.power_limit_w
+            )
+        return control.freq_setpoint
+
     def _try_place(self, name: str, now: float) -> bool:
         record = self._records[name]
         spec = record.spec
@@ -370,7 +410,13 @@ class FleetSim:
         )
         profile = profile_job(spec, cluster, thermal_placement=thermal)
         record.profile = profile
-        admission = self.controller.admit(profile.dynamic_power_w())
+        # A fleet-wide static governor caps the job's clock before the
+        # facility cap sees it: the admitted draw is the governed one
+        # (coordinated DVFS, ~ setpoint^2), composing with — not
+        # stacking under — the admission controller's own cap mode.
+        setpoint = self._governed_setpoint(cluster)
+        governed_dynamic = profile.dynamic_power_w() * setpoint * setpoint
+        admission = self.controller.admit(governed_dynamic)
         if not admission.admitted:
             return False
 
@@ -384,7 +430,7 @@ class FleetSim:
             self.config.throttle_full_c,
             self.config.throttle_min_clock,
         )
-        clock = admission.clock * derate
+        clock = admission.clock * setpoint * derate
         step = profile.step_time_s / clock
         # Admission caps are coordinated DVFS (draw ~ clock^2); thermal
         # derates are stragglers — most of the job keeps burning power
@@ -392,7 +438,7 @@ class FleetSim:
         alpha = self.config.straggler_power_fraction
         thermal_power_scale = alpha + (1.0 - alpha) * derate * derate
         dynamic = (
-            profile.dynamic_power_w()
+            governed_dynamic
             * admission.clock * admission.clock
             * thermal_power_scale
         )

@@ -109,6 +109,13 @@ class ScalarPhysics:
         """Register the per-GPU power list the backend writes into."""
         self._power_out = power_out
 
+    def set_setpoints(self, setpoints) -> None:
+        """Apply per-GPU clock ceilings (global-GPU order, powerctl)."""
+        per_node = self.cluster.node.gpus_per_node
+        flat = [float(v) for v in np.asarray(setpoints).reshape(-1)]
+        for i, governor in enumerate(self.governors):
+            governor.setpoints = flat[i * per_node:(i + 1) * per_node]
+
     def freq_of(self, gpu: int) -> float:
         """Current clock ratio of one global GPU."""
         per_node = self.cluster.node.gpus_per_node
@@ -180,6 +187,11 @@ class VectorPhysics:
             gpu.base_clock_ratio,
         )
         self._floor = np.minimum(floor[:, None], self._ceiling)
+        # Powerctl setpoints overlay *effective* ceilings. Until a
+        # governor actuates these alias the hardware arrays, so the
+        # no-powerctl path performs bit-identical float operations.
+        self._eff_ceiling = self._ceiling
+        self._eff_floor = self._floor
         self._throttle_temp = gpu.throttle_temp_c
 
         self.throttled_time = np.zeros((n, g))
@@ -276,10 +288,10 @@ class VectorPhysics:
                 ),
             )
             ratio = np.minimum(
-                np.maximum(ratio * cap, self._floor), self._ceiling
+                np.maximum(ratio * cap, self._eff_floor), self._eff_ceiling
             )
             self.freq = ratio
-            self._at_ceiling = bool((ratio == self._ceiling).all())
+            self._at_ceiling = bool((ratio == self._eff_ceiling).all())
             self._throttled_mask = ratio < 1.0 - 1e-9
 
         self.observed_time += dt_s
@@ -291,6 +303,20 @@ class VectorPhysics:
             self.freq_integral += self.freq * self._hold_dt
             self.throttled_time += self._throttled_mask * self._hold_dt
             self._hold_dt = 0.0
+
+    def set_setpoints(self, setpoints) -> None:
+        """Apply per-GPU clock ceilings (global-GPU order, powerctl).
+
+        Setpoints tighten the effective ceiling; they never widen the
+        hardware/fault one, mirroring the scalar governor's
+        ``min(ceiling, setpoint)``.
+        """
+        sp = np.asarray(setpoints, dtype=float).reshape(self._n, self._g)
+        self._eff_ceiling = np.minimum(self._ceiling, sp)
+        self._eff_floor = np.minimum(self._floor, self._eff_ceiling)
+        # Clocks may now sit above the new ceiling; force the full
+        # governor path on the next step so the clamp takes effect.
+        self._at_ceiling = False
 
     # -- simulator-facing views ----------------------------------------
 

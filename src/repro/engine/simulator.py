@@ -40,6 +40,12 @@ from repro.hardware.interconnect import LinkKind
 from repro.optimizations.overlap import OVERLAP_COMM_SLOWDOWN, fused_duration
 from repro.parallelism.mapping import DeviceMesh
 from repro.power.model import Activity, gpu_power
+from repro.powerctl.config import NO_POWER_CONTROL, PowerControlConfig
+from repro.powerctl.governor import (
+    PowerControlTrace,
+    PowerCtlObservation,
+    build_runtime,
+)
 from repro.telemetry.monitor import GpuSample, TelemetryLog
 
 EPS = 2e-6
@@ -76,6 +82,10 @@ class SimSettings:
             the differential tests and the perf-regression benchmark
             use as their oracle/baseline. Results agree to floating-
             point noise.
+        power_control: closed-loop GPU power management
+            (:mod:`repro.powerctl`). The default disables it entirely:
+            no runtime is built and both physics backends follow the
+            exact pre-powerctl code path, bit for bit.
     """
 
     physics_dt_s: float = 0.05
@@ -84,6 +94,7 @@ class SimSettings:
     prewarm_busy_fraction: float = 0.75
     faults: FaultSpec = HEALTHY
     fast_path: bool = True
+    power_control: PowerControlConfig = NO_POWER_CONTROL
 
 
 @dataclass
@@ -99,6 +110,9 @@ class SimOutcome:
         throttle_ratio: per-physical-GPU fraction of time throttled.
         mean_freq_ratio: per-physical-GPU time-weighted clock ratio.
         tokens_per_iteration / num_iterations: workload geometry.
+        power_control: setpoint timeline and decision log of the active
+            :mod:`repro.powerctl` governor (None when power control was
+            off).
     """
 
     records: list[KernelRecord]
@@ -110,6 +124,7 @@ class SimOutcome:
     mean_freq_ratio: list[float]
     tokens_per_iteration: int
     num_iterations: int
+    power_control: PowerControlTrace | None = None
 
 
 @dataclass(slots=True)
@@ -165,6 +180,21 @@ class Simulator:
                 self._compute_active, self._comm_active, self._memory_active
             )
 
+        # Closed-loop power control (repro.powerctl). Everything below
+        # is guarded on self._powerctl so the default stays a strict
+        # no-op on both backends.
+        self._powerctl = build_runtime(
+            self.settings.power_control, self.cluster
+        )
+        self._next_control = 0.0
+        self._control_elapsed = 0.0
+        self._busy_time = (
+            np.zeros(num_gpus)
+            if self._powerctl is not None
+            and self._powerctl.needs_busy_fraction
+            else None
+        )
+
         # Precomputed rank/GPU index tables (hot-path: avoids repeated
         # method dispatch through mesh/cluster per event).
         self._gpu_of = [self.mesh.gpu_of(r) for r in range(self.world)]
@@ -215,6 +245,11 @@ class Simulator:
 
     def run(self) -> SimOutcome:
         """Execute the full graph and return the collected outcome."""
+        if self._powerctl is not None:
+            initial = self._powerctl.initial_setpoints()
+            if initial is not None:
+                self._physics.set_setpoints(initial)
+            self._next_control = self._powerctl.config.control_interval_s
         if self.settings.thermal_prewarm:
             self._prewarm()
         for rank in range(self.world):
@@ -241,6 +276,9 @@ class Simulator:
             mean_freq_ratio=self._physics.mean_freq_ratios(),
             tokens_per_iteration=self.graph.tokens_per_iteration,
             num_iterations=self.graph.num_iterations,
+            power_control=(
+                self._powerctl.trace if self._powerctl is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -558,7 +596,12 @@ class Simulator:
         """Initialise die temperatures at a busy-cluster steady state."""
         node = self.cluster.node
         busy = Activity(compute=self.settings.prewarm_busy_fraction)
-        self._physics.prewarm(gpu_power(node.gpu, busy, 1.0))
+        freq = 1.0
+        if self._powerctl is not None:
+            # Prewarm stands in for earlier governed iterations, so the
+            # equilibrium estimate runs at the governed clock.
+            freq = float(np.mean(self._powerctl.setpoints))
+        self._physics.prewarm(gpu_power(node.gpu, busy, freq))
 
     def _advance_physics(self, to_time: float) -> None:
         dt = self.settings.physics_dt_s
@@ -591,6 +634,49 @@ class Simulator:
         if self._phys_time >= self._next_sample:
             self._sample_telemetry(self._phys_time)
             self._next_sample += self.settings.telemetry_interval_s
+        if self._powerctl is not None:
+            self._powerctl_tick(dt)
+
+    def _powerctl_tick(self, dt: float) -> None:
+        """Accrue governor inputs; actuate every control interval."""
+        if self._busy_time is not None:
+            self._busy_time += dt * (np.asarray(self._compute_active) > 0)
+        self._control_elapsed += dt
+        if self._phys_time + 1e-9 < self._next_control:
+            return
+        runtime = self._powerctl
+        if self._fast:
+            temps = self._physics.die_c.reshape(-1)
+            freqs = self._physics.freq_flat
+        else:
+            num = self.cluster.total_gpus
+            temps = np.array(
+                [self._physics.temp_of(g) for g in range(num)]
+            )
+            freqs = np.array(
+                [self._physics.freq_of(g) for g in range(num)]
+            )
+        busy = None
+        if self._busy_time is not None and self._control_elapsed > 0:
+            busy = self._busy_time / self._control_elapsed
+        new = runtime.control(
+            PowerCtlObservation(
+                time_s=self._phys_time,
+                temps_c=temps,
+                freq_ratio=freqs,
+                power_w=np.asarray(self._last_power),
+                busy_fraction=busy,
+                dt_s=self._control_elapsed,
+            )
+        )
+        if new is not None:
+            self._physics.set_setpoints(new)
+        if self._busy_time is not None:
+            self._busy_time[:] = 0.0
+        self._control_elapsed = 0.0
+        self._next_control = (
+            self._phys_time + runtime.config.control_interval_s
+        )
 
     def _sample_telemetry(self, time_s: float) -> None:
         if self._fast:

@@ -18,6 +18,7 @@ from repro.telemetry.monitor import TelemetryLog
 
 if TYPE_CHECKING:
     from repro.datacenter.metrics import FleetSample
+    from repro.powerctl.governor import PowerControlTrace
 
 TELEMETRY_HEADER = (
     "time_s",
@@ -94,6 +95,36 @@ def write_fleet_telemetry_csv(
                     f"{sample.temp_spread_c:.3f}",
                 )
             )
+    return path
+
+
+POWERCTL_HEADER = ("time_s", "gpu", "setpoint", "decision")
+
+
+def write_powerctl_csv(
+    trace: "PowerControlTrace", path: str | Path
+) -> Path:
+    """Write a powerctl setpoint/decision trace to CSV.
+
+    One row per (actuation, GPU); the decision string is attached to
+    the first GPU row of each actuation only, keeping the file compact
+    while staying a flat, join-free table.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(POWERCTL_HEADER)
+        for i, time_s in enumerate(trace.times_s):
+            for gpu, setpoint in enumerate(trace.setpoints[i]):
+                writer.writerow(
+                    (
+                        f"{time_s:.6f}",
+                        gpu,
+                        f"{setpoint:.4f}",
+                        trace.decisions[i] if gpu == 0 else "",
+                    )
+                )
     return path
 
 

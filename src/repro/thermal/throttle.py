@@ -58,6 +58,9 @@ class DvfsGovernor:
         power_cap_scale: fault-injection multiplier on the chassis power
             budget (a node-level power failure collapses it).
         max_clock: fault-injection ceiling on the clock ratio.
+        setpoints: optional per-GPU clock ceilings requested by a
+            :mod:`repro.powerctl` governor; None (the default) keeps
+            the pre-powerctl update arithmetic untouched.
     """
 
     node: NodeSpec
@@ -65,6 +68,7 @@ class DvfsGovernor:
     stats: list[GovernorStats] = field(default_factory=list)
     power_cap_scale: float = 1.0
     max_clock: float = 1.0
+    setpoints: list[float] | None = None
 
     def __post_init__(self) -> None:
         count = self.node.gpus_per_node
@@ -109,6 +113,8 @@ class DvfsGovernor:
                 ratio += RECOVERY_STEP
             ratio *= cap_scale
             ceiling = min(1.0, self.max_clock)
+            if self.setpoints is not None:
+                ceiling = min(ceiling, self.setpoints[i])
             floor = min(gpu.base_clock_ratio * self.power_cap_scale
                         if self.power_cap_scale < 1.0
                         else gpu.base_clock_ratio, ceiling)

@@ -186,6 +186,61 @@ def thermal_timeseries_figure(
     )
 
 
+def powerctl_timeline_figure(
+    result: RunResult,
+    gpu: int | None = None,
+    path: str | Path | None = None,
+) -> str:
+    """Setpoint-vs-temperature timeline of a power-governed run.
+
+    Plots the die temperature of one GPU (hottest by default) together
+    with the governor's clock setpoint for that GPU, both against the
+    throttle threshold — the closed-loop picture behind the powerctl
+    governors. Requires a run with power control enabled.
+    """
+    trace = result.outcome.power_control
+    if trace is None:
+        raise ValueError(
+            "run has no power-control trace; enable a powerctl governor "
+            "via SimSettings.power_control"
+        )
+    if gpu is None:
+        gpu = result.stats().hottest_gpu()
+    telemetry = result.outcome.telemetry
+    series = telemetry.series(gpu)
+    times = tuple(float(t) for t in series.times_s)
+    setpoints = tuple(
+        100.0 * trace.setpoint_at(gpu, t) for t in times
+    )
+    throttle = result.cluster.node.gpu.throttle_temp_c
+    spec = ChartSpec(
+        title=(
+            f"Power control timeline — {trace.governor} governor, "
+            f"GPU {gpu} — {result.label}"
+        ),
+        categories=tuple(str(i) for i in range(len(times))),
+        series=(
+            Series(
+                name="die temperature (degC)",
+                values=tuple(float(v) for v in series.temp_c),
+            ),
+            Series(
+                name="clock setpoint (% of boost)",
+                values=setpoints,
+            ),
+            Series(
+                name="throttle threshold (degC)",
+                values=tuple(float(throttle) for _ in times),
+            ),
+        ),
+        unit="degC / % boost",
+    )
+    return _maybe_save(
+        line_chart(spec, x_values=times, x_label="time (s)"),
+        path,
+    )
+
+
 def fleet_timeline_figure(
     outcome: "FleetOutcome",
     title: str = "Fleet timeline",

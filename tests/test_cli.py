@@ -65,6 +65,42 @@ class TestParser:
         assert args.num_jobs == 4
         assert args.jobs == 2
 
+    def test_run_governor_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2"]
+        )
+        assert args.governor == "none"
+        assert args.freq_setpoint == 1.0
+        assert args.power_limit_w is None
+
+    def test_powerctl_sweep_defaults(self):
+        args = build_parser().parse_args(
+            ["powerctl", "sweep", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2"]
+        )
+        assert args.setpoint == [0.6, 0.7, 0.8, 0.9, 1.0]
+
+    def test_powerctl_search_defaults(self):
+        args = build_parser().parse_args(
+            ["powerctl", "search", "--model", "m", "--cluster", "c",
+             "--parallelism", "TP2"]
+        )
+        assert args.lo == 0.55 and args.hi == 1.0
+        assert args.max_slowdown == 0.05
+        assert args.jobs == 1
+
+    def test_powerctl_requires_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["powerctl"])
+
+    def test_fleet_gpu_power_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--gpu-clock-limit", "0.8"]
+        )
+        assert args.gpu_clock_limit == 0.8
+        assert args.gpu_power_limit_w is None
+
 
 class TestCommands:
     def test_catalog(self, capsys):
@@ -224,6 +260,105 @@ class TestCommands:
 
         assert main(["cache", "stats"]) == 0
         assert "entries       : 0" in capsys.readouterr().out
+
+    def test_run_summary_reports_power_and_energy(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-GPU power" in out
+        assert "total energy" in out
+        assert "governor" not in out  # only printed for governed runs
+
+    def test_run_with_governor_reports_actuations(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--governor", "static", "--freq-setpoint", "0.8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "governor      : static (1 actuations)" in out
+
+    def test_setpoint_below_boost_implies_static(self, capsys):
+        # --freq-setpoint without --governor should still cap the run.
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--freq-setpoint", "0.8",
+            ]
+        )
+        assert code == 0
+        assert "governor      : static" in capsys.readouterr().out
+
+    def test_unknown_governor_suggests_spelling(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--governor", "termal",
+            ]
+        )
+        assert code == 2
+        assert "did you mean 'thermal'" in capsys.readouterr().err
+
+    def test_fault_node_out_of_range_is_clean_error(self, capsys):
+        code = main(
+            [
+                "run", "--model", "gpt3-13b", "--cluster", "mi250x32",
+                "--parallelism", "TP4-PP2", "--global-batch", "16",
+                "--fault-node", "99", "--fault-power-scale", "0.5",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--fault-node" in err
+        assert "has 4 nodes" in err
+
+    def test_powerctl_sweep(self, capsys):
+        code = main(
+            [
+                "powerctl", "sweep", "--model", "gpt3-13b",
+                "--cluster", "mi250x32", "--parallelism", "TP4-PP2",
+                "--global-batch", "16", "--setpoint", "0.8", "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "setpoint" in out
+        assert "0.8000" in out and "1.0000" in out
+
+    def test_powerctl_search(self, capsys, tmp_path):
+        # A loose tolerance stops after the initial 3-probe bracket,
+        # keeping the test to three cached simulations.
+        code = main(
+            [
+                "powerctl", "search", "--model", "gpt3-13b",
+                "--cluster", "mi250x32", "--parallelism", "TP4-PP2",
+                "--global-batch", "16", "--tolerance", "0.5",
+                "--output", str(tmp_path / "best"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best setpoint" in out
+        assert (tmp_path / "best" / "summary.json").exists()
+
+    def test_fleet_with_gpu_clock_limit(self, capsys):
+        code = main(
+            [
+                "fleet", "--num-jobs", "2", "--gpu-clock-limit", "0.8",
+            ]
+        )
+        assert code == 0
+        assert "goodput" in capsys.readouterr().out
 
     def test_run_twice_hits_cache(self, capsys):
         from repro.core.sweep import clear_cache

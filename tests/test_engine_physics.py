@@ -19,7 +19,8 @@ from repro.parallelism.strategy import OptimizationConfig, ParallelismConfig
 RTOL = 1e-9
 
 
-def _pair(model, cluster, config, opts=None, gb=8, mb=1, faults=None):
+def _pair(model, cluster, config, opts=None, gb=8, mb=1, faults=None,
+          power_control=None):
     """The same run simulated on the reference and fast backends."""
     outcomes = []
     for fast in (False, True):
@@ -31,6 +32,8 @@ def _pair(model, cluster, config, opts=None, gb=8, mb=1, faults=None):
         )
         if faults is not None:
             kwargs["faults"] = faults
+        if power_control is not None:
+            kwargs["power_control"] = power_control
         mesh = DeviceMesh(cluster=cluster, config=config)
         graph = build_training_graph(
             model=model,
@@ -102,6 +105,59 @@ class TestFastPathDifferential:
             faults=FaultSpec(node_power_cap_scale={0: 0.35}),
         )
         assert max(ref.throttle_ratio) > 0  # the fault actually bites
+        _assert_equivalent(ref, fast)
+
+    def test_static_governor_agrees(self, tiny_model, small_cluster):
+        """A static clock ceiling moves every step off the quiet path
+        (the effective ceiling is no longer the hardware array); both
+        backends must clamp identically."""
+        from repro.powerctl import static_setpoint
+
+        ref, fast = _pair(
+            tiny_model,
+            small_cluster,
+            ParallelismConfig(tp=2, pp=2, dp=2),
+            power_control=static_setpoint(0.75),
+        )
+        assert max(fast.mean_freq_ratio) <= 0.75 + 1e-9
+        _assert_equivalent(ref, fast)
+
+    def test_thermal_governor_agrees(self, tiny_model, small_cluster):
+        """A deliberately aggressive margin forces actuations on this
+        small fixture, exercising the mid-run set_setpoints path."""
+        from repro.powerctl import PowerControlConfig
+
+        ref, fast = _pair(
+            tiny_model,
+            small_cluster,
+            ParallelismConfig(tp=2, pp=2, dp=2),
+            power_control=PowerControlConfig(
+                governor="thermal",
+                thermal_margin_c=25.0,
+                control_interval_s=0.01,
+            ),
+        )
+        assert ref.power_control is not None
+        assert len(ref.power_control.times_s) > 0
+        assert fast.power_control.times_s == ref.power_control.times_s
+        assert fast.power_control.setpoints == ref.power_control.setpoints
+        _assert_equivalent(ref, fast)
+
+    def test_straggler_governor_agrees(self, tiny_model, small_cluster):
+        """The straggler governor also exercises the per-backend busy
+        accounting feeding PowerCtlObservation.busy_fraction."""
+        from repro.powerctl import PowerControlConfig
+
+        ref, fast = _pair(
+            tiny_model,
+            small_cluster,
+            ParallelismConfig(tp=2, pp=2, dp=2),
+            power_control=PowerControlConfig(
+                governor="straggler", control_interval_s=0.01
+            ),
+        )
+        assert len(ref.power_control.times_s) > 0
+        assert fast.power_control.setpoints == ref.power_control.setpoints
         _assert_equivalent(ref, fast)
 
     def test_traffic_ledgers_agree(self, tiny_model, small_cluster):

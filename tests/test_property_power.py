@@ -1,0 +1,95 @@
+"""Property-based tests of the GPU board-power model.
+
+The power model is the foundation every powerctl decision rests on
+(:func:`repro.powerctl.config.freq_for_power_limit` inverts it, the
+energy-optimal search minimises its integral), so its invariants are
+pinned over randomly drawn activities, clocks, and catalog GPUs:
+monotone in clock, bounded by idle/TDP, and exactly invertible inside
+the cap range.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.hardware.gpu import H100, H200, MI250_GCD
+from repro.power.model import Activity, BUSY_COMPUTE, gpu_power
+from repro.powerctl import freq_for_power_limit
+
+GPUS = (H100, H200, MI250_GCD)
+
+gpu_specs = st.sampled_from(GPUS)
+fractions = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+freq_ratios = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+activities = st.builds(
+    Activity, compute=fractions, comm=fractions, memory=fractions
+)
+
+
+@given(spec=gpu_specs, activity=activities, f1=freq_ratios, f2=freq_ratios)
+def test_power_is_monotone_in_clock(spec, activity, f1, f2):
+    lo, hi = sorted((f1, f2))
+    assert gpu_power(spec, activity, lo) <= gpu_power(spec, activity, hi)
+
+
+@given(spec=gpu_specs, activity=activities, freq=freq_ratios)
+def test_power_stays_between_idle_and_tdp(spec, activity, freq):
+    power = gpu_power(spec, activity, freq)
+    assert spec.idle_watts <= power <= spec.tdp_watts
+
+
+@given(spec=gpu_specs, freq=freq_ratios)
+def test_full_load_at_boost_is_tdp(spec, freq):
+    # TDP is reached only at full intensity and full clock.
+    assert gpu_power(spec, BUSY_COMPUTE, 1.0) == pytest.approx(
+        spec.tdp_watts
+    )
+    if freq < 1.0:
+        assert gpu_power(spec, BUSY_COMPUTE, freq) < spec.tdp_watts
+
+
+@given(value=st.floats(allow_nan=False, allow_infinity=False))
+def test_activity_rejects_out_of_range(value):
+    if 0.0 <= value <= 1.0:
+        assert Activity(compute=value).compute == value
+    else:
+        with pytest.raises(ValueError, match="must be in \\[0, 1\\]"):
+            Activity(compute=value)
+
+
+@given(spec=gpu_specs, freq=freq_ratios)
+def test_power_rejects_out_of_range_clock(spec, freq):
+    with pytest.raises(ValueError, match="freq_ratio"):
+        gpu_power(spec, BUSY_COMPUTE, freq + 1.0)
+    with pytest.raises(ValueError, match="freq_ratio"):
+        gpu_power(spec, BUSY_COMPUTE, freq - 1.01)
+
+
+@given(
+    spec=gpu_specs,
+    limit_fraction=st.floats(
+        min_value=0.01, max_value=1.5,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+def test_freq_for_power_limit_is_bounded_and_honoured(spec, limit_fraction):
+    limit = limit_fraction * spec.tdp_watts
+    ratio = freq_for_power_limit(spec, limit)
+    assert spec.base_clock_ratio <= ratio <= 1.0
+    if ratio > spec.base_clock_ratio:
+        # Inside the controllable range the ceiling keeps a fully busy
+        # GPU at or under the limit (exactly at it when not clamped).
+        assert gpu_power(spec, BUSY_COMPUTE, ratio) <= limit + 1e-9
+
+
+@given(spec=gpu_specs, f1=freq_ratios, f2=freq_ratios)
+def test_freq_for_power_limit_is_monotone(spec, f1, f2):
+    lo, hi = sorted((f1, f2))
+    assert freq_for_power_limit(
+        spec, lo * spec.tdp_watts + 1e-9
+    ) <= freq_for_power_limit(spec, hi * spec.tdp_watts + 1e-9)
