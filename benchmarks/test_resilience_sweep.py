@@ -1,0 +1,94 @@
+"""Resilience smoke benchmark: the MTBF-vs-goodput policy sweep.
+
+Runs the paper-reference workload (gpt3-13b on the 64-GPU H100
+cluster, TP4-PP2) through all three recovery policies across a small
+MTBF grid and records the outcome in ``BENCH_resilience.json`` at the
+repo root: per-policy goodput at each MTBF, the headline elastic /
+fail-stop goodput ratio at the paper-plausible 30-minute node MTBF,
+and wall time. CI uploads the file as an artifact from the
+``resilience-smoke`` job so the numbers are tracked from PR to PR.
+
+The assertions here are the lenient ordering contract only — elastic
+DP-shrink continuation never trails checkpoint/fail-stop restart on
+the same fault schedule — so noisy CI runners cannot flake the job.
+The strict acceptance bounds live in ``tests/test_resilience.py``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.store import persistence_disabled
+from repro.resilience.recovery import POLICIES, RecoveryConfig, sweep_mtbf
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_resilience.json"
+
+MODEL, CLUSTER, PARALLELISM = "gpt3-13b", "h100x64", "TP4-PP2"
+MTBF_GRID_S = (900.0, 1800.0, 3600.0)
+
+#: The headline ratio is quoted at this grid point.
+HEADLINE_MTBF_S = 1800.0
+
+
+def test_mtbf_goodput_sweep_smoke():
+    config = RecoveryConfig(
+        total_iterations=200,
+        checkpoint_interval=10,
+        seed=0,
+    )
+    start = time.perf_counter()
+    with persistence_disabled():
+        rows = sweep_mtbf(
+            MODEL, CLUSTER, PARALLELISM, MTBF_GRID_S, config,
+            global_batch_size=16,
+        )
+    wall_s = time.perf_counter() - start
+
+    grid = []
+    headline = None
+    for mtbf_s, runs in zip(MTBF_GRID_S, rows):
+        entry = {"mtbf_s": mtbf_s}
+        for policy in POLICIES:
+            run = runs[policy]
+            entry[policy] = {
+                "goodput_fraction": round(run.goodput_fraction, 4),
+                "goodput_tokens_per_s": round(
+                    run.goodput_tokens_per_s, 1
+                ),
+                "energy_per_token_j": round(run.energy_per_token_j, 4),
+                "faults_seen": run.faults_seen,
+                "lost_iterations": run.lost,
+                "replayed_iterations": run.replayed,
+            }
+            # The ordering contract on every shared fault schedule.
+            assert (
+                runs["elastic"].goodput_fraction
+                >= runs["failstop"].goodput_fraction
+            )
+        ratio = (
+            runs["elastic"].goodput_fraction
+            / runs["failstop"].goodput_fraction
+        )
+        entry["elastic_over_failstop"] = round(ratio, 4)
+        grid.append(entry)
+        if mtbf_s == HEADLINE_MTBF_S:
+            headline = ratio
+
+    assert headline is not None and headline >= 1.0
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "model": MODEL,
+                "cluster": CLUSTER,
+                "parallelism": PARALLELISM,
+                "total_iterations": config.total_iterations,
+                "checkpoint_interval": config.checkpoint_interval,
+                "headline_mtbf_s": HEADLINE_MTBF_S,
+                "elastic_over_failstop_goodput": round(headline, 4),
+                "wall_s": round(wall_s, 3),
+                "grid": grid,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

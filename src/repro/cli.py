@@ -18,6 +18,13 @@ Usage::
         --parallelism TP4-PP2 --setpoint 0.6 0.7 0.8 0.9 1.0
     python -m repro powerctl search --model gpt3-13b --cluster h100x64 \\
         --parallelism TP4-PP2 --max-slowdown 0.05 --jobs 3
+    python -m repro run --model gpt3-13b --cluster h100x64 \\
+        --parallelism TP4-PP2 --fault-node 1 --fault-time 2.0 \\
+        --fault-kind power_sag --fault-duration 3.0
+    python -m repro resilience run --model gpt3-13b --cluster h100x64 \\
+        --parallelism TP4-PP2 --policy elastic --mtbf-s 3600
+    python -m repro resilience sweep --model gpt3-13b --cluster h100x64 \\
+        --parallelism TP4-PP2 --mtbf-s 1800 3600 7200 --output results/res
     python -m repro cache stats
     python -m repro cache clear
 
@@ -84,6 +91,24 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="power-cap multiplier the faulted node is pinned to",
     )
     parser.add_argument(
+        "--fault-time", type=float, default=None,
+        help="onset second of a transient timed fault on --fault-node "
+             "(instead of the whole-run fault above)",
+    )
+    parser.add_argument(
+        "--fault-duration", type=float, default=None,
+        help="timed fault duration in seconds (default 5)",
+    )
+    parser.add_argument(
+        "--fault-kind", default=None,
+        help="timed fault class: power_sag (default), link_degrade, "
+             "gpu_failstop, thermal_runaway, or ecc_stall",
+    )
+    parser.add_argument(
+        "--fault-severity", type=float, default=None,
+        help="kind-specific severity (default: per-kind paper value)",
+    )
+    parser.add_argument(
         "--governor", default="none",
         help="powerctl governor: none, static, thermal, or straggler",
     )
@@ -120,15 +145,78 @@ def _power_control_from(args: argparse.Namespace) -> PowerControlConfig:
     )
 
 
+def _timed_fault_from(
+    args: argparse.Namespace, node: int | None
+) -> "FaultTimeline | None":
+    """Build the single-event timeline of --fault-time (or None).
+
+    Cross-validates the timed-fault flag group: the onset must be
+    non-negative, the duration positive, the kind a known
+    :class:`~repro.core.faults.FaultKind` (with did-you-mean on typos),
+    and none of the dependent flags may appear without ``--fault-time``
+    itself. Whether the fault fits inside the run horizon can only be
+    checked after the run — :func:`cmd_run` warns when it never fired.
+    """
+    from repro.core.faults import FaultEvent, FaultKind, FaultTimeline
+    from repro.suggest import unknown_name_message
+
+    fault_time = getattr(args, "fault_time", None)
+    dependent = (
+        ("--fault-duration", getattr(args, "fault_duration", None)),
+        ("--fault-kind", getattr(args, "fault_kind", None)),
+        ("--fault-severity", getattr(args, "fault_severity", None)),
+    )
+    if fault_time is None:
+        for flag, value in dependent:
+            if value is not None:
+                raise ValueError(
+                    f"{flag} requires --fault-time (when does the "
+                    "fault start?)"
+                )
+        return None
+    if node is None:
+        raise ValueError(
+            "--fault-time requires --fault-node (which node is hit?)"
+        )
+    if fault_time < 0:
+        raise ValueError(
+            f"--fault-time must be >= 0, got {fault_time:g}"
+        )
+    duration = getattr(args, "fault_duration", None)
+    if duration is None:
+        duration = 5.0
+    if duration <= 0:
+        raise ValueError(
+            f"--fault-duration must be > 0, got {duration:g}"
+        )
+    kind_name = getattr(args, "fault_kind", None) or "power_sag"
+    try:
+        kind = FaultKind(kind_name.replace("-", "_").lower())
+    except ValueError:
+        raise ValueError(
+            "--fault-kind: "
+            + unknown_name_message(
+                "fault kind", kind_name,
+                tuple(k.value for k in FaultKind),
+            )
+        ) from None
+    event_kwargs: dict = {}
+    severity = getattr(args, "fault_severity", None)
+    if severity is not None:
+        event_kwargs["severity"] = severity
+    event = FaultEvent(
+        kind=kind, node=node, time_s=fault_time,
+        duration_s=duration, **event_kwargs,
+    )
+    return FaultTimeline(events=(event,))
+
+
 def _settings_from(args: argparse.Namespace) -> SimSettings:
     kwargs: dict = {}
     node = getattr(args, "fault_node", None)
     if node is None:
         node = getattr(args, "fail_node", None)
     if node is not None:
-        scale = getattr(args, "fault_power_scale", 0.25)
-        if not 0.0 < scale <= 1.0:
-            raise ValueError("--fault-power-scale must be in (0, 1]")
         # Validate the node index up front against the target cluster —
         # an out-of-range fault would otherwise be silently ignored by
         # the simulation (every real node stays healthy).
@@ -147,6 +235,13 @@ def _settings_from(args: argparse.Namespace) -> SimSettings:
                     )
                     + f" (cluster {cluster_name!r} has {num_nodes} nodes)"
                 )
+    timeline = _timed_fault_from(args, node)
+    if timeline is not None:
+        kwargs["fault_timeline"] = timeline
+    elif node is not None:
+        scale = getattr(args, "fault_power_scale", 0.25)
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("--fault-power-scale must be in (0, 1]")
         kwargs["faults"] = FaultSpec(node_power_cap_scale={node: scale})
     control = _power_control_from(args)
     if control.active:
@@ -199,6 +294,12 @@ def _print_summary(result) -> None:
             f"governor      : {trace.governor} "
             f"({len(trace.decisions)} actuations)"
         )
+    faults = result.outcome.fault_trace
+    if faults is not None:
+        print(
+            f"faults        : {faults.applied} applied, "
+            f"{len(faults.hangs)} collective hang(s) detected"
+        )
 
 
 def cmd_catalog(_args: argparse.Namespace) -> int:
@@ -237,6 +338,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Run one experiment; optionally write an artifact directory."""
     result = _execute(args)
     _print_summary(result)
+    fault_time = getattr(args, "fault_time", None)
+    if fault_time is not None and result.fault_events_applied() == 0:
+        # Horizon is only known after the run: surface a fault that
+        # landed past the end instead of silently simulating a clean run.
+        print(
+            f"warning: --fault-time {fault_time:g}s never fired; the run "
+            f"ended at {result.window_end_s:.1f}s (raise --iterations or "
+            "--global-batch to lengthen the run)",
+            file=sys.stderr,
+        )
     if args.output:
         directory = write_run_artifact(result, args.output)
         print(f"artifact      : {directory}")
@@ -364,6 +475,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         ),
         node_mtbf_s=args.mtbf_s,
         repair_time_s=args.repair_s,
+        recovery_policy=args.recovery,
+        restart_delay_s=args.restart_delay_s,
+        spare_swapin_s=args.spare_swapin_s,
+        reconfig_s=args.reconfig_s,
         power_control=control,
     )
     try:
@@ -498,6 +613,120 @@ def cmd_powerctl_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recovery_config_from(args: argparse.Namespace):
+    from repro.resilience.recovery import RecoveryConfig
+
+    return RecoveryConfig(
+        policy=getattr(args, "policy", "failstop"),
+        total_iterations=args.total_iterations,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_bw_gb_s=args.checkpoint_bw_gb_s,
+        repair_time_s=args.repair_s,
+        restart_delay_s=args.restart_delay_s,
+        spare_swapin_s=args.spare_swapin_s,
+        reconfig_s=args.reconfig_s,
+        mtbf_s=getattr(args, "mtbf_s", 0.0) or 0.0,
+        fault_times_s=tuple(getattr(args, "fault_at", None) or ()),
+        seed=args.seed,
+    )
+
+
+def _probe_kwargs_from(args: argparse.Namespace) -> dict:
+    return dict(
+        global_batch_size=args.global_batch,
+        microbatch_size=args.microbatch,
+    )
+
+
+def _print_resilience_run(run) -> None:
+    print(f"policy        : {run.policy}")
+    print(
+        f"faults        : {run.faults_seen} seen, "
+        f"{run.hangs_detected} hang(s) detected"
+    )
+    print(
+        f"iterations    : {run.completed} completed + {run.replayed} "
+        f"replayed + {run.lost} lost = {run.scheduled} scheduled"
+    )
+    print(
+        f"makespan      : {run.makespan_s:,.1f} s "
+        f"(fault-free {run.ideal_makespan_s:,.1f} s)"
+    )
+    print(f"goodput       : {100 * run.goodput_fraction:.1f}% of fault-free")
+    print(f"energy/token  : {run.energy_per_token_j:.4f} J")
+    print(
+        f"checkpoints   : {run.checkpoint_writes} writes x "
+        f"{run.checkpoint_write_s:.2f} s"
+    )
+
+
+def cmd_resilience_run(args: argparse.Namespace) -> int:
+    """Walk one recovery policy over one fault schedule."""
+    from repro.resilience.recovery import simulate_recovery
+
+    if args.mtbf_s and args.fault_at:
+        raise ValueError(
+            "--mtbf-s and --fault-at are exclusive: give either a "
+            "failure rate or explicit fault times"
+        )
+    run = simulate_recovery(
+        args.model, args.cluster, args.parallelism,
+        _recovery_config_from(args), **_probe_kwargs_from(args),
+    )
+    _print_resilience_run(run)
+    if args.output:
+        from repro.telemetry.export import write_resilience_csv
+
+        path = write_resilience_csv(
+            [run], Path(args.output) / "resilience.csv"
+        )
+        print(f"csv           : {path}")
+    return 0
+
+
+def cmd_resilience_sweep(args: argparse.Namespace) -> int:
+    """Compare every recovery policy across an MTBF grid."""
+    from repro.resilience.recovery import POLICIES, sweep_mtbf
+    from repro.suggest import unknown_name_message
+
+    policies = tuple(args.policies or POLICIES)
+    for policy in policies:
+        if policy not in POLICIES:
+            raise ValueError(
+                "--policy: "
+                + unknown_name_message("recovery policy", policy, POLICIES)
+            )
+    rows = sweep_mtbf(
+        args.model, args.cluster, args.parallelism,
+        args.mtbf_grid, _recovery_config_from(args),
+        policies=policies, **_probe_kwargs_from(args),
+    )
+    header = f"{'mtbf_s':>8}"
+    for policy in policies:
+        header += f" {policy + ' good%':>16} {'lost':>5}"
+    print(header)
+    for row in rows:
+        mtbf = row[policies[0]].mtbf_s
+        line = f"{mtbf:>8,.0f}"
+        for policy in policies:
+            run = row[policy]
+            line += (
+                f" {100 * run.goodput_fraction:>15.1f}% {run.lost:>5}"
+            )
+        print(line)
+    if args.output:
+        from repro.telemetry.export import write_resilience_csv
+        from repro.viz.figures import mtbf_goodput_figure
+
+        output = Path(args.output)
+        runs = [row[policy] for row in rows for policy in policies]
+        csv_path = write_resilience_csv(runs, output / "resilience.csv")
+        mtbf_goodput_figure(rows, path=output / "mtbf_goodput.svg")
+        print(f"csv           : {csv_path}")
+        print(f"figure        : {output / 'mtbf_goodput.svg'}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the persistent result cache."""
     from repro.core.store import result_store
@@ -516,6 +745,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(
             f"stale entries : {stats.stale_entries} "
             "(older schema; 'repro cache clear' removes them)"
+        )
+    if stats.quarantined_entries:
+        print(
+            f"quarantined   : {stats.quarantined_entries} corrupt "
+            "entries moved aside (recomputed on next use; 'repro cache "
+            "clear' removes them)"
         )
     return 0
 
@@ -624,10 +859,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--cap-mode", default="defer",
                        choices=("defer", "cap"))
-    fleet.add_argument("--mtbf-s", type=float, default=0.0,
+    fleet.add_argument("--mtbf-s", "--node-mtbf-s", dest="mtbf_s",
+                       type=float, default=0.0,
                        help="per-node mean time between failures (0 = off)")
-    fleet.add_argument("--repair-s", type=float, default=180.0,
+    fleet.add_argument("--repair-s", "--repair-time-s", dest="repair_s",
+                       type=float, default=180.0,
                        help="node repair time after a fault")
+    fleet.add_argument(
+        "--recovery", default="failstop",
+        help="recovery policy for fault-interrupted jobs: failstop "
+             "(default), hot-spare, or elastic",
+    )
+    fleet.add_argument("--restart-delay-s", type=float, default=0.0,
+                       help="failstop: restore delay before requeue")
+    fleet.add_argument("--spare-swapin-s", type=float, default=0.0,
+                       help="hot-spare: swap-in delay before requeue")
+    fleet.add_argument("--reconfig-s", type=float, default=0.0,
+                       help="elastic: re-group delay before requeue")
     fleet.add_argument(
         "--gpu-clock-limit", type=float, default=None,
         help="fleet-wide static clock ceiling applied to every placed "
@@ -684,6 +932,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the best run's artifact + powerctl figure here",
     )
     pc_search.set_defaults(func=cmd_powerctl_search)
+
+    resilience = subparsers.add_parser(
+        "resilience",
+        help="fault timelines and checkpoint/restart recovery policies "
+             "(docs/resilience.md)",
+    )
+    res_modes = resilience.add_subparsers(dest="mode", required=True)
+
+    def _add_resilience_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--model", required=True,
+                         help="catalog model name")
+        sub.add_argument("--cluster", required=True,
+                         help="catalog cluster name")
+        sub.add_argument("--parallelism", required=True,
+                         help="paper-style strategy, e.g. TP4-PP2")
+        sub.add_argument("--microbatch", type=int, default=1)
+        sub.add_argument("--global-batch", type=int, default=16)
+        sub.add_argument("--total-iterations", type=int, default=200,
+                         help="optimizer steps the job owes")
+        sub.add_argument("--checkpoint-interval", type=int, default=10,
+                         help="iterations between checkpoint writes")
+        sub.add_argument("--checkpoint-bw-gb-s", type=float, default=25.0,
+                         help="effective checkpoint write bandwidth")
+        sub.add_argument("--repair-s", "--repair-time-s", dest="repair_s",
+                         type=float, default=900.0,
+                         help="failstop: node repair time")
+        sub.add_argument("--restart-delay-s", type=float, default=120.0,
+                         help="failstop: job restart delay after repair")
+        sub.add_argument("--spare-swapin-s", type=float, default=180.0,
+                         help="hot-spare: spare swap-in time")
+        sub.add_argument("--reconfig-s", type=float, default=15.0,
+                         help="elastic: DP re-group time")
+        sub.add_argument("--seed", type=int, default=0,
+                         help="fault schedule seed")
+        sub.add_argument("--output", default=None,
+                         help="write resilience CSV (and figure) here")
+
+    res_run = res_modes.add_parser(
+        "run", help="walk one recovery policy over one fault schedule"
+    )
+    _add_resilience_arguments(res_run)
+    res_run.add_argument(
+        "--policy", default="failstop",
+        help="recovery policy: failstop, hot-spare, or elastic",
+    )
+    res_run.add_argument(
+        "--mtbf-s", "--node-mtbf-s", dest="mtbf_s",
+        type=float, default=0.0,
+        help="per-node mean time between failures (0 = fault-free)",
+    )
+    res_run.add_argument(
+        "--fault-at", type=float, nargs="+", default=None,
+        help="explicit fault onset seconds (exclusive with --mtbf-s)",
+    )
+    res_run.set_defaults(func=cmd_resilience_run)
+
+    res_sweep = res_modes.add_parser(
+        "sweep", help="compare recovery policies across an MTBF grid"
+    )
+    _add_resilience_arguments(res_sweep)
+    res_sweep.add_argument(
+        "--mtbf-s", "--node-mtbf-s", dest="mtbf_grid",
+        type=float, nargs="+", required=True,
+        help="MTBF grid points in seconds",
+    )
+    res_sweep.add_argument(
+        "--policy", action="append", dest="policies", default=None,
+        help="repeatable: policies to compare (default: all three)",
+    )
+    res_sweep.set_defaults(func=cmd_resilience_sweep)
 
     cache = subparsers.add_parser(
         "cache",

@@ -47,6 +47,8 @@ def run_summary(result: RunResult) -> dict:
             if result.outcome.power_control is not None
             else "none"
         ),
+        "fault_events_applied": result.fault_events_applied(),
+        "hangs_detected": len(result.hang_detections()),
         "kernel_seconds": {
             category.value: seconds
             for category, seconds in result.kernel_breakdown().seconds.items()
@@ -65,6 +67,8 @@ def write_run_artifact(result: RunResult, directory: str | Path) -> Path:
           trace.csv        Chakra-style kernel records (measured window)
           powerctl.csv     governor setpoint/decision trace (only when
                            the run had power control enabled)
+          faults.csv       fault transitions and hang detections (only
+                           when the run had a fault timeline)
 
     Returns the directory path.
     """
@@ -81,6 +85,12 @@ def write_run_artifact(result: RunResult, directory: str | Path) -> Path:
 
         write_powerctl_csv(
             result.outcome.power_control, directory / "powerctl.csv"
+        )
+    if result.outcome.fault_trace is not None:
+        from repro.telemetry.export import write_fault_trace_csv
+
+        write_fault_trace_csv(
+            result.outcome.fault_trace, directory / "faults.csv"
         )
     return directory
 

@@ -1,16 +1,32 @@
-"""Fault injection: degraded nodes and stragglers.
+"""Fault injection: degraded nodes, stragglers, and timed fault events.
 
 The paper's introduction recounts a node-level power failure that made
 its GPUs run more than 4x slower, creating stragglers that disrupted the
-entire training pipeline. This module reproduces that class of incident:
-a :class:`FaultSpec` caps a node's power budget (the supply-side failure)
-and/or clamps its GPUs' maximum clock, and the simulator's regular
-governor/straggler machinery propagates the damage through every
-synchronisation the strategy performs.
+entire training pipeline. This module reproduces that class of incident
+twice over:
+
+* :class:`FaultSpec` — static whole-run degradations: a capped node
+  power budget (the supply-side failure) and/or a clamped maximum
+  clock. The simulator's regular governor/straggler machinery
+  propagates the damage through every synchronisation the strategy
+  performs.
+* :class:`FaultEvent` / :class:`FaultTimeline` — *transient* faults
+  with an onset time, a duration, and a severity: the mid-run power
+  sag the paper opens with, link degradation/flaps, GPU fail-stop,
+  thermal runaway, and ECC stalls. The engine applies and clears these
+  on its physics clock (see :mod:`repro.resilience.runtime`), and the
+  recovery layer (:mod:`repro.resilience.recovery`) turns fail-stop
+  events into checkpoint/restart dynamics.
+
+:func:`generate_fault_timeline` draws a seeded Poisson fault process
+(per-node exponential MTBF), so stochastic campaigns stay reproducible.
 """
 
 from __future__ import annotations
 
+import enum
+import math
+import random
 from dataclasses import dataclass, field
 
 
@@ -68,3 +84,200 @@ def power_failure(node: int, severity: float = 0.25) -> FaultSpec:
         severity: remaining fraction of the power budget.
     """
     return FaultSpec(node_power_cap_scale={node: severity})
+
+
+# ---------------------------------------------------------------------------
+# Timed fault events
+# ---------------------------------------------------------------------------
+
+
+class FaultKind(enum.Enum):
+    """Transient fault classes the engine can inject mid-run.
+
+    Severity semantics differ per kind (validated in
+    :class:`FaultEvent`):
+
+    * ``POWER_SAG`` — severity is the remaining fraction of the node's
+      chassis power budget during the window (0.25 = the paper's
+      quartered supply).
+    * ``LINK_DEGRADE`` — severity is the remaining fraction of
+      effective bandwidth on traffic touching the node (a flapping or
+      renegotiated NIC/link).
+    * ``GPU_FAILSTOP`` — the node's GPUs stop executing for the
+      window; severity is ignored. Compute issued during the outage
+      completes only after the window clears, and every collective the
+      dead ranks participate in stalls at rendezvous — the hang the
+      recovery layer detects via the collective timeout.
+    * ``THERMAL_RUNAWAY`` — severity is the inlet-air temperature
+      *increase* in degC (a failed fan / blocked airflow); the RC model
+      and reactive governor turn it into throttling.
+    * ``ECC_STALL`` — severity is the remaining fraction of compute
+      throughput while ECC retirement/remapping stalls the SMs.
+    """
+
+    POWER_SAG = "power_sag"
+    LINK_DEGRADE = "link_degrade"
+    GPU_FAILSTOP = "gpu_failstop"
+    THERMAL_RUNAWAY = "thermal_runaway"
+    ECC_STALL = "ecc_stall"
+
+
+#: Kinds whose severity is a remaining-fraction in (0, 1].
+_FRACTION_KINDS = frozenset(
+    {FaultKind.POWER_SAG, FaultKind.LINK_DEGRADE, FaultKind.ECC_STALL}
+)
+
+#: Default severity per kind when the caller does not specify one.
+DEFAULT_SEVERITY = {
+    FaultKind.POWER_SAG: 0.25,
+    FaultKind.LINK_DEGRADE: 0.25,
+    FaultKind.GPU_FAILSTOP: 0.0,
+    FaultKind.THERMAL_RUNAWAY: 15.0,
+    FaultKind.ECC_STALL: 0.5,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One transient fault: a node, a window, and a severity.
+
+    Attributes:
+        kind: fault class (see :class:`FaultKind`).
+        node: affected node index.
+        time_s: onset, on the simulated clock.
+        duration_s: how long the fault persists before clearing.
+        severity: kind-specific magnitude (see :class:`FaultKind`).
+    """
+
+    kind: FaultKind
+    node: int
+    time_s: float
+    duration_s: float
+    severity: float = -1.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kind, str):  # accept the enum's value string
+            object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.severity < 0:
+            object.__setattr__(
+                self, "severity", DEFAULT_SEVERITY[self.kind]
+            )
+        if self.node < 0:
+            raise ValueError(f"fault node must be >= 0, got {self.node}")
+        if self.time_s < 0 or not math.isfinite(self.time_s):
+            raise ValueError("fault time_s must be finite and >= 0")
+        if self.duration_s <= 0 or not math.isfinite(self.duration_s):
+            raise ValueError("fault duration_s must be finite and > 0")
+        if self.kind in _FRACTION_KINDS and not 0 < self.severity <= 1.0:
+            raise ValueError(
+                f"{self.kind.value}: severity must be in (0, 1]"
+            )
+        if self.kind is FaultKind.THERMAL_RUNAWAY and self.severity < 0:
+            raise ValueError("thermal_runaway: severity (degC) must be >= 0")
+
+    @property
+    def end_s(self) -> float:
+        """When the fault clears."""
+        return self.time_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """An immutable, time-sorted set of transient fault events.
+
+    Rides inside :class:`~repro.engine.simulator.SimSettings`, so it
+    must stay frozen and hashable (the sweep cache derives digests from
+    it). The empty timeline is the strict no-op default: the engine
+    builds no fault runtime at all and follows the exact pre-resilience
+    code path on both physics backends.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.time_s, e.node,
+                                               e.kind.value))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate_against(self, num_nodes: int) -> None:
+        """Reject events targeting nodes the cluster does not have."""
+        for event in self.events:
+            if event.node >= num_nodes:
+                raise ValueError(
+                    f"fault targets node {event.node}; cluster has "
+                    f"{num_nodes} nodes"
+                )
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultEvent, ...]:
+        """Events of one kind, in onset order."""
+        return tuple(e for e in self.events if e.kind is kind)
+
+    @property
+    def horizon_s(self) -> float:
+        """Latest clear time across all events (0 when empty)."""
+        return max((e.end_s for e in self.events), default=0.0)
+
+
+#: The do-nothing default every existing entry point keeps using.
+EMPTY_TIMELINE = FaultTimeline()
+
+
+def generate_fault_timeline(
+    num_nodes: int,
+    horizon_s: float,
+    mtbf_s: float,
+    seed: int = 0,
+    kinds: tuple[FaultKind, ...] = (FaultKind.POWER_SAG,),
+    mean_duration_s: float = 5.0,
+    severity: float | None = None,
+) -> FaultTimeline:
+    """Draw a seeded per-node Poisson fault process.
+
+    Each node independently fails with exponential inter-arrival times
+    of mean ``mtbf_s``; each fault picks a kind uniformly from
+    ``kinds`` and an exponential duration of mean ``mean_duration_s``.
+    The same seed always yields the same timeline.
+
+    Args:
+        num_nodes: nodes in the cluster.
+        horizon_s: generate onsets in ``[0, horizon_s)``.
+        mtbf_s: per-node mean time between failures (> 0).
+        seed: RNG seed.
+        kinds: fault classes to draw from.
+        mean_duration_s: mean fault duration.
+        severity: fixed severity for every event; None uses each
+            kind's :data:`DEFAULT_SEVERITY`.
+    """
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+    for node in range(num_nodes):
+        t = rng.expovariate(1.0 / mtbf_s)
+        while t < horizon_s:
+            kind = kinds[rng.randrange(len(kinds))]
+            duration = max(1e-3, rng.expovariate(1.0 / mean_duration_s))
+            events.append(
+                FaultEvent(
+                    kind=kind,
+                    node=node,
+                    time_s=t,
+                    duration_s=duration,
+                    severity=(
+                        DEFAULT_SEVERITY[kind]
+                        if severity is None else severity
+                    ),
+                )
+            )
+            t += rng.expovariate(1.0 / mtbf_s)
+    return FaultTimeline(events=tuple(events))

@@ -1,11 +1,20 @@
 """Process-parallel execution of simulation runs.
 
 :func:`map_runs` fans a list of run payloads over a
-``ProcessPoolExecutor``. The executor's ``map`` keeps result order equal
-to input order regardless of which worker finishes first, so parallel
-sweeps are deterministic: ``jobs`` changes wall-clock time, never
-results. ``jobs=1`` (the default everywhere) bypasses the pool entirely
-and preserves the exact serial code path.
+``ProcessPoolExecutor`` and returns results in input order regardless of
+which worker finishes first, so parallel sweeps are deterministic:
+``jobs`` changes wall-clock time, never results. ``jobs=1`` (the default
+everywhere) bypasses the pool entirely and preserves the exact serial
+code path.
+
+The fan-out is crash-proof: a worker process that dies (SIGKILL, OOM
+reaper, native crash) breaks only its own payloads, not the sweep. Every
+payload stranded by a broken pool is retried once in a fresh pool, and
+anything that still cannot complete there — a "poisoned" payload that
+kills whatever worker picks it up — falls back to in-process execution.
+What happened is reported through the optional :class:`ExecutionReport`
+argument. Ordinary exceptions raised *by* a payload are not retried;
+they propagate, as they are deterministic.
 
 Workers run :func:`repro.core.sweep.cached_run_training` /
 ``cached_run_inference``, so they share the persistent on-disk store
@@ -16,11 +25,42 @@ every later process reads it back.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 #: Payload shape: ("train" | "infer", kwargs-dict for the cached runner).
 RunPayload = tuple[str, dict]
+
+#: One initial attempt plus one retry in a fresh pool.
+_POOL_ATTEMPTS = 2
+
+
+@dataclass
+class ExecutionReport:
+    """How a fan-out actually executed (crash recovery bookkeeping).
+
+    Attributes:
+        retried: input indices whose worker died and were re-submitted
+            to a fresh pool.
+        fell_back: input indices that also failed the retry (or could
+            never be pooled) and ran in-process instead.
+    """
+
+    retried: list[int] = field(default_factory=list)
+    fell_back: list[int] = field(default_factory=list)
+
+    @property
+    def crashed(self) -> bool:
+        """Whether any worker process died during the fan-out."""
+        return bool(self.retried or self.fell_back)
+
+    def describe(self) -> str:
+        """One-line summary for logs/CLI warnings."""
+        return (
+            f"{len(self.retried)} payload(s) retried after a worker "
+            f"crash, {len(self.fell_back)} completed in-process"
+        )
 
 
 def default_jobs() -> int:
@@ -47,38 +87,81 @@ def _run_payload(payload: RunPayload):
     return runner(**kwargs)
 
 
-def map_runs(payloads: Sequence[RunPayload], jobs: int) -> list:
+def _fan_out(fn, items: list, jobs: int,
+             report: ExecutionReport | None) -> list:
+    """Pool fan-out with crash recovery; results in input order.
+
+    Indices stranded by a dead worker are retried once in a fresh pool,
+    then executed in-process. Platforms that cannot spawn processes at
+    all skip straight to the serial path.
+    """
+    workers = min(jobs, len(items))
+    results: list = [None] * len(items)
+    pending = list(range(len(items)))
+    for attempt in range(_POOL_ATTEMPTS):
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            )
+        except (OSError, PermissionError, NotImplementedError):
+            break
+        broken: list[int] = []
+        with pool:
+            futures = []
+            try:
+                for index in pending:
+                    futures.append((index, pool.submit(fn, items[index])))
+            except (BrokenExecutor, RuntimeError, OSError):
+                submitted = {index for index, _ in futures}
+                broken.extend(i for i in pending if i not in submitted)
+            for index, future in futures:
+                try:
+                    results[index] = future.result()
+                except (BrokenExecutor, OSError):
+                    broken.append(index)
+        if broken and attempt == 0 and report is not None:
+            report.retried = sorted(broken)
+        pending = sorted(broken)
+        if not pending:
+            return results
+    if report is not None:
+        report.fell_back = list(pending)
+    for index in pending:
+        results[index] = fn(items[index])
+    return results
+
+
+def map_runs(
+    payloads: Sequence[RunPayload],
+    jobs: int,
+    report: ExecutionReport | None = None,
+) -> list:
     """Run every payload and return results in input order.
 
     With ``jobs <= 1`` (or a single payload) this is a plain serial
-    loop. Otherwise payloads fan out over worker processes; if the
-    platform cannot spawn processes (restricted sandboxes), execution
-    silently falls back to the serial path — same results, no failure.
+    loop. Otherwise payloads fan out over worker processes with the
+    crash recovery described in the module docstring; ``report`` (when
+    given) is filled in with any retried / fallen-back indices.
     """
     payloads = list(payloads)
     if jobs <= 1 or len(payloads) <= 1:
         return [_run_payload(payload) for payload in payloads]
-    workers = min(jobs, len(payloads))
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_payload, payloads))
-    except (OSError, PermissionError, NotImplementedError):
-        return [_run_payload(payload) for payload in payloads]
+    return _fan_out(_run_payload, payloads, jobs, report)
 
 
-def map_calls(fn, items: Iterable, jobs: int) -> list:
+def map_calls(
+    fn,
+    items: Iterable,
+    jobs: int,
+    report: ExecutionReport | None = None,
+) -> list:
     """Generic deterministic fan-out: ``[fn(item) for item in items]``.
 
     ``fn`` must be a picklable top-level callable. Used for pre-profiling
-    job shapes and other non-RunResult work; the same serial-fallback
-    rules as :func:`map_runs` apply.
+    job shapes and other non-RunResult work; the same serial-fallback and
+    crash-recovery rules as :func:`map_runs` apply.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    workers = min(jobs, len(items))
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
-    except (OSError, PermissionError, NotImplementedError):
-        return [fn(item) for item in items]
+    return _fan_out(fn, items, jobs, report)

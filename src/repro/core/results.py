@@ -167,6 +167,27 @@ class RunResult:
         trace = self.outcome.power_control
         return list(trace.decisions) if trace is not None else []
 
+    # -- resilience ------------------------------------------------------
+
+    def fault_trace(self):
+        """Applied fault transitions and detected hangs of the run.
+
+        None when the run had an empty fault timeline.
+        """
+        return self.outcome.fault_trace
+
+    def fault_events_applied(self) -> int:
+        """Fault onsets that actually fired inside the run (0 if none)."""
+        trace = self.outcome.fault_trace
+        return trace.applied if trace is not None else 0
+
+    def hang_detections(self) -> list[str]:
+        """Human-readable collective-timeout log (empty when inactive)."""
+        trace = self.outcome.fault_trace
+        return (
+            [e.detail for e in trace.hangs] if trace is not None else []
+        )
+
     def pressure(self):
         """Time-weighted occupancy/warps/threadblocks (Figure 20)."""
         window = self.window_end_s - self.window_start_s

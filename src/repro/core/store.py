@@ -38,7 +38,9 @@ from repro.core.results import RunResult
 #: Bump when RunResult / SimOutcome / telemetry change observable shape.
 #: v2: SimOutcome grew power_control (powerctl setpoint trace) and
 #: SimSettings grew the power_control config field.
-SCHEMA_VERSION = 2
+#: v3: SimOutcome grew fault_trace and SimSettings grew the
+#: fault_timeline / collective_timeout_s fields (repro.resilience).
+SCHEMA_VERSION = 3
 
 DEFAULT_DIR = ".repro_cache"
 
@@ -56,6 +58,7 @@ class StoreStats:
     entries: int
     total_bytes: int
     stale_entries: int
+    quarantined_entries: int = 0
 
     @property
     def total_mb(self) -> float:
@@ -85,17 +88,38 @@ class ResultStore:
     # -- access ---------------------------------------------------------
 
     def get(self, digest: str) -> RunResult | None:
-        """Load a stored result, or None on miss/corruption."""
+        """Load a stored result, or None on miss/corruption.
+
+        A file that exists but fails to unpickle (truncated write,
+        bit-rot, incompatible source tree) is quarantined to
+        ``<entry>.pkl.corrupt`` so the caller recomputes — and the next
+        :meth:`put` can reinstall a healthy entry — instead of hitting
+        the same broken bytes on every lookup.
+        """
         path = self.path_for(digest)
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # Missing, truncated, or written by an incompatible source
-            # tree: treat as a miss and let the caller recompute.
+        except FileNotFoundError:
             return None
-        return result if isinstance(result, RunResult) else None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            return None
+        if isinstance(result, RunResult):
+            return result
+        self._quarantine(path)
+        return None
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a broken entry aside so it stops shadowing the digest."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            # Concurrent quarantine or read-only store: the miss still
+            # stands; worst case the entry is retried next lookup.
+            pass
 
     def put(self, digest: str, result: RunResult) -> None:
         """Atomically persist one result.
@@ -129,6 +153,7 @@ class ResultStore:
         entries = 0
         total_bytes = 0
         stale = 0
+        quarantined = 0
         if self.root.is_dir():
             for path in self.root.rglob("*.pkl"):
                 size = path.stat().st_size
@@ -137,12 +162,16 @@ class ResultStore:
                     entries += 1
                 else:
                     stale += 1
+            quarantined = sum(
+                1 for _ in self.root.rglob("*.corrupt")
+            )
         return StoreStats(
             root=str(self.root),
             schema_version=SCHEMA_VERSION,
             entries=entries,
             total_bytes=total_bytes,
             stale_entries=stale,
+            quarantined_entries=quarantined,
         )
 
     def clear(self) -> int:

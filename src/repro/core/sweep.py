@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -184,7 +185,7 @@ def run_sweep(
         settings: optional :class:`~repro.engine.simulator.SimSettings`
             forwarded to every run.
     """
-    from repro.core.parallel import map_runs, resolve_jobs
+    from repro.core.parallel import ExecutionReport, map_runs, resolve_jobs
 
     ordered: list[SweepPoint] = []
     seen: set[SweepPoint] = set()
@@ -201,7 +202,14 @@ def run_sweep(
         )
         for point in ordered
     ]
-    outputs = map_runs(payloads, jobs)
+    report = ExecutionReport()
+    outputs = map_runs(payloads, jobs, report)
+    if report.crashed:
+        print(
+            f"warning: sweep survived worker crashes "
+            f"({report.describe()})",
+            file=sys.stderr,
+        )
 
     results: dict[SweepPoint, RunResult] = {}
     for point, payload, result in zip(ordered, payloads, outputs):

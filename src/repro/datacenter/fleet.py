@@ -62,6 +62,11 @@ from repro.powerctl.config import (
     PowerControlConfig,
     freq_for_power_limit,
 )
+from repro.resilience.recovery import (
+    POLICIES as RECOVERY_POLICIES,
+    plan_interrupt,
+)
+from repro.suggest import unknown_name_message
 
 
 @dataclass(frozen=True)
@@ -92,6 +97,18 @@ class FleetConfig:
         node_mtbf_s: mean time between failures per node; 0 disables
             random faults.
         repair_time_s: downtime after a fault before the node returns.
+        recovery_policy: how interrupted jobs recover
+            (:data:`repro.resilience.recovery.POLICIES`). ``failstop``
+            rolls back to the last checkpoint; ``hot-spare`` rolls back
+            too but requeues after only ``spare_swapin_s``; ``elastic``
+            keeps all progress (DP survivors hold the model state) and
+            requeues after ``reconfig_s``. Interrupt accounting is
+            delegated to :func:`repro.resilience.recovery.plan_interrupt`
+            so the fleet and the per-job resilience walk agree.
+        restart_delay_s / spare_swapin_s / reconfig_s: recovery latency
+            before an interrupted job is runnable again, per policy.
+            All default to 0, which preserves the legacy
+            immediate-requeue behaviour.
         fault_events: forced faults at known times (on top of MTBF).
         heating_tau_s / cooling_tau_s: node thermal time constants.
         throttle_onset_c / throttle_full_c / throttle_min_clock: the
@@ -124,6 +141,10 @@ class FleetConfig:
     seed: int = 0
     node_mtbf_s: float = 0.0
     repair_time_s: float = 180.0
+    recovery_policy: str = "failstop"
+    restart_delay_s: float = 0.0
+    spare_swapin_s: float = 0.0
+    reconfig_s: float = 0.0
     fault_events: tuple[FleetFault, ...] = ()
     heating_tau_s: float = 30.0
     cooling_tau_s: float = 120.0
@@ -143,6 +164,17 @@ class FleetConfig:
             )
         if self.node_mtbf_s < 0 or self.repair_time_s <= 0:
             raise ValueError("MTBF must be >= 0 and repair time positive")
+        if self.recovery_policy not in RECOVERY_POLICIES:
+            raise ValueError(
+                unknown_name_message(
+                    "recovery policy", self.recovery_policy,
+                    RECOVERY_POLICIES,
+                )
+            )
+        if min(
+            self.restart_delay_s, self.spare_swapin_s, self.reconfig_s
+        ) < 0:
+            raise ValueError("recovery delays must be >= 0")
         if self.heating_tau_s <= 0 or self.cooling_tau_s <= 0:
             raise ValueError("thermal time constants must be positive")
         if not 0.0 <= self.straggler_power_fraction <= 1.0:
@@ -280,6 +312,7 @@ class FleetSim:
             "done": self._on_done,
             "fault": self._on_fault,
             "repair": self._on_repair,
+            "requeue": self._on_requeue,
         }
         makespan = 0.0
         while self._heap:
@@ -361,6 +394,12 @@ class FleetSim:
         if victim is not None:
             self._interrupt(victim, now)
         self._push(now + self.config.repair_time_s, "repair", (cluster, node))
+        self._dispatch(now)
+
+    def _on_requeue(self, now: float, name: str) -> None:
+        """An interrupted job finished recovering and is runnable again."""
+        self._queue.insert(0, name)  # resume ahead of newer work
+        self._enqueued_at[name] = now
         self._dispatch(now)
 
     def _on_repair(self, now: float, cluster: int, node: int) -> None:
@@ -469,7 +508,17 @@ class FleetSim:
         return True
 
     def _interrupt(self, name: str, now: float) -> None:
-        """A fault killed this job's attempt: checkpoint-restart it."""
+        """A fault killed this job's attempt: recover it per policy.
+
+        The accounting — what survives the interrupt, what is lost, what
+        must be replayed, and how long recovery takes — is delegated to
+        :func:`repro.resilience.recovery.plan_interrupt`, the same
+        closed form the per-job resilience walk uses. ``elastic`` is the
+        fleet-granularity approximation of DP-shrink continuation: the
+        survivors hold the model state, so nothing rolls back and the
+        job is runnable again after one re-group delay.
+        """
+        config = self.config
         running = self._running.pop(name)
         record = running.record
         elapsed = now - running.start_s
@@ -477,10 +526,17 @@ class FleetSim:
             record.remaining_iterations,
             int(elapsed / running.step_time_s + 1e-9),
         )
-        ckpt = record.spec.checkpoint_interval
-        durable = (steps // ckpt) * ckpt
-        record.completed_iterations += durable
-        record.lost_iterations += steps - durable
+        plan = plan_interrupt(
+            config.recovery_policy,
+            steps,
+            record.spec.checkpoint_interval,
+            restart_delay_s=config.restart_delay_s,
+            spare_swapin_s=config.spare_swapin_s,
+            reconfig_s=config.reconfig_s,
+        )
+        record.completed_iterations += plan.durable_iterations
+        record.lost_iterations += plan.lost_iterations
+        record.replayed_iterations += plan.replayed_iterations
         record.restarts += 1
         self._account_energy(running, elapsed)
         record.intervals.append(
@@ -496,8 +552,14 @@ class FleetSim:
         self._free_nodes(running.placement, now)
         self.controller.release(running.committed_w)
         record.state = JobState.QUEUED
-        self._queue.insert(0, name)  # resume ahead of newer work
-        self._enqueued_at[name] = now
+        if plan.requeue_delay_s > 0:
+            # Recovery latency (restore / spare swap-in / re-group): the
+            # job is runnable only once it elapses. Not counted as queue
+            # wait — the job is recovering, not waiting for capacity.
+            self._push(now + plan.requeue_delay_s, "requeue", (name,))
+        else:
+            self._queue.insert(0, name)  # resume ahead of newer work
+            self._enqueued_at[name] = now
 
     # ------------------------------------------------------------------
     # Physics, accounting, plumbing

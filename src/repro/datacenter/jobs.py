@@ -136,7 +136,9 @@ class JobRecord:
     ``completed_iterations`` counts durable progress only (checkpointed,
     or carried to completion); ``lost_iterations`` counts work that was
     simulated but discarded by a fault — the gap between throughput and
-    goodput.
+    goodput. ``replayed_iterations`` counts the discarded work the job
+    must execute a second time after restarting (equal to lost work
+    under checkpoint rollback, zero under elastic continuation).
     """
 
     spec: JobSpec
@@ -145,6 +147,7 @@ class JobRecord:
     profile: JobProfile | None = None
     completed_iterations: int = 0
     lost_iterations: int = 0
+    replayed_iterations: int = 0
     restarts: int = 0
     energy_j: float = 0.0
     queue_wait_s: float = 0.0

@@ -67,6 +67,11 @@ class ScalarPhysics:
             )
             for i in range(cluster.num_nodes)
         ]
+        # Static (whole-run) cap scales, kept so transient sags compose
+        # multiplicatively with them and clear back to exactly this.
+        self._static_cap_scale = [
+            faults.power_cap_scale(i) for i in range(cluster.num_nodes)
+        ]
 
     def prewarm(self, power_w: float) -> None:
         """Jump every node to the steady state of a uniform power draw."""
@@ -115,6 +120,22 @@ class ScalarPhysics:
         flat = [float(v) for v in np.asarray(setpoints).reshape(-1)]
         for i, governor in enumerate(self.governors):
             governor.setpoints = flat[i * per_node:(i + 1) * per_node]
+
+    def set_node_budget_scales(self, scales) -> None:
+        """Apply transient per-node power-budget multipliers (faults).
+
+        Composes with any static :class:`FaultSpec` cap; a scale of 1.0
+        restores the governor to exactly its whole-run value.
+        """
+        for i, governor in enumerate(self.governors):
+            governor.power_cap_scale = (
+                self._static_cap_scale[i] * float(scales[i])
+            )
+
+    def set_ambient_offsets(self, offsets) -> None:
+        """Apply transient per-node inlet/ambient offsets (degC)."""
+        for thermal, delta in zip(self.thermal, offsets):
+            thermal.set_ambient_offset(float(delta))
 
     def freq_of(self, gpu: int) -> float:
         """Current clock ratio of one global GPU."""
@@ -316,6 +337,41 @@ class VectorPhysics:
         self._eff_floor = np.minimum(self._floor, self._eff_ceiling)
         # Clocks may now sit above the new ceiling; force the full
         # governor path on the next step so the clamp takes effect.
+        self._at_ceiling = False
+
+    def set_node_budget_scales(self, scales) -> None:
+        """Apply transient per-node power-budget multipliers (faults).
+
+        Mirrors the scalar governor exactly: the budget and the clock
+        floor both follow the *combined* static x transient scale, and a
+        transient scale of 1.0 restores the whole-run values bit for
+        bit.
+        """
+        node = self.cluster.node
+        combined = self._cap_scale * np.asarray(scales, dtype=float)
+        self._budget = node.node_power_cap_watts * combined
+        floor = np.where(
+            combined < 1.0,
+            node.gpu.base_clock_ratio * combined,
+            node.gpu.base_clock_ratio,
+        )
+        self._floor = np.minimum(floor[:, None], self._ceiling)
+        self._eff_floor = np.minimum(self._floor, self._eff_ceiling)
+        # The cap factor cached in _eq_cache depends on the budget, and
+        # clocks may need clamping to the new floor: force a full step.
+        self._eq_cache = None
+        self._at_ceiling = False
+
+    def set_ambient_offsets(self, offsets) -> None:
+        """Apply transient per-node inlet/ambient offsets (degC)."""
+        node = self.cluster.node
+        self._inlet_base = (
+            node.ambient_c
+            + np.asarray(offsets, dtype=float)[:, None]
+            + np.asarray(node.airflow.inlet_offset_c, dtype=float)
+        )
+        # Equilibrium temperatures cached in _eq_cache embed the inlets.
+        self._eq_cache = None
         self._at_ceiling = False
 
     # -- simulator-facing views ----------------------------------------

@@ -27,7 +27,7 @@ from repro.comm.collectives import (
 )
 from repro.comm.contention import NicContention
 from repro.comm.traffic import TrafficLedger
-from repro.core.faults import HEALTHY, FaultSpec
+from repro.core.faults import EMPTY_TIMELINE, HEALTHY, FaultSpec, FaultTimeline
 from repro.engine.kernels import KernelKind, KernelRecord
 from repro.engine.physics import (
     PowerVector,
@@ -46,6 +46,7 @@ from repro.powerctl.governor import (
     PowerCtlObservation,
     build_runtime,
 )
+from repro.resilience.runtime import FaultTrace, build_fault_runtime
 from repro.telemetry.monitor import GpuSample, TelemetryLog
 
 EPS = 2e-6
@@ -86,6 +87,14 @@ class SimSettings:
             (:mod:`repro.powerctl`). The default disables it entirely:
             no runtime is built and both physics backends follow the
             exact pre-powerctl code path, bit for bit.
+        fault_timeline: transient mid-run fault events
+            (:mod:`repro.resilience`). The empty default builds no
+            fault runtime at all: both physics backends follow the
+            exact pre-resilience code path, bit for bit.
+        collective_timeout_s: NCCL-style watchdog — a rendezvous
+            collective whose arrival skew exceeds this is recorded as a
+            hang on the fault trace (only consulted when a fault
+            timeline is active).
     """
 
     physics_dt_s: float = 0.05
@@ -95,6 +104,8 @@ class SimSettings:
     faults: FaultSpec = HEALTHY
     fast_path: bool = True
     power_control: PowerControlConfig = NO_POWER_CONTROL
+    fault_timeline: FaultTimeline = EMPTY_TIMELINE
+    collective_timeout_s: float = 30.0
 
 
 @dataclass
@@ -113,6 +124,9 @@ class SimOutcome:
         power_control: setpoint timeline and decision log of the active
             :mod:`repro.powerctl` governor (None when power control was
             off).
+        fault_trace: applied fault transitions and detected hangs of the
+            run's :class:`~repro.core.faults.FaultTimeline` (None when
+            the timeline was empty).
     """
 
     records: list[KernelRecord]
@@ -125,6 +139,7 @@ class SimOutcome:
     tokens_per_iteration: int
     num_iterations: int
     power_control: PowerControlTrace | None = None
+    fault_trace: FaultTrace | None = None
 
 
 @dataclass(slots=True)
@@ -193,6 +208,15 @@ class Simulator:
             if self._powerctl is not None
             and self._powerctl.needs_busy_fraction
             else None
+        )
+
+        # Transient fault injection (repro.resilience). Everything it
+        # touches is guarded on self._faultrt, so the empty-timeline
+        # default stays a strict no-op on both backends.
+        self._faultrt = build_fault_runtime(
+            self.settings.fault_timeline,
+            self.cluster,
+            collective_timeout_s=self.settings.collective_timeout_s,
         )
 
         # Precomputed rank/GPU index tables (hot-path: avoids repeated
@@ -279,6 +303,9 @@ class Simulator:
             power_control=(
                 self._powerctl.trace if self._powerctl is not None else None
             ),
+            fault_trace=(
+                self._faultrt.trace if self._faultrt is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -302,7 +329,7 @@ class Simulator:
 
     def _start_compute(self, task: Task, rank: int, now: float) -> None:
         gpu = self._gpu_of[rank]
-        duration = self._compute_duration(task.compute, gpu)
+        duration = self._compute_duration(task.compute, gpu, now)
         self._set_activity(gpu, task.compute.activity, +1)
         self._push(now + duration, "compute", (task, rank, now))
 
@@ -312,6 +339,8 @@ class Simulator:
         dst_gpu = self._gpu_of[spec.dst]
         nodes = self._nic_nodes_for((src_gpu, dst_gpu))
         share = self._contention.begin(nodes) if nodes else 1.0
+        if nodes and self._faultrt is not None:
+            share *= self._faultrt.link_scale(nodes, now)
         key = ("p2p", src_gpu, dst_gpu, spec.payload_bytes, spec.chunked,
                share)
         cost = self._comm_cache.get(key) if self._fast else None
@@ -375,6 +404,12 @@ class Simulator:
         spec = task.collective
         gpus, nodes = self._group_of(spec.ranks)
         share = self._contention.begin(nodes) if nodes else 1.0
+        if self._faultrt is not None:
+            if nodes:
+                share *= self._faultrt.link_scale(nodes, now)
+            self._faultrt.observe_rendezvous(
+                task.uid, min(state.arrivals.values()), now
+            )
         key = (spec.op, spec.ranks, spec.payload_bytes, share)
         cost = self._comm_cache.get(key) if self._fast else None
         if cost is None:
@@ -389,7 +424,8 @@ class Simulator:
         duration = comm_duration
         if task.overlap_compute is not None:
             compute_durations = [
-                self._compute_duration(task.overlap_compute, g) for g in gpus
+                self._compute_duration(task.overlap_compute, g, now)
+                for g in gpus
             ]
             duration = fused_duration(max(compute_durations), comm_duration)
             for g in gpus:
@@ -491,14 +527,26 @@ class Simulator:
     # Durations, activity, traffic helpers
     # ------------------------------------------------------------------
 
-    def _compute_duration(self, spec: ComputeSpec, gpu: int) -> float:
+    def _compute_duration(
+        self, spec: ComputeSpec, gpu: int, now: float
+    ) -> float:
         if spec.fixed_duration_s is not None:
-            return max(spec.fixed_duration_s, spec.min_duration_s)
-        freq = self._physics.freq_of(gpu)
-        duration = spec.flops / (self._sustained * spec.efficiency * freq)
-        if spec.overlapped_comm_s > 0:
-            duration = fused_duration(duration, spec.overlapped_comm_s)
-        return max(duration, spec.min_duration_s)
+            duration = max(spec.fixed_duration_s, spec.min_duration_s)
+        else:
+            freq = self._physics.freq_of(gpu)
+            duration = spec.flops / (
+                self._sustained * spec.efficiency * freq
+            )
+            if spec.overlapped_comm_s > 0:
+                duration = fused_duration(duration, spec.overlapped_comm_s)
+            duration = max(duration, spec.min_duration_s)
+        if self._faultrt is not None:
+            delay, stretch = self._faultrt.compute_penalty(
+                self._node_of[gpu], now
+            )
+            if delay or stretch != 1.0:
+                duration = duration * stretch + delay
+        return duration
 
     def _set_activity(self, gpu: int, activity: Activity, delta: int) -> None:
         """Stack (or unstack) a kernel's fractional activity on a GPU."""
@@ -614,6 +662,8 @@ class Simulator:
             self._physics_step(remaining)
 
     def _physics_step(self, dt: float) -> None:
+        if self._faultrt is not None:
+            self._faultrt.apply_boundaries(self._phys_time, self._physics)
         if self._fast:
             if self._activity_dirty:
                 self._power_vec.refresh_intensity(

@@ -1,0 +1,52 @@
+"""Fault timelines, mid-run fault injection, and recovery policies.
+
+Two halves:
+
+* :mod:`repro.resilience.runtime` — the engine-side fault runtime that
+  applies a :class:`~repro.core.faults.FaultTimeline` to one simulated
+  run (physics effects, compute/link penalties, hang detection).
+* :mod:`repro.resilience.recovery` — the job-level layer above it:
+  checkpoint write costs, and the fail-stop / hot-spare / elastic
+  DP-shrink restart strategies whose goodput and energy the
+  ``python -m repro resilience`` CLI compares.
+
+``recovery`` imports the run layer (and therefore the engine), while the
+engine imports ``runtime`` from here — so the heavy half is loaded
+lazily to keep the import graph acyclic.
+"""
+
+from repro.resilience.runtime import (
+    FaultRuntime,
+    FaultTrace,
+    FaultTraceEntry,
+    build_fault_runtime,
+)
+
+_RECOVERY_EXPORTS = (
+    "POLICIES",
+    "InterruptPlan",
+    "RecoveryConfig",
+    "ResilienceRun",
+    "compare_policies",
+    "plan_interrupt",
+    "simulate_recovery",
+    "sweep_mtbf",
+)
+
+__all__ = [
+    "FaultRuntime",
+    "FaultTrace",
+    "FaultTraceEntry",
+    "build_fault_runtime",
+    *_RECOVERY_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _RECOVERY_EXPORTS:
+        from repro.resilience import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,269 @@
+"""Engine-side fault runtime: applies timed fault events mid-run.
+
+The simulator builds one :class:`FaultRuntime` per run (via
+:func:`build_fault_runtime`) when its settings carry a non-empty
+:class:`~repro.core.faults.FaultTimeline`. The runtime owns three jobs:
+
+* **Physics effects** — power sags and thermal-runaway events change the
+  node power budget / inlet air on the physics backends. They are
+  applied and cleared on the physics clock
+  (:meth:`FaultRuntime.apply_boundaries`), so both the scalar and the
+  vectorized backend see the same fault schedule.
+* **Timing effects** — GPU fail-stop outages delay compute issued during
+  the window until the fault clears, ECC stalls stretch compute, and
+  link degradation scales the effective bandwidth of traffic touching
+  the node. These are consulted lazily at task start
+  (:meth:`compute_penalty`, :meth:`link_scale`).
+* **Hang detection** — an NCCL-style collective timeout: when a
+  rendezvous collective's arrival skew (last arrival minus first)
+  exceeds ``collective_timeout_s``, a hang is recorded on the
+  :class:`FaultTrace`. This is the signal the recovery layer
+  (:mod:`repro.resilience.recovery`) turns into checkpoint/restart
+  dynamics.
+
+The empty timeline never reaches this module: the simulator keeps
+``None`` instead of a runtime and follows the exact pre-resilience code
+path, bit for bit, on both physics backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.faults import FaultEvent, FaultKind, FaultTimeline
+from repro.hardware.cluster import ClusterSpec
+
+#: Fault kinds applied on the physics clock (budget / inlet changes).
+_PHYSICS_KINDS = frozenset(
+    {FaultKind.POWER_SAG, FaultKind.THERMAL_RUNAWAY}
+)
+
+#: Fault kinds consulted per compute-task start.
+_COMPUTE_KINDS = frozenset(
+    {FaultKind.GPU_FAILSTOP, FaultKind.ECC_STALL}
+)
+
+
+@dataclass(frozen=True)
+class FaultTraceEntry:
+    """One applied fault transition (or detected hang).
+
+    Attributes:
+        time_s: when it happened on the simulated clock.
+        kind: fault kind value, or ``"hang"`` for a detection.
+        node: affected node (-1 for hangs, which are collective-scoped).
+        phase: ``"onset"``, ``"clear"``, or ``"detected"``.
+        detail: human-readable context.
+    """
+
+    time_s: float
+    kind: str
+    node: int
+    phase: str
+    detail: str
+
+
+@dataclass
+class FaultTrace:
+    """What the fault runtime actually did during one run.
+
+    Travels on :class:`~repro.engine.simulator.SimOutcome` (None when
+    the run had an empty timeline) for telemetry export and the
+    resilience figures.
+    """
+
+    entries: list[FaultTraceEntry] = field(default_factory=list)
+
+    def record(
+        self, time_s: float, kind: str, node: int, phase: str, detail: str
+    ) -> None:
+        """Append one transition."""
+        self.entries.append(
+            FaultTraceEntry(
+                time_s=float(time_s), kind=kind, node=node, phase=phase,
+                detail=detail,
+            )
+        )
+
+    @property
+    def applied(self) -> int:
+        """Fault onsets that actually fired inside the run."""
+        return sum(1 for e in self.entries if e.phase == "onset")
+
+    @property
+    def hangs(self) -> list[FaultTraceEntry]:
+        """Detected collective hangs, in detection order."""
+        return [e for e in self.entries if e.phase == "detected"]
+
+
+class FaultRuntime:
+    """Tracks active fault windows and applies them to one simulation."""
+
+    def __init__(
+        self,
+        timeline: FaultTimeline,
+        cluster: ClusterSpec,
+        collective_timeout_s: float = 30.0,
+    ) -> None:
+        timeline.validate_against(cluster.num_nodes)
+        if collective_timeout_s <= 0:
+            raise ValueError("collective_timeout_s must be positive")
+        self.timeline = timeline
+        self.cluster = cluster
+        self.collective_timeout_s = collective_timeout_s
+        self.trace = FaultTrace()
+
+        num_nodes = cluster.num_nodes
+        # Boundary schedule on the physics clock: (time, onset?, event),
+        # sorted. Every kind is recorded on the trace here; only the
+        # physics kinds also mutate the backend.
+        bounds: list[tuple[float, bool, FaultEvent]] = []
+        for event in timeline.events:
+            bounds.append((event.time_s, True, event))
+            bounds.append((event.end_s, False, event))
+        bounds.sort(key=lambda b: (b[0], not b[1]))
+        self._bounds = bounds
+        self._bound_idx = 0
+        self._active_sags: list[set[FaultEvent]] = [
+            set() for _ in range(num_nodes)
+        ]
+        self._active_heat: list[set[FaultEvent]] = [
+            set() for _ in range(num_nodes)
+        ]
+        self._budget_scale = np.ones(num_nodes)
+        self._ambient_offset = np.zeros(num_nodes)
+
+        # Per-node windows consulted lazily on the task clock.
+        self._compute_events: dict[int, list[FaultEvent]] = {}
+        self._link_events: dict[int, list[FaultEvent]] = {}
+        for event in timeline.events:
+            if event.kind in _COMPUTE_KINDS:
+                self._compute_events.setdefault(event.node, []).append(event)
+            elif event.kind is FaultKind.LINK_DEGRADE:
+                self._link_events.setdefault(event.node, []).append(event)
+        self._hung: set[int] = set()
+
+    # -- physics clock --------------------------------------------------
+
+    def apply_boundaries(self, phys_time: float, physics) -> None:
+        """Apply every onset/clear at or before ``phys_time``.
+
+        Called once per physics step, before the step integrates; a
+        fault's effect therefore lands on the first physics step whose
+        start is at or past the onset (physics-step granularity, like
+        the reactive governor itself).
+        """
+        changed_budget = changed_ambient = False
+        while (
+            self._bound_idx < len(self._bounds)
+            and self._bounds[self._bound_idx][0] <= phys_time + 1e-9
+        ):
+            time_s, onset, event = self._bounds[self._bound_idx]
+            self._bound_idx += 1
+            if event.kind is FaultKind.POWER_SAG:
+                active = self._active_sags[event.node]
+                (active.add if onset else active.discard)(event)
+                self._budget_scale[event.node] = min(
+                    (e.severity for e in active), default=1.0
+                )
+                changed_budget = True
+                detail = f"budget x{event.severity:g}"
+            elif event.kind is FaultKind.THERMAL_RUNAWAY:
+                active = self._active_heat[event.node]
+                (active.add if onset else active.discard)(event)
+                self._ambient_offset[event.node] = max(
+                    (e.severity for e in active), default=0.0
+                )
+                changed_ambient = True
+                detail = f"inlet +{event.severity:g}C"
+            elif event.kind is FaultKind.GPU_FAILSTOP:
+                detail = "compute frozen"
+            elif event.kind is FaultKind.ECC_STALL:
+                detail = f"compute x{event.severity:g}"
+            else:
+                detail = f"bandwidth x{event.severity:g}"
+            self.trace.record(
+                time_s,
+                event.kind.value,
+                event.node,
+                "onset" if onset else "clear",
+                f"t={time_s:.2f}s node {event.node} "
+                f"{event.kind.value} {'onset' if onset else 'clear'} "
+                f"({detail})",
+            )
+        if changed_budget:
+            physics.set_node_budget_scales(self._budget_scale)
+        if changed_ambient:
+            physics.set_ambient_offsets(self._ambient_offset)
+
+    # -- task clock -----------------------------------------------------
+
+    def compute_penalty(self, node: int, now: float) -> tuple[float, float]:
+        """(delay_s, stretch) for compute issued on ``node`` at ``now``.
+
+        A fail-stop outage freezes the kernel until the window clears
+        (delay); an ECC stall stretches it by 1/severity. Overlapping
+        events compose as the worst of each.
+        """
+        delay = 0.0
+        stretch = 1.0
+        for event in self._compute_events.get(node, ()):
+            if event.time_s <= now < event.end_s:
+                if event.kind is FaultKind.GPU_FAILSTOP:
+                    delay = max(delay, event.end_s - now)
+                else:
+                    stretch = max(stretch, 1.0 / event.severity)
+        return delay, stretch
+
+    def link_scale(self, nic_nodes: tuple[int, ...], now: float) -> float:
+        """Bandwidth multiplier for traffic crossing ``nic_nodes``.
+
+        The worst active degradation on any endpoint node wins; 1.0
+        when no link fault is active (or the traffic never leaves the
+        node).
+        """
+        scale = 1.0
+        for node in nic_nodes:
+            for event in self._link_events.get(node, ()):
+                if event.time_s <= now < event.end_s:
+                    scale = min(scale, event.severity)
+        return scale
+
+    def observe_rendezvous(
+        self, uid: int, first_arrival_s: float, start_s: float
+    ) -> None:
+        """Record a hang when a collective's arrival skew trips the
+        timeout (once per collective)."""
+        skew = start_s - first_arrival_s
+        if skew <= self.collective_timeout_s or uid in self._hung:
+            return
+        self._hung.add(uid)
+        self.trace.record(
+            first_arrival_s + self.collective_timeout_s,
+            "hang",
+            -1,
+            "detected",
+            f"t={first_arrival_s + self.collective_timeout_s:.2f}s "
+            f"collective {uid} exceeded the {self.collective_timeout_s:g}s "
+            f"timeout (skew {skew:.2f}s)",
+        )
+
+    @property
+    def hang_count(self) -> int:
+        """Collectives that tripped the timeout so far."""
+        return len(self._hung)
+
+
+def build_fault_runtime(
+    timeline: FaultTimeline,
+    cluster: ClusterSpec,
+    collective_timeout_s: float = 30.0,
+) -> FaultRuntime | None:
+    """Instantiate the runtime for ``timeline`` (None when empty)."""
+    if not timeline:
+        return None
+    return FaultRuntime(
+        timeline, cluster, collective_timeout_s=collective_timeout_s
+    )

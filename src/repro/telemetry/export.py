@@ -19,6 +19,8 @@ from repro.telemetry.monitor import TelemetryLog
 if TYPE_CHECKING:
     from repro.datacenter.metrics import FleetSample
     from repro.powerctl.governor import PowerControlTrace
+    from repro.resilience.recovery import ResilienceRun
+    from repro.resilience.runtime import FaultTrace
 
 TELEMETRY_HEADER = (
     "time_s",
@@ -125,6 +127,82 @@ def write_powerctl_csv(
                         trace.decisions[i] if gpu == 0 else "",
                     )
                 )
+    return path
+
+
+FAULT_TRACE_HEADER = ("time_s", "kind", "node", "phase", "detail")
+
+
+def write_fault_trace_csv(trace: "FaultTrace", path: str | Path) -> Path:
+    """Write a run's fault transitions and hang detections to CSV.
+
+    One row per trace entry (fault onset, fault end, detected hang), in
+    event order — the resilience analogue of :func:`write_powerctl_csv`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(FAULT_TRACE_HEADER)
+        for entry in trace.entries:
+            writer.writerow(
+                (
+                    f"{entry.time_s:.6f}",
+                    entry.kind,
+                    entry.node,
+                    entry.phase,
+                    entry.detail,
+                )
+            )
+    return path
+
+
+RESILIENCE_HEADER = (
+    "policy",
+    "mtbf_s",
+    "makespan_s",
+    "ideal_makespan_s",
+    "goodput_fraction",
+    "goodput_tokens_per_s",
+    "energy_per_token_j",
+    "completed",
+    "replayed",
+    "lost",
+    "scheduled",
+    "faults_seen",
+    "hangs_detected",
+    "checkpoint_writes",
+)
+
+
+def write_resilience_csv(
+    runs: Iterable["ResilienceRun"], path: str | Path
+) -> Path:
+    """Write recovery-walk outcomes (one row per policy/MTBF point)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(RESILIENCE_HEADER)
+        for run in runs:
+            writer.writerow(
+                (
+                    run.policy,
+                    f"{run.mtbf_s:.3f}",
+                    f"{run.makespan_s:.6f}",
+                    f"{run.ideal_makespan_s:.6f}",
+                    f"{run.goodput_fraction:.6f}",
+                    f"{run.goodput_tokens_per_s:.3f}",
+                    f"{run.energy_per_token_j:.6f}",
+                    run.completed,
+                    run.replayed,
+                    run.lost,
+                    run.scheduled,
+                    run.faults_seen,
+                    run.hangs_detected,
+                    run.checkpoint_writes,
+                )
+            )
     return path
 
 

@@ -87,6 +87,10 @@ class NodeThermalState:
                 raise ValueError(f"{label} must cover every GPU in the node")
         self._matrix = _system_matrix(self.node)
         self._propagators: dict[float, np.ndarray] = {}
+        # Effective ambient: the room temperature plus any transient
+        # offset (thermal-runaway fault injection). Defaults to the
+        # spec's ambient, so the healthy path reads the same float.
+        self._ambient_c = self.node.ambient_c
 
     # ------------------------------------------------------------------
 
@@ -99,9 +103,17 @@ class NodeThermalState:
                 powers_w[j] for j in airflow.upstream[i]
             )
             inlets.append(
-                self.node.ambient_c + airflow.inlet_offset_c[i] + preheat
+                self._ambient_c + airflow.inlet_offset_c[i] + preheat
             )
         return inlets
+
+    def set_ambient_offset(self, delta_c: float) -> None:
+        """Shift the effective ambient by ``delta_c`` (0 restores it).
+
+        Models a transient airflow/cooling fault: every inlet in the
+        node sees hotter air until the offset is cleared.
+        """
+        self._ambient_c = self.node.ambient_c + delta_c
 
     def equilibrium_temps(self, powers_w: list[float]) -> list[float]:
         """Steady-state die temperatures for constant ``powers_w``."""

@@ -335,6 +335,43 @@ def fleet_timeline_figure(
     return _maybe_save(canvas.to_string(), path)
 
 
+def mtbf_goodput_figure(
+    sweep: list[dict[str, object]],
+    title: str = "Goodput vs node MTBF",
+    path: str | Path | None = None,
+) -> str:
+    """MTBF-vs-goodput curves, one line per recovery policy.
+
+    Takes :func:`repro.resilience.recovery.sweep_mtbf` output — one
+    policy-to-:class:`ResilienceRun` mapping per MTBF grid point — and
+    plots goodput fraction (ideal makespan over actual) against MTBF.
+    """
+    if not sweep:
+        raise ValueError("no sweep results given")
+    policies = tuple(sweep[0])
+    if any(tuple(row) != policies for row in sweep):
+        raise ValueError("every MTBF point must cover the same policies")
+    mtbfs = tuple(row[policies[0]].mtbf_s for row in sweep)
+    series = tuple(
+        Series(
+            name=policy,
+            values=tuple(
+                100.0 * row[policy].goodput_fraction for row in sweep
+            ),
+        )
+        for policy in policies
+    )
+    spec = ChartSpec(
+        title=title,
+        categories=tuple(f"{m:.0f}s" for m in mtbfs),
+        series=series,
+        unit="goodput (% of fault-free)",
+    )
+    return _maybe_save(
+        line_chart(spec, x_values=mtbfs, x_label="node MTBF (s)"), path
+    )
+
+
 def microbatch_sweep_figure(
     sweeps: dict[str, dict[int, RunResult]],
     title: str = "Microbatch scaling",

@@ -6,8 +6,14 @@ serial path (``jobs=1``) is byte-for-byte the pre-existing code; parallel
 results must match it field by field.
 """
 
+import os
+import signal
+from pathlib import Path
+
+import repro.core.parallel as parallel
 from repro.core.campaign import ExperimentSpec, run_campaign
 from repro.core.parallel import (
+    ExecutionReport,
     default_jobs,
     map_calls,
     map_runs,
@@ -20,6 +26,41 @@ POINTS = [
     SweepPoint("gpt3-13b", "mi250x32", "TP4-PP2"),
     SweepPoint("gpt3-13b", "mi250x32", "TP8-PP1"),
 ]
+
+# Crash-test worker functions must be top-level (closures cannot be
+# pickled into the pool), and every one of them guards on the parent
+# pid so the in-process fallback path can never kill the test runner.
+
+_REAL_RUN_PAYLOAD = parallel._run_payload
+
+
+def _crash_always(item):
+    """Kill every worker that picks this item up; safe in the parent."""
+    parent_pid, value = item
+    if os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _crash_once(item):
+    """Kill the first worker to see this item; succeed ever after."""
+    parent_pid, sentinel_dir, value = item
+    marker = Path(sentinel_dir) / f"attempted-{value}"
+    if os.getpid() != parent_pid and not marker.exists():
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _crashing_run_payload(payload):
+    """``parallel._run_payload`` stand-in: one worker dies, then normal
+    service resumes (forked workers inherit the monkeypatched module)."""
+    marker = Path(os.environ["REPRO_TEST_CRASH_MARKER"])
+    parent_pid = int(os.environ["REPRO_TEST_PARENT_PID"])
+    if os.getpid() != parent_pid and not marker.exists():
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_RUN_PAYLOAD(payload)
 
 
 class TestJobResolution:
@@ -44,6 +85,62 @@ class TestMapPrimitives:
 
     def test_map_runs_empty(self):
         assert map_runs([], jobs=4) == []
+
+
+class TestCrashRecovery:
+    """A SIGKILLed worker breaks its payload, never the fan-out."""
+
+    def test_clean_fan_out_reports_no_crashes(self):
+        report = ExecutionReport()
+        assert map_calls(abs, [-1, 2, -3], jobs=2, report=report) \
+            == [1, 2, 3]
+        assert not report.crashed
+        assert report.retried == [] and report.fell_back == []
+
+    def test_transient_crash_is_retried(self, tmp_path):
+        items = [(os.getpid(), str(tmp_path), v) for v in (1, 2, 3)]
+        # Only item 1's first sighting kills its worker: the retry pool
+        # must finish everything without falling back in-process.
+        (tmp_path / "attempted-2").touch()
+        (tmp_path / "attempted-3").touch()
+        report = ExecutionReport()
+        results = map_calls(_crash_once, items, jobs=2, report=report)
+        assert results == [10, 20, 30]
+        assert report.crashed
+        assert 0 in report.retried
+        assert report.fell_back == []
+
+    def test_poisoned_payload_falls_back_in_process(self):
+        items = [(os.getpid(), v) for v in (1, 2, 3)]
+        report = ExecutionReport()
+        results = map_calls(_crash_always, items, jobs=2, report=report)
+        assert results == [10, 20, 30]
+        assert report.retried == [0, 1, 2]
+        assert report.fell_back == [0, 1, 2]
+        assert "3 payload(s) retried" in report.describe()
+
+    def test_sweep_survives_a_worker_crash(
+        self, monkeypatch, tmp_path, capfd
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        clear_cache()
+        serial = run_sweep(POINTS, global_batch_size=16)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "crashy"))
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_MARKER", str(tmp_path / "crashed")
+        )
+        monkeypatch.setenv("REPRO_TEST_PARENT_PID", str(os.getpid()))
+        monkeypatch.setattr(parallel, "_run_payload",
+                            _crashing_run_payload)
+        clear_cache()
+        survived = run_sweep(POINTS, global_batch_size=16, jobs=2)
+
+        assert (tmp_path / "crashed").exists()  # a worker really died
+        assert list(survived) == POINTS
+        for point in POINTS:
+            assert_run_results_equal(survived[point], serial[point])
+        assert "sweep survived worker crashes" in capfd.readouterr().err
 
 
 class TestSweepEquivalence:

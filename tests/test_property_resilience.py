@@ -1,0 +1,145 @@
+"""Property-based tests: recovery-walk invariants over random scenarios.
+
+The central contract from the issue: every scheduled iteration
+execution is exactly one of completed / replayed / lost, so
+``completed + replayed + lost == scheduled`` and the job always commits
+exactly ``total_iterations`` of useful work — across random fault
+schedules, recovery costs, and all three policies. The walks run on a
+synthetic :class:`JobProfile`, so no engine probes are involved and
+hundreds of examples stay cheap.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.recovery import (
+    POLICIES,
+    JobProfile,
+    RecoveryConfig,
+    walk_recovery,
+)
+
+
+@st.composite
+def recovery_scenario(draw):
+    """A random (config, profile, num_nodes) triple."""
+    total = draw(st.integers(min_value=1, max_value=80))
+    interval = draw(st.integers(min_value=1, max_value=20))
+    # Either an explicit fault schedule or a seeded MTBF process. The
+    # MTBF floor keeps the fault rate well below the iteration rate so
+    # the walk always converges.
+    if draw(st.booleans()):
+        faults = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=200.0,
+                          allow_nan=False, allow_infinity=False),
+                max_size=6,
+            )
+        )
+        mtbf_s = 0.0
+    else:
+        faults = []
+        mtbf_s = draw(st.floats(min_value=50.0, max_value=5000.0))
+    config = RecoveryConfig(
+        policy=draw(st.sampled_from(POLICIES)),
+        total_iterations=total,
+        checkpoint_interval=interval,
+        checkpoint_write_s=draw(st.sampled_from((0.0, 0.25, 2.0))),
+        collective_timeout_s=draw(st.sampled_from((0.0, 1.0, 15.0))),
+        repair_time_s=draw(st.sampled_from((10.0, 300.0))),
+        restart_delay_s=draw(st.sampled_from((0.0, 45.0))),
+        spare_swapin_s=draw(st.sampled_from((0.0, 30.0))),
+        reconfig_s=draw(st.sampled_from((0.0, 5.0))),
+        mtbf_s=mtbf_s,
+        fault_times_s=tuple(faults),
+        seed=draw(st.integers(min_value=0, max_value=100)),
+    )
+    step_time_s = draw(st.sampled_from((0.2, 1.0, 3.5)))
+    profile = JobProfile(
+        step_time_s=step_time_s,
+        power_w=draw(st.sampled_from((500.0, 40_000.0))),
+        tokens_per_iteration=2048,
+        dp=draw(st.integers(min_value=1, max_value=8)),
+        checkpoint_bytes=4e9,
+        # Survivors carry the same global batch on fewer replicas, so
+        # the shrunk cluster is never faster than the healthy one.
+        shrunk_step_time_s=step_time_s
+        * draw(st.sampled_from((1.05, 1.5, 2.5))),
+        shrunk_power_w=3000.0,
+    )
+    num_nodes = draw(st.integers(min_value=1, max_value=16))
+    return config, profile, num_nodes
+
+
+RELAXED = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestWalkInvariants:
+    @given(recovery_scenario())
+    @RELAXED
+    def test_iteration_conservation(self, scenario):
+        config, profile, num_nodes = scenario
+        run = walk_recovery(config, profile, num_nodes)
+        assert run.completed + run.replayed + run.lost == run.scheduled
+        assert run.completed + run.replayed == config.total_iterations
+        assert run.completed >= 0
+        assert run.replayed >= 0
+        assert run.lost >= 0
+
+    @given(recovery_scenario())
+    @RELAXED
+    def test_replay_never_exceeds_loss(self, scenario):
+        config, profile, num_nodes = scenario
+        run = walk_recovery(config, profile, num_nodes)
+        # An iteration re-executes only after being lost at least once.
+        assert run.replayed <= run.lost
+
+    @given(recovery_scenario())
+    @RELAXED
+    def test_elastic_loses_only_inflight_work(self, scenario):
+        config, profile, num_nodes = scenario
+        run = walk_recovery(config, profile, num_nodes,
+                            policy="elastic")
+        # No rollback: each serviced fault kills (and later replays) at
+        # most the single iteration that was in flight.
+        assert run.lost <= run.faults_seen
+        assert run.replayed <= run.faults_seen
+
+    @given(recovery_scenario())
+    @RELAXED
+    def test_timeline_accounting(self, scenario):
+        config, profile, num_nodes = scenario
+        run = walk_recovery(config, profile, num_nodes)
+        # Segments tile [0, makespan] and the energy integral matches.
+        assert run.makespan_s >= 0
+        if run.segments:
+            assert run.segments[0].start_s == 0.0
+            for prev, cur in zip(run.segments, run.segments[1:]):
+                assert cur.start_s == prev.end_s
+            assert run.segments[-1].end_s == run.makespan_s
+        total_energy = sum(
+            seg.duration_s * seg.power_w for seg in run.segments
+        )
+        assert abs(total_energy - run.energy_j) <= 1e-6 * max(
+            1.0, run.energy_j
+        )
+        assert run.hangs_detected == run.faults_seen
+
+    @given(recovery_scenario())
+    @RELAXED
+    def test_fault_free_walk_is_the_lower_bound(self, scenario):
+        config, profile, num_nodes = scenario
+        import dataclasses
+
+        faulted = walk_recovery(config, profile, num_nodes)
+        clean = walk_recovery(
+            dataclasses.replace(config, mtbf_s=0.0, fault_times_s=()),
+            profile, num_nodes,
+        )
+        assert clean.faults_seen == 0
+        assert clean.lost == clean.replayed == 0
+        assert faulted.makespan_s >= clean.makespan_s

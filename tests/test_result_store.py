@@ -150,6 +150,67 @@ class TestInvalidation:
         assert repaired.outcome.makespan_s > 0
 
 
+class TestQuarantine:
+    """Broken entries are moved aside, counted, and healed by recompute."""
+
+    def _poison(self, payload: bytes) -> str:
+        digest = key_digest(sweep_mod._cache_key("train", _kwargs()))
+        path = result_store().path_for(digest)
+        assert path.is_file()
+        path.write_bytes(payload)
+        sweep_mod._CACHE.clear()
+        return digest
+
+    def test_corrupt_entry_is_quarantined(self, counted_runs):
+        cached_run_training(**_kwargs())
+        digest = self._poison(b"not a pickle")
+
+        cached_run_training(**_kwargs())  # recompute heals the store
+        assert len(counted_runs) == 2
+        path = result_store().path_for(digest)
+        corpse = path.with_suffix(path.suffix + ".corrupt")
+        assert corpse.is_file()
+        assert corpse.read_bytes() == b"not a pickle"
+
+        stats = result_store().stats()
+        # The quarantined file stops shadowing the digest and is not
+        # counted as a live entry; the healthy rewrite is.
+        assert stats.quarantined_entries == 1
+        assert stats.entries == 1
+
+        # The reinstalled entry now serves disk hits again.
+        sweep_mod._CACHE.clear()
+        cached_run_training(**_kwargs())
+        assert len(counted_runs) == 2
+
+    def test_wrong_type_payload_is_quarantined(self, counted_runs):
+        import pickle
+
+        cached_run_training(**_kwargs())
+        self._poison(pickle.dumps({"not": "a RunResult"}))
+
+        cached_run_training(**_kwargs())
+        assert len(counted_runs) == 2
+        assert result_store().stats().quarantined_entries == 1
+
+    def test_cli_cache_stats_reports_quarantined(self, counted_runs):
+        from repro.cli import main
+
+        cached_run_training(**_kwargs())
+        self._poison(b"\x80truncated")
+        assert result_store().get(
+            key_digest(sweep_mod._cache_key("train", _kwargs()))
+        ) is None  # the lookup itself quarantines
+
+        import io
+        from contextlib import redirect_stdout
+
+        out = io.StringIO()
+        with redirect_stdout(out):
+            main(["cache", "stats"])
+        assert "quarantined" in out.getvalue()
+
+
 class TestAtomicity:
     def test_concurrent_writers_and_readers(self):
         result = run_training(**_kwargs())
