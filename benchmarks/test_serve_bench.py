@@ -1,0 +1,103 @@
+"""Broker throughput benchmark: the 90%-cache-hit serving workload.
+
+Fires 50 requests (5 distinct configurations x 10 repeats) through a
+:class:`repro.serve.Broker` and times the batch against cold execution
+of the same 50 requests (``submit(cache=False)``, every one a fresh
+simulation). After the first pass over the 5 distinct configurations
+every remaining request is answered from the shared result store, so
+the broker's steady-state hit rate is 90% and the wall-clock ratio is
+dominated by the cache fast path. Asserts the broker clears
+``REPRO_SERVE_MIN_SPEEDUP`` (default 5x).
+
+Writes ``BENCH_serve.json`` at the repo root so serving throughput is
+tracked from PR to PR (CI uploads it as an artifact).
+"""
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import SimRequest, submit
+from repro.serve import Broker, BrokerConfig
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+#: Five distinct mi250x32 configurations; small batches keep one cold
+#: simulation in the tens of milliseconds.
+DISTINCT = [
+    ("TP4-PP2", 1),
+    ("TP4-PP2", 2),
+    ("TP2-PP4", 1),
+    ("TP8-PP2", 1),
+    ("TP4-PP4", 1),
+]
+
+REPEATS = 10  # 5 distinct x 10 = 50 requests, 45 of them hits
+
+
+def _requests() -> list[SimRequest]:
+    batch = [
+        SimRequest(
+            kind="training",
+            model="gpt3-13b",
+            cluster="mi250x32",
+            parallelism=parallelism,
+            microbatch_size=microbatch,
+            global_batch_size=8,
+        )
+        for parallelism, microbatch in DISTINCT
+    ]
+    return batch * REPEATS
+
+
+async def _serve_batch(requests: list[SimRequest]) -> tuple[float, dict]:
+    broker = Broker(BrokerConfig(concurrency=2, use_processes=False))
+    start = time.perf_counter()
+    responses = [await broker.submit(request) for request in requests]
+    elapsed = time.perf_counter() - start
+    assert all(response.ok for response in responses)
+    return elapsed, broker.metrics.to_dict()
+
+
+def test_serve_cache_hit_throughput(tmp_path, monkeypatch):
+    # The benchmark owns its store: conftest here does not isolate it.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serve_cache"))
+    import repro.core.sweep as sweep_mod
+
+    sweep_mod._CACHE.clear()
+    threshold = float(
+        os.environ.get("REPRO_SERVE_MIN_SPEEDUP", "5.0")
+    )
+    requests = _requests()
+
+    start = time.perf_counter()
+    for request in requests:
+        result = submit(request, cache=False)
+        assert result.outcome.makespan_s > 0
+    cold_s = time.perf_counter() - start
+
+    warm_s, metrics = asyncio.run(_serve_batch(requests))
+
+    speedup = cold_s / warm_s
+    payload = {
+        "benchmark": "serve_cache_hit_throughput",
+        "unit": "seconds for the 50-request batch",
+        "requests": len(requests),
+        "distinct": len(DISTINCT),
+        "cache_hit_rate": metrics["hit_rate"],
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "throughput_rps": round(len(requests) / warm_s, 1),
+        "p99_latency_s": round(metrics["latency_p99_s"], 5),
+        "threshold": threshold,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert metrics["hit_rate"] >= 0.9 - 1e-9, metrics
+    assert speedup >= threshold, (
+        f"broker served the 90%-hit batch only {speedup:.2f}x faster "
+        f"than cold execution (threshold {threshold}x): {payload}"
+    )

@@ -12,22 +12,22 @@ Run:
     python examples/anomaly_detection.py
 """
 
-from repro import power_failure, run_training
-from repro.engine.simulator import SimSettings
+from repro import SimRequest, submit
 from repro.hardware.cluster import H200_X32, MI250_X32
 from repro.telemetry.anomaly import diagnose
 
 
 def main() -> None:
     print("case 1: node 2 of the MI250 cluster loses 75% of its power")
-    failed = run_training(
+    failed = submit(SimRequest(
         model="gpt3-13b",
         cluster="mi250x32",
         parallelism="TP2-PP4",
         microbatch_size=1,
         global_batch_size=32,
-        settings=SimSettings(faults=power_failure(node=2, severity=0.25)),
-    )
+        fault_node=2,
+        fault_power_scale=0.25,
+    ))
     anomalies, incidents = diagnose(failed.outcome.telemetry, MI250_X32)
     for incident in incidents:
         print(
@@ -41,13 +41,13 @@ def main() -> None:
     )
 
     print("\ncase 2: thermally imbalanced H200 pipeline (no fault)")
-    hot = run_training(
+    hot = submit(SimRequest(
         model="gpt3-30b",
         cluster="h200x32",
         parallelism="TP4-PP8-DP1",
         microbatch_size=1,
         global_batch_size=64,
-    )
+    ))
     anomalies, incidents = diagnose(hot.outcome.telemetry, H200_X32)
     thermal = [a for a in anomalies if a.kind.value == "thermal"]
     rear = sum(1 for a in thermal if a.gpu % 8 >= 4)

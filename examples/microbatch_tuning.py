@@ -12,7 +12,7 @@ Run:
     python examples/microbatch_tuning.py
 """
 
-from repro import OptimizationConfig, run_training
+from repro import OptimizationConfig, SimRequest, submit
 
 STRATEGIES = ("TP8-PP4", "TP2-PP16", "TP8-FSDP4")
 MICROBATCHES = (1, 2, 4)
@@ -25,14 +25,14 @@ def main() -> None:
     for strategy in STRATEGIES:
         best = None
         for mb in MICROBATCHES:
-            result = run_training(
+            result = submit(SimRequest(
                 model="gpt3-175b",
                 cluster="h200x32",
                 parallelism=strategy,
                 optimizations=opts,
                 microbatch_size=mb,
                 global_batch_size=128,
-            )
+            ))
             eff = result.efficiency()
             stats = result.stats()
             peak_gpu_power = max(g.peak_power_w for g in stats.per_gpu)

@@ -10,18 +10,18 @@ Run:
     python examples/quickstart.py
 """
 
-from repro import OptimizationConfig, run_training
+from repro import OptimizationConfig, SimRequest, submit
 
 
 def main() -> None:
-    result = run_training(
+    result = submit(SimRequest(
         model="gpt3-175b",           # Table 1 workload
         cluster="h200x32",           # 4 HGX H200 nodes (Table 3)
         parallelism="TP2-PP16",      # paper notation; DP fills leftovers
         optimizations=OptimizationConfig(activation_recompute=True),
         microbatch_size=1,
         global_batch_size=128,       # the paper's global batch
-    )
+    ))
 
     efficiency = result.efficiency()
     stats = result.stats()

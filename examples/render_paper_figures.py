@@ -12,7 +12,7 @@ Run:
 import sys
 from pathlib import Path
 
-from repro import OptimizationConfig, run_training
+from repro import OptimizationConfig, SimRequest, submit
 from repro.viz.figures import (
     energy_efficiency_comparison,
     kernel_breakdown_figure,
@@ -31,17 +31,17 @@ def main() -> None:
     print("running the figure grid (a few minutes)...")
     strategies = {}
     for strategy in ("TP8-PP4", "TP4-PP8", "TP2-PP16"):
-        strategies[strategy] = run_training(
+        strategies[strategy] = submit(SimRequest(
             model="gpt3-175b", cluster="h200x32", parallelism=strategy,
             microbatch_size=1, global_batch_size=128,
-        )
+        ))
     sweep = {
         "TP8-PP4": {
-            mb: run_training(
+            mb: submit(SimRequest(
                 model="gpt3-175b", cluster="h200x32",
                 parallelism="TP8-PP4", optimizations=act,
                 microbatch_size=mb, global_batch_size=128,
-            )
+            ))
             for mb in (1, 2, 4)
         }
     }

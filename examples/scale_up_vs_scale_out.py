@@ -12,7 +12,7 @@ Run:
     python examples/scale_up_vs_scale_out.py
 """
 
-from repro import run_training
+from repro import SimRequest, submit
 
 WORKLOADS = [
     # (model, strategy, what the paper expects)
@@ -29,13 +29,13 @@ def main() -> None:
     for model, strategy, note in WORKLOADS:
         lines = []
         for cluster in ("h100x64", "h200x32"):
-            result = run_training(
+            result = submit(SimRequest(
                 model=model,
                 cluster=cluster,
                 parallelism=strategy,
                 microbatch_size=1,
                 global_batch_size=128,
-            )
+            ))
             eff = result.efficiency()
             lines.append(
                 f"{model:<14} {strategy:<13} {cluster:<9} "

@@ -13,25 +13,24 @@ Run:
     python examples/straggler_incident.py
 """
 
-from repro import power_failure, run_training
-from repro.engine.simulator import SimSettings
+from repro import SimRequest, submit
 
 
-def run(faults=None):
-    settings = SimSettings(faults=faults) if faults else SimSettings()
-    return run_training(
+def run(fault_node=None, fault_power_scale=None):
+    return submit(SimRequest(
         model="gpt3-175b",
         cluster="h200x32",
         parallelism="TP8-PP4",
         microbatch_size=1,
         global_batch_size=128,
-        settings=settings,
-    )
+        fault_node=fault_node,
+        fault_power_scale=fault_power_scale,
+    ))
 
 
 def main() -> None:
     healthy = run()
-    incident = run(power_failure(node=2, severity=0.18))
+    incident = run(fault_node=2, fault_power_scale=0.18)
 
     h_eff = healthy.efficiency()
     i_eff = incident.efficiency()

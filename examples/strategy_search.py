@@ -18,9 +18,9 @@ from repro import (
     ConfigSearchSpace,
     get_cluster,
     get_model,
-    run_training,
     valid_configs,
 )
+from repro.core import execute_training
 from repro.engine.kernels import KernelCategory
 
 COMM = (
@@ -46,7 +46,7 @@ def main() -> None:
 
     scored = []
     for config in configs:
-        result = run_training(
+        result = execute_training(
             model=model,
             cluster=cluster,
             parallelism=config,

@@ -12,7 +12,8 @@ Run:
     python examples/thermal_aware_placement.py
 """
 
-from repro import ParallelismConfig, run_training
+from repro import ParallelismConfig
+from repro.core import execute_training
 from repro.hardware.cluster import H200_X32
 from repro.scheduling.thermal_aware import (
     asymmetric_stage_layers,
@@ -24,7 +25,7 @@ MODEL = "gpt3-175b"  # 96 layers -> 13/11 asymmetric split
 
 
 def run(placement=None, stage_layers=None):
-    return run_training(
+    return execute_training(
         model=MODEL,
         cluster=H200_X32,
         parallelism=CONFIG,

@@ -1,25 +1,30 @@
 """CharLLM-PPT reproduction: power/performance/thermal characterization of
 distributed LLM training (Go et al., MICRO 2025) on a simulated testbed.
 
-The public API mirrors the paper's workflow::
+The stable public API is :mod:`repro.api` — one typed request schema
+covering training, inference, and fleet simulation::
 
-    from repro import run_training, OptimizationConfig
+    from repro import SimRequest, submit, OptimizationConfig
 
-    result = run_training(
+    result = submit(SimRequest(
         model="gpt3-175b",
         cluster="h200x32",
         parallelism="TP2-PP16",
         optimizations=OptimizationConfig(activation_recompute=True),
         microbatch_size=1,
-    )
+    ))
     print(result.efficiency().tokens_per_s)
     print(result.stats().peak_temp_c)
     print(result.kernel_breakdown().seconds)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-per-figure reproduction index.
+The same requests drive the ``repro.serve`` broker (``python -m repro
+serve``) over HTTP. The historical ``run_training`` / ``run_inference``
+/ ``cached_run_*`` entrypoints remain importable as deprecation shims;
+see docs/api.md. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the per-figure reproduction index.
 """
 
+from repro.api import KINDS, SimRequest, submit, submit_many
 from repro.core.experiment import run_inference, run_training
 from repro.datacenter import (
     POLICIES,
@@ -75,6 +80,7 @@ __all__ = [
     "FleetConfig",
     "FleetMetrics",
     "FleetOutcome",
+    "KINDS",
     "POLICIES",
     "PowerCapConfig",
     "simulate_fleet",
@@ -84,6 +90,7 @@ __all__ = [
     "OptimizationConfig",
     "ParallelismConfig",
     "RunResult",
+    "SimRequest",
     "SweepPoint",
     "cached_run_inference",
     "cached_run_training",
@@ -98,6 +105,8 @@ __all__ = [
     "run_inference",
     "run_sweep",
     "run_training",
+    "submit",
+    "submit_many",
     "valid_configs",
     "__version__",
 ]

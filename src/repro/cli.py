@@ -25,31 +25,74 @@ Usage::
         --parallelism TP4-PP2 --policy elastic --mtbf-s 3600
     python -m repro resilience sweep --model gpt3-13b --cluster h100x64 \\
         --parallelism TP4-PP2 --mtbf-s 1800 3600 7200 --output results/res
+    python -m repro serve --port 8053 --concurrency 2
     python -m repro cache stats
     python -m repro cache clear
 
 Mirrors the paper artifact's script surface (prepare/launch/
-full_sweep/visualize) on top of the simulated testbed. Multi-run
-subcommands accept ``--jobs N`` to fan simulations out over worker
-processes (``0`` = auto); results are identical regardless of ``N``.
-Simulations are cached persistently under ``.repro_cache/`` (see
-``repro cache`` and docs/performance.md).
+full_sweep/visualize) on top of the simulated testbed. Workload
+subcommands build a :class:`repro.api.SimRequest` and execute through
+:func:`repro.api.submit` — the same typed surface the ``serve`` broker
+speaks over HTTP.
+
+Conventions shared by every subcommand:
+
+- ``--json`` prints a machine-readable summary to stdout instead of the
+  human tables.
+- exit codes: 0 ok, 2 bad arguments (unknown names, invalid flag
+  combinations), 3 simulation/runtime failure (worker crash, timeout,
+  unplaceable fleet).
+- ``--jobs N`` fans simulations out over worker processes (``0`` =
+  auto); results are identical regardless of ``N``.
+- simulations are cached persistently under ``.repro_cache/``;
+  ``--cache-dir`` redirects the store and ``--no-cache`` skips it for
+  one invocation (see ``repro cache`` and docs/performance.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from dataclasses import asdict
 from pathlib import Path
 
-from repro.core.artifact import write_run_artifact
-from repro.core.faults import FaultSpec
+from repro.api import SimRequest, submit, submit_many
+from repro.core.artifact import run_summary, write_run_artifact
 from repro.engine.simulator import SimSettings
 from repro.hardware.cluster import cluster_names, get_cluster
 from repro.models.catalog import get_model, model_names
 from repro.parallelism.enumerate import ConfigSearchSpace, valid_configs
 from repro.parallelism.strategy import OptimizationConfig
-from repro.powerctl.config import NO_POWER_CONTROL, PowerControlConfig
+
+#: SimRequest field names -> the CLI spelling, so validation errors from
+#: :mod:`repro.api` read as flag errors (longest names first, so e.g.
+#: ``fault_power_scale`` is not half-rewritten by ``fault_power``).
+_FLAG_SPELLINGS = (
+    ("fault_power_scale", "--fault-power-scale"),
+    ("global_batch_size", "--global-batch"),
+    ("microbatch_size", "--microbatch"),
+    ("fault_duration", "--fault-duration"),
+    ("fault_severity", "--fault-severity"),
+    ("freq_setpoint", "--freq-setpoint"),
+    ("power_limit_w", "--power-limit-w"),
+    ("fault_kind", "--fault-kind"),
+    ("fault_node", "--fault-node"),
+    ("fault_time", "--fault-time"),
+    ("timeout_s", "--timeout-s"),
+)
+
+
+def _flagify(message: str) -> str:
+    """Rewrite request-field names in an error to their flag spellings."""
+    for field_name, flag in _FLAG_SPELLINGS:
+        message = message.replace(field_name, flag)
+    return message
+
+
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -70,10 +113,6 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="compute-communication overlap")
     parser.add_argument("--lora", action="store_true",
                         help="LoRA finetuning")
-    parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for simulations (0 = auto: cpu_count-1)",
-    )
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -132,141 +171,38 @@ def _opts_from(args: argparse.Namespace) -> OptimizationConfig:
     )
 
 
-def _power_control_from(args: argparse.Namespace) -> PowerControlConfig:
-    governor = getattr(args, "governor", "none")
-    setpoint = getattr(args, "freq_setpoint", 1.0)
-    limit = getattr(args, "power_limit_w", None)
-    if governor == "none" and (limit is not None or setpoint < 1.0):
-        governor = "static"  # capping flags imply the static governor
-    if governor == "none":
-        return NO_POWER_CONTROL
-    return PowerControlConfig(
-        governor=governor, freq_setpoint=setpoint, power_limit_w=limit
-    )
+def _request_from_args(args: argparse.Namespace) -> SimRequest:
+    """One run-style flag namespace -> the typed request it describes.
 
-
-def _timed_fault_from(
-    args: argparse.Namespace, node: int | None
-) -> "FaultTimeline | None":
-    """Build the single-event timeline of --fault-time (or None).
-
-    Cross-validates the timed-fault flag group: the onset must be
-    non-negative, the duration positive, the kind a known
-    :class:`~repro.core.faults.FaultKind` (with did-you-mean on typos),
-    and none of the dependent flags may appear without ``--fault-time``
-    itself. Whether the fault fits inside the run horizon can only be
-    checked after the run — :func:`cmd_run` warns when it never fired.
+    Validation (names, flag-group consistency, node ranges) happens in
+    :class:`SimRequest` itself; :func:`main` rewrites field names back
+    to flag spellings in any error.
     """
-    from repro.core.faults import FaultEvent, FaultKind, FaultTimeline
-    from repro.suggest import unknown_name_message
-
-    fault_time = getattr(args, "fault_time", None)
-    dependent = (
-        ("--fault-duration", getattr(args, "fault_duration", None)),
-        ("--fault-kind", getattr(args, "fault_kind", None)),
-        ("--fault-severity", getattr(args, "fault_severity", None)),
-    )
-    if fault_time is None:
-        for flag, value in dependent:
-            if value is not None:
-                raise ValueError(
-                    f"{flag} requires --fault-time (when does the "
-                    "fault start?)"
-                )
-        return None
-    if node is None:
-        raise ValueError(
-            "--fault-time requires --fault-node (which node is hit?)"
-        )
-    if fault_time < 0:
-        raise ValueError(
-            f"--fault-time must be >= 0, got {fault_time:g}"
-        )
-    duration = getattr(args, "fault_duration", None)
-    if duration is None:
-        duration = 5.0
-    if duration <= 0:
-        raise ValueError(
-            f"--fault-duration must be > 0, got {duration:g}"
-        )
-    kind_name = getattr(args, "fault_kind", None) or "power_sag"
-    try:
-        kind = FaultKind(kind_name.replace("-", "_").lower())
-    except ValueError:
-        raise ValueError(
-            "--fault-kind: "
-            + unknown_name_message(
-                "fault kind", kind_name,
-                tuple(k.value for k in FaultKind),
-            )
-        ) from None
-    event_kwargs: dict = {}
-    severity = getattr(args, "fault_severity", None)
-    if severity is not None:
-        event_kwargs["severity"] = severity
-    event = FaultEvent(
-        kind=kind, node=node, time_s=fault_time,
-        duration_s=duration, **event_kwargs,
-    )
-    return FaultTimeline(events=(event,))
-
-
-def _settings_from(args: argparse.Namespace) -> SimSettings:
-    kwargs: dict = {}
     node = getattr(args, "fault_node", None)
     if node is None:
         node = getattr(args, "fail_node", None)
-    if node is not None:
-        # Validate the node index up front against the target cluster —
-        # an out-of-range fault would otherwise be silently ignored by
-        # the simulation (every real node stays healthy).
-        cluster_name = getattr(args, "cluster", None)
-        if cluster_name is not None:
-            num_nodes = get_cluster(cluster_name).num_nodes
-            if not 0 <= node < num_nodes:
-                from repro.suggest import unknown_name_message
-
-                raise ValueError(
-                    "--fault-node: "
-                    + unknown_name_message(
-                        "node",
-                        str(node),
-                        tuple(str(i) for i in range(num_nodes)),
-                    )
-                    + f" (cluster {cluster_name!r} has {num_nodes} nodes)"
-                )
-    timeline = _timed_fault_from(args, node)
-    if timeline is not None:
-        kwargs["fault_timeline"] = timeline
-    elif node is not None:
-        scale = getattr(args, "fault_power_scale", 0.25)
-        if not 0.0 < scale <= 1.0:
-            raise ValueError("--fault-power-scale must be in (0, 1]")
-        kwargs["faults"] = FaultSpec(node_power_cap_scale={node: scale})
-    control = _power_control_from(args)
-    if control.active:
-        kwargs["power_control"] = control
-    return SimSettings(**kwargs)
-
-
-def _execute(args: argparse.Namespace):
-    from repro.core.sweep import SweepPoint, run_sweep
-
-    point = SweepPoint(
+    return SimRequest(
+        kind="training",
         model=args.model,
         cluster=args.cluster,
         parallelism=args.parallelism,
         optimizations=_opts_from(args),
         microbatch_size=args.microbatch,
-    )
-    results = run_sweep(
-        [point],
         global_batch_size=args.global_batch,
         iterations=args.iterations,
-        jobs=getattr(args, "jobs", 1),
-        settings=_settings_from(args),
+        governor=getattr(args, "governor", "none"),
+        freq_setpoint=getattr(args, "freq_setpoint", 1.0),
+        power_limit_w=getattr(args, "power_limit_w", None),
+        fault_node=node,
+        fault_power_scale=(
+            getattr(args, "fault_power_scale", None)
+            if node is not None else None
+        ),
+        fault_time=getattr(args, "fault_time", None),
+        fault_duration=getattr(args, "fault_duration", None),
+        fault_kind=getattr(args, "fault_kind", None),
+        fault_severity=getattr(args, "fault_severity", None),
     )
-    return results[point]
 
 
 def _print_summary(result) -> None:
@@ -302,8 +238,30 @@ def _print_summary(result) -> None:
         )
 
 
-def cmd_catalog(_args: argparse.Namespace) -> int:
+def cmd_catalog(args: argparse.Namespace) -> int:
     """List the models and clusters available."""
+    if getattr(args, "as_json", False):
+        _emit_json({
+            "models": [
+                {
+                    "name": name,
+                    "params_b": get_model(name).total_params / 1e9,
+                    "kind": "moe" if get_model(name).is_moe else "dense",
+                }
+                for name in model_names()
+            ],
+            "clusters": [
+                {
+                    "name": name,
+                    "nodes": get_cluster(name).num_nodes,
+                    "gpus_per_node":
+                        get_cluster(name).node.gpus_per_node,
+                    "gpu": get_cluster(name).node.gpu.name,
+                }
+                for name in cluster_names()
+            ],
+        })
+        return 0
     print("models:")
     for name in model_names():
         model = get_model(name)
@@ -325,6 +283,16 @@ def cmd_configs(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     space = ConfigSearchSpace(microbatch_size=args.microbatch)
     configs = valid_configs(model, cluster, space, recompute=args.act)
+    if getattr(args, "as_json", False):
+        _emit_json({
+            "model": model.name,
+            "cluster": cluster.name,
+            "configs": [
+                {"name": config.name, "dp": config.dp}
+                for config in configs
+            ],
+        })
+        return 0
     print(
         f"{len(configs)} valid configurations for {model.name} on "
         f"{cluster.name}:"
@@ -336,61 +304,92 @@ def cmd_configs(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one experiment; optionally write an artifact directory."""
-    result = _execute(args)
-    _print_summary(result)
-    fault_time = getattr(args, "fault_time", None)
-    if fault_time is not None and result.fault_events_applied() == 0:
+    request = _request_from_args(args)
+    result = submit(request)
+    fault_warning = None
+    if request.fault_time is not None and \
+            result.fault_events_applied() == 0:
         # Horizon is only known after the run: surface a fault that
         # landed past the end instead of silently simulating a clean run.
-        print(
-            f"warning: --fault-time {fault_time:g}s never fired; the run "
+        fault_warning = (
+            f"--fault-time {request.fault_time:g}s never fired; the run "
             f"ended at {result.window_end_s:.1f}s (raise --iterations or "
-            "--global-batch to lengthen the run)",
-            file=sys.stderr,
+            "--global-batch to lengthen the run)"
         )
+    directory = None
     if args.output:
         directory = write_run_artifact(result, args.output)
+    if getattr(args, "as_json", False):
+        payload = run_summary(result)
+        payload["request_digest"] = request.digest()
+        payload["artifact"] = (
+            str(directory) if directory is not None else None
+        )
+        if fault_warning is not None:
+            payload["warning"] = fault_warning
+        _emit_json(payload)
+        return 0
+    _print_summary(result)
+    if fault_warning is not None:
+        print(f"warning: {fault_warning}", file=sys.stderr)
+    if directory is not None:
         print(f"artifact      : {directory}")
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a strategy x microbatch grid and print the table."""
-    from repro.core.sweep import SweepPoint, run_sweep
+    from repro.core.parallel import ExecutionReport
 
     opts = _opts_from(args)
-    points = [
-        SweepPoint(
+    requests = [
+        SimRequest(
+            kind="training",
             model=args.model,
             cluster=args.cluster,
             parallelism=strategy,
             optimizations=opts,
             microbatch_size=microbatch,
+            global_batch_size=args.global_batch,
+            iterations=args.iterations,
         )
         for strategy in args.parallelism
         for microbatch in args.microbatch
     ]
-    results = run_sweep(
-        points,
-        global_batch_size=args.global_batch,
-        iterations=args.iterations,
-        jobs=args.jobs,
-        settings=_settings_from(args),
-    )
+    report = ExecutionReport()
+    results = submit_many(requests, jobs=args.jobs, report=report)
+    if report.crashed:
+        print(
+            f"warning: sweep survived worker crashes "
+            f"({report.describe()})",
+            file=sys.stderr,
+        )
+    rows = []
+    for request, result in zip(requests, results):
+        efficiency = result.efficiency()
+        stats = result.stats()
+        rows.append({
+            "strategy": request.parallelism,
+            "microbatch": request.microbatch_size,
+            "tokens_per_s": efficiency.tokens_per_s,
+            "tokens_per_joule": efficiency.tokens_per_joule,
+            "peak_temp_c": stats.peak_temp_c,
+            "mean_freq_ratio": stats.mean_freq_ratio,
+        })
+    if getattr(args, "as_json", False):
+        _emit_json({"rows": rows})
+        return 0
     print(
         f"{'strategy':<16} {'mb':>3} {'tok/s':>10} {'tok/J':>7} "
         f"{'peakT':>6} {'clock':>6}"
     )
-    for point in points:
-        result = results[point]
-        efficiency = result.efficiency()
-        stats = result.stats()
+    for row in rows:
         print(
-            f"{point.parallelism:<16} {point.microbatch_size:>3} "
-            f"{efficiency.tokens_per_s:>10,.0f} "
-            f"{efficiency.tokens_per_joule:>7.3f} "
-            f"{stats.peak_temp_c:>6.1f} "
-            f"{stats.mean_freq_ratio:>6.3f}"
+            f"{row['strategy']:<16} {row['microbatch']:>3} "
+            f"{row['tokens_per_s']:>10,.0f} "
+            f"{row['tokens_per_joule']:>7.3f} "
+            f"{row['peak_temp_c']:>6.1f} "
+            f"{row['mean_freq_ratio']:>6.3f}"
         )
     return 0
 
@@ -399,8 +398,10 @@ def cmd_full_sweep(args: argparse.Namespace) -> int:
     """Run the paper's evaluation grid and write all artifacts."""
     from repro.core.campaign import paper_campaign, run_campaign
 
+    as_json = getattr(args, "as_json", False)
     specs = paper_campaign(clusters=tuple(args.cluster))
-    print(f"{len(specs)} experiments -> {args.output}")
+    if not as_json:
+        print(f"{len(specs)} experiments -> {args.output}")
 
     def progress(spec, result):
         print(
@@ -408,9 +409,21 @@ def cmd_full_sweep(args: argparse.Namespace) -> int:
             f"{result.efficiency().tokens_per_s:>10,.0f} tok/s"
         )
 
-    campaign = run_campaign(specs, output_dir=args.output,
-                            on_result=progress, jobs=args.jobs)
-    print(f"summary: {campaign.directory / 'summary.csv'}")
+    campaign = run_campaign(
+        specs,
+        output_dir=args.output,
+        on_result=None if as_json else progress,
+        jobs=args.jobs,
+    )
+    summary_csv = campaign.directory / "summary.csv"
+    if as_json:
+        _emit_json({
+            "experiments": len(specs),
+            "summary_csv": str(summary_csv),
+            "rows": campaign.summary_rows,
+        })
+        return 0
+    print(f"summary: {summary_csv}")
     return 0
 
 
@@ -425,7 +438,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         throughput_comparison,
     )
 
-    result = _execute(args)
+    result = submit(_request_from_args(args))
     output = Path(args.output)
     label = result.parallelism.name
     throughput_comparison({label: result}, path=output / "throughput.svg")
@@ -433,71 +446,73 @@ def cmd_figures(args: argparse.Namespace) -> int:
     temperature_heatmap_figure(result, path=output / "temperature.svg")
     throttle_heatmap_figure(result, path=output / "throttling.svg")
     thermal_timeseries_figure(result, path=output / "timeseries.svg")
-    count = 5
+    names = [
+        "throughput.svg", "breakdown.svg", "temperature.svg",
+        "throttling.svg", "timeseries.svg",
+    ]
     if result.outcome.power_control is not None:
         powerctl_timeline_figure(result, path=output / "powerctl.svg")
-        count += 1
-    print(f"wrote {count} figures to {output}")
+        names.append("powerctl.svg")
+    if getattr(args, "as_json", False):
+        _emit_json({
+            "output": str(output),
+            "figures": [str(output / name) for name in names],
+        })
+        return 0
+    print(f"wrote {len(names)} figures to {output}")
     return 0
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Simulate a multi-job fleet and print the goodput/energy summary."""
-    import math
+    from repro.datacenter import format_fleet_summary, simulate_fleet
 
-    from repro.datacenter import (
-        ArrivalConfig,
-        FleetConfig,
-        PowerCapConfig,
-        format_fleet_summary,
-        simulate_fleet,
+    request = SimRequest(
+        kind="fleet",
+        fleet={
+            "clusters": list(args.cluster or ("h200x32",)),
+            "policy": args.policy,
+            "seed": args.seed,
+            "num_jobs": args.num_jobs,
+            "mean_interarrival_s": args.mean_arrival_s,
+            "power_cap_kw": args.power_cap_kw,
+            "cap_mode": args.cap_mode,
+            "node_mtbf_s": args.mtbf_s,
+            "repair_time_s": args.repair_s,
+            "recovery_policy": args.recovery,
+            "restart_delay_s": args.restart_delay_s,
+            "spare_swapin_s": args.spare_swapin_s,
+            "reconfig_s": args.reconfig_s,
+            "gpu_clock_limit": args.gpu_clock_limit,
+            "gpu_power_limit_w": args.gpu_power_limit_w,
+        },
     )
-
-    cap_w = math.inf if args.power_cap_kw is None else args.power_cap_kw * 1e3
-    control = NO_POWER_CONTROL
-    if args.gpu_power_limit_w is not None:
-        control = PowerControlConfig(
-            governor="static", power_limit_w=args.gpu_power_limit_w
-        )
-    elif args.gpu_clock_limit is not None:
-        control = PowerControlConfig(
-            governor="static", freq_setpoint=args.gpu_clock_limit
-        )
-    config = FleetConfig(
-        clusters=tuple(args.cluster or ("h200x32",)),
-        policy=args.policy,
-        seed=args.seed,
-        power_cap=PowerCapConfig(facility_cap_w=cap_w, mode=args.cap_mode),
-        arrivals=ArrivalConfig(
-            num_jobs=args.num_jobs,
-            mean_interarrival_s=args.mean_arrival_s,
-            seed=args.seed,
-        ),
-        node_mtbf_s=args.mtbf_s,
-        repair_time_s=args.repair_s,
-        recovery_policy=args.recovery,
-        restart_delay_s=args.restart_delay_s,
-        spare_swapin_s=args.spare_swapin_s,
-        reconfig_s=args.reconfig_s,
-        power_control=control,
-    )
-    try:
-        outcome = simulate_fleet(config, jobs=args.jobs)
-    except RuntimeError as error:  # unplaceable queue / runaway guard
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(format_fleet_summary(outcome.metrics()))
+    outcome = simulate_fleet(request.to_fleet_config(), jobs=args.jobs)
+    telemetry_csv = timeline_svg = None
     if args.output:
         from repro.telemetry.export import write_fleet_telemetry_csv
         from repro.viz.figures import fleet_timeline_figure
 
         output = Path(args.output)
-        csv_path = write_fleet_telemetry_csv(
+        telemetry_csv = write_fleet_telemetry_csv(
             outcome.samples, output / "fleet_telemetry.csv"
         )
-        fleet_timeline_figure(outcome, path=output / "fleet_timeline.svg")
-        print(f"telemetry     : {csv_path}")
-        print(f"timeline      : {output / 'fleet_timeline.svg'}")
+        timeline_svg = output / "fleet_timeline.svg"
+        fleet_timeline_figure(outcome, path=timeline_svg)
+    if getattr(args, "as_json", False):
+        payload = asdict(outcome.metrics())
+        payload["telemetry_csv"] = (
+            str(telemetry_csv) if telemetry_csv else None
+        )
+        payload["timeline_svg"] = (
+            str(timeline_svg) if timeline_svg else None
+        )
+        _emit_json(payload)
+        return 0
+    print(format_fleet_summary(outcome.metrics()))
+    if telemetry_csv is not None:
+        print(f"telemetry     : {telemetry_csv}")
+        print(f"timeline      : {timeline_svg}")
     return 0
 
 
@@ -507,9 +522,30 @@ def _powerctl_workload_kwargs(args: argparse.Namespace) -> dict:
         microbatch_size=args.microbatch,
         global_batch_size=args.global_batch,
         iterations=args.iterations,
-        settings=_settings_from(args),
+        settings=SimSettings(),
         jobs=args.jobs,
     )
+
+
+def _probe_dict(probe, baseline) -> dict:
+    saving = (
+        1.0 - probe.energy_j / baseline.energy_j
+        if baseline.energy_j > 0 else 0.0
+    )
+    slowdown = (
+        probe.step_time_s / baseline.step_time_s - 1.0
+        if baseline.step_time_s > 0 else 0.0
+    )
+    return {
+        "setpoint": probe.setpoint,
+        "tokens_per_s": probe.tokens_per_s,
+        "energy_j": probe.energy_j,
+        "mean_freq_ratio": probe.mean_freq_ratio,
+        "peak_temp_c": probe.peak_temp_c,
+        "energy_saving_fraction": saving,
+        "slowdown_fraction": slowdown,
+        "feasible": probe.feasible,
+    }
 
 
 def _print_probe_table(probes, baseline) -> None:
@@ -518,20 +554,14 @@ def _print_probe_table(probes, baseline) -> None:
         f"{'clock':>6} {'peakT':>6} {'dE%':>7} {'slow%':>6}"
     )
     for probe in sorted(probes, key=lambda p: p.setpoint):
-        saving = (
-            100.0 * (1.0 - probe.energy_j / baseline.energy_j)
-            if baseline.energy_j > 0 else 0.0
-        )
-        slowdown = (
-            100.0 * (probe.step_time_s / baseline.step_time_s - 1.0)
-            if baseline.step_time_s > 0 else 0.0
-        )
+        row = _probe_dict(probe, baseline)
         flag = "" if probe.feasible else "  (infeasible)"
         print(
             f"{probe.setpoint:>8.4f} {probe.tokens_per_s:>10,.0f} "
             f"{probe.energy_j:>12,.0f} "
             f"{probe.mean_freq_ratio:>6.3f} {probe.peak_temp_c:>6.1f} "
-            f"{saving:>7.1f} {slowdown:>6.1f}{flag}"
+            f"{100 * row['energy_saving_fraction']:>7.1f} "
+            f"{100 * row['slowdown_fraction']:>6.1f}{flag}"
         )
 
 
@@ -548,6 +578,22 @@ def cmd_powerctl_sweep(args: argparse.Namespace) -> int:
     )
     baseline = max(rows, key=lambda row: row[0])[1]
     base_eff = baseline.efficiency()
+    if getattr(args, "as_json", False):
+        _emit_json({
+            "rows": [
+                {
+                    "setpoint": setpoint,
+                    "tokens_per_s": result.efficiency().tokens_per_s,
+                    "energy_j": result.efficiency().energy_j,
+                    "tokens_per_joule":
+                        result.efficiency().tokens_per_joule,
+                    "mean_freq_ratio": result.stats().mean_freq_ratio,
+                    "peak_temp_c": result.stats().peak_temp_c,
+                }
+                for setpoint, result in rows
+            ],
+        })
+        return 0
     print(
         f"{'setpoint':>8} {'tok/s':>10} {'energy_J':>12} {'tok/J':>7} "
         f"{'clock':>6} {'peakT':>6} {'dE%':>7} {'slow%':>6}"
@@ -588,6 +634,30 @@ def cmd_powerctl_search(args: argparse.Namespace) -> int:
         search=search,
         **_powerctl_workload_kwargs(args),
     )
+    directory = None
+    if args.output:
+        directory = write_run_artifact(outcome.best_result, args.output)
+        if outcome.best_result.outcome.power_control is not None:
+            from repro.viz.figures import powerctl_timeline_figure
+
+            powerctl_timeline_figure(
+                outcome.best_result, path=directory / "powerctl.svg"
+            )
+    if getattr(args, "as_json", False):
+        _emit_json({
+            "best_setpoint": outcome.best.setpoint,
+            "energy_saving_fraction": outcome.energy_saving_fraction,
+            "slowdown_fraction": outcome.slowdown_fraction,
+            "probes": [
+                _probe_dict(probe, outcome.baseline)
+                for probe in sorted(
+                    outcome.probes, key=lambda p: p.setpoint
+                )
+            ],
+            "iterations": outcome.iterations,
+            "artifact": str(directory) if directory else None,
+        })
+        return 0
     print(
         f"search        : energy x delay^{search.edp_exponent:g}, "
         f"bracket [{search.lo:g}, {search.hi:g}], "
@@ -600,15 +670,7 @@ def cmd_powerctl_search(args: argparse.Namespace) -> int:
         f"({100 * outcome.energy_saving_fraction:.1f}% energy saved, "
         f"{100 * outcome.slowdown_fraction:+.1f}% step time)"
     )
-    if args.output:
-        directory = write_run_artifact(outcome.best_result, args.output)
-        trace = outcome.best_result.outcome.power_control
-        if trace is not None:
-            from repro.viz.figures import powerctl_timeline_figure
-
-            powerctl_timeline_figure(
-                outcome.best_result, path=directory / "powerctl.svg"
-            )
+    if directory is not None:
         print(f"artifact      : {directory}")
     return 0
 
@@ -636,6 +698,25 @@ def _probe_kwargs_from(args: argparse.Namespace) -> dict:
         global_batch_size=args.global_batch,
         microbatch_size=args.microbatch,
     )
+
+
+def _resilience_run_dict(run) -> dict:
+    return {
+        "policy": run.policy,
+        "mtbf_s": run.mtbf_s,
+        "faults_seen": run.faults_seen,
+        "hangs_detected": run.hangs_detected,
+        "completed": run.completed,
+        "replayed": run.replayed,
+        "lost": run.lost,
+        "scheduled": run.scheduled,
+        "makespan_s": run.makespan_s,
+        "ideal_makespan_s": run.ideal_makespan_s,
+        "goodput_fraction": run.goodput_fraction,
+        "energy_per_token_j": run.energy_per_token_j,
+        "checkpoint_writes": run.checkpoint_writes,
+        "checkpoint_write_s": run.checkpoint_write_s,
+    }
 
 
 def _print_resilience_run(run) -> None:
@@ -673,14 +754,21 @@ def cmd_resilience_run(args: argparse.Namespace) -> int:
         args.model, args.cluster, args.parallelism,
         _recovery_config_from(args), **_probe_kwargs_from(args),
     )
-    _print_resilience_run(run)
+    csv_path = None
     if args.output:
         from repro.telemetry.export import write_resilience_csv
 
-        path = write_resilience_csv(
+        csv_path = write_resilience_csv(
             [run], Path(args.output) / "resilience.csv"
         )
-        print(f"csv           : {path}")
+    if getattr(args, "as_json", False):
+        payload = _resilience_run_dict(run)
+        payload["csv"] = str(csv_path) if csv_path else None
+        _emit_json(payload)
+        return 0
+    _print_resilience_run(run)
+    if csv_path is not None:
+        print(f"csv           : {csv_path}")
     return 0
 
 
@@ -701,6 +789,27 @@ def cmd_resilience_sweep(args: argparse.Namespace) -> int:
         args.mtbf_grid, _recovery_config_from(args),
         policies=policies, **_probe_kwargs_from(args),
     )
+    csv_path = figure_path = None
+    if args.output:
+        from repro.telemetry.export import write_resilience_csv
+        from repro.viz.figures import mtbf_goodput_figure
+
+        output = Path(args.output)
+        runs = [row[policy] for row in rows for policy in policies]
+        csv_path = write_resilience_csv(runs, output / "resilience.csv")
+        figure_path = output / "mtbf_goodput.svg"
+        mtbf_goodput_figure(rows, path=figure_path)
+    if getattr(args, "as_json", False):
+        _emit_json({
+            "rows": [
+                _resilience_run_dict(row[policy])
+                for row in rows
+                for policy in policies
+            ],
+            "csv": str(csv_path) if csv_path else None,
+            "figure": str(figure_path) if figure_path else None,
+        })
+        return 0
     header = f"{'mtbf_s':>8}"
     for policy in policies:
         header += f" {policy + ' good%':>16} {'lost':>5}"
@@ -714,16 +823,33 @@ def cmd_resilience_sweep(args: argparse.Namespace) -> int:
                 f" {100 * run.goodput_fraction:>15.1f}% {run.lost:>5}"
             )
         print(line)
-    if args.output:
-        from repro.telemetry.export import write_resilience_csv
-        from repro.viz.figures import mtbf_goodput_figure
-
-        output = Path(args.output)
-        runs = [row[policy] for row in rows for policy in policies]
-        csv_path = write_resilience_csv(runs, output / "resilience.csv")
-        mtbf_goodput_figure(rows, path=output / "mtbf_goodput.svg")
+    if csv_path is not None:
         print(f"csv           : {csv_path}")
-        print(f"figure        : {output / 'mtbf_goodput.svg'}")
+        print(f"figure        : {figure_path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation broker as a long-lived HTTP service."""
+    from repro.serve import BrokerConfig, BrokerServer
+
+    config = BrokerConfig(
+        concurrency=args.concurrency,
+        queue_limit=args.queue_limit,
+        default_timeout_s=(
+            args.timeout_s if args.timeout_s > 0 else None
+        ),
+        use_processes=not args.inline,
+    )
+    server = BrokerServer(
+        config, host=args.host, port=args.port, verbose=True
+    )
+    print(
+        f"serving on http://{server.address} "
+        "(POST /v1/simulate, GET /v1/status, GET /v1/metrics; "
+        "Ctrl-C to stop)"
+    )
+    server.run()
     return 0
 
 
@@ -732,11 +858,25 @@ def cmd_cache(args: argparse.Namespace) -> int:
     from repro.core.store import result_store
 
     store = result_store()
+    as_json = getattr(args, "as_json", False)
     if args.action == "clear":
         removed = store.clear()
-        print(f"removed {removed} cached results from {store.root}")
+        if as_json:
+            _emit_json({"removed": removed, "root": str(store.root)})
+        else:
+            print(f"removed {removed} cached results from {store.root}")
         return 0
     stats = store.stats()
+    if as_json:
+        _emit_json({
+            "root": str(stats.root),
+            "schema_version": stats.schema_version,
+            "entries": stats.entries,
+            "total_mb": stats.total_mb,
+            "stale_entries": stats.stale_entries,
+            "quarantined_entries": stats.quarantined_entries,
+        })
+        return 0
     print(f"cache root    : {stats.root}")
     print(f"schema        : v{stats.schema_version}")
     print(f"entries       : {stats.entries}")
@@ -766,13 +906,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # Shared flag groups, declared once and attached via parents=[...]:
+    # every result-producing subcommand speaks the same --json / --jobs /
+    # cache dialect (the CLI consistency contract in docs/api.md).
+    json_flags = argparse.ArgumentParser(add_help=False)
+    json_flags.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="print a machine-readable JSON summary to stdout",
+    )
+    jobs_flags = argparse.ArgumentParser(add_help=False)
+    jobs_flags.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for simulations (0 = auto: cpu_count-1)",
+    )
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result store for this invocation",
+    )
+    cache_flags.add_argument(
+        "--cache-dir", default=None,
+        help="redirect the persistent result store "
+             "(default: .repro_cache, or $REPRO_CACHE_DIR)",
+    )
+    sim_parents = [json_flags, jobs_flags, cache_flags]
+
     catalog = subparsers.add_parser(
-        "catalog", help="list models and clusters"
+        "catalog", help="list models and clusters", parents=[json_flags]
     )
     catalog.set_defaults(func=cmd_catalog)
 
     configs = subparsers.add_parser(
-        "configs", help="list valid parallelism configurations"
+        "configs", help="list valid parallelism configurations",
+        parents=[json_flags],
     )
     configs.add_argument("--model", required=True)
     configs.add_argument("--cluster", required=True)
@@ -780,14 +946,17 @@ def build_parser() -> argparse.ArgumentParser:
     configs.add_argument("--act", action="store_true")
     configs.set_defaults(func=cmd_configs)
 
-    run = subparsers.add_parser("run", help="run one experiment")
+    run = subparsers.add_parser(
+        "run", help="run one experiment", parents=sim_parents
+    )
     _add_run_arguments(run)
     run.add_argument("--output", default=None,
                      help="write an artifact directory here")
     run.set_defaults(func=cmd_run)
 
     sweep = subparsers.add_parser(
-        "sweep", help="run a strategy x microbatch grid"
+        "sweep", help="run a strategy x microbatch grid",
+        parents=sim_parents,
     )
     sweep.add_argument("--model", required=True)
     sweep.add_argument("--cluster", required=True)
@@ -803,14 +972,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--act", action="store_true")
     sweep.add_argument("--cc", action="store_true")
     sweep.add_argument("--lora", action="store_true")
-    sweep.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for simulations (0 = auto: cpu_count-1)",
-    )
     sweep.set_defaults(func=cmd_sweep, fail_node=None)
 
     figures = subparsers.add_parser(
-        "figures", help="render the SVG figure bundle for one run"
+        "figures", help="render the SVG figure bundle for one run",
+        parents=sim_parents,
     )
     _add_run_arguments(figures)
     figures.add_argument("--output", required=True)
@@ -819,21 +985,19 @@ def build_parser() -> argparse.ArgumentParser:
     full_sweep = subparsers.add_parser(
         "full-sweep",
         help="run the paper's evaluation grid and write all artifacts",
+        parents=sim_parents,
     )
     full_sweep.add_argument(
         "--cluster", action="append", required=True,
         help="repeatable: h200x32/h100x64 together, or mi250x32",
     )
     full_sweep.add_argument("--output", required=True)
-    full_sweep.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for simulations (0 = auto: cpu_count-1)",
-    )
     full_sweep.set_defaults(func=cmd_full_sweep)
 
     fleet = subparsers.add_parser(
         "fleet",
         help="simulate a multi-job fleet with power/thermal-aware placement",
+        parents=sim_parents,
     )
     fleet.add_argument(
         "--policy", default="packed",
@@ -846,11 +1010,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--num-jobs", type=int, default=12,
                        help="number of arriving jobs")
-    fleet.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes to pre-profile job shapes "
-             "(0 = auto: cpu_count-1)",
-    )
     fleet.add_argument("--mean-arrival-s", type=float, default=20.0,
                        help="mean interarrival time (exponential)")
     fleet.add_argument(
@@ -898,7 +1057,8 @@ def build_parser() -> argparse.ArgumentParser:
     modes = powerctl.add_subparsers(dest="mode", required=True)
 
     pc_sweep = modes.add_parser(
-        "sweep", help="run a grid of static clock ceilings"
+        "sweep", help="run a grid of static clock ceilings",
+        parents=sim_parents,
     )
     _add_workload_arguments(pc_sweep)
     pc_sweep.add_argument(
@@ -911,6 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc_search = modes.add_parser(
         "search",
         help="golden-section search for the energy-optimal setpoint",
+        parents=sim_parents,
     )
     _add_workload_arguments(pc_search)
     pc_search.add_argument("--lo", type=float, default=0.55,
@@ -970,7 +1131,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write resilience CSV (and figure) here")
 
     res_run = res_modes.add_parser(
-        "run", help="walk one recovery policy over one fault schedule"
+        "run", help="walk one recovery policy over one fault schedule",
+        parents=[json_flags, cache_flags],
     )
     _add_resilience_arguments(res_run)
     res_run.add_argument(
@@ -989,7 +1151,8 @@ def build_parser() -> argparse.ArgumentParser:
     res_run.set_defaults(func=cmd_resilience_run)
 
     res_sweep = res_modes.add_parser(
-        "sweep", help="compare recovery policies across an MTBF grid"
+        "sweep", help="compare recovery policies across an MTBF grid",
+        parents=[json_flags, cache_flags],
     )
     _add_resilience_arguments(res_sweep)
     res_sweep.add_argument(
@@ -1003,9 +1166,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     res_sweep.set_defaults(func=cmd_resilience_sweep)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the simulation broker as an HTTP service "
+             "(POST /v1/simulate; docs/api.md)",
+        parents=[cache_flags],
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address")
+    serve.add_argument("--port", type=int, default=8053,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--concurrency", type=int, default=2,
+        help="simulations executing at once",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="waiting requests before new misses are rejected (429)",
+    )
+    serve.add_argument(
+        "--timeout-s", type=float, default=300.0,
+        help="default per-request deadline (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="execute in-process instead of supervised worker "
+             "processes (no kill-on-timeout; mainly for debugging)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
     cache = subparsers.add_parser(
         "cache",
         help="inspect or clear the persistent result cache (.repro_cache)",
+        parents=[json_flags, cache_flags],
     )
     cache.add_argument(
         "action", nargs="?", default="stats", choices=("stats", "clear"),
@@ -1018,14 +1211,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 ok, 2 bad arguments (also argparse's own code for
+    unparseable flags), 3 simulation/runtime failure.
+    """
+    from repro.core.store import persistence_enabled, set_persistence
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    prior_persistence = persistence_enabled()
+    if getattr(args, "cache_dir", None):
+        os.environ["REPRO_CACHE_DIR"] = str(args.cache_dir)
+    if getattr(args, "no_cache", False):
+        set_persistence(False)
     try:
         return args.func(args)
     except (KeyError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(f"error: {_flagify(f'{error}')}", file=sys.stderr)
         return 2
+    except (RuntimeError, TimeoutError) as error:
+        # Simulation/runtime failures (worker crashes, deadlines,
+        # unplaceable fleets) — distinct from argument errors.
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    finally:
+        set_persistence(prior_persistence)
 
 
 if __name__ == "__main__":

@@ -1,4 +1,10 @@
-"""Experiment orchestration: runs, results, sweeps."""
+"""Experiment orchestration: runs, results, sweeps.
+
+:func:`execute_training` / :func:`execute_inference` / :func:`cached_run`
+are the canonical execution paths; ``run_training`` / ``run_inference``
+/ ``cached_run_training`` / ``cached_run_inference`` remain importable
+as deprecation shims over :mod:`repro.api`.
+"""
 
 from repro.core.artifact import (
     read_run_summary,
@@ -13,6 +19,8 @@ from repro.core.campaign import (
 )
 from repro.core.experiment import (
     DEFAULT_GLOBAL_BATCH,
+    execute_inference,
+    execute_training,
     run_inference,
     run_training,
 )
@@ -20,6 +28,7 @@ from repro.core.faults import HEALTHY, FaultSpec, power_failure
 from repro.core.results import RunResult
 from repro.core.sweep import (
     SweepPoint,
+    cached_run,
     cached_run_inference,
     cached_run_training,
     clear_cache,
@@ -41,9 +50,12 @@ __all__ = [
     "write_run_artifact",
     "RunResult",
     "SweepPoint",
+    "cached_run",
     "cached_run_inference",
     "cached_run_training",
     "clear_cache",
+    "execute_inference",
+    "execute_training",
     "normalize_by_best",
     "run_inference",
     "run_sweep",

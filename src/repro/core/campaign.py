@@ -19,7 +19,6 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core.artifact import run_summary, write_run_artifact
-from repro.core.experiment import run_training
 from repro.core.results import RunResult
 from repro.parallelism.strategy import OptimizationConfig
 
@@ -102,7 +101,7 @@ def run_campaign(
     Specs that share an identical simulation configuration simulate
     once and reuse the result (each spec name still gets its own
     artifact directory and summary row). Runs go through
-    :func:`repro.core.sweep.cached_run_training`, so repeated campaigns
+    :func:`repro.core.sweep.cached_run`, so repeated campaigns
     reuse the persistent result store.
 
     Args:
@@ -115,7 +114,7 @@ def run_campaign(
             independent of ``jobs``.
     """
     from repro.core.parallel import map_runs, resolve_jobs
-    from repro.core.sweep import cached_run_training
+    from repro.core.sweep import cached_run
 
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
@@ -143,7 +142,7 @@ def run_campaign(
         simulated = dict(zip(distinct, outputs))
     else:
         simulated = {
-            key: cached_run_training(**kwargs)
+            key: cached_run("train", **kwargs)
             for key, kwargs in distinct.items()
         }
 

@@ -1,13 +1,17 @@
-"""Public entry points: run one training or inference experiment.
+"""Canonical experiment execution: one training or inference run.
 
-This is the API the examples and benchmarks use::
+:func:`execute_training` / :func:`execute_inference` are the single
+place a simulation is actually assembled and run. The stable public
+surface on top of them is :mod:`repro.api`::
 
-    from repro import run_training
-    result = run_training(
+    from repro.api import SimRequest, submit
+    result = submit(SimRequest(
         model="gpt3-175b", cluster="h200x32", parallelism="TP2-PP16",
-        microbatch_size=1,
-    )
+    ))
     print(result.efficiency().tokens_per_s)
+
+The historical entrypoints :func:`run_training` / :func:`run_inference`
+remain importable as thin deprecation shims over :mod:`repro.api`.
 
 Models, clusters, and strategies accept either catalog names or the
 corresponding config objects. Global batch size defaults to the paper's
@@ -52,7 +56,7 @@ def _resolve_strategy(
     return parallelism
 
 
-def run_training(
+def execute_training(
     model: ModelConfig | str,
     cluster: ClusterSpec | str,
     parallelism: ParallelismConfig | str,
@@ -117,7 +121,7 @@ def run_training(
     )
 
 
-def run_inference(
+def execute_inference(
     model: ModelConfig | str,
     cluster: ClusterSpec | str,
     parallelism: ParallelismConfig | str,
@@ -154,3 +158,29 @@ def run_inference(
         outcome=outcome,
         placement=mesh.placement,
     )
+
+
+def run_training(*args, **kwargs) -> RunResult:
+    """Deprecated alias for :func:`repro.api.submit`.
+
+    Same signature, behaviour, and return type as
+    :func:`execute_training`; emits a one-time :class:`DeprecationWarning`
+    pointing at the stable :mod:`repro.api` surface (docs/api.md).
+    """
+    from repro import api
+
+    api.warn_deprecated("run_training")
+    return api.legacy_run("train", args, kwargs, cached=False)
+
+
+def run_inference(*args, **kwargs) -> RunResult:
+    """Deprecated alias for :func:`repro.api.submit` (inference kind).
+
+    Same signature, behaviour, and return type as
+    :func:`execute_inference`; emits a one-time
+    :class:`DeprecationWarning` pointing at :mod:`repro.api`.
+    """
+    from repro import api
+
+    api.warn_deprecated("run_inference")
+    return api.legacy_run("infer", args, kwargs, cached=False)

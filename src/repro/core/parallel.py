@@ -16,14 +16,20 @@ What happened is reported through the optional :class:`ExecutionReport`
 argument. Ordinary exceptions raised *by* a payload are not retried;
 they propagate, as they are deterministic.
 
-Workers run :func:`repro.core.sweep.cached_run_training` /
-``cached_run_inference``, so they share the persistent on-disk store
-with the parent: a worker's simulation is written once (atomically) and
-every later process reads it back.
+Workers run :func:`repro.core.sweep.cached_run`, so they share the
+persistent on-disk store with the parent: a worker's simulation is
+written once (atomically) and every later process reads it back.
+
+:func:`run_supervised` is the single-payload sibling the
+``repro.serve`` broker uses: one dedicated child process per payload,
+with a hard deadline (the child is killed, not abandoned) and crash
+detection, so a SIGKILLed or hung simulation becomes a structured
+error instead of taking the broker down.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -80,11 +86,10 @@ def resolve_jobs(jobs: int | None) -> int:
 
 def _run_payload(payload: RunPayload):
     """Top-level worker entry point (must be picklable)."""
-    from repro.core.sweep import cached_run_inference, cached_run_training
+    from repro.core.sweep import cached_run
 
     kind, kwargs = payload
-    runner = cached_run_training if kind == "train" else cached_run_inference
-    return runner(**kwargs)
+    return cached_run(kind, **kwargs)
 
 
 def _fan_out(fn, items: list, jobs: int,
@@ -147,6 +152,95 @@ def map_runs(
     if jobs <= 1 or len(payloads) <= 1:
         return [_run_payload(payload) for payload in payloads]
     return _fan_out(_run_payload, payloads, jobs, report)
+
+
+class WorkerCrashError(RuntimeError):
+    """A supervised worker process died before reporting a result."""
+
+
+class WorkerTimeoutError(RuntimeError):
+    """A supervised worker process hit its deadline and was killed."""
+
+
+class PayloadError(RuntimeError):
+    """The supervised payload itself raised; message is the original
+    ``Type: message`` text (deterministic, not retried)."""
+
+
+def _supervised_entry(fn, arg, connection) -> None:
+    """Child-side of :func:`run_supervised` (must be picklable)."""
+    try:
+        connection.send(("ok", fn(arg)))
+    except BaseException as error:  # report, never hang the parent
+        try:
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+        except (BrokenPipeError, OSError, TypeError, ValueError):
+            pass
+    finally:
+        connection.close()
+
+
+def run_supervised(fn, arg, timeout_s: float | None = None):
+    """Run ``fn(arg)`` in a dedicated, killable child process.
+
+    Unlike the pool fan-out above — which retries stranded payloads —
+    this is the request-scoped primitive: one payload, one child, one
+    deadline. The result (which must be picklable) is shipped back over
+    a pipe. Three failure shapes become three exception types:
+
+    - the child misses the deadline → it is killed and
+      :class:`WorkerTimeoutError` is raised (no orphaned simulation);
+    - the child dies without reporting (SIGKILL, OOM, native crash) →
+      :class:`WorkerCrashError`;
+    - ``fn`` raises → :class:`PayloadError` carrying the original
+      ``Type: message`` text.
+    """
+    context = multiprocessing.get_context()
+    receiver, sender = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_supervised_entry, args=(fn, arg, sender), daemon=True
+    )
+    process.start()
+    sender.close()
+    message = None
+    timed_out = False
+    try:
+        if timeout_s is None or receiver.poll(timeout_s):
+            try:
+                message = receiver.recv()
+            except (EOFError, OSError):
+                message = None
+        else:
+            timed_out = True
+    finally:
+        if process.is_alive():
+            process.kill()
+        process.join()
+        receiver.close()
+    if timed_out:
+        raise WorkerTimeoutError(
+            f"worker exceeded its {timeout_s:g}s deadline and was killed"
+        )
+    if message is None:
+        raise WorkerCrashError(
+            "worker process died without reporting a result "
+            f"(exit code {process.exitcode})"
+        )
+    status, value = message
+    if status == "ok":
+        return value
+    raise PayloadError(value)
+
+
+def run_request_payload(payload: RunPayload):
+    """Top-level supervised entry for one run payload (picklable).
+
+    The child executes through :func:`repro.core.sweep.cached_run`, so
+    its result lands in the shared on-disk store before the bytes come
+    back over the pipe — the parent's next identical request is a
+    store hit.
+    """
+    return _run_payload(payload)
 
 
 def map_calls(

@@ -17,7 +17,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.core.experiment import run_inference, run_training
+from repro.core.experiment import execute_inference, execute_training
 from repro.core.results import RunResult
 from repro.core.store import (
     SCHEMA_VERSION,
@@ -70,6 +70,11 @@ def _cache_key(kind: str, kwargs: dict) -> tuple:
     return (kind, freeze(kwargs))
 
 
+#: Public spelling of the cache-key constructor (request digests in
+#: :mod:`repro.api` and the broker's fast path address the store with it).
+cache_key = _cache_key
+
+
 def key_digest(key: tuple) -> str:
     """Stable hex digest of a cache key (on-disk addressing).
 
@@ -98,20 +103,86 @@ def _cached_run(kind: str, runner: Callable[..., RunResult],
     return result
 
 
-def cached_run_training(**kwargs) -> RunResult:
-    """Memoised :func:`repro.core.experiment.run_training`.
+def cached_run(kind: str, **kwargs) -> RunResult:
+    """Memoised execution of one ``"train"`` / ``"infer"`` payload.
 
-    Results are served from (in order) the in-process memo, the
-    persistent ``.repro_cache`` store, and a fresh simulation. Pass
-    models, clusters, and strategies by catalog name for the most
-    compact keys (full config objects also work).
+    The canonical cached entry point: results are served from (in
+    order) the in-process memo, the persistent ``.repro_cache`` store,
+    and a fresh simulation. Pass models, clusters, and strategies by
+    catalog name for the most compact keys (full config objects also
+    work). Worker processes, :func:`repro.api.submit`, and the
+    ``repro.serve`` broker all execute through here, so every consumer
+    shares one cache address space.
     """
-    return _cached_run("train", run_training, kwargs)
+    if kind == "train":
+        return _cached_run(kind, execute_training, kwargs)
+    if kind == "infer":
+        return _cached_run(kind, execute_inference, kwargs)
+    from repro.suggest import unknown_name_message
+
+    raise ValueError(
+        unknown_name_message("run kind", kind, ("train", "infer"))
+    )
+
+
+def lookup_memo(kind: str, kwargs: dict) -> RunResult | None:
+    """Memo-only probe: a dict lookup, no disk I/O, never simulates.
+
+    Cheap enough to call from latency-sensitive code (the broker runs
+    it inline on the event loop before paying for an executor hop to
+    the on-disk store).
+    """
+    return _CACHE.get(_cache_key(kind, kwargs))
+
+
+def lookup_cached(kind: str, kwargs: dict) -> RunResult | None:
+    """Cache-only probe: in-process memo, then the on-disk store.
+
+    Never simulates. The broker's cache-hit fast path uses this to
+    answer requests synchronously; a store hit is promoted into the
+    memo so repeat lookups stay in memory.
+    """
+    key = _cache_key(kind, kwargs)
+    result = _CACHE.get(key)
+    if result is not None:
+        return result
+    if not persistence_enabled():
+        return None
+    result = result_store().get(key_digest(key))
+    if result is not None:
+        _CACHE[key] = result
+    return result
+
+
+def seed_memo(kind: str, kwargs: dict, result: RunResult) -> None:
+    """Install a result in the in-process memo (worker fan-out output).
+
+    Pool workers simulate in their own process; the parent seeds its
+    memo with what they returned so later same-process consumers skip
+    even the store read.
+    """
+    _CACHE.setdefault(_cache_key(kind, kwargs), result)
+
+
+def cached_run_training(**kwargs) -> RunResult:
+    """Deprecated alias for :func:`cached_run` (``"train"`` kind).
+
+    Same behaviour, cache addressing, and return type; emits a one-time
+    :class:`DeprecationWarning` pointing at :mod:`repro.api` /
+    :func:`cached_run` (docs/api.md).
+    """
+    from repro import api
+
+    api.warn_deprecated("cached_run_training")
+    return api.legacy_run("train", (), kwargs, cached=True)
 
 
 def cached_run_inference(**kwargs) -> RunResult:
-    """Memoised :func:`repro.core.experiment.run_inference`."""
-    return _cached_run("infer", run_inference, kwargs)
+    """Deprecated alias for :func:`cached_run` (``"infer"`` kind)."""
+    from repro import api
+
+    api.warn_deprecated("cached_run_inference")
+    return api.legacy_run("infer", (), kwargs, cached=True)
 
 
 def clear_cache() -> None:
@@ -214,7 +285,7 @@ def run_sweep(
     results: dict[SweepPoint, RunResult] = {}
     for point, payload, result in zip(ordered, payloads, outputs):
         # Seed the in-process memo so later figures reuse worker output.
-        _CACHE.setdefault(_cache_key("train", payload[1]), result)
+        seed_memo("train", payload[1], result)
         results[point] = result
         if on_result is not None:
             on_result(point, result)

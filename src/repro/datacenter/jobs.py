@@ -254,7 +254,7 @@ def profile_job(
     if cached is not None:
         return cached
 
-    from repro.core.experiment import run_inference, run_training
+    from repro.core.experiment import execute_inference, execute_training
     from repro.engine.simulator import SimSettings
 
     sub = sub_cluster(cluster, spec.nodes_required)
@@ -263,7 +263,7 @@ def profile_job(
         placement = None
         if thermal_placement:
             placement = _try_thermal_placement(sub, spec.parallelism)
-        result = run_training(
+        result = execute_training(
             model=spec.model,
             cluster=sub,
             parallelism=spec.parallelism,
@@ -274,7 +274,7 @@ def profile_job(
             settings=settings,
         )
     else:
-        result = run_inference(
+        result = execute_inference(
             model=spec.model,
             cluster=sub,
             parallelism=spec.parallelism,

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.results import RunResult
-from repro.core.sweep import cached_run_inference
+from repro.core.sweep import cached_run
 
 
 @dataclass(frozen=True)
@@ -49,7 +49,8 @@ def sweep_inference(
     points = []
     for strategy in strategies:
         for mb in microbatch_sizes:
-            result = cached_run_inference(
+            result = cached_run(
+                "infer",
                 model=model,
                 cluster=cluster,
                 parallelism=strategy,

@@ -4,7 +4,7 @@ Zeus-style outer loop: golden-section search over a *static* clock
 ceiling (equivalently, a board power limit), where each probe is one
 full simulated run and the objective is the configurable
 energy·delayⁿ cost over the measured window. Probes go through
-:func:`repro.core.sweep.cached_run_training`, so repeated searches —
+:func:`repro.core.sweep.cached_run`, so repeated searches —
 and the sweep mode of ``python -m repro powerctl`` — reuse the
 in-process memo and the persistent ``.repro_cache`` store; the initial
 bracket fans out over worker processes via ``jobs``.
@@ -205,7 +205,7 @@ def search_energy_optimal(
     """Find the energy-optimal static clock ceiling for one workload.
 
     The positional arguments mirror :func:`repro.core.experiment.
-    run_training` (catalog names or full spec objects). ``jobs`` fans
+    execute_training` (catalog names or full spec objects). ``jobs`` fans
     the initial three-probe bracket (baseline + two golden-section
     interior points) over worker processes; refinement probes run one
     at a time, each served from the cache when previously seen.

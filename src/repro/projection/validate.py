@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.experiment import run_training
+from repro.core.experiment import execute_training
 from repro.core.results import RunResult
 from repro.engine.simulator import SimSettings
 from repro.hardware.cluster import ClusterSpec
@@ -81,7 +81,7 @@ def validate_projection(
     if model_parallel.world_size != base_cluster.total_gpus:
         raise ValueError("model_parallel must cover the base cluster")
 
-    base_run = run_training(
+    base_run = execute_training(
         model=model,
         cluster=base_cluster,
         parallelism=model_parallel,
@@ -98,7 +98,7 @@ def validate_projection(
         if dp < 2:
             raise ValueError("validate DP degrees >= 2 (1 is the base)")
         cluster = scaled_cluster(base_cluster, dp)
-        simulated = run_training(
+        simulated = execute_training(
             model=model,
             cluster=cluster,
             parallelism=replace(model_parallel, dp=dp),

@@ -18,7 +18,7 @@ does each recovery strategy preserve? Three policies are simulated:
 
 Every walk is iteration-granular and built from engine-probed
 quantities: the healthy step time and cluster power from a short
-:func:`~repro.core.sweep.cached_run_training` probe, and — for elastic —
+:func:`~repro.core.sweep.cached_run` probe, and — for elastic —
 a second probe on the (n-1)-node cluster with DP refilled. Hang
 detection (the NCCL-style collective timeout), the checkpoint write
 cost, and all recovery delays sit on the walked timeline, so goodput
@@ -41,11 +41,12 @@ accounting here.
 from __future__ import annotations
 
 import dataclasses
+import bisect
 import random
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.core.sweep import cached_run_training
+from repro.core.sweep import cached_run
 from repro.suggest import unknown_name_message
 
 #: Recovery policies, worst to best expected goodput.
@@ -311,10 +312,11 @@ def _fault_clock(config: RecoveryConfig,
         while not drawn or drawn[-1] <= t:
             last = drawn[-1] if drawn else 0.0
             drawn.append(last + rng.expovariate(rate))
-        for onset in drawn:
-            if onset > t:
-                return onset
-        return None  # pragma: no cover - loop above guarantees a hit
+        # drawn is sorted (positive increments) and its tail exceeds t,
+        # so the first onset strictly after t is a bisect away. A linear
+        # scan here is quadratic over the walk and dominates long
+        # high-fault-rate walks.
+        return drawn[bisect.bisect_right(drawn, t)]
 
     return next_after
 
@@ -550,7 +552,7 @@ def profile_job(
     )
     if settings is not None:
         kwargs["settings"] = settings
-    result = cached_run_training(**kwargs)
+    result = cached_run("train", **kwargs)
     shrunk_step = shrunk_power = None
     if include_shrunk:
         try:
@@ -562,7 +564,8 @@ def profile_job(
         else:
             per_replica = global_batch_size // result.parallelism.dp
             small_batch = per_replica * small_strategy.dp
-            small = cached_run_training(
+            small = cached_run(
+                "train",
                 **{
                     **kwargs,
                     "cluster": small_cluster,

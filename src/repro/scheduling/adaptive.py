@@ -16,7 +16,7 @@ implements both as closed-loop policies over the simulator's telemetry:
 from __future__ import annotations
 
 from repro.core.results import RunResult
-from repro.core.sweep import cached_run_training
+from repro.core.sweep import cached_run
 from repro.parallelism.mapping import coords_of
 
 
@@ -87,7 +87,8 @@ def adaptive_microbatch(
     best: tuple[int, RunResult] | None = None
     for microbatch in candidates:
         try:
-            result = cached_run_training(
+            result = cached_run(
+                "train",
                 model=model,
                 cluster=cluster,
                 parallelism=parallelism,

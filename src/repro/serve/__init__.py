@@ -1,0 +1,33 @@
+"""Simulation-as-a-service: a long-running broker over :mod:`repro.api`.
+
+Three front doors, one execution substrate:
+
+- :class:`Broker` — embeddable asyncio object. ``await broker.submit(
+  SimRequest(...))`` returns a :class:`SimResponse`.
+- :class:`BrokerServer` — stdlib ``http.server`` JSON endpoint
+  (``POST /v1/simulate``, ``GET /v1/status``, ``GET /v1/metrics``).
+- ``python -m repro serve`` — the CLI wrapper around
+  :class:`BrokerServer`.
+
+The broker answers cache hits synchronously from the shared
+``.repro_cache`` store, deduplicates identical in-flight requests, and
+runs each miss in a supervised, killable worker process
+(:func:`repro.core.parallel.run_supervised`) under bounded concurrency,
+per-request deadlines, and queue-full backpressure. See docs/api.md.
+"""
+
+from repro.serve.broker import (
+    Broker,
+    BrokerConfig,
+    BrokerMetrics,
+    SimResponse,
+)
+from repro.serve.http import BrokerServer
+
+__all__ = [
+    "Broker",
+    "BrokerConfig",
+    "BrokerMetrics",
+    "BrokerServer",
+    "SimResponse",
+]

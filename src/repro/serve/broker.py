@@ -1,0 +1,391 @@
+"""The asyncio simulation broker: admission control over shared caches.
+
+One :class:`Broker` owns three request paths, tried in order:
+
+1. **Cache hit** — :func:`repro.core.sweep.lookup_cached` answers
+   synchronously (no queueing, no worker) from the in-process memo or
+   the persistent store.
+2. **In-flight dedup** — a request whose digest matches a simulation
+   already executing awaits that execution's future instead of starting
+   a second one; identical concurrent requests simulate exactly once.
+3. **Supervised execution** — the miss queues for a bounded-concurrency
+   slot and runs via :func:`repro.core.parallel.run_supervised` in a
+   dedicated killable child process. A per-request deadline kills the
+   child (``timeout`` response); a SIGKILLed/OOMed child becomes a
+   structured ``error`` response; the broker keeps serving either way.
+
+Backpressure is explicit: when ``queue_limit`` requests are already
+waiting for a slot, new misses are **rejected** immediately (the HTTP
+layer maps this to ``429`` + ``Retry-After``) rather than queued without
+bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import statistics
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.api import SimRequest, submit
+from repro.core.parallel import (
+    PayloadError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    run_request_payload,
+    run_supervised,
+)
+from repro.core.results import RunResult
+
+#: Seconds added to the in-executor backstop beyond the child deadline,
+#: so the child's own kill path fires first.
+_DEADLINE_GRACE_S = 5.0
+
+#: How many recent request latencies feed the percentile counters.
+_LATENCY_WINDOW = 2048
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Admission-control knobs for one :class:`Broker`.
+
+    Attributes:
+        concurrency: simulations executing at once (worker slots).
+        queue_limit: misses allowed to *wait* for a slot before new
+            misses are rejected; bounds broker memory.
+        default_timeout_s: per-request deadline when the request does
+            not carry its own ``timeout_s`` (None = no deadline).
+        retry_after_s: hint attached to rejections (HTTP Retry-After).
+        use_processes: run misses in supervised child processes
+            (killable deadlines, crash isolation). ``False`` executes
+            in-process threads — faster for tests, no kill capability.
+        cache: serve and populate the shared result cache.
+    """
+
+    concurrency: int = 2
+    queue_limit: int = 16
+    default_timeout_s: float | None = 300.0
+    retry_after_s: float = 1.0
+    use_processes: bool = True
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.queue_limit < 0:
+            raise ValueError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+
+
+@dataclass(frozen=True)
+class SimResponse:
+    """One broker answer: a result or a structured failure.
+
+    ``status`` is one of ``"ok"``, ``"error"`` (worker crash or payload
+    exception), ``"timeout"`` (deadline hit, child killed), or
+    ``"rejected"`` (queue full — retry after ``retry_after_s``).
+    """
+
+    status: str
+    request: SimRequest
+    result: object = None
+    error: str | None = None
+    cached: bool = False
+    deduped: bool = False
+    duration_s: float = 0.0
+    retry_after_s: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the HTTP response body)."""
+        from repro.core.artifact import run_summary
+
+        result = self.result
+        if isinstance(result, RunResult):
+            result = run_summary(result)
+        elif result is not None and hasattr(result, "metrics"):
+            result = dataclasses.asdict(result.metrics())
+        return {
+            "status": self.status,
+            "request": self.request.to_dict(),
+            "digest": self.request.digest(),
+            "result": result,
+            "error": self.error,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "duration_s": self.duration_s,
+            "retry_after_s": self.retry_after_s,
+        }
+
+
+@dataclass
+class BrokerMetrics:
+    """Monotonic counters + a sliding latency window."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    deduped: int = 0
+    rejected: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    latencies_s: deque = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW)
+    )
+
+    def observe(self, seconds: float) -> None:
+        self.latencies_s.append(seconds)
+
+    def percentile(self, fraction: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5)
+        )
+        return ordered[index]
+
+    def to_dict(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "deduped": self.deduped,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "latency_p50_s": self.percentile(0.50),
+            "latency_p90_s": self.percentile(0.90),
+            "latency_p99_s": self.percentile(0.99),
+            "latency_mean_s": (
+                statistics.fmean(self.latencies_s)
+                if self.latencies_s
+                else 0.0
+            ),
+        }
+
+
+def _default_runner(request: SimRequest,
+                    timeout_s: float | None) -> object:
+    """Execute one request in a supervised child process.
+
+    Cacheable payloads run through :func:`run_request_payload`, so the
+    child writes the shared on-disk store before returning — the
+    parent's next identical request is a store hit. Fleet requests are
+    shipped as their dict form and rebuilt in the child.
+    """
+    if request.cacheable:
+        return run_supervised(
+            run_request_payload, request.to_run_payload(), timeout_s
+        )
+    return run_supervised(_submit_dict, request.to_dict(), timeout_s)
+
+
+def _submit_dict(data: dict) -> object:
+    """Child-side fleet execution (top-level, picklable)."""
+    return submit(SimRequest.from_dict(data))
+
+
+def _inline_runner(request: SimRequest,
+                   timeout_s: float | None) -> object:
+    """In-process execution (``use_processes=False``); no kill path."""
+    return submit(request)
+
+
+class Broker:
+    """Asyncio admission-control front end over :func:`repro.api.submit`.
+
+    Responses are field-by-field identical to calling ``submit()``
+    directly — the broker only adds caching, dedup, concurrency limits,
+    deadlines, and backpressure around the same execution. Construct it
+    inside a running event loop (or via :class:`repro.serve.BrokerServer`,
+    which owns a loop); ``runner`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        config: BrokerConfig | None = None,
+        runner: Callable[[SimRequest, float | None], object] | None = None,
+    ) -> None:
+        self.config = config or BrokerConfig()
+        if runner is not None:
+            self._runner = runner
+        elif self.config.use_processes:
+            self._runner = _default_runner
+        else:
+            self._runner = _inline_runner
+        self.metrics = BrokerMetrics()
+        self._semaphore = asyncio.Semaphore(self.config.concurrency)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._admitted = 0
+        self._executing = 0
+        self._started_at = time.monotonic()
+
+    # -- public API -----------------------------------------------------
+
+    async def submit(self, request: SimRequest) -> SimResponse:
+        """Answer one request (cache → dedup → supervised execution)."""
+        if not isinstance(request, SimRequest):
+            raise TypeError(
+                f"Broker.submit takes a SimRequest, "
+                f"got {type(request).__name__}"
+            )
+        self.metrics.requests += 1
+        started = time.monotonic()
+
+        if self.config.cache and request.cacheable:
+            # Memo hits resolve inline (a dict lookup); only the
+            # on-disk store probe pays for an executor hop.
+            hit = self._probe_memo(request)
+            if hit is None:
+                hit = await asyncio.get_running_loop().run_in_executor(
+                    None, self._probe_store, request
+                )
+            if hit is not None:
+                self.metrics.hits += 1
+                duration = time.monotonic() - started
+                self.metrics.observe(duration)
+                return SimResponse(
+                    status="ok", request=request, result=hit,
+                    cached=True, duration_s=duration,
+                )
+
+        digest = request.digest()
+        pending = self._inflight.get(digest)
+        if pending is not None:
+            self.metrics.deduped += 1
+            response: SimResponse = await asyncio.shield(pending)
+            duration = time.monotonic() - started
+            self.metrics.observe(duration)
+            return dataclasses.replace(
+                response, deduped=True, duration_s=duration
+            )
+
+        capacity = self.config.concurrency + self.config.queue_limit
+        if self._admitted >= capacity:
+            self.metrics.rejected += 1
+            return SimResponse(
+                status="rejected",
+                request=request,
+                error=(
+                    f"queue full ({self.queue_depth} waiting, limit "
+                    f"{self.config.queue_limit}); retry after "
+                    f"{self.config.retry_after_s:g}s"
+                ),
+                retry_after_s=self.config.retry_after_s,
+                duration_s=time.monotonic() - started,
+            )
+
+        self.metrics.misses += 1
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[digest] = future
+        self._admitted += 1
+        try:
+            response = await self._execute(request)
+        finally:
+            self._admitted -= 1
+            self._inflight.pop(digest, None)
+            if not future.done():
+                future.set_result(response)
+        duration = time.monotonic() - started
+        self.metrics.observe(duration)
+        return dataclasses.replace(response, duration_s=duration)
+
+    @property
+    def queue_depth(self) -> int:
+        """Misses admitted but still waiting for an execution slot."""
+        return max(0, self._admitted - self._executing)
+
+    def status_dict(self) -> dict:
+        """``GET /v1/status`` body (cheap, synchronous)."""
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started_at,
+            "concurrency": self.config.concurrency,
+            "queue_limit": self.config.queue_limit,
+            "queue_depth": self.queue_depth,
+            "executing": self._executing,
+            "in_flight": len(self._inflight),
+            "cache": self.config.cache,
+        }
+
+    def metrics_dict(self) -> dict:
+        """``GET /v1/metrics`` body (counters + latency percentiles)."""
+        data = self.metrics.to_dict()
+        data["queue_depth"] = self.queue_depth
+        data["executing"] = self._executing
+        data["in_flight"] = len(self._inflight)
+        data["uptime_s"] = time.monotonic() - self._started_at
+        return data
+
+    # -- internals ------------------------------------------------------
+
+    def _probe_memo(self, request: SimRequest):
+        from repro.core.sweep import lookup_memo
+
+        return lookup_memo(*request.to_run_payload())
+
+    def _probe_store(self, request: SimRequest):
+        from repro.core.sweep import lookup_cached
+
+        return lookup_cached(*request.to_run_payload())
+
+    def _timeout_for(self, request: SimRequest) -> float | None:
+        if request.timeout_s is not None:
+            return request.timeout_s
+        return self.config.default_timeout_s
+
+    async def _execute(self, request: SimRequest) -> SimResponse:
+        timeout_s = self._timeout_for(request)
+        async with self._semaphore:
+            self._executing += 1
+            try:
+                loop = asyncio.get_running_loop()
+                call = loop.run_in_executor(
+                    None, self._runner, request, timeout_s
+                )
+                if timeout_s is not None:
+                    # Backstop only: the supervised child enforces the
+                    # real deadline by killing the process.
+                    call = asyncio.wait_for(
+                        call, timeout_s + _DEADLINE_GRACE_S
+                    )
+                result = await call
+            except (WorkerTimeoutError, asyncio.TimeoutError) as error:
+                self.metrics.timeouts += 1
+                message = (
+                    str(error)
+                    or f"request exceeded its {timeout_s:g}s deadline"
+                )
+                return SimResponse(
+                    status="timeout", request=request, error=message
+                )
+            except (WorkerCrashError, PayloadError, Exception) as error:
+                self.metrics.errors += 1
+                return SimResponse(
+                    status="error",
+                    request=request,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            finally:
+                self._executing -= 1
+            if self.config.cache and request.cacheable:
+                from repro.core.sweep import seed_memo
+
+                kind, kwargs = request.to_run_payload()
+                seed_memo(kind, kwargs, result)
+            return SimResponse(status="ok", request=request,
+                               result=result)

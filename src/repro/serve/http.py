@@ -1,0 +1,196 @@
+"""Stdlib HTTP front end for the broker: JSON in, JSON out.
+
+No third-party server: a ``ThreadingHTTPServer`` accepts connections
+and each handler thread bridges into the broker's private asyncio loop
+with :func:`asyncio.run_coroutine_threadsafe`, so all admission-control
+state stays single-threaded inside the loop.
+
+Endpoints (see docs/api.md for request/response schemas):
+
+- ``POST /v1/simulate`` — body is :meth:`SimRequest.to_dict` JSON.
+  ``200`` ok, ``400`` malformed/invalid request, ``429`` queue full
+  (with ``Retry-After``), ``504`` per-request deadline, ``500`` worker
+  crash or payload error. Every non-400 body is
+  :meth:`SimResponse.to_dict` JSON.
+- ``GET /v1/status`` — liveness + queue depth.
+- ``GET /v1/metrics`` — counters, hit rate, p50/p90/p99 latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api import SimRequest
+from repro.serve.broker import Broker, BrokerConfig, SimResponse
+
+_STATUS_CODES = {
+    "ok": 200,
+    "rejected": 429,
+    "timeout": 504,
+    "error": 500,
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP exchange; the owning server carries broker + loop."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, code: int, body: dict,
+                   headers: dict | None = None) -> None:
+        payload = json.dumps(body).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _not_found(self) -> None:
+        self._send_json(
+            404,
+            {
+                "status": "error",
+                "error": f"unknown path {self.path!r}; known: "
+                "POST /v1/simulate, GET /v1/status, GET /v1/metrics",
+            },
+        )
+
+    # -- endpoints ------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/v1/status":
+            self._send_json(200, self.server.broker.status_dict())
+        elif self.path == "/v1/metrics":
+            self._send_json(200, self.server.broker.metrics_dict())
+        else:
+            self._not_found()
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/v1/simulate":
+            self._not_found()
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = SimRequest.from_json(
+                self.rfile.read(length).decode()
+            )
+        except (ValueError, TypeError, UnicodeDecodeError) as error:
+            self._send_json(
+                400, {"status": "error", "error": str(error)}
+            )
+            return
+        response: SimResponse = asyncio.run_coroutine_threadsafe(
+            self.server.broker.submit(request), self.server.loop
+        ).result()
+        headers = {}
+        if response.retry_after_s is not None:
+            headers["Retry-After"] = f"{response.retry_after_s:g}"
+        self._send_json(
+            _STATUS_CODES.get(response.status, 500),
+            response.to_dict(),
+            headers,
+        )
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    broker: Broker
+    loop: asyncio.AbstractEventLoop
+    verbose: bool = False
+
+
+class BrokerServer:
+    """A broker plus its event loop plus a threaded HTTP server.
+
+    Owns one daemon thread running the asyncio loop (all broker state
+    lives there) and one ``ThreadingHTTPServer``. ``port=0`` binds an
+    ephemeral port (tests); :attr:`address` reports the bound
+    ``host:port``. Usable as a context manager::
+
+        with BrokerServer(port=0) as server:
+            urllib.request.urlopen(f"http://{server.address}/v1/status")
+    """
+
+    def __init__(
+        self,
+        config: BrokerConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8053,
+        runner=None,
+        verbose: bool = False,
+    ) -> None:
+        self._config = config or BrokerConfig()
+        self._runner = runner
+        self.loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self.loop.run_forever,
+            name="repro-serve-loop",
+            daemon=True,
+        )
+        self._loop_thread.start()
+        # The broker's futures/semaphore must be created on its loop.
+        self.broker: Broker = asyncio.run_coroutine_threadsafe(
+            self._make_broker(), self.loop
+        ).result()
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.broker = self.broker
+        self._httpd.loop = self.loop
+        self._httpd.verbose = verbose
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._stopped = False
+
+    async def _make_broker(self) -> Broker:
+        return Broker(self._config, runner=self._runner)
+
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "BrokerServer":
+        """Begin accepting connections (returns immediately)."""
+        self._http_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the HTTP server and the broker loop."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._loop_thread.join(timeout=5.0)
+        self.loop.close()
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def run(self) -> None:
+        """Serve until interrupted (the ``repro serve`` CLI loop)."""
+        try:
+            self.start()
+            self._http_thread.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()

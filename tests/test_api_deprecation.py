@@ -1,0 +1,129 @@
+"""Legacy entrypoints: still importable, warn once, byte-identical.
+
+``run_training`` / ``run_inference`` / ``cached_run_training`` /
+``cached_run_inference`` survive as thin shims over :mod:`repro.api`.
+The contract pinned here: importable from ``repro`` (and their original
+modules), exactly one ``DeprecationWarning`` per process per name, and
+results field-by-field identical to the ``submit`` path.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.api import SimRequest, submit
+from tests.conftest import assert_run_results_equal
+
+KWARGS = dict(
+    model="gpt3-13b",
+    cluster="mi250x32",
+    parallelism="TP4-PP2",
+    global_batch_size=8,
+)
+
+REQUEST = SimRequest(kind="training", **KWARGS)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    """Each test observes the warn-once behaviour from a clean slate."""
+    import repro.core.sweep as sweep_mod
+
+    sweep_mod._CACHE.clear()
+    api._reset_deprecation_warnings()
+    yield
+    sweep_mod._CACHE.clear()
+    api._reset_deprecation_warnings()
+
+
+def _resolve(name):
+    return getattr(repro, name)
+
+
+class TestImportable:
+    @pytest.mark.parametrize("name", [
+        "run_training",
+        "run_inference",
+        "cached_run_training",
+        "cached_run_inference",
+    ])
+    def test_importable_from_repro(self, name):
+        assert callable(_resolve(name))
+        assert name in repro.__all__
+
+    def test_original_modules_still_export(self):
+        from repro.core.experiment import run_inference, run_training
+        from repro.core.sweep import (
+            cached_run_inference,
+            cached_run_training,
+        )
+
+        assert callable(run_training) and callable(run_inference)
+        assert callable(cached_run_training)
+        assert callable(cached_run_inference)
+
+
+class TestWarnOnce:
+    def test_warns_on_first_call_only(self):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            repro.run_training(**KWARGS)
+            repro.run_training(**KWARGS)
+        messages = [w for w in seen
+                    if issubclass(w.category, DeprecationWarning)]
+        assert len(messages) == 1
+        assert "repro.api.submit" in str(messages[0].message)
+
+    def test_each_name_warns_independently(self):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            repro.run_training(**KWARGS)
+            repro.cached_run_training(**KWARGS)
+        names = sorted(
+            str(w.message).split("(")[0]
+            for w in seen
+            if issubclass(w.category, DeprecationWarning)
+        )
+        assert len(names) == 2
+        assert names[0] != names[1]
+
+    def test_mentions_replacement(self):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            repro.run_inference(**KWARGS)
+        assert any("SimRequest" in str(w.message) for w in seen)
+
+
+class TestShimEquivalence:
+    def test_run_training_matches_submit(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = repro.run_training(**KWARGS)
+        assert_run_results_equal(legacy, submit(REQUEST, cache=False))
+
+    def test_run_inference_matches_submit(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = repro.run_inference(**KWARGS)
+        request = SimRequest(kind="inference", **KWARGS)
+        assert_run_results_equal(legacy, submit(request, cache=False))
+
+    def test_cached_shims_share_the_submit_cache(self):
+        # The shim and submit() address one cache: priming via the API
+        # makes the legacy call (same payload kwargs) a memo hit.
+        _, payload_kwargs = REQUEST.to_run_payload()
+        primed = submit(REQUEST)  # populates memo + store
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = repro.cached_run_training(**payload_kwargs)
+        assert legacy is primed
+
+    def test_cached_inference_matches(self):
+        request = SimRequest(kind="inference", **KWARGS)
+        _, payload_kwargs = request.to_run_payload()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = repro.cached_run_inference(**payload_kwargs)
+        assert legacy is submit(request)

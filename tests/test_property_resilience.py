@@ -25,9 +25,12 @@ def recovery_scenario(draw):
     """A random (config, profile, num_nodes) triple."""
     total = draw(st.integers(min_value=1, max_value=80))
     interval = draw(st.integers(min_value=1, max_value=20))
+    step_time_s = draw(st.sampled_from((0.2, 1.0, 3.5)))
+    num_nodes = draw(st.integers(min_value=1, max_value=16))
     # Either an explicit fault schedule or a seeded MTBF process. The
-    # MTBF floor keeps the fault rate well below the iteration rate so
-    # the walk always converges.
+    # MTBF floor keeps the expected fault count per checkpoint window
+    # (cluster fault rate x the fault-free run a rollback policy needs
+    # to make progress) at or below one, so every policy converges.
     if draw(st.booleans()):
         faults = draw(
             st.lists(
@@ -39,7 +42,11 @@ def recovery_scenario(draw):
         mtbf_s = 0.0
     else:
         faults = []
-        mtbf_s = draw(st.floats(min_value=50.0, max_value=5000.0))
+        window_s = interval * step_time_s + 2.0  # + worst ckpt write
+        mtbf_s = draw(
+            st.floats(min_value=max(50.0, num_nodes * window_s),
+                      max_value=5000.0)
+        )
     config = RecoveryConfig(
         policy=draw(st.sampled_from(POLICIES)),
         total_iterations=total,
@@ -54,7 +61,6 @@ def recovery_scenario(draw):
         fault_times_s=tuple(faults),
         seed=draw(st.integers(min_value=0, max_value=100)),
     )
-    step_time_s = draw(st.sampled_from((0.2, 1.0, 3.5)))
     profile = JobProfile(
         step_time_s=step_time_s,
         power_w=draw(st.sampled_from((500.0, 40_000.0))),
@@ -67,7 +73,6 @@ def recovery_scenario(draw):
         * draw(st.sampled_from((1.05, 1.5, 2.5))),
         shrunk_power_w=3000.0,
     )
-    num_nodes = draw(st.integers(min_value=1, max_value=16))
     return config, profile, num_nodes
 
 

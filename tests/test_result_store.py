@@ -68,13 +68,13 @@ def _kwargs(**overrides) -> dict:
 def counted_runs(monkeypatch):
     """Count actual simulations behind cached_run_training."""
     calls = []
-    real = sweep_mod.run_training
+    real = sweep_mod.execute_training
 
     def counting(**kwargs):
         calls.append(1)
         return real(**kwargs)
 
-    monkeypatch.setattr(sweep_mod, "run_training", counting)
+    monkeypatch.setattr(sweep_mod, "execute_training", counting)
     clear_cache()
     return calls
 
