@@ -11,9 +11,9 @@ H200 cluster whose rear GPUs throttle.
 from paper import print_table
 
 from repro.hardware.cluster import H200_X32
-from repro.inference.serving import ServingConfig, compare_routers
+from repro.inferserve import StaticRouterConfig, compare_routers
 
-CONFIG = ServingConfig(
+CONFIG = StaticRouterConfig(
     num_replicas=8,
     base_service_s=0.8,
     arrival_rate_per_s=8.5,

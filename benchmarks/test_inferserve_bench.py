@@ -1,0 +1,93 @@
+"""Serving-simulator benchmark: throughput of one diurnal deployment.
+
+Simulates a 30-minute compressed-diurnal llama3-70b deployment on
+h100x64 (continuous batching, 4 replicas) and times it, then times the
+energy-setpoint search over the same deployment to capture the memoised
+multi-probe cost. Asserts the single simulation stays under
+``REPRO_INFERSERVE_MAX_SECONDS`` (default 5 s — the event-driven
+batcher clears it by an order of magnitude) and that the simulated
+request rate holds.
+
+Writes ``BENCH_inferserve.json`` at the repo root so serving-simulator
+performance is tracked from PR to PR (CI uploads it as an artifact).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.inferserve import (
+    BatcherConfig,
+    ServingConfig,
+    ServingSearchSettings,
+    SloConfig,
+    TraceConfig,
+    execute_serving,
+    search_serving_setpoint,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_inferserve.json"
+
+CONFIG = ServingConfig(
+    trace=TraceConfig(
+        kind="diurnal",
+        duration_s=1800.0,
+        mean_rate_per_s=3.0,
+        seed=7,
+        diurnal_period_s=1800.0,
+    ),
+    replicas=4,
+    batcher=BatcherConfig(gpus_per_replica=4, max_batch_requests=32),
+    slo=SloConfig(ttft_p99_s=1.0),
+)
+
+
+def test_inferserve_simulation_throughput(monkeypatch, tmp_path):
+    # The benchmark owns its store: conftest here does not isolate it.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serve_cache"))
+    import repro.core.sweep as sweep_mod
+
+    sweep_mod._CACHE.clear()
+    budget_s = float(
+        os.environ.get("REPRO_INFERSERVE_MAX_SECONDS", "5.0")
+    )
+
+    start = time.perf_counter()
+    outcome = execute_serving("llama3-70b", "h100x64", CONFIG)
+    sim_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    search = search_serving_setpoint(
+        "llama3-70b", "h100x64", CONFIG,
+        ServingSearchSettings(lo=0.6, hi=1.0),
+    )
+    search_s = time.perf_counter() - start
+
+    metrics = outcome.metrics()
+    payload = {
+        "benchmark": "inferserve_diurnal_simulation",
+        "unit": "seconds per 30-minute-trace simulation",
+        "arrived": metrics.arrived,
+        "completed": metrics.completed,
+        "goodput_per_s": round(metrics.goodput_per_s, 3),
+        "ttft_p99_s": round(metrics.ttft_p99_s, 4),
+        "energy_per_token_j": round(metrics.energy_per_token_j, 4),
+        "simulate_s": round(sim_s, 4),
+        "requests_per_wall_s": round(metrics.arrived / sim_s, 1),
+        "search_probes": len(search.probes),
+        "search_s": round(search_s, 4),
+        "search_best_setpoint": search.best.setpoint,
+        "search_energy_saving": round(
+            search.energy_saving_fraction, 4
+        ),
+        "threshold_s": budget_s,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert metrics.arrived > 4000  # ~3 req/s x 1800 s
+    assert metrics.completed + metrics.rejected == metrics.arrived
+    assert sim_s <= budget_s, (
+        f"serving simulation took {sim_s:.2f}s "
+        f"(budget {budget_s}s): {payload}"
+    )

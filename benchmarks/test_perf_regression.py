@@ -94,3 +94,44 @@ def test_simulation_hot_path_speedup():
         f"hot-path speedup regressed: {speedup:.2f}x < {threshold:.2f}x "
         f"(details in {BENCH_PATH.name})"
     )
+
+
+def test_sweep_inference_memoises_grid():
+    """The Figure 23 sweep must not recompute per-point work.
+
+    A duplicated strategy/microbatch grid simulates each distinct point
+    once, and a warm repeat of the whole sweep is served entirely from
+    the in-process memo (identical result objects, no new simulations).
+    """
+    from repro.core.sweep import clear_cache, lookup_memo
+    from repro.inference.engine import sweep_inference
+
+    kwargs = dict(
+        model="gpt3-13b",
+        cluster="mi250x32",
+        strategies=["TP2-PP2-DP4", "TP2-PP2-DP4", "TP4-PP2-DP2"],
+        microbatch_sizes=[1, 1, 2],
+        global_batch_size=16,
+    )
+    with persistence_disabled():
+        clear_cache()
+        cold = sweep_inference(**kwargs)
+        assert len(cold) == 9  # grid order, duplicates included
+        # Duplicate grid cells share one simulation (same object).
+        assert cold[0].result is cold[1].result
+        assert cold[0].result is cold[3].result
+        # Every distinct point is memo-resident after the sweep.
+        for point in cold:
+            assert lookup_memo(
+                "infer",
+                dict(
+                    model="gpt3-13b",
+                    cluster="mi250x32",
+                    parallelism=point.parallelism,
+                    microbatch_size=point.microbatch_size,
+                    global_batch_size=16,
+                ),
+            ) is point.result
+        warm = sweep_inference(**kwargs)
+        for cold_point, warm_point in zip(cold, warm):
+            assert warm_point.result is cold_point.result

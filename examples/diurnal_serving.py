@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diurnal LLM serving: autoscaling vs static provisioning.
+
+One compressed 24-hour diurnal cycle (1M daily users' traffic squeezed
+into a 30-minute simulation, 2:1 peak-to-trough) serves llama3-70b on
+the H100 cluster twice: statically provisioned for the peak, and with
+the reactive queue-depth autoscaler starting from the trough's three
+replicas. The autoscaler tracks the wave — fewer replica-seconds,
+better energy per token — while both deployments hold the p99 TTFT
+SLO. Renders the serving timeline figure for the autoscaled run.
+
+Run:
+    python examples/diurnal_serving.py
+"""
+
+from repro.inferserve import (
+    AutoscaleConfig,
+    BatcherConfig,
+    ServingConfig,
+    SloConfig,
+    TraceConfig,
+    execute_serving,
+    rate_from_daily_users,
+)
+from repro.viz.figures import serving_timeline_figure
+
+MODEL = "llama3-70b"
+CLUSTER = "h100x64"
+
+#: 1M users/day sends ~11.6 req/s on average; the day is compressed
+#: into 30 simulated minutes so the example finishes in seconds.
+TRACE = TraceConfig(
+    kind="diurnal",
+    duration_s=1800.0,
+    mean_rate_per_s=rate_from_daily_users(1_000_000),
+    diurnal_period_s=1800.0,
+    diurnal_amplitude=0.5,
+    seed=42,
+)
+
+BATCHER = BatcherConfig(gpus_per_replica=4, max_batch_requests=32)
+SLO = SloConfig(ttft_p99_s=1.0, tpot_p99_s=0.2)
+
+
+def main() -> None:
+    static = execute_serving(
+        MODEL, CLUSTER,
+        ServingConfig(trace=TRACE, batcher=BATCHER, slo=SLO,
+                      replicas=8),
+    )
+    # The day is compressed 48x, so the scaler's clock compresses too:
+    # a 5 s evaluation interval and 10 s provisioning delay here stand
+    # in for ~4-minute reactions against a real 24-hour cycle.
+    autoscaled = execute_serving(
+        MODEL, CLUSTER,
+        ServingConfig(
+            trace=TRACE, batcher=BATCHER, slo=SLO, replicas=3,
+            autoscale=AutoscaleConfig(
+                enabled=True, min_replicas=3, max_replicas=8,
+                interval_s=5.0, queue_high=0.5, queue_low=0.05,
+                scaleup_delay_s=10.0,
+            ),
+        ),
+    )
+
+    print(f"{'deployment':<12} {'goodput':>8} {'attain':>7} "
+          f"{'ttft p99':>9} {'J/token':>8} {'replica-s':>10}")
+    for name, outcome in (("static", static),
+                          ("autoscaled", autoscaled)):
+        m = outcome.metrics()
+        print(
+            f"{name:<12} {m.goodput_per_s:>7.2f}/s "
+            f"{m.slo_attainment:>6.1%} {m.ttft_p99_s:>8.3f}s "
+            f"{m.energy_per_token_j:>8.3f} "
+            f"{m.active_replica_seconds:>10.0f}"
+        )
+
+    s, a = static.metrics(), autoscaled.metrics()
+    saved = 1.0 - a.energy_per_token_j / s.energy_per_token_j
+    idle_cut = 1.0 - a.active_replica_seconds / s.active_replica_seconds
+    ups = sum(1 for e in autoscaled.scale_events if e.direction > 0)
+    downs = len(autoscaled.scale_events) - ups
+    print(
+        f"\nautoscaling rode the diurnal wave with {ups} scale-ups / "
+        f"{downs} scale-downs,\ncutting provisioned replica-seconds by "
+        f"{idle_cut:.0%} and energy per token by {saved:.0%}\n"
+        f"while holding the {SLO.ttft_p99_s:g}s p99 TTFT SLO."
+    )
+
+    serving_timeline_figure(
+        autoscaled,
+        title="Diurnal serving — autoscaled llama3-70b on h100x64",
+        path="diurnal_serving.svg",
+    )
+    print("\nwrote diurnal_serving.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,11 +12,11 @@ Run:
 """
 
 from repro.hardware.cluster import H200_X32
-from repro.inference.serving import ServingConfig, compare_routers
+from repro.inferserve import StaticRouterConfig, compare_routers
 
 
 def main() -> None:
-    config = ServingConfig(
+    config = StaticRouterConfig(
         num_replicas=8,          # one replica per half-node
         base_service_s=0.8,      # batch service time at boost clock
         arrival_rate_per_s=8.5,  # offered load near saturation

@@ -2,7 +2,7 @@
 distributed LLM training (Go et al., MICRO 2025) on a simulated testbed.
 
 The stable public API is :mod:`repro.api` — one typed request schema
-covering training, inference, and fleet simulation::
+covering training, inference, serving, and fleet simulation::
 
     from repro import SimRequest, submit, OptimizationConfig
 
@@ -53,6 +53,13 @@ from repro.hardware.cluster import (
     get_cluster,
     one_gpu_per_node,
 )
+from repro.inferserve import (
+    ServingConfig,
+    ServingOutcome,
+    TraceConfig,
+    execute_serving,
+    search_serving_setpoint,
+)
 from repro.models.catalog import TABLE1_MODELS, get_model, model_names
 from repro.models.config import ModelConfig, MoEConfig
 from repro.parallelism.enumerate import (
@@ -90,11 +97,15 @@ __all__ = [
     "OptimizationConfig",
     "ParallelismConfig",
     "RunResult",
+    "ServingConfig",
+    "ServingOutcome",
     "SimRequest",
     "SweepPoint",
+    "TraceConfig",
     "cached_run_inference",
     "cached_run_training",
     "cluster_names",
+    "execute_serving",
     "get_cluster",
     "get_model",
     "minimal_model_parallel",
@@ -105,6 +116,7 @@ __all__ = [
     "run_inference",
     "run_sweep",
     "run_training",
+    "search_serving_setpoint",
     "submit",
     "submit_many",
     "valid_configs",

@@ -58,10 +58,14 @@ from repro.suggest import normalize_name, unknown_name_message
 __all__ = ["KINDS", "SimRequest", "submit", "submit_many"]
 
 #: Request kinds the schema covers. A sweep is ``submit_many`` over a
-#: grid of ``training``/``inference`` requests.
-KINDS = ("training", "inference", "fleet")
+#: grid of ``training``/``inference``/``serving`` requests.
+KINDS = ("training", "inference", "fleet", "serving")
 
-_KIND_ALIASES = {"train": "training", "infer": "inference"}
+_KIND_ALIASES = {
+    "train": "training",
+    "infer": "inference",
+    "serve": "serving",
+}
 
 #: Keys accepted in :attr:`SimRequest.fleet` (mirroring the
 #: ``repro fleet`` CLI surface; see :meth:`SimRequest.to_fleet_config`).
@@ -105,9 +109,12 @@ class SimRequest:
     did-you-mean diagnostics.
 
     Attributes:
-        kind: ``"training"`` (default), ``"inference"``, or ``"fleet"``.
+        kind: ``"training"`` (default), ``"inference"``, ``"fleet"``,
+            or ``"serving"``.
         model / cluster / parallelism: catalog names + paper-style
             strategy string (``"TP2-PP16"``); required unless fleet.
+            Serving requests take model + cluster but no parallelism
+            (replica width comes from the serving parameters).
         optimizations: optimization toggles (training only; ignored for
             inference, which always runs the forward-only profile).
         microbatch_size / global_batch_size / iterations /
@@ -122,6 +129,11 @@ class SimRequest:
             broker (the synchronous :func:`submit` ignores it).
         fleet: fleet-job parameters (keys from :data:`FLEET_KEYS`);
             only valid — and only meaningful — when ``kind="fleet"``.
+        serving: serving-deployment parameters (the
+            :meth:`repro.inferserve.ServingConfig.to_dict` schema, or a
+            ``ServingConfig`` itself); only valid when
+            ``kind="serving"``. Normalised to the canonical full dict
+            at construction so equivalent spellings share one digest.
     """
 
     kind: str = "training"
@@ -146,6 +158,7 @@ class SimRequest:
     fault_severity: float | None = None
     timeout_s: float | None = None
     fleet: dict | None = None
+    serving: Any = None
 
     # -- validation -----------------------------------------------------
 
@@ -155,6 +168,9 @@ class SimRequest:
         if kind not in KINDS:
             raise ValueError(unknown_name_message("request kind", self.kind, KINDS))
         object.__setattr__(self, "kind", kind)
+        if kind != "serving":
+            _require(self.serving is None,
+                     "serving parameters require kind='serving'")
         if kind == "fleet":
             _require(
                 not (self.model or self.cluster or self.parallelism),
@@ -163,6 +179,10 @@ class SimRequest:
                 "inference requests",
             )
             self._validate_fleet()
+        elif kind == "serving":
+            _require(self.fleet is None,
+                     "fleet parameters require kind='fleet'")
+            self._validate_serving()
         else:
             _require(self.fleet is None,
                      "fleet parameters require kind='fleet'")
@@ -208,6 +228,57 @@ class SimRequest:
                     )
                     + f" (cluster {self.cluster!r} has {num_nodes} nodes)"
                 )
+
+    def _validate_serving(self) -> None:
+        from repro.inferserve.config import ServingConfig
+
+        _require(bool(self.model), "serving requests require a model")
+        _require(bool(self.cluster),
+                 "serving requests require a cluster")
+        _require(not self.parallelism,
+                 "serving requests take no parallelism strategy; "
+                 "replica width is serving={'batcher': "
+                 "{'gpus_per_replica': ...}}")
+        try:
+            get_model(self.model)
+        except KeyError as error:
+            raise ValueError(error.args[0]) from None
+        try:
+            get_cluster(self.cluster)
+        except KeyError as error:
+            raise ValueError(error.args[0]) from None
+        _require(self.governor == "none" and self.power_limit_w is None,
+                 "serving power management is freq_setpoint only; "
+                 "governors and power caps apply to training and "
+                 "inference requests")
+        _require(self.fault_node is None and self.fault_time is None,
+                 "fault injection applies to training and inference "
+                 "requests")
+        payload = self.serving
+        if payload is None:
+            payload = {}
+        if isinstance(payload, ServingConfig):
+            config = payload
+        elif isinstance(payload, Mapping):
+            try:
+                config = ServingConfig.from_dict(payload)
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"serving: {error}") from None
+        else:
+            raise ValueError(
+                "serving parameters must be a mapping or a "
+                "ServingConfig"
+            )
+        if self.freq_setpoint != 1.0:
+            _require(
+                config.freq_setpoint in (1.0, self.freq_setpoint),
+                "freq_setpoint given twice (request field and "
+                "serving['freq_setpoint']) with different values",
+            )
+            config = dataclasses.replace(
+                config, freq_setpoint=self.freq_setpoint
+            )
+        object.__setattr__(self, "serving", config.to_dict())
 
     def _validate_fleet(self) -> None:
         if self.fleet is None:
@@ -284,14 +355,24 @@ class SimRequest:
     @property
     def cacheable(self) -> bool:
         """Whether results land in the content-addressed store
-        (training and inference runs; fleet outcomes do not)."""
-        return self.kind in ("training", "inference")
+        (training, inference, and serving runs; fleet outcomes do
+        not)."""
+        return self.kind in ("training", "inference", "serving")
 
     @property
     def label(self) -> str:
         """Compact human-readable identity for logs and progress."""
         if self.kind == "fleet":
             return f"fleet|{(self.fleet or {}).get('policy', 'packed')}"
+        if self.kind == "serving":
+            params = self.serving or {}
+            batcher = params.get("batcher") or {}
+            return (
+                f"serving|{self.model}|{self.cluster}"
+                f"|r{params.get('replicas', 2)}"
+                f"x{batcher.get('gpus_per_replica', 4)}"
+                f"|{batcher.get('scheduler', 'continuous')}"
+            )
         return (
             f"{self.kind}|{self.model}|{self.cluster}|{self.parallelism}"
             f"|mb{self.microbatch_size}|{self.optimizations.label}"
@@ -355,6 +436,17 @@ class SimRequest:
         """
         _require(self.cacheable,
                  f"{self.kind} requests have no run payload")
+        if self.kind == "serving":
+            from repro.inferserve.config import ServingConfig
+
+            return (
+                "serve",
+                dict(
+                    model=self.model,
+                    cluster=self.cluster,
+                    config=ServingConfig.from_dict(self.serving or {}),
+                ),
+            )
         kwargs: dict = dict(
             model=self.model,
             cluster=self.cluster,
@@ -432,7 +524,7 @@ class SimRequest:
             value = getattr(self, spec.name)
             if spec.name == "optimizations":
                 value = dataclasses.asdict(value)
-            elif spec.name == "fleet" and value is not None:
+            elif spec.name in ("fleet", "serving") and value is not None:
                 value = dict(value)
             data[spec.name] = value
         return data
@@ -493,8 +585,9 @@ class SimRequest:
 def submit(request: SimRequest, *, cache: bool = True):
     """Execute one request synchronously and return its result.
 
-    Training/inference requests return a :class:`RunResult`; fleet
-    requests return a :class:`repro.datacenter.FleetOutcome`. With
+    Training/inference requests return a :class:`RunResult`; serving
+    requests a :class:`repro.inferserve.ServingOutcome`; fleet
+    requests a :class:`repro.datacenter.FleetOutcome`. With
     ``cache=True`` (default) runs go through the memo + persistent
     store; ``cache=False`` forces a fresh simulation (results are
     deterministic either way).
@@ -512,6 +605,10 @@ def submit(request: SimRequest, *, cache: bool = True):
         from repro.core.sweep import cached_run
 
         return cached_run(kind, **kwargs)
+    if kind == "serve":
+        from repro.inferserve.engine import execute_serving
+
+        return execute_serving(**kwargs)
     runner = execute_training if kind == "train" else execute_inference
     return runner(**kwargs)
 
@@ -583,6 +680,15 @@ _LEGACY_REPLACEMENTS = {
     "run_inference": "repro.api.submit(SimRequest(kind='inference', ...))",
     "cached_run_training": "repro.api.submit (cached by default)",
     "cached_run_inference": "repro.api.submit (cached by default)",
+    "inference.serving.ROUTERS": "repro.inferserve.ROUTERS",
+    "inference.serving.ServingConfig":
+        "repro.inferserve.StaticRouterConfig",
+    "inference.serving.ServingOutcome":
+        "repro.inferserve.RouterOutcome",
+    "inference.serving.compare_routers":
+        "repro.inferserve.compare_routers",
+    "inference.serving.simulate_serving":
+        "repro.inferserve.simulate_static_routing",
 }
 
 _warned: set[str] = set()

@@ -25,6 +25,11 @@ Usage::
         --parallelism TP4-PP2 --policy elastic --mtbf-s 3600
     python -m repro resilience sweep --model gpt3-13b --cluster h100x64 \\
         --parallelism TP4-PP2 --mtbf-s 1800 3600 7200 --output results/res
+    python -m repro inferserve run --model llama3-70b --cluster h100x64 \\
+        --trace diurnal --daily-users 2e6 --replicas 8 --autoscale \\
+        --output results/serving
+    python -m repro inferserve sweep --model llama3-70b --cluster h100x64 \\
+        --setpoint 0.6 0.8 1.0 --search --jobs 3
     python -m repro serve --port 8053 --concurrency 2
     python -m repro cache stats
     python -m repro cache clear
@@ -675,6 +680,211 @@ def cmd_powerctl_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_dict_from(args: argparse.Namespace) -> dict:
+    """The ``SimRequest.serving`` payload the inferserve flags describe."""
+    from repro.inferserve import rate_from_daily_users
+
+    rate = args.rate
+    if args.daily_users is not None:
+        rate = rate_from_daily_users(args.daily_users)
+    trace = dict(
+        kind=args.trace,
+        duration_s=args.duration_s,
+        mean_rate_per_s=rate,
+        seed=args.seed,
+        prompt_tokens_mean=args.prompt_tokens,
+        decode_tokens_mean=args.decode_tokens,
+    )
+    if args.diurnal_period_s is not None:
+        trace["diurnal_period_s"] = args.diurnal_period_s
+    batcher = dict(
+        scheduler=args.scheduler,
+        gpus_per_replica=args.gpus_per_replica,
+        max_batch_requests=args.max_batch,
+        disaggregated=args.disaggregated,
+    )
+    serving: dict = dict(
+        trace=trace,
+        batcher=batcher,
+        slo=dict(ttft_p99_s=args.slo_ttft, tpot_p99_s=args.slo_tpot),
+        replicas=args.replicas,
+    )
+    if args.autoscale:
+        serving["autoscale"] = dict(
+            enabled=True,
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+        )
+    return serving
+
+
+def _serving_metrics_dict(outcome) -> dict:
+    return asdict(outcome.metrics())
+
+
+def _print_serving_outcome(outcome) -> None:
+    metrics = outcome.metrics()
+    print(
+        f"requests      : {metrics.arrived} arrived, "
+        f"{metrics.completed} completed, {metrics.rejected} rejected, "
+        f"{metrics.preemptions} preemption(s)"
+    )
+    print(
+        f"goodput       : {metrics.goodput_per_s:.2f} req/s within SLO "
+        f"({100 * metrics.slo_attainment:.1f}% attainment)"
+    )
+    print(
+        f"latency       : TTFT p50 {metrics.ttft_p50_s:.3f} s / "
+        f"p99 {metrics.ttft_p99_s:.3f} s, TPOT p99 "
+        f"{metrics.tpot_p99_s * 1e3:.1f} ms, E2E p99 "
+        f"{metrics.e2e_p99_s:.2f} s"
+    )
+    print(
+        f"energy        : {metrics.energy_j:,.0f} J total, "
+        f"{metrics.energy_per_token_j:.3f} J/token, "
+        f"mean {metrics.mean_power_w / 1e3:.2f} kW"
+    )
+    print(
+        f"replicas      : {len(outcome.replicas)} used, "
+        f"{len(outcome.scale_events)} scale event(s), "
+        f"{metrics.active_replica_seconds:,.0f} replica-seconds"
+    )
+
+
+def _write_serving_artifacts(outcome, output: str) -> dict:
+    from repro.telemetry.export import (
+        write_serving_requests_csv,
+        write_serving_timeline_csv,
+    )
+    from repro.viz.figures import serving_timeline_figure
+
+    directory = Path(output)
+    paths = {
+        "requests_csv": str(
+            write_serving_requests_csv(
+                outcome, directory / "serving_requests.csv"
+            )
+        ),
+        "timeline_csv": str(
+            write_serving_timeline_csv(
+                outcome, directory / "serving_timeline.csv"
+            )
+        ),
+        "figure": str(directory / "serving.svg"),
+    }
+    serving_timeline_figure(outcome, path=directory / "serving.svg")
+    return paths
+
+
+def cmd_inferserve_run(args: argparse.Namespace) -> int:
+    """Simulate one serving deployment and print its headline metrics."""
+    request = SimRequest(
+        kind="serving",
+        model=args.model,
+        cluster=args.cluster,
+        freq_setpoint=args.freq_setpoint,
+        serving=_serving_dict_from(args),
+    )
+    outcome = submit(request)
+    artifacts = {}
+    if args.output:
+        artifacts = _write_serving_artifacts(outcome, args.output)
+    if getattr(args, "as_json", False):
+        payload = _serving_metrics_dict(outcome)
+        payload["digest"] = request.digest()
+        payload.update(artifacts)
+        _emit_json(payload)
+        return 0
+    print(f"deployment    : {request.label}")
+    _print_serving_outcome(outcome)
+    for name, path in artifacts.items():
+        print(f"{name:<14}: {path}")
+    return 0
+
+
+def cmd_inferserve_sweep(args: argparse.Namespace) -> int:
+    """Sweep DVFS setpoints (optionally refine with the golden search)."""
+    serving = _serving_dict_from(args)
+    requests = [
+        SimRequest(
+            kind="serving",
+            model=args.model,
+            cluster=args.cluster,
+            freq_setpoint=setpoint,
+            serving=serving,
+        )
+        for setpoint in args.setpoint
+    ]
+    outcomes = submit_many(requests, jobs=args.jobs)
+    rows = list(zip(args.setpoint, outcomes))
+    search_outcome = None
+    if args.search:
+        from repro.inferserve import (
+            ServingConfig,
+            ServingSearchSettings,
+            search_serving_setpoint,
+        )
+
+        settings = ServingSearchSettings(
+            lo=min(args.setpoint),
+            hi=max(args.setpoint),
+            max_ttft_regression=args.max_ttft_regression,
+        )
+        search_outcome = search_serving_setpoint(
+            args.model,
+            args.cluster,
+            ServingConfig.from_dict(serving),
+            settings=settings,
+            jobs=args.jobs,
+        )
+    if getattr(args, "as_json", False):
+        payload: dict = {
+            "rows": [
+                dict(setpoint=setpoint, **_serving_metrics_dict(outcome))
+                for setpoint, outcome in rows
+            ],
+        }
+        if search_outcome is not None:
+            payload["search"] = {
+                "best_setpoint": search_outcome.best.setpoint,
+                "energy_saving_fraction":
+                    search_outcome.energy_saving_fraction,
+                "ttft_regression_fraction":
+                    search_outcome.ttft_regression_fraction,
+                "iterations": search_outcome.iterations,
+                "probes": len(search_outcome.probes),
+            }
+        _emit_json(payload)
+        return 0
+    baseline = max(rows, key=lambda row: row[0])[1].metrics()
+    print(
+        f"{'setpoint':>8} {'goodput':>8} {'attain%':>8} {'ttft99':>8} "
+        f"{'J/token':>8} {'dE%':>7}"
+    )
+    for setpoint, outcome in rows:
+        metrics = outcome.metrics()
+        saving = (
+            100.0 * (1.0 - metrics.energy_per_token_j
+                     / baseline.energy_per_token_j)
+            if baseline.energy_per_token_j > 0 else 0.0
+        )
+        print(
+            f"{setpoint:>8.4f} {metrics.goodput_per_s:>8.2f} "
+            f"{100 * metrics.slo_attainment:>8.1f} "
+            f"{metrics.ttft_p99_s:>8.3f} "
+            f"{metrics.energy_per_token_j:>8.3f} {saving:>7.1f}"
+        )
+    if search_outcome is not None:
+        print(
+            f"best setpoint : {search_outcome.best.setpoint:.4f} "
+            f"({100 * search_outcome.energy_saving_fraction:.1f}% "
+            "energy/token saved, "
+            f"{100 * search_outcome.ttft_regression_fraction:+.1f}% "
+            "p99 TTFT)"
+        )
+    return 0
+
+
 def _recovery_config_from(args: argparse.Namespace):
     from repro.resilience.recovery import RecoveryConfig
 
@@ -1093,6 +1303,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the best run's artifact + powerctl figure here",
     )
     pc_search.set_defaults(func=cmd_powerctl_search)
+
+    inferserve = subparsers.add_parser(
+        "inferserve",
+        help="LLM serving: continuous batching, SLO goodput, and "
+             "energy-per-token under DVFS (docs/inferserve.md)",
+    )
+    is_modes = inferserve.add_subparsers(dest="mode", required=True)
+
+    def _add_serving_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--model", required=True,
+                         help="catalog model name")
+        sub.add_argument("--cluster", required=True,
+                         help="catalog cluster name")
+        sub.add_argument(
+            "--trace", default="poisson",
+            choices=("poisson", "diurnal", "bursty"),
+            help="arrival process",
+        )
+        sub.add_argument("--duration-s", type=float, default=600.0,
+                         help="simulated horizon")
+        sub.add_argument("--rate", type=float, default=1.0,
+                         help="mean request arrival rate per second")
+        sub.add_argument(
+            "--daily-users", type=float, default=None,
+            help="size the mean rate from users/day instead of --rate",
+        )
+        sub.add_argument(
+            "--diurnal-period-s", type=float, default=None,
+            help="diurnal cycle length (default: 24 h)",
+        )
+        sub.add_argument("--seed", type=int, default=0,
+                         help="trace seed")
+        sub.add_argument("--prompt-tokens", type=int, default=512,
+                         help="mean prompt length")
+        sub.add_argument("--decode-tokens", type=int, default=128,
+                         help="mean decode length")
+        sub.add_argument("--replicas", type=int, default=2,
+                         help="initial model replicas")
+        sub.add_argument("--gpus-per-replica", type=int, default=4,
+                         help="tensor-parallel width of one replica")
+        sub.add_argument("--max-batch", type=int, default=64,
+                         help="in-flight request ceiling per replica")
+        sub.add_argument(
+            "--scheduler", default="continuous",
+            choices=("continuous", "run_to_completion"),
+            help="batching discipline",
+        )
+        sub.add_argument(
+            "--disaggregated", action="store_true",
+            help="split replicas into prefill and decode pools",
+        )
+        sub.add_argument(
+            "--autoscale", action="store_true",
+            help="enable the reactive queue-depth autoscaler",
+        )
+        sub.add_argument("--min-replicas", type=int, default=1)
+        sub.add_argument("--max-replicas", type=int, default=64)
+        sub.add_argument("--slo-ttft", type=float, default=2.0,
+                         help="p99 TTFT target in seconds")
+        sub.add_argument("--slo-tpot", type=float, default=0.2,
+                         help="p99 TPOT target in seconds")
+
+    is_run = is_modes.add_parser(
+        "run", help="simulate one serving deployment",
+        parents=sim_parents,
+    )
+    _add_serving_arguments(is_run)
+    is_run.add_argument("--freq-setpoint", type=float, default=1.0,
+                        help="DVFS clock cap for every serving GPU")
+    is_run.add_argument(
+        "--output", default=None,
+        help="write request/timeline CSVs + serving figure here",
+    )
+    is_run.set_defaults(func=cmd_inferserve_run)
+
+    is_sweep = is_modes.add_parser(
+        "sweep",
+        help="sweep DVFS setpoints for energy-per-token "
+             "(--search refines with the golden-section search)",
+        parents=sim_parents,
+    )
+    _add_serving_arguments(is_sweep)
+    is_sweep.add_argument(
+        "--setpoint", type=float, nargs="+",
+        default=[0.6, 0.7, 0.8, 0.9, 1.0],
+        help="clock-ratio ceilings to evaluate",
+    )
+    is_sweep.add_argument(
+        "--search", action="store_true",
+        help="run the golden-section energy-per-token search over "
+             "the setpoint bracket",
+    )
+    is_sweep.add_argument(
+        "--max-ttft-regression", type=float, default=0.05,
+        help="admissible p99 TTFT inflation for the search",
+    )
+    is_sweep.set_defaults(func=cmd_inferserve_sweep)
 
     resilience = subparsers.add_parser(
         "resilience",

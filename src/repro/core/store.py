@@ -40,7 +40,9 @@ from repro.core.results import RunResult
 #: SimSettings grew the power_control config field.
 #: v3: SimOutcome grew fault_trace and SimSettings grew the
 #: fault_timeline / collective_timeout_s fields (repro.resilience).
-SCHEMA_VERSION = 3
+#: v4: the ``"serve"`` run kind joined the cache address space
+#: (repro.inferserve ServingConfig payloads and ServingOutcome values).
+SCHEMA_VERSION = 4
 
 DEFAULT_DIR = ".repro_cache"
 

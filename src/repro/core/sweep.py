@@ -104,7 +104,8 @@ def _cached_run(kind: str, runner: Callable[..., RunResult],
 
 
 def cached_run(kind: str, **kwargs) -> RunResult:
-    """Memoised execution of one ``"train"`` / ``"infer"`` payload.
+    """Memoised execution of one ``"train"`` / ``"infer"`` /
+    ``"serve"`` payload.
 
     The canonical cached entry point: results are served from (in
     order) the in-process memo, the persistent ``.repro_cache`` store,
@@ -118,10 +119,16 @@ def cached_run(kind: str, **kwargs) -> RunResult:
         return _cached_run(kind, execute_training, kwargs)
     if kind == "infer":
         return _cached_run(kind, execute_inference, kwargs)
+    if kind == "serve":
+        # Deferred: the serving engine imports the models/hardware
+        # layers, which in turn import this module.
+        from repro.inferserve.engine import execute_serving
+
+        return _cached_run(kind, execute_serving, kwargs)
     from repro.suggest import unknown_name_message
 
     raise ValueError(
-        unknown_name_message("run kind", kind, ("train", "infer"))
+        unknown_name_message("run kind", kind, ("train", "infer", "serve"))
     )
 
 

@@ -1,5 +1,7 @@
 """Distributed inference characterization and serving (Section 7.2)."""
 
+from typing import Any
+
 from repro.inference.engine import InferencePoint, sweep_inference
 from repro.inference.latency import (
     InferenceLatency,
@@ -8,12 +10,16 @@ from repro.inference.latency import (
     prefill_seconds,
     request_latency,
 )
-from repro.inference.serving import (
-    ROUTERS,
-    ServingConfig,
-    ServingOutcome,
-    compare_routers,
-    simulate_serving,
+
+# Serving moved to repro.inferserve; these spellings resolve lazily
+# through the repro.inference.serving deprecation shim so the one-time
+# warning fires on use, not on importing this package.
+_SERVING_SHIMS = (
+    "ROUTERS",
+    "ServingConfig",
+    "ServingOutcome",
+    "compare_routers",
+    "simulate_serving",
 )
 
 __all__ = [
@@ -30,3 +36,13 @@ __all__ = [
     "simulate_serving",
     "sweep_inference",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SERVING_SHIMS:
+        from repro.inference import serving
+
+        return getattr(serving, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

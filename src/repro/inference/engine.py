@@ -44,22 +44,59 @@ def sweep_inference(
     strategies: list[str],
     microbatch_sizes: list[int],
     global_batch_size: int = 128,
+    jobs: int = 1,
 ) -> list[InferencePoint]:
-    """Run the Figure 23 grid: strategies x microbatch sizes."""
-    points = []
-    for strategy in strategies:
-        for mb in microbatch_sizes:
-            result = cached_run(
-                "infer",
+    """Run the Figure 23 grid: strategies x microbatch sizes.
+
+    The grid is materialised up front, deduplicated (a strategy or
+    microbatch repeated in the input simulates once), and fanned out
+    over the crash-proof worker pool when ``jobs != 1`` (0 = auto).
+    Results come back in grid order either way, and every point lands
+    in the shared memo, so repeating the sweep costs dict lookups.
+    """
+    from repro.core.parallel import map_runs, resolve_jobs
+    from repro.core.sweep import cache_key, seed_memo
+
+    grid = [
+        (strategy, mb)
+        for strategy in strategies
+        for mb in microbatch_sizes
+    ]
+    payloads = [
+        (
+            "infer",
+            dict(
                 model=model,
                 cluster=cluster,
                 parallelism=strategy,
                 microbatch_size=mb,
                 global_batch_size=global_batch_size,
-            )
-            points.append(
-                InferencePoint(
-                    parallelism=strategy, microbatch_size=mb, result=result
-                )
-            )
-    return points
+            ),
+        )
+        for strategy, mb in grid
+    ]
+    distinct: dict[tuple, tuple[str, dict]] = {}
+    for payload in payloads:
+        distinct.setdefault(cache_key(*payload), payload)
+    jobs = 1 if jobs == 1 else resolve_jobs(jobs)
+    if jobs == 1 or len(distinct) == 1:
+        results = {
+            key: cached_run(kind, **kwargs)
+            for key, (kind, kwargs) in distinct.items()
+        }
+    else:
+        outputs = map_runs(list(distinct.values()), jobs)
+        results = {}
+        for (key, (kind, kwargs)), output in zip(
+            distinct.items(), outputs
+        ):
+            seed_memo(kind, kwargs, output)
+            results[key] = output
+    return [
+        InferencePoint(
+            parallelism=strategy,
+            microbatch_size=mb,
+            result=results[cache_key(*payload)],
+        )
+        for (strategy, mb), payload in zip(grid, payloads)
+    ]

@@ -1,0 +1,108 @@
+"""Reactive replica autoscaling driven by queue depth.
+
+The scaler evaluates on a fixed cadence: when pending requests per
+active replica cross ``queue_high`` it requests one more replica
+(subject to a provisioning delay — model load is not free); when the
+queue drains below ``queue_low`` it retires one. The hysteresis band
+between the thresholds prevents flapping on diurnal shoulders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.inferserve.config import AutoscaleConfig
+
+__all__ = ["Autoscaler", "ScaleEvent"]
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling decision.
+
+    Attributes:
+        time_s: when the decision took effect (scale-ups land after
+            the provisioning delay).
+        direction: ``+1`` for scale-up, ``-1`` for scale-down.
+        replicas: active replica count after the event.
+        queue_depth: pending requests observed at decision time.
+    """
+
+    time_s: float
+    direction: int
+    replicas: int
+    queue_depth: int
+
+
+class Autoscaler:
+    """Queue-depth autoscaler state machine.
+
+    Drive it from the simulation loop: :meth:`next_eval_s` says when to
+    call :meth:`evaluate`, which returns the new *target* active-replica
+    count; pending scale-ups mature via :meth:`pending_activation_s`.
+    """
+
+    def __init__(self, config: AutoscaleConfig, initial_replicas: int,
+                 capacity: int) -> None:
+        self.config = config
+        self.active = initial_replicas
+        self.capacity = min(capacity, config.max_replicas)
+        self.events: list[ScaleEvent] = []
+        self._next_eval_s = config.interval_s
+        self._activation_due_s: float | None = None
+
+    @property
+    def next_eval_s(self) -> float:
+        return self._next_eval_s
+
+    def pending_activation_s(self) -> float | None:
+        """When the in-flight scale-up lands (None when none pending)."""
+        return self._activation_due_s
+
+    def complete_activation(self, now_s: float,
+                            queue_depth: int) -> int:
+        """Mature the pending scale-up; returns the new active count."""
+        if self._activation_due_s is None:
+            return self.active
+        self.active += 1
+        self._activation_due_s = None
+        self.events.append(ScaleEvent(
+            time_s=now_s, direction=1, replicas=self.active,
+            queue_depth=queue_depth,
+        ))
+        return self.active
+
+    def evaluate(self, now_s: float, queue_depth: int) -> int:
+        """One scaling decision; returns the active replica count.
+
+        Scale-downs apply immediately (draining is modelled as free:
+        the retired replica finishes its in-flight work but admits no
+        more). Scale-ups are deferred by the provisioning delay.
+        """
+        self._next_eval_s = now_s + self.config.interval_s
+        if not self.config.enabled:
+            return self.active
+        per_replica = queue_depth / max(1, self.active)
+        scaling_up = self._activation_due_s is not None
+        if (per_replica > self.config.queue_high
+                and not scaling_up
+                and self.active < self.capacity):
+            if self.config.scaleup_delay_s == 0:
+                self.active += 1
+                self.events.append(ScaleEvent(
+                    time_s=now_s, direction=1, replicas=self.active,
+                    queue_depth=queue_depth,
+                ))
+            else:
+                self._activation_due_s = (
+                    now_s + self.config.scaleup_delay_s
+                )
+        elif (per_replica < self.config.queue_low
+                and not scaling_up
+                and self.active > self.config.min_replicas):
+            self.active -= 1
+            self.events.append(ScaleEvent(
+                time_s=now_s, direction=-1, replicas=self.active,
+                queue_depth=queue_depth,
+            ))
+        return self.active

@@ -1,0 +1,50 @@
+"""Canonical serving execution: one deployment simulation.
+
+:func:`execute_serving` is the single place a serving simulation is
+assembled and run — the ``"serve"`` kind behind
+:func:`repro.core.sweep.cached_run` and
+``SimRequest(kind="serving")``, mirroring how
+:func:`repro.core.experiment.execute_training` backs ``"train"``.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import ClusterSpec, get_cluster
+from repro.inferserve.batcher import simulate_serving_deployment
+from repro.inferserve.config import ServingConfig
+from repro.inferserve.outcome import ServingOutcome
+from repro.models.catalog import get_model
+from repro.models.config import ModelConfig
+
+__all__ = ["execute_serving"]
+
+
+def execute_serving(
+    model: ModelConfig | str,
+    cluster: ClusterSpec | str,
+    config: ServingConfig | None = None,
+) -> ServingOutcome:
+    """Simulate an LLM serving deployment and return its outcome.
+
+    Args:
+        model: catalog name or :class:`ModelConfig` being served.
+        cluster: catalog name or :class:`ClusterSpec` hosting it.
+        config: deployment description (trace, batcher, SLO,
+            autoscaler, DVFS setpoint); defaults apply when omitted.
+
+    Returns:
+        A :class:`ServingOutcome` with SLO percentiles, goodput,
+        energy-per-token, and per-request/per-replica detail.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    if isinstance(cluster, str):
+        cluster = get_cluster(cluster)
+    if config is None:
+        config = ServingConfig()
+    if not isinstance(config, ServingConfig):
+        raise TypeError(
+            f"config must be a ServingConfig, got "
+            f"{type(config).__name__}"
+        )
+    return simulate_serving_deployment(model, cluster, config)

@@ -1,0 +1,186 @@
+"""Result types of one serving simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.inferserve.autoscale import ScaleEvent
+from repro.inferserve.config import ServingConfig
+from repro.inferserve.slo import SloReport
+
+__all__ = [
+    "EnergyReport",
+    "ReplicaStats",
+    "RequestRecord",
+    "ServingMetrics",
+    "ServingOutcome",
+    "ServingSample",
+]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Fate of one request through the batcher.
+
+    Attributes:
+        index: position in the arrival trace.
+        arrival_s / prompt_tokens / decode_tokens: the request itself.
+        replica: replica that completed it (-1 when rejected).
+        ttft_s: arrival to first decoded token.
+        tpot_s: decode-phase seconds per output token.
+        e2e_s: arrival to last token.
+        finish_s: absolute completion time.
+        preemptions: times the request was evicted under KV pressure.
+        rejected: dropped at admission (queue overflow).
+    """
+
+    index: int
+    arrival_s: float
+    prompt_tokens: int
+    decode_tokens: int
+    replica: int = -1
+    ttft_s: float = 0.0
+    tpot_s: float = 0.0
+    e2e_s: float = 0.0
+    finish_s: float = 0.0
+    preemptions: int = 0
+    rejected: bool = False
+
+
+@dataclass(frozen=True)
+class ServingSample:
+    """One telemetry sample of deployment state.
+
+    ``arrived == completed + rejected + queued + in_flight`` holds at
+    every sample (request conservation).
+    """
+
+    time_s: float
+    arrived: int
+    completed: int
+    rejected: int
+    queued: int
+    in_flight: int
+    active_replicas: int
+    kv_utilization: float
+    energy_j: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Aggregate load of one replica over the run."""
+
+    index: int
+    pool: str
+    served: int
+    busy_prefill_s: float
+    busy_decode_s: float
+    active_s: float
+    kv_peak_fraction: float
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting joined with the power model.
+
+    Attributes:
+        energy_j: total deployment energy over the makespan.
+        idle_energy_j: baseline draw of active (provisioned) GPUs.
+        dynamic_energy_j: above-idle draw of busy phases; exactly zero
+            for an empty trace.
+        tokens_prefilled / tokens_decoded: useful token work.
+        energy_per_token_j: energy over all processed tokens (inf when
+            no tokens moved).
+        mean_power_w: energy over the makespan.
+        mean_temp_c / peak_temp_c: steady-state die-temperature
+            estimates from the thermal resistance model.
+    """
+
+    energy_j: float
+    idle_energy_j: float
+    dynamic_energy_j: float
+    tokens_prefilled: int
+    tokens_decoded: int
+    energy_per_token_j: float
+    mean_power_w: float
+    mean_temp_c: float
+    peak_temp_c: float
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Flat, JSON-friendly summary (the broker serialises this)."""
+
+    arrived: int
+    completed: int
+    rejected: int
+    preemptions: int
+    goodput_per_s: float
+    slo_attainment: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tpot_p99_s: float
+    e2e_p99_s: float
+    tokens_decoded: int
+    energy_j: float
+    energy_per_token_j: float
+    mean_power_w: float
+    active_replica_seconds: float
+
+
+@dataclass(frozen=True)
+class ServingOutcome:
+    """Everything one serving simulation produced.
+
+    Attributes:
+        model / cluster: catalog names of the deployment.
+        config: the full request (trace, batcher, SLO, autoscaler).
+        arrived / completed / rejected / preemptions: request counters.
+        slo: latency percentiles and goodput (completed requests).
+        energy: energy-per-token accounting.
+        requests: per-request records, trace order.
+        samples: telemetry timeline.
+        replicas: per-replica load summaries.
+        scale_events: autoscaler decisions.
+        duration_s: trace horizon.
+        makespan_s: horizon extended to the last completion (drain).
+    """
+
+    model: str
+    cluster: str
+    config: ServingConfig
+    arrived: int
+    completed: int
+    rejected: int
+    preemptions: int
+    slo: SloReport
+    energy: EnergyReport
+    requests: tuple[RequestRecord, ...]
+    samples: tuple[ServingSample, ...]
+    replicas: tuple[ReplicaStats, ...]
+    scale_events: tuple[ScaleEvent, ...]
+    duration_s: float
+    makespan_s: float
+
+    def metrics(self) -> ServingMetrics:
+        """Flat summary for tables, JSON output, and the broker."""
+        return ServingMetrics(
+            arrived=self.arrived,
+            completed=self.completed,
+            rejected=self.rejected,
+            preemptions=self.preemptions,
+            goodput_per_s=self.slo.goodput_per_s,
+            slo_attainment=self.slo.attainment,
+            ttft_p50_s=self.slo.ttft.p50,
+            ttft_p99_s=self.slo.ttft.p99,
+            tpot_p99_s=self.slo.tpot.p99,
+            e2e_p99_s=self.slo.e2e.p99,
+            tokens_decoded=self.energy.tokens_decoded,
+            energy_j=self.energy.energy_j,
+            energy_per_token_j=self.energy.energy_per_token_j,
+            mean_power_w=self.energy.mean_power_w,
+            active_replica_seconds=sum(
+                r.active_s for r in self.replicas
+            ),
+        )

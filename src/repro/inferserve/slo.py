@@ -1,0 +1,103 @@
+"""Serving latency metrics: TTFT / TPOT / E2E percentiles and goodput.
+
+Definitions follow the serving literature:
+
+* **TTFT** (time to first token): arrival to the first decoded token —
+  queueing plus prefill plus the first decode step.
+* **TPOT** (time per output token): decode-phase time divided by
+  tokens generated; the streaming cadence the user perceives.
+* **E2E**: arrival to last token.
+* **Goodput**: completed requests whose TTFT *and* TPOT meet the SLO,
+  per second of trace — throughput that actually counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.inferserve.config import SloConfig
+
+__all__ = ["LatencyStats", "SloReport", "build_slo_report", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (nearest-rank) of ``values``; 0 if empty."""
+    if not values:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q:g}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, math.ceil(q / 100.0 * len(ordered)) - 1)
+    return ordered[max(0, rank)]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """p50/p90/p99 summary of one latency population (seconds)."""
+
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencyStats":
+        mean = sum(values) / len(values) if values else 0.0
+        return cls(
+            p50=percentile(values, 50),
+            p90=percentile(values, 90),
+            p99=percentile(values, 99),
+            mean=mean,
+        )
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """SLO attainment over one serving run.
+
+    Attributes:
+        ttft / tpot / e2e: percentile summaries of the completed
+            requests.
+        completed: requests that finished inside the horizon.
+        good: completed requests meeting both SLO targets.
+        goodput_per_s: good requests per second of trace.
+        attainment: good / completed (1.0 when nothing completed,
+            so an idle deployment is not "failing" its SLO).
+    """
+
+    ttft: LatencyStats
+    tpot: LatencyStats
+    e2e: LatencyStats
+    completed: int
+    good: int
+    goodput_per_s: float
+    attainment: float
+
+
+def build_slo_report(
+    ttft_s: Sequence[float],
+    tpot_s: Sequence[float],
+    e2e_s: Sequence[float],
+    slo: SloConfig,
+    duration_s: float,
+) -> SloReport:
+    """Summarise per-request latencies against the SLO targets."""
+    if not len(ttft_s) == len(tpot_s) == len(e2e_s):
+        raise ValueError("latency populations must align per request")
+    good = sum(
+        1
+        for ttft, tpot in zip(ttft_s, tpot_s)
+        if ttft <= slo.ttft_p99_s and tpot <= slo.tpot_p99_s
+    )
+    completed = len(ttft_s)
+    return SloReport(
+        ttft=LatencyStats.of(ttft_s),
+        tpot=LatencyStats.of(tpot_s),
+        e2e=LatencyStats.of(e2e_s),
+        completed=completed,
+        good=good,
+        goodput_per_s=good / duration_s if duration_s > 0 else 0.0,
+        attainment=good / completed if completed else 1.0,
+    )

@@ -186,6 +186,50 @@ def memory_breakdown(
     )
 
 
+def kv_cache_bytes_per_token(model: ModelConfig) -> float:
+    """KV-cache bytes one sequence position occupies across all layers.
+
+    Two tensors (K and V) per layer, each ``kv_groups * head_dim`` wide
+    (grouped-query attention stores one head pair per query group), at
+    the model's parameter precision. This is the unit the serving
+    simulator's admission control multiplies by resident tokens.
+    """
+    kv_width = model.kv_groups * model.head_dim
+    return 2.0 * model.num_layers * kv_width * model.bytes_per_param
+
+
+def serving_kv_capacity_tokens(
+    model: ModelConfig,
+    gpu_memory_bytes: float,
+    gpus_per_replica: int,
+    headroom_fraction: float = 0.9,
+) -> int:
+    """KV-cache token capacity of one inference replica.
+
+    A replica holds the full FP16 weight copy sharded across its GPUs
+    (no gradients or optimizer states at inference); what remains of
+    usable HBM, scaled by ``headroom_fraction`` (activation workspace,
+    fragmentation), is the KV-cache budget.
+
+    Raises:
+        ValueError: when the weights alone overflow the replica.
+    """
+    if gpus_per_replica < 1:
+        raise ValueError("gpus_per_replica must be >= 1")
+    if not 0 < headroom_fraction <= 1:
+        raise ValueError("headroom_fraction must be in (0, 1]")
+    usable = USABLE_MEMORY_FRACTION * gpu_memory_bytes * gpus_per_replica
+    weights = model.total_params * model.bytes_per_param
+    budget = (usable - weights) * headroom_fraction
+    if budget <= 0:
+        raise ValueError(
+            f"{model.name} weights ({weights / 1e9:.0f} GB) do not fit "
+            f"on {gpus_per_replica} GPUs "
+            f"({usable / 1e9:.0f} GB usable)"
+        )
+    return int(budget / kv_cache_bytes_per_token(model))
+
+
 def fits_in_memory(
     model: ModelConfig,
     gpu_memory_bytes: float,

@@ -11,9 +11,13 @@ from repro.telemetry.anomaly import (
 )
 from repro.telemetry.export import (
     FLEET_TELEMETRY_HEADER,
+    SERVING_REQUESTS_HEADER,
+    SERVING_TIMELINE_HEADER,
     TELEMETRY_HEADER,
     read_telemetry_csv,
     write_fleet_telemetry_csv,
+    write_serving_requests_csv,
+    write_serving_timeline_csv,
     write_telemetry_csv,
 )
 from repro.telemetry.metrics import (
@@ -30,8 +34,12 @@ from repro.telemetry.monitor import GpuSample, GpuSeries, TelemetryLog
 
 __all__ = [
     "FLEET_TELEMETRY_HEADER",
+    "SERVING_REQUESTS_HEADER",
+    "SERVING_TIMELINE_HEADER",
     "TELEMETRY_HEADER",
     "write_fleet_telemetry_csv",
+    "write_serving_requests_csv",
+    "write_serving_timeline_csv",
     "AnomalyKind",
     "DetectorConfig",
     "GpuAnomaly",

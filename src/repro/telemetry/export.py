@@ -206,6 +206,90 @@ def write_resilience_csv(
     return path
 
 
+SERVING_REQUESTS_HEADER = (
+    "index",
+    "arrival_s",
+    "prompt_tokens",
+    "decode_tokens",
+    "replica",
+    "rejected",
+    "preemptions",
+    "ttft_s",
+    "tpot_s",
+    "e2e_s",
+    "finish_s",
+)
+
+
+def write_serving_requests_csv(outcome, path: str | Path) -> Path:
+    """Write per-request serving records (one row per arrival).
+
+    ``outcome`` is a :class:`repro.inferserve.ServingOutcome`; rejected
+    requests keep zero latency fields and ``rejected=1``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SERVING_REQUESTS_HEADER)
+        for record in outcome.requests:
+            writer.writerow(
+                (
+                    record.index,
+                    f"{record.arrival_s:.6f}",
+                    record.prompt_tokens,
+                    record.decode_tokens,
+                    record.replica,
+                    int(record.rejected),
+                    record.preemptions,
+                    f"{record.ttft_s:.6f}",
+                    f"{record.tpot_s:.6f}",
+                    f"{record.e2e_s:.6f}",
+                    f"{record.finish_s:.6f}",
+                )
+            )
+    return path
+
+
+SERVING_TIMELINE_HEADER = (
+    "time_s",
+    "arrived",
+    "completed",
+    "rejected",
+    "queued",
+    "in_flight",
+    "active_replicas",
+    "kv_utilization",
+    "energy_j",
+    "power_w",
+)
+
+
+def write_serving_timeline_csv(outcome, path: str | Path) -> Path:
+    """Write the sampled serving timeline (one row per sample window)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SERVING_TIMELINE_HEADER)
+        for sample in outcome.samples:
+            writer.writerow(
+                (
+                    f"{sample.time_s:.6f}",
+                    sample.arrived,
+                    sample.completed,
+                    sample.rejected,
+                    sample.queued,
+                    sample.in_flight,
+                    sample.active_replicas,
+                    f"{sample.kv_utilization:.6f}",
+                    f"{sample.energy_j:.3f}",
+                    f"{sample.power_w:.3f}",
+                )
+            )
+    return path
+
+
 def read_telemetry_csv(path: str | Path) -> dict[int, list[dict[str, float]]]:
     """Read a telemetry CSV back into per-GPU row dictionaries."""
     path = Path(path)

@@ -395,3 +395,131 @@ def microbatch_sweep_figure(
         unit="tokens/s",
     )
     return _maybe_save(grouped_bar_chart(spec), path)
+
+
+def serving_timeline_figure(
+    outcome,
+    title: str = "Serving timeline",
+    path: str | Path | None = None,
+) -> str:
+    """Three-panel serving run: load, TTFT scatter, power + KV pressure.
+
+    Takes a :class:`repro.inferserve.ServingOutcome`. The top panel
+    tracks queue depth, in-flight requests, and active replicas; the
+    middle panel scatters each completed request's TTFT against its
+    arrival time with the SLO target as a horizontal rule; the bottom
+    panel overlays window-mean power with KV-cache utilization.
+    """
+    from repro.viz.palette import (
+        CATEGORICAL,
+        GRID,
+        SURFACE,
+        TEXT_PRIMARY,
+        TEXT_SECONDARY,
+    )
+    from repro.viz.svg import SvgCanvas
+
+    samples = list(outcome.samples)
+    if not samples:
+        raise ValueError("outcome has no samples to plot")
+    horizon = max(outcome.duration_s, samples[-1].time_s, 1e-9)
+
+    left, plot_w = 86.0, 700.0
+    panel_h, panel_gap, top = 130.0, 46.0, 56.0
+    width = left + plot_w + 40.0
+    height = top + 3 * panel_h + 2 * panel_gap + 56.0
+    canvas = SvgCanvas(width, height, background=SURFACE)
+    canvas.text(16, 28, title, fill=TEXT_PRIMARY, size=16, weight="bold")
+
+    def x_of(t: float) -> float:
+        return left + plot_w * (t / horizon)
+
+    def panel(index: int, label: str) -> float:
+        y0 = top + index * (panel_h + panel_gap)
+        canvas.rect(left, y0, plot_w, panel_h, fill=GRID, rx=3)
+        canvas.text(left, y0 - 8, label, fill=TEXT_SECONDARY, size=11)
+        return y0
+
+    def draw_series(y0: float, times, values, peak: float, color: str,
+                    width_px: float = 2.0) -> None:
+        peak = max(peak, 1e-9)
+        points = [
+            (x_of(t), y0 + panel_h - panel_h * min(1.0, v / peak))
+            for t, v in zip(times, values)
+        ]
+        if len(points) >= 2:
+            canvas.polyline(points, stroke=color, width=width_px)
+
+    times = [s.time_s for s in samples]
+
+    # Panel 0: offered load vs. capacity.
+    y0 = panel(0, "load: queued / in-flight / active replicas")
+    queue_peak = max(
+        max(s.queued for s in samples),
+        max(s.in_flight for s in samples),
+        max(s.active_replicas for s in samples),
+        1,
+    )
+    draw_series(y0, times, [s.queued for s in samples], queue_peak,
+                CATEGORICAL[0])
+    draw_series(y0, times, [s.in_flight for s in samples], queue_peak,
+                CATEGORICAL[1])
+    draw_series(y0, times, [s.active_replicas for s in samples],
+                queue_peak, CATEGORICAL[2])
+    canvas.text(left + plot_w, y0 - 8, f"peak {queue_peak:g}",
+                fill=TEXT_SECONDARY, size=10, anchor="end")
+
+    # Panel 1: TTFT scatter with the SLO rule.
+    y1 = panel(1, "TTFT per request (s)")
+    completed = [r for r in outcome.requests
+                 if not r.rejected and r.replica >= 0]
+    slo_s = outcome.config.slo.ttft_p99_s
+    ttft_peak = max(
+        [r.ttft_s for r in completed] + [slo_s], default=slo_s
+    )
+    slo_y = y1 + panel_h - panel_h * min(1.0, slo_s / max(ttft_peak, 1e-9))
+    canvas.line(left, slo_y, left + plot_w, slo_y,
+                stroke=CATEGORICAL[5], width=1.5)
+    canvas.text(left + plot_w, slo_y - 4, f"SLO {slo_s:g}s",
+                fill=CATEGORICAL[5], size=10, anchor="end")
+    # Long traces complete tens of thousands of requests; an evenly
+    # strided subsample keeps the SVG small without changing the shape
+    # (the p99 line and the SLO rule carry the tail, not the dots).
+    max_points = 2000
+    stride = max(1, len(completed) // max_points)
+    for record in completed[::stride]:
+        cy = y1 + panel_h - panel_h * min(
+            1.0, record.ttft_s / max(ttft_peak, 1e-9)
+        )
+        canvas.circle(x_of(record.arrival_s), cy, 1.5,
+                      fill=CATEGORICAL[3])
+
+    # Panel 2: power draw and KV-cache pressure.
+    y2 = panel(2, "power (W) / KV utilization")
+    power_peak = max(max(s.power_w for s in samples), 1e-9)
+    draw_series(y2, times, [s.power_w for s in samples], power_peak,
+                CATEGORICAL[4])
+    draw_series(y2, times, [s.kv_utilization for s in samples], 1.0,
+                CATEGORICAL[5], width_px=1.5)
+    canvas.text(left + plot_w, y2 - 8, f"peak {power_peak:,.0f} W",
+                fill=TEXT_SECONDARY, size=10, anchor="end")
+
+    axis_y = top + 3 * panel_h + 2 * panel_gap + 6
+    canvas.line(left, axis_y, left + plot_w, axis_y,
+                stroke=TEXT_SECONDARY)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = left + plot_w * frac
+        canvas.line(x, axis_y, x, axis_y + 4, stroke=TEXT_SECONDARY)
+        canvas.text(x, axis_y + 16, f"{horizon * frac:.0f}s",
+                    fill=TEXT_SECONDARY, size=10, anchor="middle")
+
+    metrics = outcome.metrics()
+    canvas.text(
+        16, height - 14,
+        f"goodput={metrics.goodput_per_s:.2f} req/s  "
+        f"attainment={metrics.slo_attainment:.1%}  "
+        f"TTFT p99={metrics.ttft_p99_s:.3f}s  "
+        f"energy/token={metrics.energy_per_token_j:.2f} J",
+        fill=TEXT_SECONDARY, size=11,
+    )
+    return _maybe_save(canvas.to_string(), path)

@@ -52,7 +52,7 @@ class TestValidation:
     def test_unknown_kind_suggests(self):
         with pytest.raises(ValueError, match="did you mean 'training'"):
             _request(kind="trainning")
-        assert set(KINDS) == {"training", "inference", "fleet"}
+        assert set(KINDS) == {"training", "inference", "fleet", "serving"}
 
     def test_unknown_model_suggests(self):
         with pytest.raises(ValueError, match="did you mean 'gpt3-13b'"):

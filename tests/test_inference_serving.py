@@ -1,17 +1,22 @@
-"""Tests for the thermal-aware inference serving simulator."""
+"""Tests for the thermal-aware static request router.
+
+The simulator moved from ``repro.inference.serving`` into
+``repro.inferserve.static_router``; these tests exercise the new home
+directly (the shim's liveness is covered by test_public_api.py).
+"""
 
 import pytest
 
 from repro.hardware.cluster import H200_X32
-from repro.inference.serving import (
+from repro.inferserve import (
     ROUTERS,
-    ServingConfig,
+    StaticRouterConfig,
     compare_routers,
-    simulate_serving,
+    simulate_static_routing,
 )
 
 
-def _config(**overrides) -> ServingConfig:
+def _config(**overrides) -> StaticRouterConfig:
     defaults = dict(
         num_replicas=8,
         base_service_s=0.6,
@@ -20,7 +25,7 @@ def _config(**overrides) -> ServingConfig:
         seed=7,
     )
     defaults.update(overrides)
-    return ServingConfig(**defaults)
+    return StaticRouterConfig(**defaults)
 
 
 class TestConfigValidation:
@@ -34,16 +39,16 @@ class TestConfigValidation:
 
     def test_rejects_non_dividing_replicas(self):
         with pytest.raises(ValueError):
-            simulate_serving(H200_X32, _config(num_replicas=7))
+            simulate_static_routing(H200_X32, _config(num_replicas=7))
 
     def test_rejects_multi_node_replicas(self):
         with pytest.raises(ValueError):
-            simulate_serving(H200_X32, _config(num_replicas=2))
+            simulate_static_routing(H200_X32, _config(num_replicas=2))
 
 
 class TestSimulation:
     def test_completes_with_sane_metrics(self):
-        outcome = simulate_serving(H200_X32, _config())
+        outcome = simulate_static_routing(H200_X32, _config())
         assert outcome.completed > 100
         assert outcome.mean_latency_s >= _config().base_service_s
         assert outcome.p99_latency_s >= outcome.mean_latency_s
@@ -51,25 +56,25 @@ class TestSimulation:
         assert len(outcome.per_replica_served) == 8
 
     def test_deterministic_for_seed(self):
-        first = simulate_serving(H200_X32, _config())
-        second = simulate_serving(H200_X32, _config())
+        first = simulate_static_routing(H200_X32, _config())
+        second = simulate_static_routing(H200_X32, _config())
         assert first.completed == second.completed
         assert first.mean_latency_s == second.mean_latency_s
 
     def test_seed_changes_trace(self):
-        first = simulate_serving(H200_X32, _config(seed=1))
-        second = simulate_serving(H200_X32, _config(seed=2))
+        first = simulate_static_routing(H200_X32, _config(seed=1))
+        second = simulate_static_routing(H200_X32, _config(seed=2))
         assert first.completed != second.completed or (
             first.mean_latency_s != second.mean_latency_s
         )
 
     def test_higher_load_raises_latency(self):
-        light = simulate_serving(H200_X32, _config(arrival_rate_per_s=4.0))
-        heavy = simulate_serving(H200_X32, _config(arrival_rate_per_s=11.0))
+        light = simulate_static_routing(H200_X32, _config(arrival_rate_per_s=4.0))
+        heavy = simulate_static_routing(H200_X32, _config(arrival_rate_per_s=11.0))
         assert heavy.mean_latency_s > light.mean_latency_s
 
     def test_round_robin_balances_load(self):
-        outcome = simulate_serving(H200_X32, _config(router="round_robin"))
+        outcome = simulate_static_routing(H200_X32, _config(router="round_robin"))
         served = outcome.per_replica_served
         assert max(served) - min(served) <= 2
 
@@ -85,7 +90,7 @@ class TestRouterComparison:
     def test_thermal_aware_prefers_cool_replicas(self):
         """The paper's proposal: route to cooler GPUs. Front-positioned
         replicas (even node halves) must receive more work."""
-        outcome = simulate_serving(
+        outcome = simulate_static_routing(
             H200_X32, _config(router="thermal_aware", duration_s=120.0)
         )
         served = outcome.per_replica_served

@@ -1,0 +1,338 @@
+"""repro.inferserve: traces, batcher, SLO, autoscaling, energy search.
+
+Ends with the PR's acceptance pins: continuous batching beats the
+run-to-completion baseline by >= 2x goodput at an equal p99 TTFT SLO on
+a diurnal trace, the energy search lands on a non-default setpoint
+within the TTFT budget, and ``SimRequest(kind="serving")`` round-trips
+through ``submit``, the broker, and the HTTP endpoint with cache
+hit/miss behaviour intact.
+"""
+
+import json
+import urllib.request
+from dataclasses import replace
+
+import pytest
+
+from repro.api import SimRequest, submit
+from repro.hardware.cluster import H100_X64, get_cluster
+from repro.inferserve import (
+    AutoscaleConfig,
+    BatcherConfig,
+    ServingConfig,
+    ServingSearchSettings,
+    SloConfig,
+    TraceConfig,
+    execute_serving,
+    generate_trace,
+    rate_from_daily_users,
+    search_serving_setpoint,
+    serving_capacity_replicas,
+)
+from repro.models.catalog import get_model
+from repro.models.memory import (
+    kv_cache_bytes_per_token,
+    serving_kv_capacity_tokens,
+)
+
+MODEL = "llama3-70b"
+CLUSTER = "h100x64"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    import repro.core.sweep as sweep_mod
+
+    sweep_mod._CACHE.clear()
+    yield
+    sweep_mod._CACHE.clear()
+
+
+def _config(**overrides) -> ServingConfig:
+    defaults = dict(
+        trace=TraceConfig(
+            kind="poisson", duration_s=120.0, mean_rate_per_s=2.0, seed=5
+        ),
+        replicas=4,
+        batcher=BatcherConfig(gpus_per_replica=4),
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+class TestTraces:
+    def test_trace_round_trips_through_json(self):
+        trace = generate_trace(
+            TraceConfig(kind="bursty", duration_s=200.0,
+                        mean_rate_per_s=3.0, seed=9)
+        )
+        from repro.inferserve import RequestTrace
+
+        again = RequestTrace.from_json(trace.to_json())
+        assert again == trace
+        assert again.to_json() == trace.to_json()
+
+    def test_rate_from_daily_users(self):
+        # 86.4M requests/day is exactly 1000 req/s.
+        assert rate_from_daily_users(86_400_000) == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            rate_from_daily_users(0)
+
+    def test_diurnal_trace_peaks_mid_period(self):
+        config = TraceConfig(
+            kind="diurnal", duration_s=1000.0, mean_rate_per_s=5.0,
+            seed=1, diurnal_period_s=1000.0, diurnal_amplitude=0.5,
+        )
+        trace = generate_trace(config)
+        half = config.duration_s / 2
+        # cos() troughs at t=0 and peaks at t=period/2: the middle two
+        # quarters of the trace must carry more arrivals than the outer.
+        inner = sum(1 for r in trace if half / 2 <= r.arrival_s < 1.5 * half)
+        outer = len(trace) - inner
+        assert inner > outer
+
+
+class TestConfig:
+    def test_unknown_field_suggests(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            ServingConfig.from_dict({"replica": 2})
+
+    def test_nested_dicts_promote(self):
+        config = ServingConfig.from_dict({
+            "trace": {"kind": "diurnal", "duration_s": 60.0},
+            "batcher": {"scheduler": "continuous"},
+            "slo": {"ttft_p99_s": 1.0},
+            "autoscale": {"enabled": True},
+        })
+        assert config.trace.kind == "diurnal"
+        assert config.autoscale.enabled
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_disaggregated_requires_continuous(self):
+        with pytest.raises(ValueError, match="disaggregated"):
+            BatcherConfig(scheduler="run_to_completion",
+                          disaggregated=True)
+
+
+class TestCapacityMath:
+    def test_kv_bytes_per_token_llama70b(self):
+        # 80 layers x 8 KV heads x 128 head-dim x 2 (K+V) x 2 bytes.
+        model = get_model(MODEL)
+        assert kv_cache_bytes_per_token(model) == pytest.approx(
+            2 * 80 * 8 * 128 * 2
+        )
+
+    def test_capacity_grows_with_replica_width(self):
+        model = get_model(MODEL)
+        gpu = get_cluster(CLUSTER).node.gpu
+        narrow = serving_kv_capacity_tokens(model, gpu.memory_bytes, 2)
+        wide = serving_kv_capacity_tokens(model, gpu.memory_bytes, 4)
+        assert wide > 2 * narrow  # weights amortise across more HBM
+
+    def test_replica_capacity(self):
+        assert serving_capacity_replicas(H100_X64, 4) == 16
+        assert serving_capacity_replicas(H100_X64, 64) == 1
+
+
+class TestSimulation:
+    def test_outcome_is_deterministic(self):
+        first = execute_serving(MODEL, CLUSTER, _config())
+        second = execute_serving(MODEL, CLUSTER, _config())
+        assert first == second
+
+    def test_completes_the_offered_load(self):
+        outcome = execute_serving(MODEL, CLUSTER, _config())
+        assert outcome.arrived > 100
+        assert outcome.completed + outcome.rejected == outcome.arrived
+        assert outcome.makespan_s >= outcome.duration_s
+
+    def test_kv_pressure_preempts_but_never_overflows(self):
+        config = _config(
+            trace=TraceConfig(
+                kind="poisson", duration_s=120.0, mean_rate_per_s=2.0,
+                seed=5, prompt_tokens_mean=4096, decode_tokens_mean=512,
+            ),
+            replicas=4,
+            batcher=BatcherConfig(gpus_per_replica=2),
+        )
+        outcome = execute_serving(MODEL, CLUSTER, config)
+        assert outcome.preemptions > 0
+        assert max(s.kv_utilization for s in outcome.samples) <= 1.0
+
+    def test_disaggregated_splits_pools(self):
+        outcome = execute_serving(
+            MODEL, CLUSTER,
+            _config(batcher=BatcherConfig(gpus_per_replica=4,
+                                          disaggregated=True)),
+        )
+        pools = {r.pool for r in outcome.replicas}
+        assert pools == {"prefill", "decode"}
+        assert outcome.completed > 0
+
+    def test_autoscaler_scales_up_under_burst(self):
+        config = ServingConfig(
+            trace=TraceConfig(kind="bursty", duration_s=600.0,
+                              mean_rate_per_s=3.0, seed=2),
+            replicas=1,
+            batcher=BatcherConfig(gpus_per_replica=4,
+                                  max_batch_requests=16),
+            autoscale=AutoscaleConfig(
+                enabled=True, min_replicas=1, max_replicas=8,
+                interval_s=20.0, queue_high=2.0, queue_low=0.2,
+                scaleup_delay_s=30.0,
+            ),
+        )
+        outcome = execute_serving(MODEL, CLUSTER, config)
+        ups = [e for e in outcome.scale_events if e.direction > 0]
+        assert ups, "burst load must trigger a scale-up"
+        assert max(s.active_replicas for s in outcome.samples) > 1
+
+    def test_lower_setpoint_stretches_prefill(self):
+        fast = execute_serving(MODEL, CLUSTER, _config())
+        slow = execute_serving(
+            MODEL, CLUSTER, _config(freq_setpoint=0.6)
+        )
+        assert slow.slo.ttft.p99 > fast.slo.ttft.p99
+
+
+class TestAcceptanceContinuousBatching:
+    """Pin: continuous batching >= 2x goodput vs run-to-completion at
+    the same p99 TTFT SLO on a diurnal llama3-70b / h100x64 trace."""
+
+    def test_goodput_gap(self):
+        base = ServingConfig(
+            trace=TraceConfig(
+                kind="diurnal", duration_s=600.0, mean_rate_per_s=4.0,
+                seed=3, diurnal_period_s=600.0,
+            ),
+            replicas=2,
+            batcher=BatcherConfig(gpus_per_replica=4,
+                                  max_batch_requests=32),
+            slo=SloConfig(ttft_p99_s=0.5),
+        )
+        rtc = replace(
+            base,
+            batcher=replace(base.batcher, scheduler="run_to_completion"),
+        )
+        continuous = execute_serving(MODEL, CLUSTER, base).metrics()
+        baseline = execute_serving(MODEL, CLUSTER, rtc).metrics()
+        assert continuous.goodput_per_s >= 2.0 * baseline.goodput_per_s
+        assert continuous.slo_attainment > 0.9
+        assert baseline.slo_attainment < 0.5
+
+
+class TestAcceptanceEnergySearch:
+    """Pin: the search finds a non-default setpoint that saves energy
+    per token while holding p99 TTFT within the 5% budget."""
+
+    def test_search_finds_cheaper_setpoint(self):
+        config = ServingConfig(
+            trace=TraceConfig(kind="poisson", duration_s=300.0,
+                              mean_rate_per_s=2.0, seed=5),
+            replicas=4,
+            batcher=BatcherConfig(gpus_per_replica=4),
+        )
+        outcome = search_serving_setpoint(
+            MODEL, CLUSTER, config,
+            ServingSearchSettings(lo=0.55, hi=1.0,
+                                  max_ttft_regression=0.05),
+        )
+        assert outcome.best.setpoint < 1.0
+        assert outcome.best.feasible
+        assert outcome.energy_saving_fraction > 0.05
+        assert outcome.ttft_regression_fraction <= 0.05
+        assert outcome.best_outcome.config.freq_setpoint == (
+            outcome.best.setpoint
+        )
+        # The baseline is always a candidate: never worse than default.
+        assert outcome.best.energy_per_token_j <= (
+            outcome.baseline.energy_per_token_j
+        )
+
+
+def _serving_request(**overrides) -> SimRequest:
+    fields = dict(
+        kind="serving",
+        model=MODEL,
+        cluster=CLUSTER,
+        serving={
+            "trace": {"kind": "poisson", "duration_s": 60.0,
+                      "mean_rate_per_s": 1.0, "seed": 5},
+            "replicas": 2,
+        },
+    )
+    fields.update(overrides)
+    return SimRequest(**fields)
+
+
+class TestServingRequests:
+    def test_round_trips_through_json(self):
+        request = _serving_request()
+        again = SimRequest.from_json(request.to_json())
+        assert again == request
+        assert again.digest() == request.digest()
+
+    def test_submit_hits_memo_on_repeat(self):
+        request = _serving_request()
+        first = submit(request)
+        second = submit(request)
+        assert second is first  # in-process memo hit
+        assert first.metrics().completed > 0
+
+    def test_submit_cache_false_recomputes(self):
+        request = _serving_request()
+        first = submit(request)
+        second = submit(request, cache=False)
+        assert second is not first
+        assert second == first  # seeded simulation: same content
+
+    def test_freq_setpoint_folds_into_config(self):
+        request = _serving_request(freq_setpoint=0.8)
+        assert request.serving["freq_setpoint"] == 0.8
+        outcome = submit(request)
+        assert outcome.config.freq_setpoint == 0.8
+
+    def test_broker_round_trip_with_cache(self):
+        import asyncio
+
+        from repro.serve import Broker, BrokerConfig
+
+        async def run():
+            broker = Broker(BrokerConfig(use_processes=False))
+            first = await broker.submit(_serving_request())
+            second = await broker.submit(_serving_request())
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first.status == "ok"
+        assert first.cached is False
+        assert second.cached is True
+        body = second.to_dict()
+        assert body["result"]["completed"] > 0
+        assert body["result"]["energy_per_token_j"] > 0
+
+    def test_http_round_trip_with_cache(self):
+        from repro.serve import BrokerConfig, BrokerServer
+
+        request = _serving_request()
+        with BrokerServer(
+            BrokerConfig(use_processes=False), port=0
+        ) as server:
+            bodies = []
+            for _ in range(2):
+                post = urllib.request.Request(
+                    f"http://{server.address}/v1/simulate",
+                    data=request.to_json().encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(post, timeout=30) as reply:
+                    assert reply.status == 200
+                    bodies.append(json.load(reply))
+        first, second = bodies
+        assert first["status"] == "ok"
+        assert first["digest"] == request.digest()
+        assert first["result"]["completed"] > 0
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"] == first["result"]

@@ -39,11 +39,15 @@ EXPECTED_ALL = [
     "OptimizationConfig",
     "ParallelismConfig",
     "RunResult",
+    "ServingConfig",
+    "ServingOutcome",
     "SimRequest",
     "SweepPoint",
+    "TraceConfig",
     "cached_run_inference",
     "cached_run_training",
     "cluster_names",
+    "execute_serving",
     "get_cluster",
     "get_model",
     "minimal_model_parallel",
@@ -54,6 +58,7 @@ EXPECTED_ALL = [
     "run_inference",
     "run_sweep",
     "run_training",
+    "search_serving_setpoint",
     "submit",
     "submit_many",
     "valid_configs",
@@ -81,6 +86,7 @@ EXPECTED_REQUEST_FIELDS = [
     "fault_severity",
     "timeout_s",
     "fleet",
+    "serving",
 ]
 
 LEGACY_NAMES = {
@@ -88,6 +94,10 @@ LEGACY_NAMES = {
     "run_inference",
     "cached_run_training",
     "cached_run_inference",
+    # Renamed when static routing moved into repro.inferserve; the
+    # repro.inference.serving shim resolves it via a string table, so
+    # nothing in src/ references the old spelling as a real name.
+    "simulate_serving",
 }
 
 #: The only modules allowed to mention the legacy names: where the
@@ -191,3 +201,27 @@ class TestNoInternalLegacyUse:
         assert sweep.cached_run_training.__module__ == (
             "repro.core.sweep"
         )
+
+    def test_serving_shim_resolves_with_warning(self):
+        import sys
+        import warnings
+
+        from repro import api
+
+        sys.modules.pop("repro.inference.serving", None)
+        api._reset_deprecation_warnings()
+        from repro.inference import serving as shim
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config_cls = shim.ServingConfig
+        from repro.inferserve import StaticRouterConfig
+
+        assert config_cls is StaticRouterConfig
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        # Same object through the package facade.
+        import repro.inference as inference
+
+        assert inference.simulate_serving is shim.simulate_serving
