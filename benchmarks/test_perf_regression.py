@@ -135,3 +135,33 @@ def test_sweep_inference_memoises_grid():
         warm = sweep_inference(**kwargs)
         for cold_point, warm_point in zip(cold, warm):
             assert warm_point.result is cold_point.result
+
+
+def test_freeze_field_memo():
+    """freeze() must hit the per-type field memo, not dataclasses.fields.
+
+    Cache-key construction runs once per sweep point per layer (memo,
+    store, batched grouping), so the field-name walk is hot. The memo
+    makes repeat freezes of the same settings type cheap; this pin
+    bounds the per-call cost so an accidental revert (back to calling
+    ``dataclasses.fields`` each time) shows up as a benchmark failure,
+    not a silent sweep slowdown.
+    """
+    from repro.core.sweep import _FIELD_NAMES, freeze
+    from repro.engine.simulator import SimSettings
+
+    settings = SimSettings()
+    first = freeze(settings)
+    assert SimSettings in _FIELD_NAMES  # memo populated on first use
+    assert freeze(settings) == first  # memoised path is equivalent
+
+    repeats = 2000
+    start = time.perf_counter()
+    for _ in range(repeats):
+        freeze(settings)
+    per_call_us = (time.perf_counter() - start) / repeats * 1e6
+    budget_us = float(os.environ.get("REPRO_BENCH_FREEZE_US", "200"))
+    assert per_call_us < budget_us, (
+        f"freeze(SimSettings) costs {per_call_us:.1f}us/call "
+        f"(budget {budget_us:.0f}us) - field memo regressed?"
+    )

@@ -613,22 +613,44 @@ def submit(request: SimRequest, *, cache: bool = True):
     return runner(**kwargs)
 
 
+class BatchResult(list):
+    """:func:`submit_many`'s return value: results in request order.
+
+    A plain list (fully backwards compatible) carrying one extra
+    attribute, :attr:`report` — the
+    :class:`repro.core.parallel.ExecutionReport` describing how the
+    batch actually executed (worker crashes survived, payloads that
+    fell back in-process).
+    """
+
+    def __init__(self, items, report) -> None:
+        super().__init__(items)
+        self.report = report
+
+
 def submit_many(
     requests: Iterable[SimRequest],
     *,
     jobs: int = 1,
     report=None,
-) -> list:
+) -> BatchResult:
     """Execute a batch of requests; results come back in input order.
 
     Duplicate requests (same :meth:`SimRequest.digest`) simulate once.
-    Cacheable requests fan out over the crash-proof worker pool
-    (``jobs`` as in :func:`repro.core.sweep.run_sweep`; values below 1
-    mean auto); fleet requests run in-process. ``report`` (an
-    :class:`repro.core.parallel.ExecutionReport`) captures any worker
-    crashes the fan-out survived.
+    With ``jobs == 1`` cacheable requests stay in-process and batch
+    through :func:`repro.engine.batched.evaluate_grid` (shared-graph
+    grids anchor once and replay). With ``jobs > 1`` (values below 1
+    mean auto) the whole batch shares one persistent
+    :class:`repro.serve.workers.WorkerPool` — workers are spawned once
+    for the batch, steal work from each other, and crashed payloads are
+    retried then completed in-process, so no request is dropped. Fleet
+    requests run in-process either way.
+
+    Returns a :class:`BatchResult` (a list) whose ``report`` attribute
+    records any crash recovery; pass your own ``report`` to accumulate
+    across batches.
     """
-    from repro.core.parallel import map_runs, resolve_jobs
+    from repro.core.parallel import ExecutionReport, map_runs, resolve_jobs
     from repro.core.sweep import seed_memo
 
     requests = list(requests)
@@ -638,6 +660,8 @@ def submit_many(
                 "submit_many() takes SimRequests, got "
                 f"{type(request).__name__}"
             )
+    if report is None:
+        report = ExecutionReport()
     jobs = 1 if jobs == 1 else resolve_jobs(jobs)
     distinct: dict[str, SimRequest] = {}
     for request in requests:
@@ -648,7 +672,13 @@ def submit_many(
         if request.cacheable
     ]
     payloads = [request.to_run_payload() for _, request in pooled]
-    outputs = map_runs(payloads, jobs, report)
+    if jobs > 1 and len(payloads) > 1:
+        from repro.serve.workers import WorkerPool
+
+        with WorkerPool(min(jobs, len(payloads))) as pool:
+            outputs = pool.map(payloads, report)
+    else:
+        outputs = map_runs(payloads, 1, report)
     results: dict[str, Any] = {}
     for (digest, _), payload, output in zip(pooled, payloads, outputs):
         seed_memo(payload[0], payload[1], output)
@@ -656,7 +686,9 @@ def submit_many(
     for digest, request in distinct.items():
         if not request.cacheable:
             results[digest] = submit(request)
-    return [results[request.digest()] for request in requests]
+    return BatchResult(
+        [results[request.digest()] for request in requests], report
+    )
 
 
 def legacy_run(kind: str, args: tuple, kwargs: dict, *, cached: bool):

@@ -1044,22 +1044,72 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import BrokerConfig, BrokerServer
 
     config = BrokerConfig(
-        concurrency=args.concurrency,
+        concurrency=max(args.concurrency, args.workers),
         queue_limit=args.queue_limit,
         default_timeout_s=(
             args.timeout_s if args.timeout_s > 0 else None
         ),
         use_processes=not args.inline,
+        workers=args.workers,
+        slo_target_s=(
+            args.slo_target_s if args.slo_target_s > 0 else None
+        ),
     )
     server = BrokerServer(
         config, host=args.host, port=args.port, verbose=True
     )
+    if args.worker_listen > 0:
+        if not args.worker_authkey:
+            print(
+                "error: --worker-listen requires --worker-authkey",
+                file=sys.stderr,
+            )
+            server.stop()
+            return 2
+        if server.broker.pool is None:
+            print(
+                "error: --worker-listen requires --workers >= 1 "
+                "(remote workers join the local pool)",
+                file=sys.stderr,
+            )
+            server.stop()
+            return 2
+        host, port = server.broker.pool.listen(
+            (args.host, args.worker_listen),
+            args.worker_authkey.encode(),
+        )
+        print(
+            f"accepting remote workers on {host}:{port} "
+            "(python -m repro worker --connect ...)"
+        )
     print(
         f"serving on http://{server.address} "
         "(POST /v1/simulate, GET /v1/status, GET /v1/metrics; "
         "Ctrl-C to stop)"
     )
     server.run()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Join a broker's worker pool from this host (TCP)."""
+    from repro.serve import serve_worker
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"error: --connect must be HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"joining worker pool at {host}:{port} (Ctrl-C to leave)")
+    try:
+        serve_worker((host, int(port)), args.authkey.encode())
+    except KeyboardInterrupt:
+        pass
+    except (ConnectionError, OSError) as error:
+        print(f"error: could not join pool: {error}", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -1085,12 +1135,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
             "total_mb": stats.total_mb,
             "stale_entries": stats.stale_entries,
             "quarantined_entries": stats.quarantined_entries,
+            "entries_by_version": dict(stats.entries_by_version),
         })
         return 0
     print(f"cache root    : {stats.root}")
     print(f"schema        : v{stats.schema_version}")
     print(f"entries       : {stats.entries}")
     print(f"size          : {stats.total_mb:.1f} MiB")
+    for version, count in stats.entries_by_version:
+        marker = (
+            "" if version == f"v{stats.schema_version}" else " (stale)"
+        )
+        print(f"  {version:<11} : {count}{marker}")
     if stats.stale_entries:
         print(
             f"stale entries : {stats.stale_entries} "
@@ -1500,7 +1556,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute in-process instead of supervised worker "
              "processes (no kill-on-timeout; mainly for debugging)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="persistent worker-pool processes executing misses "
+             "(0 = fork one supervised child per request); raises "
+             "--concurrency to match when larger",
+    )
+    serve.add_argument(
+        "--slo-target-s", type=float, default=0.0,
+        help="reject misses whose predicted wait (queue depth x mean "
+             "service time) exceeds this bound with 429 + Retry-After "
+             "(0 = disabled)",
+    )
+    serve.add_argument(
+        "--worker-listen", type=int, default=0,
+        help="also accept remote TCP workers on this port "
+             "(requires --workers and --worker-authkey)",
+    )
+    serve.add_argument(
+        "--worker-authkey", default="",
+        help="shared secret authenticating remote workers",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="join a remote broker's worker pool over TCP "
+             "(the other side of 'repro serve --worker-listen')",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the broker's --worker-listen address",
+    )
+    worker.add_argument(
+        "--authkey", required=True,
+        help="shared secret (must match the broker's --worker-authkey)",
+    )
+    worker.set_defaults(func=cmd_worker)
 
     cache = subparsers.add_parser(
         "cache",

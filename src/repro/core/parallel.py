@@ -143,14 +143,21 @@ def map_runs(
 ) -> list:
     """Run every payload and return results in input order.
 
-    With ``jobs <= 1`` (or a single payload) this is a plain serial
-    loop. Otherwise payloads fan out over worker processes with the
-    crash recovery described in the module docstring; ``report`` (when
-    given) is filled in with any retried / fallen-back indices.
+    With ``jobs <= 1`` (or a single payload) payloads stay in-process
+    and route through :func:`repro.engine.batched.evaluate_grid`, which
+    groups configs sharing a task graph into one anchor simulation plus
+    vectorized replays (cache semantics identical to
+    :func:`repro.core.sweep.cached_run`; non-batchable payloads take the
+    exact serial path). Otherwise payloads fan out over worker processes
+    with the crash recovery described in the module docstring;
+    ``report`` (when given) is filled in with any retried / fallen-back
+    indices.
     """
     payloads = list(payloads)
     if jobs <= 1 or len(payloads) <= 1:
-        return [_run_payload(payload) for payload in payloads]
+        from repro.engine.batched import evaluate_grid
+
+        return evaluate_grid(payloads)
     return _fan_out(_run_payload, payloads, jobs, report)
 
 

@@ -42,7 +42,10 @@ from repro.core.results import RunResult
 #: fault_timeline / collective_timeout_s fields (repro.resilience).
 #: v4: the ``"serve"`` run kind joined the cache address space
 #: (repro.inferserve ServingConfig payloads and ServingOutcome values).
-SCHEMA_VERSION = 4
+#: v5: grid evaluation batches through ``repro.engine.batched`` and the
+#: multi-worker serve tier shares the store across worker processes; the
+#: bump draws a clean line under entries written by pre-batched trees.
+SCHEMA_VERSION = 5
 
 DEFAULT_DIR = ".repro_cache"
 
@@ -61,6 +64,10 @@ class StoreStats:
     total_bytes: int
     stale_entries: int
     quarantined_entries: int = 0
+    #: ``(version_label, entry_count)`` per schema directory found on
+    #: disk, e.g. ``(("v4", 12), ("v5", 80))`` — makes mixed-version
+    #: caches visible after a schema bump.
+    entries_by_version: tuple[tuple[str, int], ...] = ()
 
     @property
     def total_mb(self) -> float:
@@ -151,11 +158,17 @@ class ResultStore:
     # -- maintenance ----------------------------------------------------
 
     def stats(self) -> StoreStats:
-        """Entry count and size of the store (current + stale schemas)."""
+        """Entry count and size of the store (current + stale schemas).
+
+        ``entries_by_version`` breaks the counts down per schema
+        directory (``v4``, ``v5``, ...), so mixed-version caches left
+        behind by a schema bump are visible at a glance.
+        """
         entries = 0
         total_bytes = 0
         stale = 0
         quarantined = 0
+        by_version: dict[str, int] = {}
         if self.root.is_dir():
             for path in self.root.rglob("*.pkl"):
                 size = path.stat().st_size
@@ -164,6 +177,8 @@ class ResultStore:
                     entries += 1
                 else:
                     stale += 1
+                version = path.relative_to(self.root).parts[0]
+                by_version[version] = by_version.get(version, 0) + 1
             quarantined = sum(
                 1 for _ in self.root.rglob("*.corrupt")
             )
@@ -174,6 +189,9 @@ class ResultStore:
             total_bytes=total_bytes,
             stale_entries=stale,
             quarantined_entries=quarantined,
+            entries_by_version=tuple(
+                sorted(by_version.items())
+            ),
         )
 
     def clear(self) -> int:

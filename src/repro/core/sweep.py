@@ -28,6 +28,21 @@ from repro.parallelism.strategy import OptimizationConfig
 
 _CACHE: dict[tuple, RunResult] = {}
 
+#: Per-dataclass-type field-name memo for :func:`freeze`.
+#: ``dataclasses.fields()`` walks the MRO and allocates on every call;
+#: a sweep freezes the same handful of settings types thousands of
+#: times, so caching the name tuple per type is a measurable win on
+#: cache-key construction (pinned in benchmarks/test_perf_regression.py).
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(tp: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(tp)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(tp))
+        _FIELD_NAMES[tp] = names
+    return names
+
 
 def freeze(value):
     """Deterministic, hashable form of a run-configuration value.
@@ -42,8 +57,8 @@ def freeze(value):
         return (
             type(value).__name__,
             tuple(
-                (f.name, freeze(getattr(value, f.name)))
-                for f in dataclasses.fields(value)
+                (name, freeze(getattr(value, name)))
+                for name in _field_names(type(value))
             ),
         )
     if isinstance(value, enum.Enum):

@@ -156,13 +156,23 @@ def _base_run_kwargs(
 
 
 class _ProbeRunner:
-    """Evaluates setpoints through the run cache, memoising per search."""
+    """Evaluates setpoints through the run cache, memoising per search.
+
+    Serial searches (``jobs == 1``) hold a
+    :class:`repro.engine.batched.SetpointSession` open across calls: the
+    opening bracket batches into one anchor simulation plus vectorized
+    replays, and each later golden-section refinement is a single replay
+    against the retained anchor instead of a full simulation. Parallel
+    searches fan out over worker processes as before; results are
+    identical either way (same cache keys, field-for-field outcomes).
+    """
 
     def __init__(self, run_kwargs: dict, settings: SimSettings | None,
                  jobs: int) -> None:
         self._run_kwargs = run_kwargs
         self._settings = settings
         self._jobs = jobs
+        self._session = None
         self.results: dict[float, RunResult] = {}
 
     def _kwargs_for(self, setpoint: float) -> dict:
@@ -172,14 +182,23 @@ class _ProbeRunner:
 
     def ensure(self, setpoints: list[float]) -> None:
         """Evaluate any not-yet-run setpoints (batch fans out over jobs)."""
-        from repro.core.parallel import map_runs
-
         missing: list[float] = []
         for setpoint in setpoints:
             if setpoint not in self.results and setpoint not in missing:
                 missing.append(setpoint)
         if not missing:
             return
+        if self._jobs <= 1:
+            if self._session is None:
+                from repro.engine.batched import SetpointSession
+
+                self._session = SetpointSession(
+                    "train", self._kwargs_for
+                )
+            self.results.update(self._session.evaluate(missing))
+            return
+        from repro.core.parallel import map_runs
+
         payloads = [("train", self._kwargs_for(sp)) for sp in missing]
         outputs = map_runs(payloads, self._jobs)
         self.results.update(zip(missing, outputs))

@@ -11,9 +11,17 @@ Three front doors, one execution substrate:
 
 The broker answers cache hits synchronously from the shared
 ``.repro_cache`` store, deduplicates identical in-flight requests, and
-runs each miss in a supervised, killable worker process
-(:func:`repro.core.parallel.run_supervised`) under bounded concurrency,
-per-request deadlines, and queue-full backpressure. See docs/api.md.
+executes misses under bounded concurrency, per-request deadlines, and
+queue-full backpressure. Misses run either in per-request supervised
+child processes (:func:`repro.core.parallel.run_supervised`, the
+default) or — with ``BrokerConfig(workers=N)`` — on a persistent
+:class:`WorkerPool`: N long-lived worker processes (optionally joined
+by remote TCP workers, ``python -m repro worker``) with per-worker
+work-stealing deques, health checks with automatic respawn, and a
+shared content-addressed cache. ``BrokerConfig(slo_target_s=...)`` adds
+SLO-aware admission: misses whose predicted wait (queue depth × mean
+service time) exceeds the target are rejected up front with a matching
+Retry-After. See docs/api.md and docs/performance.md.
 """
 
 from repro.serve.broker import (
@@ -23,6 +31,7 @@ from repro.serve.broker import (
     SimResponse,
 )
 from repro.serve.http import BrokerServer
+from repro.serve.workers import WorkerPool, serve_worker
 
 __all__ = [
     "Broker",
@@ -30,4 +39,6 @@ __all__ = [
     "BrokerMetrics",
     "BrokerServer",
     "SimResponse",
+    "WorkerPool",
+    "serve_worker",
 ]

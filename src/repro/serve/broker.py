@@ -63,6 +63,19 @@ class BrokerConfig:
             (killable deadlines, crash isolation). ``False`` executes
             in-process threads — faster for tests, no kill capability.
         cache: serve and populate the shared result cache.
+        workers: size of the persistent :class:`~repro.serve.workers.
+            WorkerPool` executing cacheable misses (0 = fork one
+            supervised child per request, the pre-pool behaviour).
+            Pool workers are spawned once and reused, share the
+            parent's ``REPRO_CACHE_DIR`` store, and steal work from
+            each other's deques.
+        slo_target_s: SLO-aware admission: reject a miss (429 +
+            Retry-After) when its predicted wait — queue depth × mean
+            service time — already exceeds this bound, instead of
+            letting it queue up to ``queue_limit``. None disables.
+        service_time_hint_s: seed for the mean-service-time estimate
+            before any request has completed (cold-start SLO
+            admission).
     """
 
     concurrency: int = 2
@@ -71,6 +84,9 @@ class BrokerConfig:
     retry_after_s: float = 1.0
     use_processes: bool = True
     cache: bool = True
+    workers: int = 0
+    slo_target_s: float | None = None
+    service_time_hint_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -80,6 +96,15 @@ class BrokerConfig:
         if self.queue_limit < 0:
             raise ValueError(
                 f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.slo_target_s is not None and self.slo_target_s <= 0:
+            raise ValueError(
+                f"slo_target_s must be > 0 (or None), "
+                f"got {self.slo_target_s}"
             )
 
 
@@ -219,8 +244,15 @@ class Broker:
         runner: Callable[[SimRequest, float | None], object] | None = None,
     ) -> None:
         self.config = config or BrokerConfig()
+        self.pool = None
+        if self.config.workers > 0:
+            from repro.serve.workers import WorkerPool
+
+            self.pool = WorkerPool(self.config.workers)
         if runner is not None:
             self._runner = runner
+        elif self.pool is not None:
+            self._runner = self._pool_runner
         elif self.config.use_processes:
             self._runner = _default_runner
         else:
@@ -228,6 +260,7 @@ class Broker:
         self.metrics = BrokerMetrics()
         self._semaphore = asyncio.Semaphore(self.config.concurrency)
         self._inflight: dict[str, asyncio.Future] = {}
+        self._service_s: deque = deque(maxlen=_LATENCY_WINDOW)
         self._admitted = 0
         self._executing = 0
         self._started_at = time.monotonic()
@@ -286,6 +319,24 @@ class Broker:
                 retry_after_s=self.config.retry_after_s,
                 duration_s=time.monotonic() - started,
             )
+        if self.config.slo_target_s is not None:
+            predicted = self.estimated_wait_s()
+            if predicted > self.config.slo_target_s:
+                self.metrics.rejected += 1
+                retry_after = max(predicted, self.config.retry_after_s)
+                return SimResponse(
+                    status="rejected",
+                    request=request,
+                    error=(
+                        f"predicted wait {predicted:.3g}s exceeds the "
+                        f"{self.config.slo_target_s:g}s SLO "
+                        f"({self.queue_depth} waiting x "
+                        f"{self.mean_service_s:.3g}s mean service); "
+                        f"retry after {retry_after:.3g}s"
+                    ),
+                    retry_after_s=retry_after,
+                    duration_s=time.monotonic() - started,
+                )
 
         self.metrics.misses += 1
         future: asyncio.Future = (
@@ -309,9 +360,25 @@ class Broker:
         """Misses admitted but still waiting for an execution slot."""
         return max(0, self._admitted - self._executing)
 
+    @property
+    def mean_service_s(self) -> float:
+        """Mean execution time of recent misses (hint when no data)."""
+        if not self._service_s:
+            return self.config.service_time_hint_s
+        return statistics.fmean(self._service_s)
+
+    def estimated_wait_s(self) -> float:
+        """Predicted wait for a new miss: queue depth × mean service."""
+        return self.queue_depth * self.mean_service_s
+
+    def close(self) -> None:
+        """Release owned resources (the worker pool, if any)."""
+        if self.pool is not None:
+            self.pool.close()
+
     def status_dict(self) -> dict:
         """``GET /v1/status`` body (cheap, synchronous)."""
-        return {
+        data = {
             "status": "ok",
             "uptime_s": time.monotonic() - self._started_at,
             "concurrency": self.config.concurrency,
@@ -320,7 +387,12 @@ class Broker:
             "executing": self._executing,
             "in_flight": len(self._inflight),
             "cache": self.config.cache,
+            "slo_target_s": self.config.slo_target_s,
+            "estimated_wait_s": self.estimated_wait_s(),
         }
+        if self.pool is not None:
+            data["pool"] = self.pool.stats()
+        return data
 
     def metrics_dict(self) -> dict:
         """``GET /v1/metrics`` body (counters + latency percentiles)."""
@@ -329,6 +401,10 @@ class Broker:
         data["executing"] = self._executing
         data["in_flight"] = len(self._inflight)
         data["uptime_s"] = time.monotonic() - self._started_at
+        data["mean_service_s"] = self.mean_service_s
+        data["estimated_wait_s"] = self.estimated_wait_s()
+        if self.pool is not None:
+            data["pool"] = self.pool.stats()
         return data
 
     # -- internals ------------------------------------------------------
@@ -348,10 +424,19 @@ class Broker:
             return request.timeout_s
         return self.config.default_timeout_s
 
+    def _pool_runner(self, request: SimRequest,
+                     timeout_s: float | None) -> object:
+        """Execute via the persistent worker pool (cacheable kinds);
+        fleet requests keep the per-request supervised child."""
+        if request.cacheable and self.pool is not None:
+            return self.pool.run(request.to_run_payload(), timeout_s)
+        return _default_runner(request, timeout_s)
+
     async def _execute(self, request: SimRequest) -> SimResponse:
         timeout_s = self._timeout_for(request)
         async with self._semaphore:
             self._executing += 1
+            execution_started = time.monotonic()
             try:
                 loop = asyncio.get_running_loop()
                 call = loop.run_in_executor(
@@ -382,6 +467,9 @@ class Broker:
                 )
             finally:
                 self._executing -= 1
+            self._service_s.append(
+                time.monotonic() - execution_started
+            )
             if self.config.cache and request.cacheable:
                 from repro.core.sweep import seed_memo
 

@@ -178,6 +178,7 @@ class BrokerServer:
         self.loop.call_soon_threadsafe(self.loop.stop)
         self._loop_thread.join(timeout=5.0)
         self.loop.close()
+        self.broker.close()
 
     def __enter__(self) -> "BrokerServer":
         return self.start()

@@ -1,0 +1,571 @@
+"""Persistent worker pool: work-stealing fan-out for the serve tier.
+
+:class:`WorkerPool` keeps N worker processes alive across requests —
+unlike :func:`repro.core.parallel.run_supervised` (one fork per
+request) or ``ProcessPoolExecutor`` sweeps (one pool per batch), the
+workers here are spawned once and reused, so a 50-request batch pays
+interpreter+import start-up N times, not 50.
+
+Scheduling is parent-side work stealing: every worker owns a deque,
+:meth:`WorkerPool.submit` appends to the least-loaded one, and a worker
+that drains its own deque steals from the *back* of the longest other
+deque — long sweep shards migrate to idle workers instead of serialising
+behind a slow one. All deque state lives in the dispatcher thread's
+lock, so there is no shared memory to corrupt.
+
+Reliability: every worker's process sentinel is part of the dispatcher's
+``wait()`` set, so a SIGKILLed / OOMed worker wakes the dispatcher
+immediately; its in-flight task is retried on another worker once and
+the worker is respawned in place. A task whose retry also dies resolves
+to :class:`repro.core.parallel.WorkerCrashError` (callers like
+:meth:`WorkerPool.map` then fall back in-process, so batches never drop
+requests). Deadline kills go the other way: :meth:`WorkerPool.run`
+kills the worker hosting an overdue task and raises
+:class:`repro.core.parallel.WorkerTimeoutError`.
+
+Workers execute :func:`repro.core.parallel.run_request_payload` by
+default, i.e. through ``cached_run`` — they share the parent's
+content-addressed ``.repro_cache`` store (same ``REPRO_CACHE_DIR``), so
+anything a worker simulates is a store hit for every later process.
+
+Remote workers: :meth:`WorkerPool.listen` opens an authenticated TCP
+socket and :func:`serve_worker` (``python -m repro worker``) connects a
+worker loop from another host. Remote workers speak the same protocol
+and join the same stealing pool; they are not respawned on death (their
+queued work redistributes locally).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from multiprocessing.connection import Client, Listener, wait
+
+from repro.core.parallel import (
+    ExecutionReport,
+    PayloadError,
+    RunPayload,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    run_request_payload,
+)
+
+#: Attempts per task across worker deaths before it resolves to
+#: :class:`WorkerCrashError` (1 initial + 1 retry, matching the sweep
+#: fan-out's crash policy).
+_TASK_ATTEMPTS = 2
+
+#: Dispatcher wake-up period for liveness checks when nothing fires.
+_HEALTH_INTERVAL_S = 0.5
+
+#: Recent task durations feeding :attr:`WorkerPool.mean_service_s`.
+_SERVICE_WINDOW = 64
+
+
+def _worker_loop(conn) -> None:
+    """Worker side: receive ``(task_id, fn, arg)``, answer
+    ``(task_id, status, value)``. ``None`` or EOF ends the loop."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        task_id, fn, arg = message
+        try:
+            outcome = ("ok", fn(arg))
+        except BaseException as error:  # report, never kill the loop
+            outcome = ("error", f"{type(error).__name__}: {error}")
+        try:
+            conn.send((task_id, *outcome))
+        except (BrokenPipeError, OSError, TypeError, ValueError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def serve_worker(address: tuple[str, int], authkey: bytes) -> None:
+    """Run one remote worker: connect to a pool's listener and serve.
+
+    The other side is :meth:`WorkerPool.listen`. Blocks until the pool
+    closes the connection (``python -m repro worker`` wraps this).
+    """
+    conn = Client(address, authkey=authkey)
+    _worker_loop(conn)
+
+
+class _Task:
+    """One queued unit of work and its parent-side future."""
+
+    __slots__ = ("id", "fn", "arg", "future", "attempts", "abandoned",
+                 "started_at")
+
+    def __init__(self, task_id: int, fn, arg) -> None:
+        self.id = task_id
+        self.fn = fn
+        self.arg = arg
+        self.future: Future = Future()
+        self.attempts = 0
+        self.abandoned: str | None = None  # kill reason, if killed
+        self.started_at = 0.0
+
+
+class _Worker:
+    """Parent-side handle: process (local only), pipe, deque, in-flight."""
+
+    __slots__ = ("wid", "process", "conn", "queue", "inflight", "remote")
+
+    def __init__(self, wid: int, process, conn, remote: bool) -> None:
+        self.wid = wid
+        self.process = process
+        self.conn = conn
+        self.queue: deque[_Task] = deque()
+        self.inflight: _Task | None = None
+        self.remote = remote
+
+
+class WorkerPool:
+    """N persistent workers behind per-worker work-stealing deques.
+
+    Args:
+        workers: local worker processes to spawn (0 is allowed when the
+            pool is fed purely by remote workers via :meth:`listen`).
+        respawn: replace local workers that die; in-flight work is
+            retried either way.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 respawn: bool = True) -> None:
+        if workers is None:
+            workers = max(1, (os.cpu_count() or 2) - 1)
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self._ctx = multiprocessing.get_context()
+        self._respawn = respawn
+        self._lock = threading.Lock()
+        self._workers: dict[int, _Worker] = {}
+        self._next_wid = 0
+        self._next_task = 0
+        self._closed = False
+        self._listener: Listener | None = None
+        self._service_s: deque[float] = deque(maxlen=_SERVICE_WINDOW)
+        self.steals = 0
+        self.respawns = 0
+        self.completed = 0
+        self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
+        with self._lock:
+            for _ in range(workers):
+                self._spawn_locked()
+        self._dispatcher = threading.Thread(
+            target=self._loop, name="repro-worker-pool", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _spawn_locked(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_loop, args=(child_conn,), daemon=True,
+            name=f"repro-worker-{self._next_wid}",
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(self._next_wid, process, parent_conn,
+                         remote=False)
+        self._workers[worker.wid] = worker
+        self._next_wid += 1
+        return worker
+
+    def listen(self, address: tuple[str, int],
+               authkey: bytes) -> tuple[str, int]:
+        """Accept remote workers on ``address``; returns the bound
+        ``(host, port)`` (useful with port 0)."""
+        with self._lock:
+            if self._listener is not None:
+                raise RuntimeError("pool is already listening")
+            self._listener = Listener(address, authkey=authkey)
+            bound = self._listener.address
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-worker-accept",
+            daemon=True,
+        )
+        accept_thread.start()
+        return bound
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._closed and listener is not None:
+            try:
+                conn = listener.accept()
+            except (OSError, EOFError, multiprocessing.AuthenticationError):
+                if self._closed:
+                    break
+                continue
+            with self._lock:
+                worker = _Worker(self._next_wid, None, conn, remote=True)
+                self._workers[worker.wid] = worker
+                self._next_wid += 1
+            self._wake()
+
+    def close(self) -> None:
+        """Stop dispatching, terminate workers, fail queued tasks."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+        self._wake()
+        self._dispatcher.join(timeout=5.0)
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError, TypeError, ValueError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.process is not None:
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join()
+            for task in list(worker.queue):
+                if not task.future.done():
+                    task.future.set_exception(
+                        WorkerCrashError("worker pool closed")
+                    )
+            if (worker.inflight is not None
+                    and not worker.inflight.future.done()):
+                worker.inflight.future.set_exception(
+                    WorkerCrashError("worker pool closed")
+                )
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, fn, arg, *, target: int | None = None) -> Future:
+        """Queue ``fn(arg)`` (both picklable) on the least-loaded worker.
+
+        ``target`` pins the task to one worker's deque (tests exercise
+        stealing with it); stealing may still move the task.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if not self._workers:
+                raise WorkerCrashError("worker pool has no live workers")
+            task = _Task(self._next_task, fn, arg)
+            self._next_task += 1
+            if target is not None and target in self._workers:
+                worker = self._workers[target]
+            else:
+                worker = min(
+                    self._workers.values(),
+                    key=lambda w: len(w.queue)
+                    + (1 if w.inflight is not None else 0),
+                )
+            worker.queue.append(task)
+        self._wake()
+        return task.future
+
+    def submit_payload(self, payload: RunPayload) -> Future:
+        """Queue one ``(kind, kwargs)`` run payload (cached execution)."""
+        return self.submit(run_request_payload, payload)
+
+    def run(self, payload: RunPayload,
+            timeout_s: float | None = None):
+        """Execute one run payload synchronously (the broker path).
+
+        Raises :class:`WorkerTimeoutError` after killing the hosting
+        worker when the deadline passes, :class:`WorkerCrashError` when
+        the task's workers died twice, and :class:`PayloadError` when
+        the payload itself raised.
+        """
+        future = self.submit_payload(payload)
+        try:
+            status, value = future.result(timeout_s)
+        except FutureTimeoutError:
+            self._kill_future(
+                future,
+                f"worker exceeded its {timeout_s:g}s deadline "
+                "and was killed",
+            )
+            raise WorkerTimeoutError(
+                f"worker exceeded its {timeout_s:g}s deadline and "
+                "was killed"
+            ) from None
+        if status == "ok":
+            return value
+        raise PayloadError(value)
+
+    def map(self, payloads: list[RunPayload],
+            report: ExecutionReport | None = None) -> list:
+        """Run payloads through the pool; results in input order.
+
+        Crash recovery matches :func:`repro.core.parallel.map_runs`:
+        payloads whose workers died are retried on another worker, and
+        anything that still cannot complete runs in-process — the batch
+        never drops a request. ``report`` captures what happened.
+        """
+        futures: list[Future | None] = []
+        for payload in payloads:
+            try:
+                futures.append(self.submit_payload(payload))
+            except WorkerCrashError:
+                futures.append(None)
+        results = []
+        for index, (payload, future) in enumerate(zip(payloads, futures)):
+            retried = crashed = False
+            if future is None:
+                crashed = True
+            else:
+                try:
+                    status, value = future.result()
+                    retried = future.repro_retried  # type: ignore[attr-defined]
+                except (WorkerCrashError, WorkerTimeoutError):
+                    crashed = True
+            if crashed:
+                if report is not None:
+                    report.fell_back.append(index)
+                results.append(run_request_payload(payload))
+                continue
+            if retried and report is not None:
+                report.retried.append(index)
+            if status == "ok":
+                results.append(value)
+            else:
+                raise PayloadError(value)
+        return results
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def mean_service_s(self) -> float:
+        """Mean duration of recently completed tasks (0 with no data)."""
+        with self._lock:
+            if not self._service_s:
+                return 0.0
+            return sum(self._service_s) / len(self._service_s)
+
+    @property
+    def queue_depth(self) -> int:
+        """Tasks queued across all deques (excluding in-flight)."""
+        with self._lock:
+            return sum(len(w.queue) for w in self._workers.values())
+
+    def stats(self) -> dict:
+        """Counters for ``/v1/status`` and tests."""
+        with self._lock:
+            live = [w for w in self._workers.values()]
+            return {
+                "workers": len(live),
+                "remote_workers": sum(1 for w in live if w.remote),
+                "busy": sum(1 for w in live if w.inflight is not None),
+                "queued": sum(len(w.queue) for w in live),
+                "steals": self.steals,
+                "respawns": self.respawns,
+                "completed": self.completed,
+                "mean_service_s": (
+                    sum(self._service_s) / len(self._service_s)
+                    if self._service_s else 0.0
+                ),
+            }
+
+    # -- dispatcher internals -------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"w")
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _kill_future(self, future: Future, reason: str) -> None:
+        """Abandon the task behind ``future`` (deadline enforcement)."""
+        with self._lock:
+            for worker in self._workers.values():
+                task = worker.inflight
+                if task is not None and task.future is future:
+                    task.abandoned = reason
+                    if worker.process is not None:
+                        worker.process.kill()
+                    else:
+                        try:
+                            worker.conn.close()
+                        except OSError:
+                            pass
+                    return
+                for queued in list(worker.queue):
+                    if queued.future is future:
+                        worker.queue.remove(queued)
+                        return
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                waitables = [self._wake_r]
+                sentinels = {}
+                for worker in self._workers.values():
+                    waitables.append(worker.conn)
+                    if worker.process is not None:
+                        sentinels[worker.process.sentinel] = worker
+                waitables.extend(sentinels)
+            try:
+                ready = wait(waitables, timeout=_HEALTH_INTERVAL_S)
+            except OSError:
+                ready = []
+            with self._lock:
+                if self._closed:
+                    return
+                dead: list[_Worker] = []
+                for item in ready:
+                    if item is self._wake_r:
+                        while self._wake_r.poll():
+                            self._wake_r.recv()
+                        continue
+                    if item in sentinels:
+                        dead.append(sentinels[item])
+                        continue
+                    worker = next(
+                        (w for w in self._workers.values()
+                         if w.conn is item),
+                        None,
+                    )
+                    if worker is None:
+                        continue
+                    if not self._drain_locked(worker):
+                        dead.append(worker)
+                # Liveness backstop for workers that died silently.
+                for worker in self._workers.values():
+                    if (worker.process is not None
+                            and not worker.process.is_alive()
+                            and worker not in dead):
+                        dead.append(worker)
+                for worker in dead:
+                    self._bury_locked(worker)
+                self._dispatch_locked()
+
+    def _drain_locked(self, worker: _Worker) -> bool:
+        """Consume results from one worker; False if the pipe died."""
+        try:
+            while worker.conn.poll():
+                task_id, status, value = worker.conn.recv()
+                task = worker.inflight
+                if task is None or task.id != task_id:
+                    continue  # stale answer from an abandoned task
+                worker.inflight = None
+                self.completed += 1
+                self._service_s.append(
+                    time.monotonic() - task.started_at
+                )
+                if not task.future.done():
+                    task.future.repro_retried = (  # type: ignore[attr-defined]
+                        task.attempts > 1
+                    )
+                    task.future.set_result((status, value))
+        except (EOFError, OSError):
+            return False
+        return True
+
+    def _bury_locked(self, worker: _Worker) -> None:
+        """Handle one dead worker: requeue/fail work, maybe respawn."""
+        if worker.wid not in self._workers:
+            return
+        del self._workers[worker.wid]
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process is not None:
+            worker.process.join(timeout=0.1)
+        task = worker.inflight
+        worker.inflight = None
+        if task is not None and not task.future.done():
+            if task.abandoned is not None:
+                task.future.set_exception(
+                    WorkerTimeoutError(task.abandoned)
+                )
+            elif task.attempts >= _TASK_ATTEMPTS or not self._workers:
+                task.future.set_exception(WorkerCrashError(
+                    "worker process died without reporting a result"
+                ))
+            else:
+                # Retry on whichever worker is least loaded.
+                victim = min(
+                    self._workers.values(),
+                    key=lambda w: len(w.queue)
+                    + (1 if w.inflight is not None else 0),
+                )
+                victim.queue.appendleft(task)
+        for queued in worker.queue:
+            if self._workers:
+                min(
+                    self._workers.values(),
+                    key=lambda w: len(w.queue),
+                ).queue.append(queued)
+            elif not queued.future.done():
+                queued.future.set_exception(WorkerCrashError(
+                    "worker pool has no live workers"
+                ))
+        if (self._respawn and not worker.remote and not self._closed):
+            self._spawn_locked()
+            self.respawns += 1
+
+    def _dispatch_locked(self) -> None:
+        """Give every idle worker a task: own deque first, then steal."""
+        for worker in self._workers.values():
+            if worker.inflight is not None:
+                continue
+            task: _Task | None = None
+            if worker.queue:
+                task = worker.queue.popleft()
+            else:
+                victim = max(
+                    (w for w in self._workers.values() if w.queue),
+                    key=lambda w: len(w.queue),
+                    default=None,
+                )
+                if victim is not None:
+                    task = victim.queue.pop()
+                    self.steals += 1
+            if task is None:
+                continue
+            if task.future.done():  # cancelled/abandoned while queued
+                continue
+            task.attempts += 1
+            task.started_at = time.monotonic()
+            worker.inflight = task
+            try:
+                worker.conn.send((task.id, task.fn, task.arg))
+            except (BrokenPipeError, OSError, TypeError,
+                    ValueError) as error:
+                worker.inflight = None
+                if isinstance(error, (TypeError, ValueError)):
+                    # Unpicklable task: fail it, keep the worker.
+                    task.future.set_exception(PayloadError(
+                        f"{type(error).__name__}: {error}"
+                    ))
+                else:
+                    self._bury_locked(worker)
+                    return

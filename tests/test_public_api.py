@@ -127,6 +127,8 @@ class TestAllSnapshot:
             "BrokerMetrics",
             "BrokerServer",
             "SimResponse",
+            "WorkerPool",
+            "serve_worker",
         ]
 
 
