@@ -125,6 +125,15 @@ class SimRequest:
         fault_time / fault_duration / fault_kind / fault_severity:
             transient timed fault on ``fault_node``
             (:mod:`repro.resilience` taxonomy).
+        pipeline_schedule: pipeline schedule name from the
+            :mod:`repro.schedules` registry (``"1f1b"`` default,
+            ``"interleaved"``, ``"gpipe"``, ``"zb-h1"``, ``"seq1f1b"``,
+            ...). Normalised at construction; unknown names raise with
+            a did-you-mean hint, and schedule constraints (interleaved
+            microbatch divisibility, sequence-split support) are
+            checked here rather than deep inside the graph builder.
+        seq_splits: sequence splits per microbatch, for schedules that
+            support them; ``None`` uses the schedule's default.
         timeout_s: per-request wall-clock budget, honoured by the
             broker (the synchronous :func:`submit` ignores it).
         fleet: fleet-job parameters (keys from :data:`FLEET_KEYS`);
@@ -159,6 +168,8 @@ class SimRequest:
     timeout_s: float | None = None
     fleet: dict | None = None
     serving: Any = None
+    pipeline_schedule: str = "1f1b"
+    seq_splits: int | None = None
 
     # -- validation -----------------------------------------------------
 
@@ -171,6 +182,13 @@ class SimRequest:
         if kind != "serving":
             _require(self.serving is None,
                      "serving parameters require kind='serving'")
+        if kind in ("fleet", "serving"):
+            _require(
+                self.pipeline_schedule == "1f1b"
+                and self.seq_splits is None,
+                "pipeline_schedule/seq_splits apply to training and "
+                "inference requests",
+            )
         if kind == "fleet":
             _require(
                 not (self.model or self.cluster or self.parallelism),
@@ -207,13 +225,14 @@ class SimRequest:
             cluster = get_cluster(self.cluster)
         except KeyError as error:
             raise ValueError(error.args[0]) from None
-        parse_strategy(self.parallelism)
+        strategy = parse_strategy(self.parallelism)
         _require(isinstance(self.optimizations, OptimizationConfig),
                  "optimizations must be an OptimizationConfig")
         for name in ("microbatch_size", "global_batch_size", "iterations"):
             value = getattr(self, name)
             _require(isinstance(value, int) and value >= 1,
                      f"{name} must be an integer >= 1, got {value!r}")
+        self._validate_schedule(strategy, cluster)
         _require(0 <= self.warmup_iterations < self.iterations,
                  f"warmup_iterations must be in [0, iterations), got "
                  f"{self.warmup_iterations!r}")
@@ -227,6 +246,63 @@ class SimRequest:
                         tuple(str(i) for i in range(num_nodes)),
                     )
                     + f" (cluster {self.cluster!r} has {num_nodes} nodes)"
+                )
+
+    def _validate_schedule(self, strategy, cluster) -> None:
+        """Normalise the schedule name and check its constraints early.
+
+        Errors are spelled in the request's own vocabulary
+        (``--pipeline-schedule``, ``--global-batch-size``, ...) so a
+        bad combination fails at construction with an actionable
+        message instead of a builder-internal one at run time.
+        """
+        from repro.schedules import (
+            canonical_schedule_name,
+            get_schedule_class,
+        )
+
+        canonical = canonical_schedule_name(self.pipeline_schedule)
+        object.__setattr__(self, "pipeline_schedule", canonical)
+        schedule_cls = get_schedule_class(canonical)
+        if self.seq_splits is not None:
+            _require(
+                isinstance(self.seq_splits, int) and self.seq_splits >= 1,
+                f"seq_splits must be an integer >= 1, got "
+                f"{self.seq_splits!r}",
+            )
+            if self.seq_splits > 1 and not schedule_cls.supports_seq_splits:
+                raise ValueError(
+                    f"the {canonical!r} schedule does not split "
+                    f"sequences; --seq-splits {self.seq_splits} needs a "
+                    "sequence-split schedule such as --pipeline-schedule "
+                    "seq1f1b"
+                )
+        if canonical != "interleaved":
+            return
+        pp = strategy.pp
+        _require(
+            pp > 1,
+            "--pipeline-schedule interleaved needs a pipelined strategy "
+            f"(pp >= 2); {self.parallelism!r} has pp={pp}",
+        )
+        # Resolve dp the same way execution will, to check Megatron's
+        # microbatch-divisibility constraint before any graph is built.
+        try:
+            filled = strategy.fill_dp(cluster.total_gpus)
+        except ValueError:
+            return  # the strategy itself is the problem; reported there
+        shards = filled.dp * self.microbatch_size
+        if self.global_batch_size % shards == 0:
+            num_microbatches = self.global_batch_size // shards
+            if num_microbatches % pp:
+                raise ValueError(
+                    "interleaved schedule requires num_microbatches to "
+                    f"be a multiple of num_stages: --global-batch-size "
+                    f"{self.global_batch_size} with --microbatch-size "
+                    f"{self.microbatch_size} and dp={filled.dp} gives "
+                    f"{num_microbatches} microbatches, not a multiple "
+                    f"of pp={pp}; adjust --global-batch-size or pick "
+                    "--pipeline-schedule 1f1b"
                 )
 
     def _validate_serving(self) -> None:
@@ -373,10 +449,13 @@ class SimRequest:
                 f"x{batcher.get('gpus_per_replica', 4)}"
                 f"|{batcher.get('scheduler', 'continuous')}"
             )
-        return (
+        label = (
             f"{self.kind}|{self.model}|{self.cluster}|{self.parallelism}"
             f"|mb{self.microbatch_size}|{self.optimizations.label}"
         )
+        if self.pipeline_schedule != "1f1b":
+            label += f"|{self.pipeline_schedule}"
+        return label
 
     def settings(self) -> SimSettings:
         """The :class:`SimSettings` this request's fault/governor
@@ -459,6 +538,10 @@ class SimRequest:
             kwargs["optimizations"] = self.optimizations
         if self.warmup_iterations != 1:
             kwargs["warmup_iterations"] = self.warmup_iterations
+        if self.pipeline_schedule != "1f1b":
+            kwargs["pipeline_schedule"] = self.pipeline_schedule
+        if self.seq_splits is not None:
+            kwargs["seq_splits"] = self.seq_splits
         settings = self.settings()
         if settings != SimSettings():
             kwargs["settings"] = settings

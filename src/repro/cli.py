@@ -76,6 +76,7 @@ from repro.parallelism.strategy import OptimizationConfig
 #: ``fault_power_scale`` is not half-rewritten by ``fault_power``).
 _FLAG_SPELLINGS = (
     ("fault_power_scale", "--fault-power-scale"),
+    ("pipeline_schedule", "--pipeline-schedule"),
     ("global_batch_size", "--global-batch"),
     ("microbatch_size", "--microbatch"),
     ("fault_duration", "--fault-duration"),
@@ -86,6 +87,7 @@ _FLAG_SPELLINGS = (
     ("fault_node", "--fault-node"),
     ("fault_time", "--fault-time"),
     ("timeout_s", "--timeout-s"),
+    ("seq_splits", "--seq-splits"),
 )
 
 
@@ -112,6 +114,16 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--microbatch", type=int, default=1)
     parser.add_argument("--global-batch", type=int, default=128)
     parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument(
+        "--pipeline-schedule", default="1f1b",
+        help="pipeline schedule from the repro.schedules registry: "
+             "1f1b (default), interleaved, gpipe, zb-h1, seq1f1b",
+    )
+    parser.add_argument(
+        "--seq-splits", type=int, default=None,
+        help="sequence splits per microbatch (seq1f1b; schedule default "
+             "when omitted)",
+    )
     parser.add_argument("--act", action="store_true",
                         help="activation recomputation")
     parser.add_argument("--cc", action="store_true",
@@ -207,6 +219,8 @@ def _request_from_args(args: argparse.Namespace) -> SimRequest:
         fault_duration=getattr(args, "fault_duration", None),
         fault_kind=getattr(args, "fault_kind", None),
         fault_severity=getattr(args, "fault_severity", None),
+        pipeline_schedule=getattr(args, "pipeline_schedule", "1f1b"),
+        seq_splits=getattr(args, "seq_splits", None),
     )
 
 
@@ -347,6 +361,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.parallel import ExecutionReport
 
     opts = _opts_from(args)
+    schedules = getattr(args, "pipeline_schedule", None) or ["1f1b"]
     requests = [
         SimRequest(
             kind="training",
@@ -357,9 +372,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             microbatch_size=microbatch,
             global_batch_size=args.global_batch,
             iterations=args.iterations,
+            pipeline_schedule=schedule,
         )
         for strategy in args.parallelism
         for microbatch in args.microbatch
+        for schedule in schedules
     ]
     report = ExecutionReport()
     results = submit_many(requests, jobs=args.jobs, report=report)
@@ -376,6 +393,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rows.append({
             "strategy": request.parallelism,
             "microbatch": request.microbatch_size,
+            "schedule": request.pipeline_schedule,
             "tokens_per_s": efficiency.tokens_per_s,
             "tokens_per_joule": efficiency.tokens_per_joule,
             "peak_temp_c": stats.peak_temp_c,
@@ -385,12 +403,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         _emit_json({"rows": rows})
         return 0
     print(
-        f"{'strategy':<16} {'mb':>3} {'tok/s':>10} {'tok/J':>7} "
-        f"{'peakT':>6} {'clock':>6}"
+        f"{'strategy':<16} {'mb':>3} {'schedule':<11} {'tok/s':>10} "
+        f"{'tok/J':>7} {'peakT':>6} {'clock':>6}"
     )
     for row in rows:
         print(
             f"{row['strategy']:<16} {row['microbatch']:>3} "
+            f"{row['schedule']:<11} "
             f"{row['tokens_per_s']:>10,.0f} "
             f"{row['tokens_per_joule']:>7.3f} "
             f"{row['peak_temp_c']:>6.1f} "
@@ -437,6 +456,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     from repro.viz.figures import (
         kernel_breakdown_figure,
         powerctl_timeline_figure,
+        schedule_timeline_figure,
         temperature_heatmap_figure,
         thermal_timeseries_figure,
         throttle_heatmap_figure,
@@ -455,6 +475,9 @@ def cmd_figures(args: argparse.Namespace) -> int:
         "throughput.svg", "breakdown.svg", "temperature.svg",
         "throttling.svg", "timeseries.svg",
     ]
+    if result.parallelism.pp > 1:
+        schedule_timeline_figure(result, path=output / "schedule.svg")
+        names.append("schedule.svg")
     if result.outcome.power_control is not None:
         powerctl_timeline_figure(result, path=output / "powerctl.svg")
         names.append("powerctl.svg")
@@ -529,6 +552,12 @@ def _powerctl_workload_kwargs(args: argparse.Namespace) -> dict:
         iterations=args.iterations,
         settings=SimSettings(),
         jobs=args.jobs,
+        # None (not "1f1b") keeps default-run cache keys unchanged.
+        pipeline_schedule=(
+            schedule if (schedule := getattr(
+                args, "pipeline_schedule", None)) != "1f1b" else None
+        ),
+        seq_splits=getattr(args, "seq_splits", None),
     )
 
 
@@ -1221,7 +1250,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=cmd_run)
 
     sweep = subparsers.add_parser(
-        "sweep", help="run a strategy x microbatch grid",
+        "sweep", help="run a strategy x microbatch x schedule grid",
         parents=sim_parents,
     )
     sweep.add_argument("--model", required=True)
@@ -1232,6 +1261,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--microbatch", type=int, nargs="+", default=[1],
+    )
+    sweep.add_argument(
+        "--pipeline-schedule", action="append", default=None,
+        help="repeatable sweep axis: one registered schedule per flag "
+             "(default: 1f1b only)",
     )
     sweep.add_argument("--global-batch", type=int, default=128)
     sweep.add_argument("--iterations", type=int, default=2)

@@ -22,6 +22,8 @@ the paper's 10 discarded iterations).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.engine.builder import build_inference_graph, build_training_graph
 from repro.engine.simulator import SimSettings, simulate
 from repro.hardware.cluster import ClusterSpec, get_cluster
@@ -68,6 +70,8 @@ def execute_training(
     placement: list[int] | None = None,
     stage_layers: list[int] | None = None,
     settings: SimSettings | None = None,
+    pipeline_schedule: str | None = None,
+    seq_splits: int | None = None,
 ) -> RunResult:
     """Simulate a distributed training run and return its result.
 
@@ -85,6 +89,11 @@ def execute_training(
             (thermal-aware scheduling).
         stage_layers: optional per-stage layer counts (asymmetric splits).
         settings: simulator fidelity knobs.
+        pipeline_schedule: overrides the strategy's pipeline schedule
+            (any name registered in :mod:`repro.schedules`).
+        seq_splits: sequence splits per microbatch for schedules that
+            support them (e.g. ``"seq1f1b"``); ``None`` uses the
+            schedule's default.
 
     Returns:
         A :class:`RunResult` with throughput, energy, thermal, and trace
@@ -93,6 +102,8 @@ def execute_training(
     model = _resolve_model(model)
     cluster = _resolve_cluster(cluster)
     strategy = _resolve_strategy(parallelism, cluster)
+    if pipeline_schedule is not None:
+        strategy = replace(strategy, pipeline_schedule=pipeline_schedule)
     opts = optimizations or OptimizationConfig()
     mesh = DeviceMesh(
         cluster=cluster,
@@ -107,6 +118,7 @@ def execute_training(
         opts=opts,
         iterations=iterations,
         stage_layers=stage_layers,
+        num_seq_splits=seq_splits,
     )
     outcome = simulate(mesh, graph, settings)
     return RunResult(
@@ -130,6 +142,8 @@ def execute_inference(
     iterations: int = 2,
     warmup_iterations: int = 1,
     settings: SimSettings | None = None,
+    pipeline_schedule: str | None = None,
+    seq_splits: int | None = None,
 ) -> RunResult:
     """Simulate a distributed (batch) inference run (Section 7.2).
 
@@ -139,6 +153,8 @@ def execute_inference(
     model = _resolve_model(model)
     cluster = _resolve_cluster(cluster)
     strategy = _resolve_strategy(parallelism, cluster)
+    if pipeline_schedule is not None:
+        strategy = replace(strategy, pipeline_schedule=pipeline_schedule)
     mesh = DeviceMesh(cluster=cluster, config=strategy)
     graph = build_inference_graph(
         model=model,
@@ -146,6 +162,7 @@ def execute_inference(
         microbatch_size=microbatch_size,
         global_batch_size=global_batch_size,
         iterations=iterations,
+        num_seq_splits=seq_splits,
     )
     outcome = simulate(mesh, graph, settings)
     return RunResult(

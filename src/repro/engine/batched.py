@@ -1537,6 +1537,15 @@ class _BatchGroup:
         self._strategy = _resolve_strategy(
             kwargs["parallelism"], self._cluster
         )
+        # Mirror execute_training/execute_inference: an explicit
+        # pipeline_schedule kwarg overrides the strategy's. The schedule
+        # is part of the frozen kwargs in _group_key, so each schedule
+        # forms its own anchor+replay group.
+        if kwargs.get("pipeline_schedule") is not None:
+            self._strategy = replace(
+                self._strategy,
+                pipeline_schedule=kwargs["pipeline_schedule"],
+            )
         if self.kind == "train":
             self._opts = kwargs.get("optimizations") or OptimizationConfig()
             placement = kwargs.get("placement")
@@ -1553,6 +1562,7 @@ class _BatchGroup:
                 opts=self._opts,
                 iterations=kwargs.get("iterations", 2),
                 stage_layers=kwargs.get("stage_layers"),
+                num_seq_splits=kwargs.get("seq_splits"),
             )
         else:
             self._opts = OptimizationConfig(distributed_optimizer=False)
@@ -1565,6 +1575,7 @@ class _BatchGroup:
                 microbatch_size=kwargs.get("microbatch_size", 1),
                 global_batch_size=kwargs.get("global_batch_size", 128),
                 iterations=kwargs.get("iterations", 2),
+                num_seq_splits=kwargs.get("seq_splits"),
             )
 
     def _wrap(self, member: _Member, outcome: SimOutcome) -> RunResult:

@@ -36,7 +36,6 @@ from dataclasses import dataclass
 
 from repro.comm.collectives import allreduce
 from repro.engine.kernels import KernelKind, stage_gemm_efficiency
-from repro.engine.schedule import Direction, schedule_for
 from repro.engine.task import (
     CollectiveOp,
     CollectiveSpec,
@@ -53,6 +52,7 @@ from repro.optimizations.lora import lora_params
 from repro.parallelism.mapping import DeviceMesh, RankCoords, rank_of
 from repro.parallelism.strategy import OptimizationConfig
 from repro.power.model import Activity
+from repro.schedules import NodeType, create_schedule
 
 # Gradient-bucket count for overlapped data-parallel synchronisation.
 DP_OVERLAP_BUCKETS = 4
@@ -99,6 +99,7 @@ class GraphBuilder:
         iterations: int = 2,
         stage_layers: list[int] | None = None,
         num_chunks: int = 2,
+        num_seq_splits: int | None = None,
         inference: bool = False,
     ) -> None:
         cfg = mesh.config
@@ -136,9 +137,23 @@ class GraphBuilder:
             raise ValueError("stage_layers must have one entry per stage")
         if sum(self.stage_layers) != model.num_layers:
             raise ValueError("stage_layers must sum to num_layers")
-        self.num_chunks = (
-            num_chunks if cfg.interleaved and cfg.pp > 1 else 1
+        # Resolve the pipeline schedule: the legacy ``interleaved`` flag
+        # upgrades 1F1B to the interleaved schedule, and interleaving is
+        # a no-op on a single stage either way.
+        schedule_name = cfg.pipeline_schedule
+        if schedule_name == "1f1b" and cfg.interleaved and cfg.pp > 1:
+            schedule_name = "interleaved"
+        elif schedule_name == "interleaved" and cfg.pp <= 1:
+            schedule_name = "1f1b"
+        self.num_chunks = num_chunks if schedule_name == "interleaved" else 1
+        self.schedule = create_schedule(
+            schedule_name,
+            cfg.pp,
+            num_microbatches,
+            num_chunks=self.num_chunks,
+            num_seq_splits=num_seq_splits,
         )
+        self.num_seq_splits = self.schedule.num_seq_splits
 
         self._uid = itertools.count()
         self._msg_uid = itertools.count()
@@ -149,7 +164,18 @@ class GraphBuilder:
         gpu = mesh.cluster.node.gpu
         self._hbm_bw = gpu.hbm_bandwidth_bytes_per_s
 
+        # Sequence-split schedules pipeline fractional-sequence chunks:
+        # every per-unit quantity (FLOPs, GEMM efficiency, activation
+        # payloads) scales to the chunk, while tokens per iteration —
+        # and hence throughput accounting — is unchanged.
         tokens = microbatch_size * model.seq_length
+        if self.num_seq_splits > 1:
+            if tokens % self.num_seq_splits:
+                raise ValueError(
+                    f"microbatch of {tokens} tokens does not divide "
+                    f"into {self.num_seq_splits} sequence splits"
+                )
+            tokens //= self.num_seq_splits
         self._tokens = tokens
         self._gemm_eff = stage_gemm_efficiency(
             model, tokens, cfg.tp,
@@ -228,37 +254,48 @@ class GraphBuilder:
     def _emit_slice(
         self, iteration: int, dpo: int, e: int, stage: int
     ) -> None:
-        ops = schedule_for(
-            stage,
-            self.cfg.pp,
-            self.shape.num_microbatches,
-            interleaved=self.num_chunks > 1,
-            num_chunks=self.num_chunks,
-            flavor=self.cfg.pipeline_schedule,
-        )
+        nodes = self.schedule.rank_ops(stage)
         if self.inference:
-            ops = [op for op in ops if op.direction is Direction.FORWARD]
-        total_backwards = sum(
-            1 for op in ops if op.direction is Direction.BACKWARD
+            nodes = tuple(
+                n for n in nodes if n.type is NodeType.FORWARD
+            )
+        # The node type that carries DP gradient buckets under CC
+        # overlap: the weight-grad half where the schedule splits the
+        # backward (weight grads are what DP reduces), else the full
+        # backward.
+        grad_type = (
+            NodeType.WEIGHT if self.schedule.splits_weight_grad
+            else NodeType.BACKWARD
         )
-        backward_index = 0
-        for op in ops:
-            if op.direction is Direction.FORWARD:
+        total_grads = sum(1 for n in nodes if n.type is grad_type)
+        grad_index = 0
+        for node in nodes:
+            if node.type is NodeType.FORWARD:
                 self._emit_forward(
-                    iteration, dpo, e, stage, op.microbatch, op.chunk
+                    iteration, dpo, e, stage, node.microbatch, node.chunk,
+                    node.seq_split,
                 )
-            else:
+            elif node.type is NodeType.BACKWARD:
+                carries_grad = grad_type is NodeType.BACKWARD
                 self._emit_backward(
                     iteration,
                     dpo,
                     e,
                     stage,
-                    op.microbatch,
-                    op.chunk,
-                    backward_index,
-                    total_backwards,
+                    node.microbatch,
+                    node.chunk,
+                    node.seq_split,
+                    grad_index if carries_grad else -1,
+                    total_grads,
                 )
-                backward_index += 1
+                if carries_grad:
+                    grad_index += 1
+            else:
+                self._emit_weight_grad(
+                    iteration, dpo, e, stage, node.microbatch, node.chunk,
+                    node.seq_split, grad_index, total_grads,
+                )
+                grad_index += 1
         if not self.inference:
             self._emit_iteration_tail(iteration, dpo, e, stage)
 
@@ -280,6 +317,7 @@ class GraphBuilder:
         stage: int,
         mb: int,
         chunk: int,
+        sq: int = 0,
     ) -> None:
         cfg = self.cfg
         vs = chunk * cfg.pp + stage
@@ -306,10 +344,10 @@ class GraphBuilder:
         for t, rank in self._slice_ranks(dpo, e, stage):
             if vs > 0:
                 self._emit_recv(rank, iteration, "F", mb, vs, t, e, dpo,
-                                stage)
+                                stage, sq)
             if cfg.use_fsdp:
                 self._emit_fsdp_allgather(
-                    iteration, stage, mb, t, rank, phase="F"
+                    iteration, stage, mb, t, rank, phase="F", sq=sq
                 )
             self._append_compute(
                 rank, KernelKind.FWD_GEMM, compute_spec, iteration, mb,
@@ -317,16 +355,17 @@ class GraphBuilder:
             )
             if self.model.moe and cfg.ep > 1:
                 self._emit_alltoall(
-                    iteration, dpo, stage, mb, chunk, "F", t, rank, layers
+                    iteration, dpo, stage, mb, chunk, "F", t, rank, layers,
+                    sq,
                 )
             if cfg.tp > 1:
                 self._emit_tp_allreduce(
                     iteration, dpo, e, stage, mb, chunk, "F", rank, layers,
-                    repeat=tail_ops,
+                    repeat=tail_ops, sq=sq,
                 )
             if vs < total_vs - 1:
                 self._emit_send(rank, iteration, "F", mb, vs, t, e, dpo,
-                                stage)
+                                stage, sq)
 
     # -- backward ------------------------------------------------------
 
@@ -338,6 +377,7 @@ class GraphBuilder:
         stage: int,
         mb: int,
         chunk: int,
+        sq: int,
         backward_index: int,
         total_backwards: int,
     ) -> None:
@@ -350,6 +390,11 @@ class GraphBuilder:
             LORA_BACKWARD_MULTIPLIER if self.opts.lora
             else BACKWARD_MULTIPLIER
         )
+        if self.schedule.splits_weight_grad:
+            # Split backward: this node computes input grads only (the
+            # cross-stage critical path); the weight-grad remainder is
+            # a separate W node.
+            multiplier = min(1.0, multiplier)
         bwd_spec = ComputeSpec(
             flops=multiplier * fwd_flops,
             efficiency=self._gemm_eff,
@@ -357,9 +402,12 @@ class GraphBuilder:
         )
 
         # Does this backward carry an overlapped DP gradient bucket?
+        # (Never when the schedule splits the backward: the weight-grad
+        # W nodes carry the buckets then, signalled by index -1.)
         dp_bucket = -1
         if (
-            self.opts.cc_overlap
+            backward_index >= 0
+            and self.opts.cc_overlap
             and cfg.dp > 1
             and cfg.ep == 1
             and not cfg.use_fsdp
@@ -384,10 +432,10 @@ class GraphBuilder:
         for t, rank in self._slice_ranks(dpo, e, stage):
             if vs < total_vs - 1:
                 self._emit_recv(rank, iteration, "B", mb, vs, t, e, dpo,
-                                stage)
+                                stage, sq)
             if cfg.use_fsdp:
                 self._emit_fsdp_allgather(
-                    iteration, stage, mb, t, rank, phase="B"
+                    iteration, stage, mb, t, rank, phase="B", sq=sq
                 )
             if self.opts.activation_recompute:
                 self._append_compute(
@@ -413,16 +461,73 @@ class GraphBuilder:
                 )
             if self.model.moe and cfg.ep > 1:
                 self._emit_alltoall(
-                    iteration, dpo, stage, mb, chunk, "B", t, rank, layers
+                    iteration, dpo, stage, mb, chunk, "B", t, rank, layers,
+                    sq,
                 )
             if cfg.tp > 1:
                 self._emit_tp_allreduce(
                     iteration, dpo, e, stage, mb, chunk, "B", rank, layers,
-                    repeat=tail_ops,
+                    repeat=tail_ops, sq=sq,
                 )
             if vs > 0:
                 self._emit_send(rank, iteration, "B", mb, vs, t, e, dpo,
-                                stage)
+                                stage, sq)
+
+    # -- weight grad (zero-bubble split backward) ------------------------
+
+    def _emit_weight_grad(
+        self,
+        iteration: int,
+        dpo: int,
+        e: int,
+        stage: int,
+        mb: int,
+        chunk: int,
+        sq: int,
+        grad_index: int,
+        total_grads: int,
+    ) -> None:
+        """The deferred weight-grad half of a split backward.
+
+        Pure local compute: weight gradients have no cross-stage
+        consumers (no recv/send) and no activation partial sums to
+        reduce (no TP AllReduce) — which is exactly why zero-bubble
+        schedules can slide this work into pipeline bubbles. Under CC
+        overlap the W nodes carry the tail DP gradient buckets, since
+        weight grads are what data parallelism synchronises.
+        """
+        cfg = self.cfg
+        vs = chunk * cfg.pp + stage
+        fwd_flops = self._stage_forward_flops(stage, vs)
+        multiplier = (
+            LORA_BACKWARD_MULTIPLIER if self.opts.lora
+            else BACKWARD_MULTIPLIER
+        )
+        w_spec = ComputeSpec(
+            flops=(multiplier - min(1.0, multiplier)) * fwd_flops,
+            efficiency=self._gemm_eff,
+            activity=self._compute_activity,
+        )
+        dp_bucket = -1
+        if (
+            self.opts.cc_overlap
+            and cfg.dp > 1
+            and cfg.ep == 1
+            and not cfg.use_fsdp
+            and grad_index >= total_grads - DP_OVERLAP_BUCKETS
+        ):
+            dp_bucket = grad_index - (total_grads - DP_OVERLAP_BUCKETS)
+        for t, rank in self._slice_ranks(dpo, e, stage):
+            if dp_bucket >= 0:
+                self._emit_dp_bucket(
+                    iteration, stage, t, rank, dp_bucket, w_spec,
+                    kernel=KernelKind.WGRAD_GEMM,
+                )
+            else:
+                self._append_compute(
+                    rank, KernelKind.WGRAD_GEMM, w_spec, iteration, mb,
+                    stage,
+                )
 
     # -- iteration tail (gradient sync + optimizer) ---------------------
 
@@ -663,12 +768,13 @@ class GraphBuilder:
         rank: int,
         layers: float,
         repeat: int | None = None,
+        sq: int = 0,
     ) -> None:
         tp_ranks = self._tp_ranks(dpo, e, stage)
         if repeat is None:
             repeat = max(1, round(self._tp_ops_per_layer() * layers))
         self._append_shared_collective(
-            key=(iteration, "tp_ar", dpo, e, stage, mb, chunk, phase),
+            key=(iteration, "tp_ar", dpo, e, stage, mb, chunk, phase, sq),
             rank=rank,
             op=CollectiveOp.ALLREDUCE,
             kernel=KernelKind.TP_ALLREDUCE,
@@ -691,6 +797,7 @@ class GraphBuilder:
         t: int,
         rank: int,
         layers: float,
+        sq: int = 0,
     ) -> None:
         cfg = self.cfg
         moe = self.model.moe
@@ -707,7 +814,7 @@ class GraphBuilder:
             / cfg.tp
         )
         self._append_shared_collective(
-            key=(iteration, "a2a", dpo, stage, mb, chunk, phase, t),
+            key=(iteration, "a2a", dpo, stage, mb, chunk, phase, t, sq),
             rank=rank,
             op=CollectiveOp.ALLTOALL,
             kernel=KernelKind.EP_ALLTOALL,
@@ -727,6 +834,7 @@ class GraphBuilder:
         rank: int,
         bucket: int,
         bwd_spec: ComputeSpec,
+        kernel: KernelKind = KernelKind.BWD_GEMM,
     ) -> None:
         zero1 = self._zero1()
         payload = (
@@ -750,7 +858,7 @@ class GraphBuilder:
             iteration=iteration,
             stage=stage,
             overlap=bwd_spec,
-            overlap_kernel=KernelKind.BWD_GEMM,
+            overlap_kernel=kernel,
         )
 
     def _emit_fsdp_allgather(
@@ -761,6 +869,7 @@ class GraphBuilder:
         t: int,
         rank: int,
         phase: str,
+        sq: int = 0,
     ) -> None:
         gathered_bytes = (
             (self._dense_shard + self._expert_shard)
@@ -768,7 +877,7 @@ class GraphBuilder:
             * self.model.bytes_per_param
         )
         self._append_shared_collective(
-            key=(iteration, "fsdp_ag", stage, mb, phase, t),
+            key=(iteration, "fsdp_ag", stage, mb, phase, t, sq),
             rank=rank,
             op=CollectiveOp.ALLGATHER,
             kernel=KernelKind.PARAM_ALLGATHER,
@@ -833,10 +942,11 @@ class GraphBuilder:
         e: int,
         dpo: int,
         stage: int,
+        sq: int = 0,
     ) -> None:
         direction = 1 if phase == "F" else -1
         dst = self._owner_rank(vs + direction, t, e, dpo)
-        msg = self._message_id((iteration, phase, mb, vs, t, e, dpo))
+        msg = self._message_id((iteration, phase, mb, vs, t, e, dpo, sq))
         self.queues[rank].append(
             Task(
                 uid=next(self._uid),
@@ -867,12 +977,13 @@ class GraphBuilder:
         e: int,
         dpo: int,
         stage: int,
+        sq: int = 0,
     ) -> None:
         # The matching send was emitted by the neighbouring virtual stage:
         # forward messages originate at vs-1, backward messages at vs+1.
         src_vs = vs - 1 if phase == "F" else vs + 1
         src = self._owner_rank(src_vs, t, e, dpo)
-        msg = self._message_id((iteration, phase, mb, src_vs, t, e, dpo))
+        msg = self._message_id((iteration, phase, mb, src_vs, t, e, dpo, sq))
         self.queues[rank].append(
             Task(
                 uid=next(self._uid),
@@ -902,6 +1013,7 @@ def build_training_graph(
     iterations: int = 2,
     stage_layers: list[int] | None = None,
     num_chunks: int = 2,
+    num_seq_splits: int | None = None,
 ) -> TaskGraph:
     """Build the task graph of a training run (see module docstring)."""
     return GraphBuilder(
@@ -913,6 +1025,7 @@ def build_training_graph(
         iterations=iterations,
         stage_layers=stage_layers,
         num_chunks=num_chunks,
+        num_seq_splits=num_seq_splits,
     ).build()
 
 
@@ -922,6 +1035,7 @@ def build_inference_graph(
     microbatch_size: int,
     global_batch_size: int,
     iterations: int = 2,
+    num_seq_splits: int | None = None,
 ) -> TaskGraph:
     """Forward-only graph for the Section 7.2 inference characterization."""
     return GraphBuilder(
@@ -931,5 +1045,6 @@ def build_inference_graph(
         global_batch_size=global_batch_size,
         opts=OptimizationConfig(distributed_optimizer=False),
         iterations=iterations,
+        num_seq_splits=num_seq_splits,
         inference=True,
     ).build()

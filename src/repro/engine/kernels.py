@@ -31,6 +31,7 @@ class KernelKind(Enum):
 
     FWD_GEMM = "fwd_gemm"
     BWD_GEMM = "bwd_gemm"
+    WGRAD_GEMM = "wgrad_gemm"
     RECOMPUTE_GEMM = "recompute_gemm"
     EMBEDDING = "embedding"
     OPTIMIZER_STEP = "optimizer_step"
@@ -46,6 +47,7 @@ class KernelKind(Enum):
 _CATEGORY: dict[KernelKind, KernelCategory] = {
     KernelKind.FWD_GEMM: KernelCategory.COMPUTE,
     KernelKind.BWD_GEMM: KernelCategory.COMPUTE,
+    KernelKind.WGRAD_GEMM: KernelCategory.COMPUTE,
     KernelKind.RECOMPUTE_GEMM: KernelCategory.COMPUTE,
     KernelKind.EMBEDDING: KernelCategory.COMPUTE,
     KernelKind.OPTIMIZER_STEP: KernelCategory.OPTIMIZER,

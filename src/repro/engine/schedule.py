@@ -1,10 +1,16 @@
-"""Pipeline-parallel schedules: 1F1B and Megatron's interleaved variant.
+"""Legacy pipeline-schedule API, now a thin adapter over
+:mod:`repro.schedules`.
 
-A schedule is, per pipeline rank, the ordered list of forward/backward
-microbatch executions. Cross-rank timing is *not* prescribed here — the
-simulator derives it from P2P message availability — but the per-rank
-order determines pipeline bubbles, in-flight activation counts, and the
-burstiness the paper links to power excursions.
+Historically this module hardcoded the 1F1B / interleaved / GPipe
+per-rank op lists; they now live as :class:`~repro.schedules.base.
+PipeSchedule` subclasses behind a registry, and this module only
+converts their :class:`~repro.schedules.graph.ScheduledNode` rows to
+the original :class:`PipelineOp` form. The public surface is unchanged
+(every function, message, and op order is pinned by
+tests/test_engine_schedule.py), with one addition: zero-bubble
+schedules split the backward, so :class:`Direction` gained ``WEIGHT``
+and ``schedule_for`` accepts any registered flavor, not just
+``"1f1b"``/``"gpipe"``.
 """
 
 from __future__ import annotations
@@ -12,12 +18,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.schedules import (
+    NodeType,
+    canonical_schedule_name,
+    check_stage_args,
+    create_schedule,
+)
+
 
 class Direction(Enum):
-    """Forward or backward pass of one microbatch through one stage."""
+    """Forward, (input-grad) backward, or split-off weight-grad pass."""
 
     FORWARD = "F"
     BACKWARD = "B"
+    WEIGHT = "W"
 
 
 @dataclass(frozen=True)
@@ -25,12 +39,31 @@ class PipelineOp:
     """One schedule slot: run ``direction`` for ``microbatch`` on ``chunk``.
 
     ``chunk`` is the virtual-stage index for interleaved schedules and 0
-    for plain 1F1B.
+    for plain 1F1B; ``seq_split`` the sequence chunk for seq-split
+    schedules and 0 otherwise.
     """
 
     direction: Direction
     microbatch: int
     chunk: int = 0
+    seq_split: int = 0
+
+
+_DIRECTIONS = {
+    NodeType.FORWARD: Direction.FORWARD,
+    NodeType.BACKWARD: Direction.BACKWARD,
+    NodeType.WEIGHT: Direction.WEIGHT,
+}
+
+
+def _from_nodes(nodes) -> list[PipelineOp]:
+    return [
+        PipelineOp(
+            _DIRECTIONS[node.type], node.microbatch, node.chunk,
+            node.seq_split,
+        )
+        for node in nodes
+    ]
 
 
 def one_f_one_b(
@@ -42,18 +75,8 @@ def one_f_one_b(
     alternates one-forward-one-backward, then drains remaining backwards.
     """
     _check_args(stage, num_stages, num_microbatches)
-    warmup = min(num_stages - stage - 1, num_microbatches)
-    steady = num_microbatches - warmup
-
-    ops = [
-        PipelineOp(Direction.FORWARD, m) for m in range(warmup)
-    ]
-    for i in range(steady):
-        ops.append(PipelineOp(Direction.FORWARD, warmup + i))
-        ops.append(PipelineOp(Direction.BACKWARD, i))
-    for m in range(steady, num_microbatches):
-        ops.append(PipelineOp(Direction.BACKWARD, m))
-    return ops
+    schedule = create_schedule("1f1b", num_stages, num_microbatches)
+    return _from_nodes(schedule.steps(stage))
 
 
 def interleaved_1f1b(
@@ -70,71 +93,19 @@ def interleaved_1f1b(
     (Megatron's constraint).
     """
     _check_args(stage, num_stages, num_microbatches)
-    if num_chunks < 2:
-        raise ValueError("interleaving needs at least 2 chunks")
-    if num_microbatches % num_stages:
-        raise ValueError(
-            "interleaved schedule requires num_microbatches to be a "
-            f"multiple of num_stages ({num_microbatches} % {num_stages})"
-        )
-
-    total = num_microbatches * num_chunks
-
-    def slot(k: int) -> tuple[int, int]:
-        """Virtual microbatch index -> (microbatch, chunk)."""
-        group = k // (num_stages * num_chunks)
-        within = k % (num_stages * num_chunks)
-        chunk = within // num_stages
-        microbatch = group * num_stages + within % num_stages
-        return microbatch, chunk
-
-    warmup = min(
-        (num_stages - stage - 1) * 2 + (num_chunks - 1) * num_stages, total
+    schedule = create_schedule(
+        "interleaved", num_stages, num_microbatches, num_chunks=num_chunks
     )
-    ops: list[PipelineOp] = []
-    for k in range(warmup):
-        mb, chunk = slot(k)
-        ops.append(PipelineOp(Direction.FORWARD, mb, chunk))
-    steady = total - warmup
-    for i in range(steady):
-        mb, chunk = slot(warmup + i)
-        ops.append(PipelineOp(Direction.FORWARD, mb, chunk))
-        mb, chunk = _backward_slot(i, num_stages, num_chunks)
-        ops.append(PipelineOp(Direction.BACKWARD, mb, chunk))
-    for i in range(steady, total):
-        mb, chunk = _backward_slot(i, num_stages, num_chunks)
-        ops.append(PipelineOp(Direction.BACKWARD, mb, chunk))
-    return ops
-
-
-def _backward_slot(i: int, num_stages: int, num_chunks: int) -> tuple[int, int]:
-    """Backward virtual microbatches drain chunks in reverse order."""
-    group = i // (num_stages * num_chunks)
-    within = i % (num_stages * num_chunks)
-    chunk = num_chunks - 1 - within // num_stages
-    microbatch = group * num_stages + within % num_stages
-    return microbatch, chunk
+    return _from_nodes(schedule.steps(stage))
 
 
 def gpipe(
     stage: int, num_stages: int, num_microbatches: int
 ) -> list[PipelineOp]:
-    """GPipe schedule: all forwards, then all backwards (reverse order).
-
-    Simpler than 1F1B but stores activations for *every* microbatch at
-    once and synchronises the whole pipeline between the forward and
-    backward waves — the synchronized compute bursts raise aggregate
-    peak power (the paper's burstiness mechanism, Section 5).
-    """
+    """GPipe schedule: all forwards, then all backwards (reverse order)."""
     _check_args(stage, num_stages, num_microbatches)
-    ops = [
-        PipelineOp(Direction.FORWARD, m) for m in range(num_microbatches)
-    ]
-    ops.extend(
-        PipelineOp(Direction.BACKWARD, m)
-        for m in reversed(range(num_microbatches))
-    )
-    return ops
+    schedule = create_schedule("gpipe", num_stages, num_microbatches)
+    return _from_nodes(schedule.steps(stage))
 
 
 def schedule_for(
@@ -148,15 +119,25 @@ def schedule_for(
     """Dispatch to the requested schedule flavour.
 
     Args:
-        flavor: ``"1f1b"`` (optionally interleaved) or ``"gpipe"``.
+        flavor: any registered schedule name — ``"1f1b"`` (optionally
+            interleaved), ``"gpipe"``, ``"zb-h1"``, ``"seq1f1b"``, ...
+            Unknown names raise ``ValueError`` with a did-you-mean hint.
     """
-    if flavor == "gpipe":
-        return gpipe(stage, num_stages, num_microbatches)
-    if flavor != "1f1b":
-        raise ValueError(f"unknown schedule flavor {flavor!r}")
-    if interleaved and num_stages > 1:
-        return interleaved_1f1b(stage, num_stages, num_microbatches, num_chunks)
-    return one_f_one_b(stage, num_stages, num_microbatches)
+    _check_args(stage, num_stages, num_microbatches)
+    canonical = canonical_schedule_name(flavor)
+    if canonical == "1f1b" and interleaved and num_stages > 1:
+        return interleaved_1f1b(
+            stage, num_stages, num_microbatches, num_chunks
+        )
+    if canonical == "interleaved":
+        if num_stages <= 1:
+            canonical = "1f1b"  # single stage: interleaving is a no-op
+        else:
+            return interleaved_1f1b(
+                stage, num_stages, num_microbatches, num_chunks
+            )
+    schedule = create_schedule(canonical, num_stages, num_microbatches)
+    return _from_nodes(schedule.steps(stage))
 
 
 def validate_schedule(
@@ -165,29 +146,44 @@ def validate_schedule(
     """Sanity-check a per-rank schedule.
 
     Ensures every (microbatch, chunk) appears exactly once per direction
-    and no backward precedes its own forward on the same rank.
+    and no backward precedes its own forward on the same rank. Weight
+    ops (zero-bubble schedules) must follow their backward; full-graph
+    structural checks live in ``ScheduleGraph.validate``.
 
     Raises:
         ValueError: on any violation.
     """
-    seen_forward: set[tuple[int, int]] = set()
-    seen_backward: set[tuple[int, int]] = set()
+    seen_forward: set[tuple[int, int, int]] = set()
+    seen_backward: set[tuple[int, int, int]] = set()
+    seen_weight: set[tuple[int, int, int]] = set()
     for op in ops:
-        key = (op.microbatch, op.chunk)
+        key = (op.microbatch, op.chunk, op.seq_split)
         if op.direction is Direction.FORWARD:
             if key in seen_forward:
-                raise ValueError(f"duplicate forward {key}")
+                raise ValueError(f"duplicate forward {key[:2]}")
             seen_forward.add(key)
-        else:
+        elif op.direction is Direction.BACKWARD:
             if key in seen_backward:
-                raise ValueError(f"duplicate backward {key}")
+                raise ValueError(f"duplicate backward {key[:2]}")
             if key not in seen_forward:
-                raise ValueError(f"backward before forward for {key}")
+                raise ValueError(f"backward before forward for {key[:2]}")
             seen_backward.add(key)
+        else:
+            if key in seen_weight:
+                raise ValueError(f"duplicate weight grad {key[:2]}")
+            if key not in seen_backward:
+                raise ValueError(f"weight grad before backward for {key[:2]}")
+            seen_weight.add(key)
+    seq_splits = {op.seq_split for op in ops} or {0}
     expected = {
-        (m, c) for m in range(num_microbatches) for c in range(num_chunks)
+        (m, c, s)
+        for m in range(num_microbatches)
+        for c in range(num_chunks)
+        for s in seq_splits
     }
     if seen_forward != expected or seen_backward != expected:
+        raise ValueError("schedule does not cover every microbatch exactly once")
+    if seen_weight and seen_weight != expected:
         raise ValueError("schedule does not cover every microbatch exactly once")
 
 
@@ -204,10 +200,5 @@ def pipeline_bubble_fraction(
     return (num_stages - 1) / (num_microbatches * num_chunks + num_stages - 1)
 
 
-def _check_args(stage: int, num_stages: int, num_microbatches: int) -> None:
-    if num_stages < 1:
-        raise ValueError("num_stages must be >= 1")
-    if not 0 <= stage < num_stages:
-        raise ValueError(f"stage {stage} out of range [0, {num_stages})")
-    if num_microbatches < 1:
-        raise ValueError("num_microbatches must be >= 1")
+#: Legacy spelling, re-exported for compatibility.
+_check_args = check_stage_args

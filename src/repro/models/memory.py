@@ -118,26 +118,28 @@ def activation_bytes(
 ) -> float:
     """Peak stored-activation bytes on the most loaded pipeline rank.
 
-    Under 1F1B, stage 0 keeps activations for up to ``pp`` in-flight
+    Under 1F1B (and the schedules that match its warmup depth, such as
+    ``zb-h1``), stage 0 keeps activations for up to ``pp`` in-flight
     microbatches; under GPipe every microbatch is in flight at the end
-    of the forward wave (pass ``num_microbatches``). With full
-    recomputation only the layer-input tensors are stashed;
-    intermediates are regenerated during backward. Sequence parallelism
-    shards the otherwise-replicated activation regions along the
-    sequence, so everything divides by ``tp``.
+    of the forward wave (pass ``num_microbatches``). The in-flight count
+    comes from the schedule class registered in :mod:`repro.schedules`
+    (its ``activation_in_flight`` model), so new schedules plug in
+    without touching this module. With full recomputation only the
+    layer-input tensors are stashed; intermediates are regenerated
+    during backward. Sequence parallelism shards the
+    otherwise-replicated activation regions along the sequence, so
+    everything divides by ``tp``.
     """
     if microbatch_size < 1:
         raise ValueError("microbatch_size must be >= 1")
+    # Deferred: repro.schedules sits above the models layer.
+    from repro.schedules import get_schedule_class
+
     tokens = microbatch_size * model.seq_length
     layers_per_stage = max(1, model.num_layers // pp)
-    if pipeline_schedule == "gpipe":
-        if num_microbatches is None:
-            raise ValueError("GPipe memory needs num_microbatches")
-        in_flight = num_microbatches
-    elif pipeline_schedule == "1f1b":
-        in_flight = min(pp, 8) if pp > 1 else 1
-    else:
-        raise ValueError(f"unknown pipeline_schedule {pipeline_schedule!r}")
+    in_flight = get_schedule_class(pipeline_schedule).activation_in_flight(
+        pp, num_microbatches
+    )
 
     if recompute:
         per_layer = tokens * model.hidden_size * model.bytes_per_param

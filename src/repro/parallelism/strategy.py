@@ -36,8 +36,12 @@ class ParallelismConfig:
             AllReduce).
         interleaved: use the interleaved (virtual-stage) pipeline schedule
             instead of plain 1F1B.
-        pipeline_schedule: ``"1f1b"`` (Megatron default) or ``"gpipe"``
-            (all-forward-then-all-backward baseline).
+        pipeline_schedule: any schedule registered in
+            :mod:`repro.schedules` — ``"1f1b"`` (Megatron default),
+            ``"interleaved"``, ``"gpipe"``, ``"zb-h1"`` (zero-bubble),
+            ``"seq1f1b"`` (sequence-split), ... Names are normalised
+            (``ZB_H1`` -> ``zb-h1``); unknown names raise with a
+            did-you-mean hint.
 
     A freshly parsed strategy (e.g. ``"EP8-TP1-PP4"``) may have
     ``dp < ep``; :meth:`fill_dp` completes it against a cluster size.
@@ -53,12 +57,26 @@ class ParallelismConfig:
     pipeline_schedule: str = "1f1b"
 
     def __post_init__(self) -> None:
-        if self.pipeline_schedule not in ("1f1b", "gpipe"):
-            raise ValueError(
-                f"unknown pipeline_schedule {self.pipeline_schedule!r}"
-            )
+        # Registry lookup (not a hardcoded whitelist): any schedule in
+        # repro.schedules is a valid pipeline_schedule, and unknown
+        # names get a did-you-mean error. Deferred import: the engine
+        # imports this module at startup, repro.schedules does not.
+        from repro.schedules import canonical_schedule_name
+
+        object.__setattr__(
+            self,
+            "pipeline_schedule",
+            canonical_schedule_name(self.pipeline_schedule),
+        )
         if self.pipeline_schedule == "gpipe" and self.interleaved:
             raise ValueError("GPipe cannot be interleaved")
+        if self.interleaved and self.pipeline_schedule not in (
+            "1f1b", "interleaved"
+        ):
+            raise ValueError(
+                f"the {self.pipeline_schedule!r} schedule does not "
+                "combine with interleaved virtual stages"
+            )
         for label, width in (
             ("tp", self.tp),
             ("pp", self.pp),

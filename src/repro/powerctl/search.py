@@ -141,6 +141,8 @@ def _base_run_kwargs(
     microbatch_size: int,
     global_batch_size: int,
     iterations: int,
+    pipeline_schedule: str | None = None,
+    seq_splits: int | None = None,
 ) -> dict:
     kwargs = dict(
         model=model,
@@ -152,6 +154,10 @@ def _base_run_kwargs(
     )
     if optimizations is not None:
         kwargs["optimizations"] = optimizations
+    if pipeline_schedule is not None:
+        kwargs["pipeline_schedule"] = pipeline_schedule
+    if seq_splits is not None:
+        kwargs["seq_splits"] = seq_splits
     return kwargs
 
 
@@ -220,20 +226,27 @@ def search_energy_optimal(
     settings: SimSettings | None = None,
     search: SearchSettings | None = None,
     jobs: int = 1,
+    pipeline_schedule: str | None = None,
+    seq_splits: int | None = None,
 ) -> SearchOutcome:
     """Find the energy-optimal static clock ceiling for one workload.
 
     The positional arguments mirror :func:`repro.core.experiment.
-    execute_training` (catalog names or full spec objects). ``jobs`` fans
-    the initial three-probe bracket (baseline + two golden-section
-    interior points) over worker processes; refinement probes run one
-    at a time, each served from the cache when previously seen.
+    execute_training` (catalog names or full spec objects, including
+    ``pipeline_schedule``/``seq_splits`` overrides — the energy-optimal
+    setpoint shifts with the pipeline schedule, since zero-bubble
+    drains change where the idle time a lower clock can hide lives).
+    ``jobs`` fans the initial three-probe bracket (baseline + two
+    golden-section interior points) over worker processes; refinement
+    probes run one at a time, each served from the cache when
+    previously seen.
     """
     search = search or SearchSettings()
     runner = _ProbeRunner(
         _base_run_kwargs(
             model, cluster, parallelism, optimizations,
             microbatch_size, global_batch_size, iterations,
+            pipeline_schedule, seq_splits,
         ),
         settings,
         jobs,
@@ -318,6 +331,8 @@ def sweep_setpoints(
     iterations: int = 2,
     settings: SimSettings | None = None,
     jobs: int = 1,
+    pipeline_schedule: str | None = None,
+    seq_splits: int | None = None,
 ) -> list[tuple[float, RunResult]]:
     """Run the workload under each static ceiling (cached, parallel).
 
@@ -328,6 +343,7 @@ def sweep_setpoints(
         _base_run_kwargs(
             model, cluster, parallelism, optimizations,
             microbatch_size, global_batch_size, iterations,
+            pipeline_schedule, seq_splits,
         ),
         settings,
         jobs,

@@ -1,0 +1,61 @@
+"""Pluggable pipeline schedules as explicit schedule graphs.
+
+The subsystem ROADMAP item 1 asked for: schedules are
+:class:`~repro.schedules.base.PipeSchedule` objects emitting per-stage
+rows of typed :class:`~repro.schedules.graph.ScheduledNode` ops
+(forward / input-grad backward / weight grad, with microbatch,
+virtual-stage chunk, and sequence-split indices plus P2P peers), bundled
+with explicit cross-stage dependency edges in a
+:class:`~repro.schedules.graph.ScheduleGraph`. The engine's graph
+builder consumes the rows; tests, figures, and the memory model consume
+the graph and the registry.
+
+Built-ins: ``1f1b``, ``interleaved``, ``gpipe``, ``zb-h1``
+(zero-bubble, split B/W backward), and ``seq1f1b`` (sequence-split).
+See docs/schedules.md for the model and how to add a schedule.
+"""
+
+from repro.schedules.base import PipeSchedule, check_stage_args
+from repro.schedules.graph import (
+    NodeType,
+    ScheduledNode,
+    ScheduleGraph,
+    make_node,
+    owner_stage,
+)
+from repro.schedules.registry import (
+    canonical_schedule_name,
+    create_schedule,
+    get_schedule_class,
+    register_schedule,
+    schedule_names,
+)
+
+# Importing the implementation modules populates the registry.
+from repro.schedules.standard import (  # noqa: E402
+    GpipeSchedule,
+    InterleavedSchedule,
+    OneFOneBSchedule,
+)
+from repro.schedules.zero_bubble import ZeroBubbleH1Schedule  # noqa: E402
+from repro.schedules.seqsplit import Seq1F1BSchedule  # noqa: E402
+
+__all__ = [
+    "PipeSchedule",
+    "NodeType",
+    "ScheduledNode",
+    "ScheduleGraph",
+    "check_stage_args",
+    "make_node",
+    "owner_stage",
+    "canonical_schedule_name",
+    "create_schedule",
+    "get_schedule_class",
+    "register_schedule",
+    "schedule_names",
+    "OneFOneBSchedule",
+    "InterleavedSchedule",
+    "GpipeSchedule",
+    "ZeroBubbleH1Schedule",
+    "Seq1F1BSchedule",
+]

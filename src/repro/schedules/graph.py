@@ -1,0 +1,257 @@
+"""Schedule graphs: typed F/B/W nodes with explicit dependency edges.
+
+A pipeline schedule is, per stage, an ordered row of
+:class:`ScheduledNode` compute ops (forward, input-grad backward, and —
+for zero-bubble schedules — split-off weight-grad ops), each carrying
+its microbatch, virtual-stage chunk, and sequence-split indices plus the
+peer stages it receives activations/gradients from and sends them to.
+:class:`ScheduleGraph` bundles the rows with the *cross-stage dependency
+edges* implied by pipeline dataflow, so schedules can be validated
+structurally (coverage, acyclicity, per-rank orders consistent with the
+dependencies) independent of any simulator.
+
+The engine (:mod:`repro.engine.builder`) consumes the per-stage rows
+directly; tests and the schedule-timeline figure consume the full graph.
+Modeled on sail-sg/zero-bubble's ``ScheduledNode`` abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class NodeType(Enum):
+    """Typed schedule op: forward, (input-grad) backward, weight grad."""
+
+    FORWARD = "F"
+    BACKWARD = "B"
+    WEIGHT = "W"
+
+
+#: Key identifying one compute unit: (type, virtual stage, microbatch,
+#: seq split). Dependency edges connect these keys.
+NodeKey = tuple
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One schedule slot: run ``type`` for one microbatch's seq chunk.
+
+    ``chunk`` is the virtual-stage chunk index (0 for non-interleaved
+    schedules); ``seq_split`` the sequence chunk (0 when the schedule
+    does not split sequences). ``recv_peer`` / ``send_peer`` are the
+    *stages* this op exchanges pipeline P2P traffic with (``None`` at
+    the pipeline boundaries and for weight-grad ops, which are local).
+    """
+
+    type: NodeType
+    stage: int
+    microbatch: int
+    chunk: int = 0
+    seq_split: int = 0
+    recv_peer: int | None = None
+    send_peer: int | None = None
+
+    def virtual_stage(self, num_stages: int) -> int:
+        return self.chunk * num_stages + self.stage
+
+    def key(self, num_stages: int) -> NodeKey:
+        return (
+            self.type,
+            self.virtual_stage(num_stages),
+            self.microbatch,
+            self.seq_split,
+        )
+
+
+def owner_stage(virtual_stage: int, num_stages: int) -> int:
+    """Stage (pipeline rank within a replica) hosting a virtual stage."""
+    return virtual_stage % num_stages
+
+
+def make_node(
+    type: NodeType,
+    stage: int,
+    num_stages: int,
+    num_chunks: int,
+    microbatch: int,
+    chunk: int = 0,
+    seq_split: int = 0,
+) -> ScheduledNode:
+    """Build a node with its P2P peers derived from pipeline position."""
+    vs = chunk * num_stages + stage
+    total_vs = num_stages * num_chunks
+    recv_peer = send_peer = None
+    if type is NodeType.FORWARD:
+        if vs > 0:
+            recv_peer = owner_stage(vs - 1, num_stages)
+        if vs < total_vs - 1:
+            send_peer = owner_stage(vs + 1, num_stages)
+    elif type is NodeType.BACKWARD:
+        if vs < total_vs - 1:
+            recv_peer = owner_stage(vs + 1, num_stages)
+        if vs > 0:
+            send_peer = owner_stage(vs - 1, num_stages)
+    return ScheduledNode(
+        type=type,
+        stage=stage,
+        microbatch=microbatch,
+        chunk=chunk,
+        seq_split=seq_split,
+        recv_peer=recv_peer,
+        send_peer=send_peer,
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleGraph:
+    """Per-stage node rows plus the cross-stage dependency structure."""
+
+    num_stages: int
+    num_microbatches: int
+    num_chunks: int = 1
+    num_seq_splits: int = 1
+    stage_rows: tuple[tuple[ScheduledNode, ...], ...] = field(default=())
+    splits_weight_grad: bool = False
+
+    @property
+    def total_virtual_stages(self) -> int:
+        return self.num_stages * self.num_chunks
+
+    def nodes(self):
+        for row in self.stage_rows:
+            yield from row
+
+    def dependency_edges(self) -> list[tuple[NodeKey, NodeKey]]:
+        """Dataflow edges (prerequisite key -> dependent key).
+
+        * F(vs) waits on F(vs-1) of the same (microbatch, seq chunk);
+        * B(vs) waits on B(vs+1) of the same unit and on its own F(vs);
+          at the last virtual stage it additionally waits on the final
+          seq chunk's forward (the loss needs the whole sequence);
+        * W waits on the matching B (weight grads reuse B's inputs).
+        """
+        p = self.num_stages
+        last_vs = self.total_virtual_stages - 1
+        edges: list[tuple[NodeKey, NodeKey]] = []
+        for node in self.nodes():
+            vs = node.virtual_stage(p)
+            key = node.key(p)
+            if node.type is NodeType.FORWARD:
+                if vs > 0:
+                    edges.append((
+                        (NodeType.FORWARD, vs - 1, node.microbatch,
+                         node.seq_split),
+                        key,
+                    ))
+            elif node.type is NodeType.BACKWARD:
+                edges.append((
+                    (NodeType.FORWARD, vs, node.microbatch, node.seq_split),
+                    key,
+                ))
+                if vs < last_vs:
+                    edges.append((
+                        (NodeType.BACKWARD, vs + 1, node.microbatch,
+                         node.seq_split),
+                        key,
+                    ))
+                elif node.seq_split != self.num_seq_splits - 1:
+                    edges.append((
+                        (NodeType.FORWARD, vs, node.microbatch,
+                         self.num_seq_splits - 1),
+                        key,
+                    ))
+            else:
+                edges.append((
+                    (NodeType.BACKWARD, vs, node.microbatch, node.seq_split),
+                    key,
+                ))
+        return edges
+
+    def validate(self) -> None:
+        """Structural validation: coverage, acyclicity, rank consistency.
+
+        Raises:
+            ValueError: if any (stage, microbatch, chunk, seq chunk) unit
+                is missing or duplicated for a required node type, or if
+                the union of per-rank order edges and dependency edges
+                contains a cycle (which includes any per-rank order that
+                contradicts pipeline dataflow, e.g. a backward scheduled
+                before its forward).
+        """
+        if len(self.stage_rows) != self.num_stages:
+            raise ValueError(
+                f"expected {self.num_stages} stage rows, "
+                f"got {len(self.stage_rows)}"
+            )
+        required = [NodeType.FORWARD, NodeType.BACKWARD]
+        if self.splits_weight_grad:
+            required.append(NodeType.WEIGHT)
+        expected_units = {
+            (mb, chunk, sq)
+            for mb in range(self.num_microbatches)
+            for chunk in range(self.num_chunks)
+            for sq in range(self.num_seq_splits)
+        }
+        for stage, row in enumerate(self.stage_rows):
+            seen: dict[NodeType, set] = {t: set() for t in NodeType}
+            for node in row:
+                if node.stage != stage:
+                    raise ValueError(
+                        f"node {node} listed under stage {stage}"
+                    )
+                unit = (node.microbatch, node.chunk, node.seq_split)
+                if unit in seen[node.type]:
+                    raise ValueError(
+                        f"duplicate {node.type.value} for stage {stage} "
+                        f"unit {unit}"
+                    )
+                seen[node.type].add(unit)
+            for node_type in required:
+                if seen[node_type] != expected_units:
+                    raise ValueError(
+                        f"stage {stage} does not run {node_type.value} "
+                        "exactly once per (microbatch, chunk, seq split)"
+                    )
+            for node_type in NodeType:
+                if node_type not in required and seen[node_type]:
+                    raise ValueError(
+                        f"stage {stage} emits unexpected "
+                        f"{node_type.value} nodes"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        p = self.num_stages
+        indegree: dict[NodeKey, int] = {}
+        successors: dict[NodeKey, list[NodeKey]] = {}
+        for node in self.nodes():
+            indegree.setdefault(node.key(p), 0)
+
+        def add_edge(src: NodeKey, dst: NodeKey) -> None:
+            if src not in indegree or dst not in indegree:
+                raise ValueError(f"dangling dependency edge {src} -> {dst}")
+            successors.setdefault(src, []).append(dst)
+            indegree[dst] += 1
+
+        for row in self.stage_rows:
+            for prev, node in zip(row, row[1:]):
+                add_edge(prev.key(p), node.key(p))
+        for src, dst in self.dependency_edges():
+            add_edge(src, dst)
+
+        ready = [key for key, deg in indegree.items() if deg == 0]
+        visited = 0
+        while ready:
+            key = ready.pop()
+            visited += 1
+            for nxt in successors.get(key, ()):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if visited != len(indegree):
+            raise ValueError(
+                "schedule graph has a cycle: per-rank order contradicts "
+                "pipeline dataflow"
+            )

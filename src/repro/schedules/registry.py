@@ -1,0 +1,65 @@
+"""Schedule registry: name -> :class:`PipeSchedule` class.
+
+Built-in schedules register themselves at import of
+:mod:`repro.schedules`; anything else (tests, future plugins) can add a
+class with :func:`register_schedule`. Lookup normalises user spellings
+(``ZB_H1`` -> ``zb-h1``) and rejects unknown names with a
+did-you-mean message, so strategy parsing, ``SimRequest`` validation,
+and the CLI all produce the same diagnosable error.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.base import PipeSchedule
+from repro.suggest import normalize_name, unknown_name_message
+
+_REGISTRY: dict[str, type[PipeSchedule]] = {}
+
+
+def register_schedule(cls: type[PipeSchedule]) -> type[PipeSchedule]:
+    """Class decorator: add a schedule to the registry by its ``name``."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def schedule_names() -> tuple[str, ...]:
+    """Sorted names of every registered schedule."""
+    return tuple(sorted(_REGISTRY))
+
+
+def canonical_schedule_name(name: str) -> str:
+    """Resolve a user spelling to its registry name.
+
+    Raises:
+        ValueError: with a did-you-mean message for unknown names.
+    """
+    canonical = normalize_name(str(name))
+    if canonical not in _REGISTRY:
+        raise ValueError(
+            unknown_name_message("pipeline schedule", name, schedule_names())
+        )
+    return canonical
+
+
+def get_schedule_class(name: str) -> type[PipeSchedule]:
+    """Registered class for ``name`` (normalised, did-you-mean errors)."""
+    return _REGISTRY[canonical_schedule_name(name)]
+
+
+def create_schedule(
+    name: str,
+    num_stages: int,
+    num_microbatches: int,
+    num_chunks: int = 1,
+    num_seq_splits: int | None = None,
+) -> PipeSchedule:
+    """Instantiate a registered schedule for one pipeline shape."""
+    cls = get_schedule_class(name)
+    return cls(
+        num_stages,
+        num_microbatches,
+        num_chunks=num_chunks,
+        num_seq_splits=num_seq_splits,
+    )

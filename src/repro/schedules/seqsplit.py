@@ -1,0 +1,70 @@
+"""Seq1F1B: sequence-split 1F1B (sail-sg/zero-bubble's seq1f1b).
+
+Each microbatch's sequence is cut into ``num_seq_splits`` chunks that
+pipeline through the stages like miniature microbatches: forwards
+stream chunks in order, backwards drain them in *reverse* order (the
+gradient of chunk ``k`` depends on every later chunk through attention,
+so the last chunk's backward runs first). Relative to plain 1F1B this
+shrinks both the warmup ramp and the per-unit activation stash — peak
+in-flight activations drop from ``p`` microbatches toward
+``(p + num_sq - 1) / num_sq`` — at the price of smaller (less
+efficient) kernels per chunk.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.base import PipeSchedule
+from repro.schedules.graph import NodeType, ScheduledNode
+from repro.schedules.registry import register_schedule
+
+
+@register_schedule
+class Seq1F1BSchedule(PipeSchedule):
+    """Sequence-split 1F1B over ``num_seq_splits`` chunks per microbatch."""
+
+    name = "seq1f1b"
+    supports_seq_splits = True
+    default_seq_splits = 2
+
+    def warmup_forwards(self, stage: int) -> int:
+        # Reduces to 1F1B's min(p - s - 1, m) at num_seq_splits == 1.
+        return min(
+            self.num_stages - stage - 2 + self.num_seq_splits,
+            self.num_microbatches * self.num_seq_splits,
+        )
+
+    def _forward_unit(self, k: int) -> tuple[int, int]:
+        """Forward unit index -> (microbatch, seq chunk): in order."""
+        return divmod(k, self.num_seq_splits)
+
+    def _backward_unit(self, i: int) -> tuple[int, int]:
+        """Backward unit index -> (microbatch, seq chunk): chunks drain
+        in reverse order within each microbatch."""
+        mb, within = divmod(i, self.num_seq_splits)
+        return mb, self.num_seq_splits - 1 - within
+
+    def steps(self, stage: int) -> list[ScheduledNode]:
+        total = self.num_microbatches * self.num_seq_splits
+        warmup = self.warmup_forwards(stage)
+        nodes: list[ScheduledNode] = []
+        for k in range(warmup):
+            mb, sq = self._forward_unit(k)
+            nodes.append(
+                self._node(NodeType.FORWARD, stage, mb, seq_split=sq)
+            )
+        steady = total - warmup
+        for i in range(steady):
+            mb, sq = self._forward_unit(warmup + i)
+            nodes.append(
+                self._node(NodeType.FORWARD, stage, mb, seq_split=sq)
+            )
+            mb, sq = self._backward_unit(i)
+            nodes.append(
+                self._node(NodeType.BACKWARD, stage, mb, seq_split=sq)
+            )
+        for i in range(steady, total):
+            mb, sq = self._backward_unit(i)
+            nodes.append(
+                self._node(NodeType.BACKWARD, stage, mb, seq_split=sq)
+            )
+        return nodes

@@ -1,0 +1,71 @@
+"""ZB-H1: zero-bubble pipeline schedule with split B/W backward.
+
+Following Qi et al.'s ZB-H1 schedule (sail-sg/zero-bubble), the
+backward pass is split into its input-grad half ``B`` — the only part
+on the critical inter-stage path — and its weight-grad half ``W``,
+which has no cross-stage consumers and is free to move around the
+timeline. Warmup forward counts match 1F1B exactly and at most one
+weight grad is ever pending, so peak activation memory matches 1F1B.
+
+Placement is what makes it work on a rank that executes its queue
+strictly in order: each pending ``W`` is enqueued immediately *before*
+the next backward — that is, before the next grad ``recv`` — so it
+executes inside the window the rank would otherwise spend waiting for
+the grad to arrive from downstream. (Enqueued *after* a backward, the
+``W`` would instead sit between the grad ``send`` and the next
+forward, where there is usually no wait to absorb, and would delay the
+forward chain — measurably erasing the entire zero-bubble win.)
+Because ``B`` alone is roughly half a full backward, grads also
+propagate upstream about twice as fast during the drain; together the
+two effects cut the pipeline bubble by roughly the ``W``-share of the
+backward, which is the H1 bound.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.base import PipeSchedule
+from repro.schedules.graph import NodeType, ScheduledNode
+from repro.schedules.registry import register_schedule
+
+
+@register_schedule
+class ZeroBubbleH1Schedule(PipeSchedule):
+    """The ZB-H1 handcrafted zero-bubble schedule (B/W split)."""
+
+    name = "zb-h1"
+    splits_weight_grad = True
+
+    def warmup_forwards(self, stage: int) -> int:
+        # Same as 1F1B: activation memory is bounded identically.
+        return min(self.num_stages - stage - 1, self.num_microbatches)
+
+    def steps(self, stage: int) -> list[ScheduledNode]:
+        m = self.num_microbatches
+        warmup = self.warmup_forwards(stage)
+        nodes = [
+            self._node(NodeType.FORWARD, stage, mb) for mb in range(warmup)
+        ]
+        f = warmup
+        b = w = 0
+        # The pending W always goes right before the next B: in the
+        # rank's in-order queue that places it ahead of the grad recv,
+        # so it runs while the rank would otherwise wait for the grad
+        # (see module docstring). Pending stash never exceeds one unit.
+        while f < m:
+            nodes.append(self._node(NodeType.FORWARD, stage, f))
+            f += 1
+            if w < b:
+                nodes.append(self._node(NodeType.WEIGHT, stage, w))
+                w += 1
+            nodes.append(self._node(NodeType.BACKWARD, stage, b))
+            b += 1
+        while b < m:
+            if w < b:
+                nodes.append(self._node(NodeType.WEIGHT, stage, w))
+                w += 1
+            nodes.append(self._node(NodeType.BACKWARD, stage, b))
+            b += 1
+        while w < m:
+            nodes.append(self._node(NodeType.WEIGHT, stage, w))
+            w += 1
+        return nodes

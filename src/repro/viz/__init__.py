@@ -13,6 +13,7 @@ from repro.viz.figures import (
     energy_efficiency_comparison,
     kernel_breakdown_figure,
     microbatch_sweep_figure,
+    schedule_timeline_figure,
     temperature_heatmap_figure,
     thermal_timeseries_figure,
     throttle_heatmap_figure,
@@ -41,6 +42,7 @@ __all__ = [
     "kernel_breakdown_figure",
     "line_chart",
     "microbatch_sweep_figure",
+    "schedule_timeline_figure",
     "sequential_color",
     "series_color",
     "stacked_bar_chart",

@@ -241,6 +241,139 @@ def powerctl_timeline_figure(
     )
 
 
+def schedule_timeline_figure(
+    result: RunResult,
+    iteration: int | None = None,
+    path: str | Path | None = None,
+) -> str:
+    """Per-stage pipeline timeline: F/B/W lanes with visible bubbles.
+
+    One lane per pipeline stage (the first rank of each stage), blocks
+    for forward, backward, and — when the schedule splits the backward,
+    as ``zb-h1`` does — weight-grad work, labelled with the microbatch
+    index. Pipeline receive intervals render as gaps in the lane: the
+    bubbles a schedule is judged by (docs/schedules.md). Requires a
+    pipelined run (``pp >= 2``).
+    """
+    from repro.viz.palette import (
+        CATEGORICAL,
+        GRID,
+        SURFACE,
+        TEXT_PRIMARY,
+        TEXT_SECONDARY,
+    )
+    from repro.viz.svg import SvgCanvas
+    from repro.engine.kernels import KernelKind
+
+    if result.parallelism.pp <= 1:
+        raise ValueError(
+            "schedule timeline needs a pipelined run (pp >= 2)"
+        )
+    records = result.outcome.records
+    if not records:
+        raise ValueError("run has no kernel records to plot")
+    if iteration is None:
+        iteration = max(r.iteration for r in records)
+    # One representative rank per stage: the lowest rank that ran
+    # stage-bound compute there (tp/dp siblings replay the same shape).
+    rank_of: dict[int, int] = {}
+    for record in records:
+        if record.iteration == iteration and record.stage >= 0:
+            prev = rank_of.get(record.stage)
+            if prev is None or record.rank < prev:
+                rank_of[record.stage] = record.rank
+    if not rank_of:
+        raise ValueError(f"iteration {iteration} has no stage records")
+    stages = sorted(rank_of)
+    lanes = {
+        stage: [
+            r for r in records
+            if r.iteration == iteration and r.rank == rank_of[stage]
+        ]
+        for stage in stages
+    }
+    t0 = min(r.start_s for lane in lanes.values() for r in lane)
+    t1 = max(r.end_s for lane in lanes.values() for r in lane)
+    span = max(t1 - t0, 1e-9)
+
+    left, top, row_h, gap = 96.0, 56.0, 30.0, 8.0
+    plot_w = 760.0
+    height = top + len(stages) * (row_h + gap) + 86.0
+    width = left + plot_w + 40.0
+    canvas = SvgCanvas(width, height, background=SURFACE)
+    schedule = result.parallelism.pipeline_schedule
+    canvas.text(
+        16, 28,
+        f"Pipeline schedule timeline — {schedule} — {result.label}",
+        fill=TEXT_PRIMARY, size=16, weight="bold",
+    )
+
+    def x_of(t: float) -> float:
+        return left + plot_w * ((t - t0) / span)
+
+    block_fill = {
+        KernelKind.FWD_GEMM: CATEGORICAL[0],
+        KernelKind.EMBEDDING: CATEGORICAL[0],
+        KernelKind.BWD_GEMM: CATEGORICAL[1],
+        KernelKind.WGRAD_GEMM: CATEGORICAL[2],
+        KernelKind.RECOMPUTE_GEMM: CATEGORICAL[3],
+    }
+    block_label = {
+        KernelKind.FWD_GEMM: "F",
+        KernelKind.BWD_GEMM: "B",
+        KernelKind.WGRAD_GEMM: "W",
+        KernelKind.RECOMPUTE_GEMM: "R",
+    }
+    for i, stage in enumerate(stages):
+        y = top + i * (row_h + gap)
+        canvas.text(
+            16, y + row_h * 0.65,
+            f"stage {stage}", fill=TEXT_SECONDARY, size=11,
+        )
+        # Lane background = bubble color: whatever no block covers is
+        # time the rank spent waiting on a peer (or truly idle).
+        canvas.rect(left, y, plot_w, row_h, fill=GRID, rx=2)
+        for record in lanes[stage]:
+            x = x_of(record.start_s)
+            w = max(0.6, x_of(record.end_s) - x)
+            fill = block_fill.get(record.kind)
+            if fill is not None:
+                canvas.rect(x, y + 2, w, row_h - 4, fill=fill, rx=1)
+                label = block_label.get(record.kind)
+                if label is not None and w > 16 and record.microbatch >= 0:
+                    canvas.text(
+                        x + w / 2, y + row_h * 0.65,
+                        f"{label}{record.microbatch}",
+                        fill=SURFACE, size=9, weight="bold",
+                        anchor="middle",
+                    )
+            elif record.kind is not KernelKind.PP_RECV:
+                # Comms/optimizer: thin neutral blocks so bubbles (the
+                # GRID-colored gaps, mostly pp_recv waits) stand out.
+                canvas.rect(
+                    x, y + row_h * 0.3, w, row_h * 0.4,
+                    fill=CATEGORICAL[4], rx=1,
+                )
+
+    axis_y = top + len(stages) * (row_h + gap) + 6
+    canvas.line(left, axis_y, left + plot_w, axis_y, stroke=TEXT_SECONDARY)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = left + plot_w * frac
+        canvas.line(x, axis_y, x, axis_y + 4, stroke=TEXT_SECONDARY)
+        canvas.text(
+            x, axis_y + 16, f"{span * frac:.3f}s",
+            fill=TEXT_SECONDARY, size=10, anchor="middle",
+        )
+    canvas.text(
+        16, height - 14,
+        f"iteration {iteration}  "
+        f"F/B/W = forward / input-grad / weight-grad, R = recompute, "
+        f"grey = comm/optimizer, lane background = bubble",
+        fill=TEXT_SECONDARY, size=11,
+    )
+    return _maybe_save(canvas.to_string(), path)
+
+
 def fleet_timeline_figure(
     outcome: "FleetOutcome",
     title: str = "Fleet timeline",

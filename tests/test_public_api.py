@@ -87,6 +87,8 @@ EXPECTED_REQUEST_FIELDS = [
     "timeout_s",
     "fleet",
     "serving",
+    "pipeline_schedule",
+    "seq_splits",
 ]
 
 LEGACY_NAMES = {

@@ -1,0 +1,114 @@
+"""Property tests: every registered schedule is structurally sound.
+
+Hypothesis drives random pipeline shapes (stages, microbatches,
+virtual-stage chunks, sequence splits) through every registered
+schedule and checks the invariants the engine relies on:
+
+* coverage — exactly one F and one B (plus one W when the schedule
+  splits the backward) per (stage, microbatch, chunk, seq split);
+* acyclicity — the union of per-rank order edges and cross-stage
+  dependency edges is a DAG, i.e. no rank's order contradicts pipeline
+  dataflow;
+* warmup — the closed-form ``warmup_forwards`` matches the emitted row
+  (the steady loop leads with one extra forward);
+* zero-bubble memory — ``zb-h1`` never stashes more than one pending
+  weight-grad unit and never holds more activations than 1F1B.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.schedules import NodeType, create_schedule, schedule_names
+
+_STAGES = st.integers(min_value=1, max_value=8)
+_MICROBATCHES = st.integers(min_value=1, max_value=16)
+
+
+def _build(name, p, m, chunks, seq_splits):
+    kwargs = {}
+    if name == "interleaved":
+        assume(p >= 2 and m % p == 0)
+        kwargs["num_chunks"] = chunks
+    if name == "seq1f1b":
+        kwargs["num_seq_splits"] = seq_splits
+    return create_schedule(name, p, m, **kwargs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(schedule_names()),
+    p=_STAGES,
+    m=_MICROBATCHES,
+    chunks=st.integers(min_value=2, max_value=3),
+    seq_splits=st.integers(min_value=1, max_value=4),
+)
+def test_graph_is_covered_and_acyclic(name, p, m, chunks, seq_splits):
+    schedule = _build(name, p, m, chunks, seq_splits)
+    # validate() raises on missing/duplicated units, rows listed under
+    # the wrong stage, unexpected node types, and any cycle between
+    # per-rank order and cross-stage dataflow.
+    schedule.graph().validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(schedule_names()),
+    p=_STAGES,
+    m=_MICROBATCHES,
+    chunks=st.integers(min_value=2, max_value=3),
+    seq_splits=st.integers(min_value=1, max_value=4),
+)
+def test_warmup_closed_form_matches_rows(name, p, m, chunks, seq_splits):
+    schedule = _build(name, p, m, chunks, seq_splits)
+    total = m * schedule.num_chunks * schedule.num_seq_splits
+    for stage in range(p):
+        warmup = schedule.warmup_forwards(stage)
+        expected = warmup if warmup >= total else warmup + 1
+        assert schedule.derived_warmup_forwards(stage) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(schedule_names()),
+    p=_STAGES,
+    m=_MICROBATCHES,
+    chunks=st.integers(min_value=2, max_value=3),
+    seq_splits=st.integers(min_value=1, max_value=4),
+)
+def test_each_unit_runs_f_then_b_once(name, p, m, chunks, seq_splits):
+    schedule = _build(name, p, m, chunks, seq_splits)
+    splits_w = type(schedule).splits_weight_grad
+    for stage in range(p):
+        row = schedule.rank_ops(stage)
+        position = {
+            (node.type, node.microbatch, node.chunk, node.seq_split): i
+            for i, node in enumerate(row)
+        }
+        units = {
+            (mb, chunk, sq)
+            for mb in range(m)
+            for chunk in range(schedule.num_chunks)
+            for sq in range(schedule.num_seq_splits)
+        }
+        expected_len = len(units) * (3 if splits_w else 2)
+        assert len(row) == len(position) == expected_len
+        for mb, chunk, sq in units:
+            f = position[(NodeType.FORWARD, mb, chunk, sq)]
+            b = position[(NodeType.BACKWARD, mb, chunk, sq)]
+            assert f < b, (name, stage, mb, chunk, sq)
+            if splits_w:
+                w = position[(NodeType.WEIGHT, mb, chunk, sq)]
+                assert b < w, (name, stage, mb, chunk, sq)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=st.integers(min_value=2, max_value=8), m=_MICROBATCHES)
+def test_zb_h1_memory_never_exceeds_1f1b(p, m):
+    zb = create_schedule("zb-h1", p, m)
+    base = create_schedule("1f1b", p, m)
+    for stage in range(p):
+        assert zb.peak_weight_stash_units(stage) <= 1
+        assert zb.peak_activation_units(stage) <= (
+            base.peak_activation_units(stage)
+        )
+        assert zb.warmup_forwards(stage) == base.warmup_forwards(stage)
