@@ -1,0 +1,85 @@
+"""The pinned chaos soak: the serving stack must not drop a request.
+
+Runs the ``soak`` scenario — SIGKILL 2 of 4 local pool workers
+mid-batch, drop the remote TCP worker's connection, corrupt 5% of cache
+reads — against 50 requests (16 distinct configurations) with the full
+self-healing stack enabled, and asserts the zero-drop invariant: every
+request receives a structured answer and availability stays at 100%
+(degraded answers allowed, drops not).
+
+Writes ``BENCH_chaos.json`` at the repo root (CI's chaos-smoke job
+uploads it) so availability and p99-under-fault are tracked from PR to
+PR. A second pass runs the fault-free ``baseline`` scenario through the
+same harness as the chaos-off control: no retries, no respawns, no
+degraded answers — the resilience machinery must be invisible when
+nothing fails.
+"""
+
+import json
+from pathlib import Path
+
+from repro.chaos import SCENARIOS, run_scenario
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_chaos.json"
+
+REQUESTS = 50
+WORKERS = 4
+DISTINCT = 16
+SEED = 0
+
+
+def test_soak_survives_with_zero_drops(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "soak_cache"))
+
+    soak = run_scenario(
+        SCENARIOS["soak"],
+        seed=SEED,
+        requests=REQUESTS,
+        workers=WORKERS,
+        distinct=DISTINCT,
+        cache_dir=tmp_path / "soak_cache",
+    )
+
+    baseline = run_scenario(
+        SCENARIOS["baseline"],
+        seed=SEED,
+        requests=REQUESTS,
+        workers=WORKERS,
+        distinct=DISTINCT,
+        cache_dir=tmp_path / "baseline_cache",
+    )
+
+    payload = {
+        "benchmark": "chaos_soak",
+        "unit": "availability under the pinned soak scenario",
+        "seed": SEED,
+        "requests": REQUESTS,
+        "workers": WORKERS,
+        "distinct": DISTINCT,
+        "availability": soak.availability,
+        "degraded_fraction": soak.degraded / REQUESTS,
+        "p99_under_fault_s": round(soak.latency_p99_s, 5),
+        "p50_under_fault_s": round(soak.latency_p50_s, 5),
+        "baseline_p99_s": round(baseline.latency_p99_s, 5),
+        "injected": soak.injected,
+        "retries_total": soak.metrics.get("retries_total"),
+        "respawns_total": soak.metrics.get("respawns_total"),
+        "degraded_total": soak.metrics.get("degraded_total"),
+        "survived": soak.survived,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Zero-drop invariant: all 50 answered, availability 100%.
+    assert soak.drops == 0, payload
+    assert soak.answered == REQUESTS, payload
+    assert soak.availability == 1.0, payload
+    assert soak.survived, payload
+    # The faults actually fired (the soak is not a vacuous pass).
+    assert soak.injected, payload
+
+    # Chaos-off control: the healing machinery stays invisible.
+    assert baseline.survived and baseline.drops == 0, payload
+    assert baseline.degraded == 0
+    assert baseline.injected == {}
+    assert baseline.metrics.get("errors_total") == 0
+    assert baseline.metrics.get("respawns_total") == 0

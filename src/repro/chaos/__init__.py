@@ -1,0 +1,65 @@
+"""Fault injection + self-healing proof harness for the serving stack.
+
+``repro.chaos`` is two halves:
+
+- **Injection** — :mod:`~repro.chaos.hooks` hook points compiled into
+  the production store / supervisor / worker pool / broker (a no-op
+  unless a handler is installed), a seeded
+  :class:`~repro.chaos.injection.FaultInjector` that drives them from a
+  declarative :class:`~repro.chaos.injection.FaultPlan`, and the named
+  :data:`~repro.chaos.scenarios.SCENARIOS` registry (worker crashes,
+  stragglers, TCP drops, torn cache writes, queue storms, the pinned
+  acceptance soak).
+- **Self-healing policies** — :class:`~repro.chaos.policies.RetryPolicy`
+  (full-jitter backoff under a retry budget),
+  :class:`~repro.chaos.policies.CircuitBreaker` (closed → open →
+  half-open), and :class:`~repro.chaos.policies.Deadline` (propagated
+  absolute deadlines), consumed by :mod:`repro.serve`.
+
+:func:`~repro.chaos.harness.run_scenario` runs a scenario against a
+live broker + worker pool and returns a
+:class:`~repro.chaos.harness.SurvivalReport`; ``python -m repro chaos``
+is the CLI wrapper. See docs/chaos.md.
+
+This ``__init__`` stays import-light on purpose: ``repro.core.store``
+imports the hook registry at module load, so the heavyweight harness
+(which imports the API and serve tiers) is resolved lazily.
+"""
+
+from repro.chaos import hooks
+from repro.chaos.injection import FaultInjector, FaultPlan, torn_write
+from repro.chaos.policies import CircuitBreaker, Deadline, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "SCENARIOS",
+    "Scenario",
+    "SurvivalReport",
+    "get_scenario",
+    "hooks",
+    "run_scenario",
+    "torn_write",
+]
+
+_LAZY = {
+    "SCENARIOS": "repro.chaos.scenarios",
+    "Scenario": "repro.chaos.scenarios",
+    "get_scenario": "repro.chaos.scenarios",
+    "SurvivalReport": "repro.chaos.harness",
+    "run_scenario": "repro.chaos.harness",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.chaos' has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,226 @@
+"""Self-healing policy primitives: retries, breakers, deadlines.
+
+Three small, dependency-free building blocks shared by the serve tier
+(:mod:`repro.serve.broker`, :mod:`repro.serve.workers`) and the chaos
+harness that proves them out:
+
+- :class:`RetryPolicy` — a retry *budget* (total attempts) plus
+  exponential backoff with **full jitter**: the delay before retry
+  ``k`` is drawn uniformly from ``[0, min(cap, base * 2**k)]``, the
+  AWS-style jitter that decorrelates a thundering herd of retriers.
+- :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine. Repeated failures open the circuit; after a reset
+  timeout one half-open probe is allowed through, and its outcome
+  decides between closing again and re-opening.
+- :class:`Deadline` — a propagatable absolute deadline: created once
+  at admission from a relative budget and handed down the stack, so
+  every layer (broker retry loop, worker dispatch, queued tasks)
+  subtracts time already spent instead of restarting the clock.
+
+All three take an injectable clock / RNG so tests pin their behaviour
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["CircuitBreaker", "Deadline", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A retry budget with exponential, fully-jittered backoff.
+
+    Attributes:
+        attempts: total attempts allowed (1 initial + ``attempts - 1``
+            retries). ``attempts=1`` means "never retry".
+        base_s: backoff base; the envelope for retry ``k`` is
+            ``min(cap_s, base_s * 2**k)``.
+        cap_s: hard ceiling on any single delay.
+    """
+
+    attempts: int = 3
+    base_s: float = 0.05
+    cap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if not 0 < self.base_s <= self.cap_s:
+            raise ValueError(
+                f"need 0 < base_s <= cap_s, got base_s={self.base_s:g} "
+                f"cap_s={self.cap_s:g}"
+            )
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether attempt ``attempt`` (0-based) leaves budget for one
+        more."""
+        return attempt + 1 < self.attempts
+
+    def envelope_s(self, retry_index: int) -> float:
+        """Upper bound of the delay before retry ``retry_index``
+        (0-based): ``min(cap_s, base_s * 2**retry_index)``."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        # 2.0**large overflows Python floats; past ~2**63 the cap has
+        # long since won anyway.
+        return min(self.cap_s, self.base_s * (2.0 ** min(retry_index, 63)))
+
+    def delay_s(self, retry_index: int, rng: random.Random) -> float:
+        """One full-jitter delay: uniform over ``[0, envelope]``."""
+        return rng.uniform(0.0, self.envelope_s(retry_index))
+
+    def delays(self, rng: random.Random) -> Iterator[float]:
+        """The whole backoff sequence this budget allows, in order.
+
+        Yields exactly ``attempts - 1`` delays — one per retry — then
+        stops: iterating to exhaustion *is* exhausting the budget.
+        """
+        for retry_index in range(self.attempts - 1):
+            yield self.delay_s(retry_index, rng)
+
+
+class Deadline:
+    """An absolute point in time a request must not outlive.
+
+    Built once from a relative budget (:meth:`after`) and passed down
+    the stack; every layer reads :meth:`remaining` instead of
+    restarting its own timer, which is what makes the deadline
+    *propagate* (HTTP → broker → worker) rather than accumulate.
+    """
+
+    __slots__ = ("at", "_clock")
+
+    def __init__(self, at: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.at = at
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float | None,
+              clock: Callable[[], float] = time.monotonic
+              ) -> "Deadline | None":
+        """A deadline ``seconds`` from now; ``None`` stays ``None``
+        (no deadline)."""
+        if seconds is None:
+            return None
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.at
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker around one failure domain.
+
+    - **closed**: calls flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker.
+    - **open**: calls are refused (:meth:`allow` is False) until
+      ``reset_timeout_s`` has elapsed since the trip.
+    - **half-open**: exactly one probe call is allowed through; its
+      success closes the breaker, its failure re-opens it (with a
+      fresh reset timer).
+
+    Not internally locked: callers serialise access (the worker pool
+    consults breakers under its dispatcher lock, the broker on its
+    event loop). The clock is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s:g}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0  # times the breaker opened (monotonic counter)
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` — evaluated
+        against the clock (an elapsed reset timeout reads as
+        half-open)."""
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            return "half_open"
+        return self._state
+
+    def peek(self) -> bool:
+        """Whether :meth:`allow` would pass, *without* consuming the
+        half-open probe slot (routing decisions use this)."""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "open":
+            return False
+        return not self._probing
+
+    def allow(self) -> bool:
+        """Gate one call. In half-open state this consumes the single
+        probe slot; callers that pass MUST later report the outcome
+        via :meth:`record_success` / :meth:`record_failure`."""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "open":
+            return False
+        if self._probing:
+            return False
+        self._state = "half_open"
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """A gated call completed: close the breaker."""
+        self._state = "closed"
+        self._failures = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A gated call failed: count toward the threshold, or re-open
+        immediately if this was the half-open probe."""
+        if self._state == "half_open":
+            self._trip()
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._probing = False
+        self.trips += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._failures}/{self.failure_threshold})"
+        )

@@ -31,6 +31,7 @@ Usage::
     python -m repro inferserve sweep --model llama3-70b --cluster h100x64 \\
         --setpoint 0.6 0.8 1.0 --search --jobs 3
     python -m repro serve --port 8053 --concurrency 2
+    python -m repro chaos --scenario soak --seed 0 --json
     python -m repro cache stats
     python -m repro cache clear
 
@@ -60,6 +61,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -1072,6 +1074,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the simulation broker as a long-lived HTTP service."""
     from repro.serve import BrokerConfig, BrokerServer
 
+    # The deployed service runs with the self-healing stack on (crash
+    # retries, circuit breakers, degraded answers); the library-level
+    # BrokerConfig defaults keep them off for embedders and tests.
     config = BrokerConfig(
         concurrency=max(args.concurrency, args.workers),
         queue_limit=args.queue_limit,
@@ -1083,6 +1088,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         slo_target_s=(
             args.slo_target_s if args.slo_target_s > 0 else None
         ),
+        retry_attempts=args.retry_attempts,
+        breaker_failures=args.breaker_failures,
+        hedge_s=args.hedge_s if args.hedge_s > 0 else None,
+        degraded=not args.no_degraded,
     )
     server = BrokerServer(
         config, host=args.host, port=args.port, verbose=True
@@ -1121,7 +1130,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
-    """Join a broker's worker pool from this host (TCP)."""
+    """Join a broker's worker pool from this host (TCP).
+
+    By default a lost broker (restart, network partition) is re-dialled
+    with capped full-jitter backoff instead of killing the worker; each
+    connection-state change is logged as one structured JSON line on
+    stderr so supervisors can alert on ``reconnect_wait`` storms.
+    """
+    from repro.chaos.policies import RetryPolicy
     from repro.serve import serve_worker
 
     host, _, port = args.connect.rpartition(":")
@@ -1131,15 +1147,89 @@ def cmd_worker(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+
+    def log_event(event: dict) -> None:
+        print(json.dumps({"worker": True, **event}), file=sys.stderr)
+
     print(f"joining worker pool at {host}:{port} (Ctrl-C to leave)")
     try:
-        serve_worker((host, int(port)), args.authkey.encode())
+        serve_worker(
+            (host, int(port)),
+            args.authkey.encode(),
+            reconnect=not args.no_reconnect,
+            retry=RetryPolicy(
+                attempts=2, base_s=0.5,
+                cap_s=max(0.5, args.retry_cap_s),
+            ),
+            max_retries=(
+                args.max_retries if args.max_retries >= 0 else None
+            ),
+            on_event=log_event,
+        )
     except KeyboardInterrupt:
         pass
     except (ConnectionError, OSError) as error:
         print(f"error: could not join pool: {error}", file=sys.stderr)
         return 3
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded fault-injection scenarios against the serve stack."""
+    from repro.chaos import SCENARIOS, get_scenario, run_scenario
+
+    if args.list:
+        if args.as_json:
+            _emit_json({
+                name: scenario.description
+                for name, scenario in sorted(SCENARIOS.items())
+            })
+        else:
+            for name, scenario in sorted(SCENARIOS.items()):
+                print(f"{name:<14} {scenario.description}")
+        return 0
+    names = args.scenario or ["soak"]
+    scenarios = [get_scenario(name) for name in names]
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    scratch = None
+    if cache_dir is None:
+        # Corruption faults must never touch a real cache.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        cache_dir = scratch.name
+    reports = []
+    try:
+        for scenario in scenarios:
+            if not args.as_json:
+                print(f"running {scenario.name} "
+                      f"(seed {args.seed}, {args.requests} requests, "
+                      f"{args.workers} workers)...")
+            report = run_scenario(
+                scenario,
+                seed=args.seed,
+                requests=args.requests,
+                workers=args.workers,
+                cache_dir=cache_dir,
+            )
+            reports.append(report)
+            if not args.as_json:
+                print(report.describe())
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    payload = {
+        "seed": args.seed,
+        "requests": args.requests,
+        "workers": args.workers,
+        "scenarios": [report.to_dict() for report in reports],
+        "survived": all(report.survived for report in reports),
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        if not args.as_json:
+            print(f"wrote {args.out}")
+    if args.as_json:
+        _emit_json(payload)
+    return 0 if payload["survived"] else 3
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -1611,6 +1701,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-authkey", default="",
         help="shared secret authenticating remote workers",
     )
+    serve.add_argument(
+        "--retry-attempts", type=int, default=3,
+        help="execution attempts per miss after worker crashes "
+             "(1 = never retry)",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=5,
+        help="consecutive execution failures that open the broker's "
+             "circuit breaker (0 = disabled)",
+    )
+    serve.add_argument(
+        "--hedge-s", type=float, default=0.0,
+        help="hedged requests: duplicate a pool dispatch that has not "
+             "answered after this many seconds, first answer wins "
+             "(0 = disabled; needs --workers)",
+    )
+    serve.add_argument(
+        "--no-degraded", action="store_true",
+        help="return structured errors instead of degraded "
+             "(stale-cache / analytic) answers when execution fails",
+    )
     serve.set_defaults(func=cmd_serve)
 
     worker = subparsers.add_parser(
@@ -1626,7 +1737,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--authkey", required=True,
         help="shared secret (must match the broker's --worker-authkey)",
     )
+    worker.add_argument(
+        "--no-reconnect", action="store_true",
+        help="exit when the broker connection is lost instead of "
+             "re-dialling with capped backoff",
+    )
+    worker.add_argument(
+        "--retry-cap-s", type=float, default=30.0,
+        help="ceiling on the jittered reconnect backoff delay",
+    )
+    worker.add_argument(
+        "--max-retries", type=int, default=-1,
+        help="give up after this many consecutive failed reconnect "
+             "dials (-1 = keep trying)",
+    )
     worker.set_defaults(func=cmd_worker)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run seeded fault-injection scenarios against the serve "
+             "stack and report survival (docs/chaos.md)",
+        parents=[json_flags, cache_flags],
+    )
+    chaos.add_argument(
+        "--scenario", action="append", default=None,
+        help="repeatable: scenario name from --list (default: soak)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true",
+        help="list the registered scenarios and exit",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-injection seed")
+    chaos.add_argument(
+        "--requests", type=int, default=50,
+        help="requests driven through the broker per scenario",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=4,
+        help="local worker-pool processes behind the broker",
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="also write the full JSON report to this path",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     cache = subparsers.add_parser(
         "cache",

@@ -209,6 +209,10 @@ def run_supervised(fn, arg, timeout_s: float | None = None):
     )
     process.start()
     sender.close()
+    from repro.chaos import hooks as chaos_hooks
+
+    if chaos_hooks.fire("parallel.supervised", pid=process.pid).get("kill"):
+        process.kill()
     message = None
     timed_out = False
     try:

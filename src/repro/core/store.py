@@ -33,6 +33,7 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.chaos import hooks as chaos_hooks
 from repro.core.results import RunResult
 
 #: Bump when RunResult / SimOutcome / telemetry change observable shape.
@@ -106,6 +107,7 @@ class ResultStore:
         the same broken bytes on every lookup.
         """
         path = self.path_for(digest)
+        chaos_hooks.fire("store.get", path=path, digest=digest)
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
@@ -148,6 +150,7 @@ class ResultStore:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
+            chaos_hooks.fire("store.put", path=path, digest=digest)
         except BaseException:
             try:
                 os.unlink(tmp_name)

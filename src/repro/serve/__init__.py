@@ -21,15 +21,26 @@ work-stealing deques, health checks with automatic respawn, and a
 shared content-addressed cache. ``BrokerConfig(slo_target_s=...)`` adds
 SLO-aware admission: misses whose predicted wait (queue depth × mean
 service time) exceeds the target are rejected up front with a matching
-Retry-After. See docs/api.md and docs/performance.md.
+Retry-After.
+
+The serve tier self-heals (opt-in via :class:`BrokerConfig`; the CLI
+turns it on): crash retries with full-jitter backoff, per-worker-slot
+and broker-level circuit breakers, hedged requests for p99 stragglers,
+HTTP → broker → worker deadline propagation, and a degraded mode that
+answers from the last-good LRU or the closed-form analytic model
+(:func:`repro.serve.degraded.analytic_estimate`) instead of 500ing.
+:mod:`repro.chaos` injects the faults that prove all of this works.
+See docs/api.md, docs/performance.md, and docs/chaos.md.
 """
 
 from repro.serve.broker import (
     Broker,
     BrokerConfig,
     BrokerMetrics,
+    BrokerUnavailableError,
     SimResponse,
 )
+from repro.serve.degraded import analytic_estimate
 from repro.serve.http import BrokerServer
 from repro.serve.workers import WorkerPool, serve_worker
 
@@ -38,7 +49,9 @@ __all__ = [
     "BrokerConfig",
     "BrokerMetrics",
     "BrokerServer",
+    "BrokerUnavailableError",
     "SimResponse",
     "WorkerPool",
+    "analytic_estimate",
     "serve_worker",
 ]

@@ -18,6 +18,28 @@ Backpressure is explicit: when ``queue_limit`` requests are already
 waiting for a slot, new misses are **rejected** immediately (the HTTP
 layer maps this to ``429`` + ``Retry-After``) rather than queued without
 bound.
+
+Self-healing (all OFF by default so library behaviour is unchanged;
+``repro serve`` turns them on — see docs/chaos.md):
+
+- **Execution retries** — a worker *crash* (never a payload exception,
+  which is deterministic) is retried up to ``retry_attempts`` times
+  with full-jitter backoff, bounded by the request's deadline.
+- **Circuit breaker** — ``breaker_failures`` consecutive terminal
+  execution failures open the broker's breaker; while open, misses
+  skip execution entirely (straight to degraded mode or a structured
+  error) until a half-open probe succeeds.
+- **Degraded mode** — with ``degraded=True`` an execution that cannot
+  produce a real result (crash budget exhausted, deadline, open
+  breaker) is answered approximately instead of 500ing: first from an
+  LRU of last-good results for that digest (``"stale-cache"``), else
+  from the closed-form :func:`repro.serve.degraded.analytic_estimate`
+  (``"analytic"``). Such responses are ``status="ok"`` with
+  ``degraded: true`` so clients can tell.
+- **Deadline propagation** — the request deadline is one absolute
+  :class:`repro.chaos.policies.Deadline` fixed at admission; retries
+  and backoff sleeps all fit inside it, so healing never extends how
+  long a client waits beyond the grace window.
 """
 
 from __future__ import annotations
@@ -26,11 +48,13 @@ import asyncio
 import dataclasses
 import statistics
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.api import SimRequest, submit
+from repro.chaos import hooks as chaos_hooks
+from repro.chaos.policies import CircuitBreaker, Deadline, RetryPolicy
 from repro.core.parallel import (
     PayloadError,
     WorkerCrashError,
@@ -46,6 +70,11 @@ _DEADLINE_GRACE_S = 5.0
 
 #: How many recent request latencies feed the percentile counters.
 _LATENCY_WINDOW = 2048
+
+#: Digest -> last good result entries kept for stale-cache degraded
+#: answers (small: these also live in the memo/store; this LRU only
+#: has to survive a store outage).
+_LAST_GOOD_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -76,6 +105,20 @@ class BrokerConfig:
         service_time_hint_s: seed for the mean-service-time estimate
             before any request has completed (cold-start SLO
             admission).
+        retry_attempts: total execution attempts per miss after worker
+            *crashes* (1 = no retries, the historical behaviour;
+            payload exceptions and timeouts are never retried).
+        retry_base_s / retry_cap_s: full-jitter backoff envelope
+            between crash retries.
+        breaker_failures: consecutive terminal execution failures that
+            open the broker-level circuit breaker (0 disables — the
+            default).
+        breaker_reset_s: open → half-open reset timeout.
+        hedge_s: hedged-request delay handed to the worker pool
+            (``None`` disables; only meaningful with ``workers > 0``).
+        degraded: answer otherwise-failed requests from the last-good
+            LRU or the analytic model, marked ``degraded: true``,
+            instead of returning ``error``/``timeout``.
     """
 
     concurrency: int = 2
@@ -87,6 +130,13 @@ class BrokerConfig:
     workers: int = 0
     slo_target_s: float | None = None
     service_time_hint_s: float = 0.0
+    retry_attempts: int = 1
+    retry_base_s: float = 0.05
+    retry_cap_s: float = 2.0
+    breaker_failures: int = 0
+    breaker_reset_s: float = 30.0
+    hedge_s: float | None = None
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -106,6 +156,19 @@ class BrokerConfig:
                 f"slo_target_s must be > 0 (or None), "
                 f"got {self.slo_target_s}"
             )
+        if self.retry_attempts < 1:
+            raise ValueError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}"
+            )
+        if self.breaker_failures < 0:
+            raise ValueError(
+                f"breaker_failures must be >= 0, "
+                f"got {self.breaker_failures}"
+            )
+        if self.hedge_s is not None and self.hedge_s <= 0:
+            raise ValueError(
+                f"hedge_s must be > 0 (or None), got {self.hedge_s}"
+            )
 
 
 @dataclass(frozen=True)
@@ -115,6 +178,9 @@ class SimResponse:
     ``status`` is one of ``"ok"``, ``"error"`` (worker crash or payload
     exception), ``"timeout"`` (deadline hit, child killed), or
     ``"rejected"`` (queue full — retry after ``retry_after_s``).
+    A degraded-mode answer is ``"ok"`` with ``degraded=True`` and
+    ``degraded_source`` naming the tier that produced it
+    (``"stale-cache"`` or ``"analytic"``).
     """
 
     status: str
@@ -125,6 +191,8 @@ class SimResponse:
     deduped: bool = False
     duration_s: float = 0.0
     retry_after_s: float | None = None
+    degraded: bool = False
+    degraded_source: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -137,7 +205,8 @@ class SimResponse:
         result = self.result
         if isinstance(result, RunResult):
             result = run_summary(result)
-        elif result is not None and hasattr(result, "metrics"):
+        elif (result is not None and not isinstance(result, dict)
+              and hasattr(result, "metrics")):
             result = dataclasses.asdict(result.metrics())
         return {
             "status": self.status,
@@ -149,6 +218,8 @@ class SimResponse:
             "deduped": self.deduped,
             "duration_s": self.duration_s,
             "retry_after_s": self.retry_after_s,
+            "degraded": self.degraded,
+            "degraded_source": self.degraded_source,
         }
 
 
@@ -163,6 +234,9 @@ class BrokerMetrics:
     rejected: int = 0
     errors: int = 0
     timeouts: int = 0
+    retries: int = 0
+    degraded: int = 0
+    breaker_rejections: int = 0
     latencies_s: deque = field(
         default_factory=lambda: deque(maxlen=_LATENCY_WINDOW)
     )
@@ -189,6 +263,9 @@ class BrokerMetrics:
             "rejected": self.rejected,
             "errors": self.errors,
             "timeouts": self.timeouts,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "breaker_rejections": self.breaker_rejections,
             "hit_rate": (self.hits / total) if total else 0.0,
             "latency_p50_s": self.percentile(0.50),
             "latency_p90_s": self.percentile(0.90),
@@ -228,6 +305,10 @@ def _inline_runner(request: SimRequest,
     return submit(request)
 
 
+class BrokerUnavailableError(RuntimeError):
+    """The broker's circuit breaker is open; execution was skipped."""
+
+
 class Broker:
     """Asyncio admission-control front end over :func:`repro.api.submit`.
 
@@ -258,6 +339,21 @@ class Broker:
         else:
             self._runner = _inline_runner
         self.metrics = BrokerMetrics()
+        self._retry = RetryPolicy(
+            attempts=self.config.retry_attempts,
+            base_s=self.config.retry_base_s,
+            cap_s=self.config.retry_cap_s,
+        )
+        import random as _random
+
+        self._rng = _random.Random(0xB60C)
+        self.breaker: CircuitBreaker | None = None
+        if self.config.breaker_failures > 0:
+            self.breaker = CircuitBreaker(
+                self.config.breaker_failures,
+                self.config.breaker_reset_s,
+            )
+        self._last_good: OrderedDict[str, object] = OrderedDict()
         self._semaphore = asyncio.Semaphore(self.config.concurrency)
         self._inflight: dict[str, asyncio.Future] = {}
         self._service_s: deque = deque(maxlen=_LATENCY_WINDOW)
@@ -287,6 +383,7 @@ class Broker:
                 )
             if hit is not None:
                 self.metrics.hits += 1
+                self._remember_good(request, hit)
                 duration = time.monotonic() - started
                 self.metrics.observe(duration)
                 return SimResponse(
@@ -389,13 +486,25 @@ class Broker:
             "cache": self.config.cache,
             "slo_target_s": self.config.slo_target_s,
             "estimated_wait_s": self.estimated_wait_s(),
+            "breaker": (
+                self.breaker.state if self.breaker is not None
+                else "disabled"
+            ),
+            "degraded_mode": self.config.degraded,
         }
         if self.pool is not None:
             data["pool"] = self.pool.stats()
         return data
 
     def metrics_dict(self) -> dict:
-        """``GET /v1/metrics`` body (counters + latency percentiles)."""
+        """``GET /v1/metrics`` body (counters + latency percentiles).
+
+        The ``*_total`` aliases aggregate broker- and pool-level
+        counters into the monitoring-facing names docs/chaos.md
+        documents: ``errors_total``, ``retries_total`` (broker crash
+        retries + pool redispatches), ``respawns_total``,
+        ``degraded_total``.
+        """
         data = self.metrics.to_dict()
         data["queue_depth"] = self.queue_depth
         data["executing"] = self._executing
@@ -403,8 +512,26 @@ class Broker:
         data["uptime_s"] = time.monotonic() - self._started_at
         data["mean_service_s"] = self.mean_service_s
         data["estimated_wait_s"] = self.estimated_wait_s()
-        if self.pool is not None:
-            data["pool"] = self.pool.stats()
+        pool_stats = self.pool.stats() if self.pool is not None else None
+        if pool_stats is not None:
+            data["pool"] = pool_stats
+        data["errors_total"] = self.metrics.errors
+        data["retries_total"] = self.metrics.retries + (
+            pool_stats["retries"] if pool_stats else 0
+        )
+        data["respawns_total"] = (
+            pool_stats["respawns"] if pool_stats else 0
+        )
+        data["degraded_total"] = self.metrics.degraded
+        data["breaker"] = {
+            "broker": (
+                self.breaker.state if self.breaker is not None
+                else "disabled"
+            ),
+            "workers": (
+                pool_stats["breakers"] if pool_stats else {}
+            ),
+        }
         return data
 
     # -- internals ------------------------------------------------------
@@ -429,44 +556,147 @@ class Broker:
         """Execute via the persistent worker pool (cacheable kinds);
         fleet requests keep the per-request supervised child."""
         if request.cacheable and self.pool is not None:
-            return self.pool.run(request.to_run_payload(), timeout_s)
+            return self.pool.run(request.to_run_payload(), timeout_s,
+                                 hedge_s=self.config.hedge_s)
         return _default_runner(request, timeout_s)
+
+    def _remember_good(self, request: SimRequest, result: object) -> None:
+        """Feed the stale-cache degraded tier (bounded LRU)."""
+        if not self.config.degraded:
+            return
+        digest = request.digest()
+        self._last_good[digest] = result
+        self._last_good.move_to_end(digest)
+        while len(self._last_good) > _LAST_GOOD_LIMIT:
+            self._last_good.popitem(last=False)
+
+    def _degraded_answer(self, request: SimRequest,
+                         error: str) -> SimResponse | None:
+        """Best approximate answer, or None when none exists."""
+        stale = self._last_good.get(request.digest())
+        if stale is not None:
+            return SimResponse(
+                status="ok", request=request, result=stale,
+                cached=True, degraded=True,
+                degraded_source="stale-cache", error=error,
+            )
+        from repro.serve.degraded import analytic_estimate
+
+        estimate = analytic_estimate(request)
+        if estimate is not None:
+            return SimResponse(
+                status="ok", request=request, result=estimate,
+                degraded=True, degraded_source="analytic", error=error,
+            )
+        return None
+
+    async def _run_attempts(self, request: SimRequest,
+                            timeout_s: float | None) -> object:
+        """The execution core: breaker gate + crash-retry loop.
+
+        Raises the terminal exception when every attempt failed;
+        payload errors and timeouts are terminal on first occurrence.
+        """
+        if self.breaker is not None and not self.breaker.allow():
+            self.metrics.breaker_rejections += 1
+            raise BrokerUnavailableError(
+                "circuit breaker open after "
+                f"{self.config.breaker_failures} consecutive execution "
+                "failures; cooling down "
+                f"{self.config.breaker_reset_s:g}s"
+            )
+        deadline = Deadline.after(timeout_s)
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while True:
+            attempt += 1
+            directive = chaos_hooks.fire(
+                "broker.execute", digest=request.digest(),
+                attempt=attempt,
+            )
+            budget = None if deadline is None else deadline.remaining()
+            try:
+                fail = directive.get("fail")
+                if fail:
+                    raise WorkerCrashError(str(fail))
+                delay_s = directive.get("delay_s")
+                if delay_s:
+                    await asyncio.sleep(float(delay_s))
+                call = loop.run_in_executor(
+                    None, self._runner, request, budget
+                )
+                if budget is not None:
+                    # Backstop only: the supervised child enforces the
+                    # real deadline by killing the process.
+                    call = asyncio.wait_for(
+                        call, budget + _DEADLINE_GRACE_S
+                    )
+                result = await call
+            except WorkerCrashError:
+                if (attempt >= self._retry.attempts
+                        or (deadline is not None and deadline.expired)):
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    raise
+                self.metrics.retries += 1
+                pause = self._retry.delay_s(attempt - 1, self._rng)
+                if deadline is not None:
+                    pause = min(pause, max(0.0, deadline.remaining()))
+                await asyncio.sleep(pause)
+                continue
+            except BaseException:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
 
     async def _execute(self, request: SimRequest) -> SimResponse:
         timeout_s = self._timeout_for(request)
         async with self._semaphore:
             self._executing += 1
             execution_started = time.monotonic()
+            failure: SimResponse | None = None
             try:
-                loop = asyncio.get_running_loop()
-                call = loop.run_in_executor(
-                    None, self._runner, request, timeout_s
-                )
-                if timeout_s is not None:
-                    # Backstop only: the supervised child enforces the
-                    # real deadline by killing the process.
-                    call = asyncio.wait_for(
-                        call, timeout_s + _DEADLINE_GRACE_S
-                    )
-                result = await call
+                result = await self._run_attempts(request, timeout_s)
             except (WorkerTimeoutError, asyncio.TimeoutError) as error:
                 self.metrics.timeouts += 1
                 message = (
                     str(error)
                     or f"request exceeded its {timeout_s:g}s deadline"
                 )
-                return SimResponse(
+                failure = SimResponse(
                     status="timeout", request=request, error=message
                 )
-            except (WorkerCrashError, PayloadError, Exception) as error:
+            except PayloadError as error:
+                # Deterministic: degrading would mask a real bug.
                 self.metrics.errors += 1
                 return SimResponse(
                     status="error",
                     request=request,
                     error=f"{type(error).__name__}: {error}",
                 )
+            except (WorkerCrashError, BrokerUnavailableError,
+                    Exception) as error:
+                failure = SimResponse(
+                    status="error",
+                    request=request,
+                    error=f"{type(error).__name__}: {error}",
+                )
             finally:
                 self._executing -= 1
+            if failure is not None:
+                if self.config.degraded:
+                    answer = self._degraded_answer(
+                        request, failure.error or failure.status
+                    )
+                    if answer is not None:
+                        self.metrics.degraded += 1
+                        return answer
+                if failure.status == "error":
+                    self.metrics.errors += 1
+                return failure
             self._service_s.append(
                 time.monotonic() - execution_started
             )
@@ -475,5 +705,6 @@ class Broker:
 
                 kind, kwargs = request.to_run_payload()
                 seed_memo(kind, kwargs, result)
+            self._remember_good(request, result)
             return SimResponse(status="ok", request=request,
                                result=result)

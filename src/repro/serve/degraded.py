@@ -1,0 +1,83 @@
+"""Degraded-mode answers: approximate beats unavailable.
+
+When the broker's execution path is down — workers crashing faster
+than they respawn, a tripped circuit breaker, a deadline too tight for
+a real simulation — the choices are a 500 or an *approximate* answer.
+This module provides the approximation: a closed-form roofline
+estimate computed from the model/cluster catalogs alone, with no
+worker, no simulator event loop, and no cache.
+
+The estimate is the same arithmetic the simulator's performance model
+bottoms out in (sustained-FLOPs roofline over the parallel width, TDP
+power envelope), so it lands in the right order of magnitude — good
+enough for a dashboard or a sweep heat-map cell, clearly not a
+simulation. Responses built from it are marked ``degraded: true`` with
+``degraded_source: "analytic"``; clients that need exact numbers must
+retry later (docs/chaos.md describes the policy).
+
+Only training and inference requests have an analytic form; serving
+and fleet requests return ``None`` (the broker then falls back to its
+stale-cache tier or, failing that, the structured error).
+"""
+
+from __future__ import annotations
+
+from repro.api import SimRequest
+
+__all__ = ["analytic_estimate"]
+
+
+def analytic_estimate(request: SimRequest) -> dict | None:
+    """Closed-form throughput/power estimate for one request.
+
+    Returns a plain JSON-shaped dict (it goes straight into the HTTP
+    response body), or ``None`` when the request kind has no analytic
+    form. Raises nothing for valid requests: everything it needs was
+    already validated by ``SimRequest.__post_init__``.
+    """
+    if request.kind not in ("training", "inference"):
+        return None
+    from repro.hardware.cluster import get_cluster
+    from repro.models.catalog import get_model
+    from repro.models.flops import model_forward_flops, model_step_flops
+    from repro.parallelism.strategy import parse_strategy
+
+    model = get_model(request.model)
+    cluster = get_cluster(request.cluster)
+    strategy = parse_strategy(request.parallelism).fill_dp(
+        cluster.total_gpus
+    )
+    gpus = strategy.world_size
+    tokens = request.global_batch_size * model.seq_length
+    if request.kind == "training":
+        flops = model_step_flops(
+            model, tokens,
+            recompute=request.optimizations.activation_recompute,
+        )
+    else:
+        flops = model_forward_flops(model, tokens)
+    gpu = cluster.node.gpu
+    sustained = gpus * gpu.sustained_flops * request.freq_setpoint
+    step_time_s = flops / sustained if sustained > 0 else float("inf")
+    # Busy GPUs sit near TDP; the roofline has no bubble/comm model, so
+    # this is the *upper* power envelope for the width actually used.
+    power_w = gpus * gpu.tdp_watts * request.freq_setpoint
+    return {
+        "analytic": True,
+        "kind": request.kind,
+        "model": request.model,
+        "cluster": request.cluster,
+        "parallelism": strategy.name,
+        "gpus": gpus,
+        "step_flops": flops,
+        "step_time_s": step_time_s,
+        "tokens_per_s": (
+            tokens / step_time_s if step_time_s > 0 else 0.0
+        ),
+        "power_w": power_w,
+        "energy_per_step_j": power_w * step_time_s,
+        "note": (
+            "closed-form roofline estimate served in degraded mode; "
+            "retry for a simulated result"
+        ),
+    }

@@ -11,14 +11,22 @@ Endpoints (see docs/api.md for request/response schemas):
   ``200`` ok, ``400`` malformed/invalid request, ``429`` queue full
   (with ``Retry-After``), ``504`` per-request deadline, ``500`` worker
   crash or payload error. Every non-400 body is
-  :meth:`SimResponse.to_dict` JSON.
+  :meth:`SimResponse.to_dict` JSON. An ``X-Repro-Deadline-S`` request
+  header sets the per-request deadline when the body carries no
+  ``timeout_s`` of its own — the deadline then propagates HTTP →
+  broker → worker, so a late answer is cancelled at every layer
+  (degraded-mode brokers may still answer approximately; such bodies
+  carry ``degraded: true``).
 - ``GET /v1/status`` — liveness + queue depth.
-- ``GET /v1/metrics`` — counters, hit rate, p50/p90/p99 latency.
+- ``GET /v1/metrics`` — counters, hit rate, p50/p90/p99 latency, and
+  the resilience counters (``errors_total``, ``retries_total``,
+  ``respawns_total``, ``degraded_total``, circuit-breaker states).
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -86,6 +94,11 @@ class _Handler(BaseHTTPRequestHandler):
             request = SimRequest.from_json(
                 self.rfile.read(length).decode()
             )
+            header_deadline = self.headers.get("X-Repro-Deadline-S")
+            if header_deadline is not None and request.timeout_s is None:
+                request = dataclasses.replace(
+                    request, timeout_s=float(header_deadline)
+                )
         except (ValueError, TypeError, UnicodeDecodeError) as error:
             self._send_json(
                 400, {"status": "error", "error": str(error)}

@@ -13,15 +13,33 @@ deque — long sweep shards migrate to idle workers instead of serialising
 behind a slow one. All deque state lives in the dispatcher thread's
 lock, so there is no shared memory to corrupt.
 
-Reliability: every worker's process sentinel is part of the dispatcher's
-``wait()`` set, so a SIGKILLed / OOMed worker wakes the dispatcher
-immediately; its in-flight task is retried on another worker once and
-the worker is respawned in place. A task whose retry also dies resolves
-to :class:`repro.core.parallel.WorkerCrashError` (callers like
-:meth:`WorkerPool.map` then fall back in-process, so batches never drop
-requests). Deadline kills go the other way: :meth:`WorkerPool.run`
-kills the worker hosting an overdue task and raises
-:class:`repro.core.parallel.WorkerTimeoutError`.
+Self-healing (see docs/chaos.md for the full policy map):
+
+- **Crash retries with backoff.** A SIGKILLed / OOMed worker wakes the
+  dispatcher immediately (its process sentinel is in the ``wait()``
+  set); its in-flight task is re-queued on another worker after a
+  full-jitter backoff delay, up to the pool's retry budget, and the
+  worker is respawned in place. A task that exhausts the budget
+  resolves to :class:`repro.core.parallel.WorkerCrashError` (callers
+  like :meth:`WorkerPool.map` then fall back in-process, so batches
+  never drop requests).
+- **Per-slot circuit breakers.** Each worker *slot* (a respawned
+  worker inherits its predecessor's slot) carries a
+  :class:`repro.chaos.policies.CircuitBreaker`; a slot that keeps
+  killing its workers opens and is routed around until a half-open
+  probe succeeds. When every slot is open the pool fails open rather
+  than stalling.
+- **Deadlines.** :meth:`WorkerPool.run` kills the worker hosting an
+  overdue task and raises :class:`~repro.core.parallel.
+  WorkerTimeoutError`; a task whose deadline expires while still
+  *queued* is failed immediately without wasting a worker.
+- **Hedging.** ``run(..., hedge_s=...)`` races a duplicate dispatch
+  against a straggling first attempt; the first answer wins and the
+  loser is discarded (de-queued if still waiting, ignored if running).
+
+Fault injection enters through :mod:`repro.chaos.hooks` call sites
+(``pool.dispatch``, ``pool.result``) — one dict lookup when no chaos
+handler is installed, byte-identical behaviour to a hook-free pool.
 
 Workers execute :func:`repro.core.parallel.run_request_payload` by
 default, i.e. through ``cached_run`` — they share the parent's
@@ -32,20 +50,26 @@ Remote workers: :meth:`WorkerPool.listen` opens an authenticated TCP
 socket and :func:`serve_worker` (``python -m repro worker``) connects a
 worker loop from another host. Remote workers speak the same protocol
 and join the same stealing pool; they are not respawned on death (their
-queued work redistributes locally).
+queued work redistributes locally), but ``serve_worker(reconnect=True)``
+re-dials a lost broker with capped, jittered backoff instead of dying.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import random
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import FIRST_COMPLETED, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as wait_futures
 from multiprocessing.connection import Client, Listener, wait
 
+from repro.chaos import hooks as chaos_hooks
+from repro.chaos.policies import CircuitBreaker, RetryPolicy
 from repro.core.parallel import (
     ExecutionReport,
     PayloadError,
@@ -55,10 +79,17 @@ from repro.core.parallel import (
     run_request_payload,
 )
 
-#: Attempts per task across worker deaths before it resolves to
+#: Default attempts per task across worker deaths before it resolves to
 #: :class:`WorkerCrashError` (1 initial + 1 retry, matching the sweep
-#: fan-out's crash policy).
+#: fan-out's crash policy). Override with ``WorkerPool(retry=...)``.
 _TASK_ATTEMPTS = 2
+
+#: Default full-jitter backoff for task redispatch after a failure.
+_DEFAULT_RETRY = RetryPolicy(attempts=_TASK_ATTEMPTS, base_s=0.02,
+                             cap_s=0.5)
+
+#: Default reconnect backoff for :func:`serve_worker`.
+_RECONNECT_RETRY = RetryPolicy(attempts=2, base_s=0.5, cap_s=30.0)
 
 #: Dispatcher wake-up period for liveness checks when nothing fires.
 _HEALTH_INTERVAL_S = 0.5
@@ -67,15 +98,22 @@ _HEALTH_INTERVAL_S = 0.5
 _SERVICE_WINDOW = 64
 
 
-def _worker_loop(conn) -> None:
+def _worker_loop(conn) -> str:
     """Worker side: receive ``(task_id, fn, arg)``, answer
-    ``(task_id, status, value)``. ``None`` or EOF ends the loop."""
+    ``(task_id, status, value)``.
+
+    Returns ``"shutdown"`` when the pool sent the explicit ``None``
+    goodbye, ``"lost"`` when the connection died (EOF / reset) — the
+    distinction drives :func:`serve_worker`'s reconnect decision.
+    """
+    reason = "lost"
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
         if message is None:
+            reason = "shutdown"
             break
         task_id, fn, arg = message
         try:
@@ -90,25 +128,86 @@ def _worker_loop(conn) -> None:
         conn.close()
     except OSError:
         pass
+    return reason
 
 
-def serve_worker(address: tuple[str, int], authkey: bytes) -> None:
+def _delayed_call(arg):
+    """Chaos straggler wrapper: sleep, then run the real payload
+    (top-level so it pickles across the worker pipe)."""
+    delay_s, fn, inner = arg
+    time.sleep(delay_s)
+    return fn(inner)
+
+
+def serve_worker(
+    address: tuple[str, int],
+    authkey: bytes,
+    *,
+    reconnect: bool = False,
+    retry: RetryPolicy | None = None,
+    max_retries: int | None = None,
+    on_event=None,
+    _connect=Client,
+    _sleep=time.sleep,
+) -> None:
     """Run one remote worker: connect to a pool's listener and serve.
 
-    The other side is :meth:`WorkerPool.listen`. Blocks until the pool
-    closes the connection (``python -m repro worker`` wraps this).
+    The other side is :meth:`WorkerPool.listen`; ``python -m repro
+    worker`` wraps this. Blocks until the pool says goodbye (an
+    explicit shutdown message).
+
+    With ``reconnect=True`` a *lost* connection — broker crash or
+    restart, network partition — is re-dialled with capped full-jitter
+    backoff (``retry`` supplies base/cap; attempts are unlimited unless
+    ``max_retries`` bounds consecutive failed dials) instead of killing
+    the worker. A clean pool shutdown still ends the loop. ``on_event``
+    (if given) receives one structured dict per connection-state change
+    — the CLI logs them as warnings. Authentication failures are never
+    retried: a wrong key stays wrong.
     """
-    conn = Client(address, authkey=authkey)
-    _worker_loop(conn)
+    policy = retry or _RECONNECT_RETRY
+    notify = on_event or (lambda event: None)
+    label = f"{address[0]}:{address[1]}"
+    rng = random.Random(0x7EC0)
+    failures = 0
+    while True:
+        try:
+            conn = _connect(address, authkey=authkey)
+        except multiprocessing.AuthenticationError:
+            raise
+        except (ConnectionError, EOFError, OSError) as error:
+            if not reconnect or (
+                max_retries is not None and failures >= max_retries
+            ):
+                raise
+            delay = policy.delay_s(failures, rng)
+            failures += 1
+            notify({
+                "event": "reconnect_wait",
+                "address": label,
+                "attempt": failures,
+                "sleep_s": round(delay, 3),
+                "error": f"{type(error).__name__}: {error}",
+            })
+            _sleep(delay)
+            continue
+        failures = 0
+        notify({"event": "connected", "address": label})
+        reason = _worker_loop(conn)
+        if reason == "shutdown" or not reconnect:
+            notify({"event": "shutdown", "address": label})
+            return
+        notify({"event": "disconnected", "address": label})
 
 
 class _Task:
     """One queued unit of work and its parent-side future."""
 
     __slots__ = ("id", "fn", "arg", "future", "attempts", "abandoned",
-                 "started_at")
+                 "started_at", "not_before", "deadline_at")
 
-    def __init__(self, task_id: int, fn, arg) -> None:
+    def __init__(self, task_id: int, fn, arg,
+                 deadline_at: float | None = None) -> None:
         self.id = task_id
         self.fn = fn
         self.arg = arg
@@ -116,20 +215,25 @@ class _Task:
         self.attempts = 0
         self.abandoned: str | None = None  # kill reason, if killed
         self.started_at = 0.0
+        self.not_before = 0.0  # backoff gate for retried tasks
+        self.deadline_at = deadline_at
 
 
 class _Worker:
     """Parent-side handle: process (local only), pipe, deque, in-flight."""
 
-    __slots__ = ("wid", "process", "conn", "queue", "inflight", "remote")
+    __slots__ = ("wid", "process", "conn", "queue", "inflight", "remote",
+                 "slot")
 
-    def __init__(self, wid: int, process, conn, remote: bool) -> None:
+    def __init__(self, wid: int, process, conn, remote: bool,
+                 slot: str) -> None:
         self.wid = wid
         self.process = process
         self.conn = conn
         self.queue: deque[_Task] = deque()
         self.inflight: _Task | None = None
         self.remote = remote
+        self.slot = slot
 
 
 class WorkerPool:
@@ -140,26 +244,50 @@ class WorkerPool:
             pool is fed purely by remote workers via :meth:`listen`).
         respawn: replace local workers that die; in-flight work is
             retried either way.
+        retry: per-task redispatch budget + backoff after a worker
+            death or a lost answer (default: 2 attempts, full-jitter
+            20ms..0.5s).
+        breaker_failures: consecutive failures that open one worker
+            slot's circuit breaker (0 disables breakers entirely).
+        breaker_reset_s: open→half-open reset timeout per slot.
     """
 
     def __init__(self, workers: int | None = None,
-                 respawn: bool = True) -> None:
+                 respawn: bool = True, *,
+                 retry: RetryPolicy | None = None,
+                 breaker_failures: int = 3,
+                 breaker_reset_s: float = 5.0) -> None:
         if workers is None:
             workers = max(1, (os.cpu_count() or 2) - 1)
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if breaker_failures < 0:
+            raise ValueError(
+                f"breaker_failures must be >= 0, got {breaker_failures}"
+            )
         self._ctx = multiprocessing.get_context()
         self._respawn = respawn
+        self._retry = retry or _DEFAULT_RETRY
+        self._breaker_failures = breaker_failures
+        self._breaker_reset_s = breaker_reset_s
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._rng = random.Random(0xC4A05)
         self._lock = threading.Lock()
         self._workers: dict[int, _Worker] = {}
         self._next_wid = 0
+        self._next_slot = 0
         self._next_task = 0
+        self._dispatches = 0
         self._closed = False
         self._listener: Listener | None = None
         self._service_s: deque[float] = deque(maxlen=_SERVICE_WINDOW)
         self.steals = 0
         self.respawns = 0
         self.completed = 0
+        self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.expired = 0
         self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
         with self._lock:
             for _ in range(workers):
@@ -171,7 +299,10 @@ class WorkerPool:
 
     # -- lifecycle ------------------------------------------------------
 
-    def _spawn_locked(self) -> _Worker:
+    def _spawn_locked(self, slot: str | None = None) -> _Worker:
+        if slot is None:
+            slot = str(self._next_slot)
+            self._next_slot += 1
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_loop, args=(child_conn,), daemon=True,
@@ -180,7 +311,7 @@ class WorkerPool:
         process.start()
         child_conn.close()
         worker = _Worker(self._next_wid, process, parent_conn,
-                         remote=False)
+                         remote=False, slot=slot)
         self._workers[worker.wid] = worker
         self._next_wid += 1
         return worker
@@ -211,7 +342,8 @@ class WorkerPool:
                     break
                 continue
             with self._lock:
-                worker = _Worker(self._next_wid, None, conn, remote=True)
+                worker = _Worker(self._next_wid, None, conn, remote=True,
+                                 slot=f"remote-{self._next_wid}")
                 self._workers[worker.wid] = worker
                 self._next_wid += 1
             self._wake()
@@ -263,60 +395,114 @@ class WorkerPool:
 
     # -- submission -----------------------------------------------------
 
-    def submit(self, fn, arg, *, target: int | None = None) -> Future:
+    def submit(self, fn, arg, *, target: int | None = None,
+               deadline_at: float | None = None) -> Future:
         """Queue ``fn(arg)`` (both picklable) on the least-loaded worker.
 
         ``target`` pins the task to one worker's deque (tests exercise
         stealing with it); stealing may still move the task.
+        ``deadline_at`` (monotonic clock) fails the task with
+        :class:`WorkerTimeoutError` if it is still queued past the
+        deadline, instead of wasting a worker on an already-late
+        answer.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
             if not self._workers:
                 raise WorkerCrashError("worker pool has no live workers")
-            task = _Task(self._next_task, fn, arg)
+            task = _Task(self._next_task, fn, arg, deadline_at)
             self._next_task += 1
             if target is not None and target in self._workers:
                 worker = self._workers[target]
             else:
-                worker = min(
-                    self._workers.values(),
-                    key=lambda w: len(w.queue)
-                    + (1 if w.inflight is not None else 0),
-                )
+                worker = self._least_loaded_locked()
             worker.queue.append(task)
         self._wake()
         return task.future
 
-    def submit_payload(self, payload: RunPayload) -> Future:
+    def submit_payload(self, payload: RunPayload, *,
+                       deadline_at: float | None = None) -> Future:
         """Queue one ``(kind, kwargs)`` run payload (cached execution)."""
-        return self.submit(run_request_payload, payload)
+        return self.submit(run_request_payload, payload,
+                           deadline_at=deadline_at)
 
     def run(self, payload: RunPayload,
-            timeout_s: float | None = None):
+            timeout_s: float | None = None,
+            hedge_s: float | None = None):
         """Execute one run payload synchronously (the broker path).
 
         Raises :class:`WorkerTimeoutError` after killing the hosting
-        worker when the deadline passes, :class:`WorkerCrashError` when
-        the task's workers died twice, and :class:`PayloadError` when
-        the payload itself raised.
+        worker(s) when the deadline passes, :class:`WorkerCrashError`
+        when every attempt's workers died, and :class:`PayloadError`
+        when the payload itself raised.
+
+        ``hedge_s`` arms a hedged request: if the first dispatch has
+        not answered after ``hedge_s`` seconds, a duplicate is queued
+        on another worker and the first answer wins (the straggler's
+        is discarded). Payload execution is deterministic and cached,
+        so the duplicate is harmless — at worst it recomputes what the
+        winner just cached.
         """
-        future = self.submit_payload(payload)
-        try:
-            status, value = future.result(timeout_s)
-        except FutureTimeoutError:
-            self._kill_future(
-                future,
-                f"worker exceeded its {timeout_s:g}s deadline "
-                "and was killed",
+        start = time.monotonic()
+        deadline_at = None if timeout_s is None else start + timeout_s
+        hedge_at = None if hedge_s is None else start + hedge_s
+        futures = [self.submit_payload(payload, deadline_at=deadline_at)]
+        primary = futures[0]
+        crash: BaseException | None = None
+        while True:
+            now = time.monotonic()
+            if deadline_at is not None and now >= deadline_at:
+                message = (
+                    f"worker exceeded its {timeout_s:g}s deadline and "
+                    "was killed"
+                )
+                for future in futures:
+                    if not future.done():
+                        self._kill_future(future, message)
+                raise WorkerTimeoutError(message) from None
+            waits = []
+            if deadline_at is not None:
+                waits.append(deadline_at - now)
+            if hedge_at is not None:
+                waits.append(max(0.0, hedge_at - now))
+            done, pending = wait_futures(
+                futures,
+                timeout=min(waits) if waits else None,
+                return_when=FIRST_COMPLETED,
             )
-            raise WorkerTimeoutError(
-                f"worker exceeded its {timeout_s:g}s deadline and "
-                "was killed"
-            ) from None
-        if status == "ok":
-            return value
-        raise PayloadError(value)
+            winner = None
+            for future in done:
+                error = future.exception()
+                if error is None:
+                    winner = future
+                    break
+                crash = error
+            if winner is not None:
+                if winner is not primary:
+                    self.hedge_wins += 1
+                for future in futures:
+                    if future is not winner and not future.done():
+                        self._discard(future)
+                status, value = winner.result()
+                if status == "ok":
+                    return value
+                raise PayloadError(value)
+            futures = [f for f in futures if not f.done()]
+            if not futures:
+                raise crash if crash is not None else WorkerCrashError(
+                    "worker pool returned no result"
+                )
+            if (hedge_at is not None
+                    and time.monotonic() >= hedge_at):
+                hedge_at = None  # at most one hedge per request
+                try:
+                    futures.append(self.submit_payload(
+                        payload, deadline_at=deadline_at
+                    ))
+                    self.hedges += 1
+                except (WorkerCrashError, RuntimeError):
+                    pass
 
     def map(self, payloads: list[RunPayload],
             report: ExecutionReport | None = None) -> list:
@@ -374,7 +560,7 @@ class WorkerPool:
             return sum(len(w.queue) for w in self._workers.values())
 
     def stats(self) -> dict:
-        """Counters for ``/v1/status`` and tests."""
+        """Counters for ``/v1/status`` / ``/v1/metrics`` and tests."""
         with self._lock:
             live = [w for w in self._workers.values()]
             return {
@@ -385,6 +571,17 @@ class WorkerPool:
                 "steals": self.steals,
                 "respawns": self.respawns,
                 "completed": self.completed,
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "expired": self.expired,
+                "breakers": {
+                    w.slot: (
+                        self._breakers[w.slot].state
+                        if w.slot in self._breakers else "closed"
+                    )
+                    for w in live
+                },
                 "mean_service_s": (
                     sum(self._service_s) / len(self._service_s)
                     if self._service_s else 0.0
@@ -398,6 +595,33 @@ class WorkerPool:
             self._wake_w.send(b"w")
         except (BrokenPipeError, OSError):
             pass
+
+    def _breaker_locked(self, slot: str) -> CircuitBreaker | None:
+        if self._breaker_failures <= 0:
+            return None
+        breaker = self._breakers.get(slot)
+        if breaker is None:
+            breaker = self._breakers[slot] = CircuitBreaker(
+                self._breaker_failures, self._breaker_reset_s
+            )
+        return breaker
+
+    def _routable_locked(self, worker: _Worker) -> bool:
+        """Whether new work should be steered at ``worker`` (breaker
+        not blocking, judged without consuming a half-open probe)."""
+        breaker = self._breakers.get(worker.slot)
+        return breaker is None or breaker.peek()
+
+    def _least_loaded_locked(self) -> _Worker:
+        candidates = [w for w in self._workers.values()
+                      if self._routable_locked(w)]
+        if not candidates:  # every breaker open: fail open, not stall
+            candidates = list(self._workers.values())
+        return min(
+            candidates,
+            key=lambda w: len(w.queue)
+            + (1 if w.inflight is not None else 0),
+        )
 
     def _kill_future(self, future: Future, reason: str) -> None:
         """Abandon the task behind ``future`` (deadline enforcement)."""
@@ -419,6 +643,33 @@ class WorkerPool:
                         worker.queue.remove(queued)
                         return
 
+    def _discard(self, future: Future) -> None:
+        """Forget a hedge loser: de-queue it if still waiting; a
+        dispatched loser simply completes into an unread future."""
+        with self._lock:
+            for worker in self._workers.values():
+                for queued in list(worker.queue):
+                    if queued.future is future:
+                        worker.queue.remove(queued)
+                        return
+
+    def _requeue_locked(self, task: _Task, reason: str) -> None:
+        """Give a failed task another attempt (with jittered backoff)
+        or fail it once the retry budget is spent."""
+        if task.future.done():
+            return
+        if task.attempts >= self._retry.attempts or not self._workers:
+            task.future.set_exception(WorkerCrashError(
+                f"worker process died without reporting a result "
+                f"({reason}; {task.attempts} attempt(s))"
+            ))
+            return
+        self.retries += 1
+        task.not_before = time.monotonic() + self._retry.delay_s(
+            max(0, task.attempts - 1), self._rng
+        )
+        self._least_loaded_locked().queue.appendleft(task)
+
     def _loop(self) -> None:
         while True:
             with self._lock:
@@ -426,13 +677,21 @@ class WorkerPool:
                     return
                 waitables = [self._wake_r]
                 sentinels = {}
+                timeout = _HEALTH_INTERVAL_S
+                now = time.monotonic()
                 for worker in self._workers.values():
                     waitables.append(worker.conn)
                     if worker.process is not None:
                         sentinels[worker.process.sentinel] = worker
+                    for task in worker.queue:
+                        if task.not_before > now:
+                            timeout = min(
+                                timeout,
+                                max(0.01, task.not_before - now),
+                            )
                 waitables.extend(sentinels)
             try:
-                ready = wait(waitables, timeout=_HEALTH_INTERVAL_S)
+                ready = wait(waitables, timeout=timeout)
             except OSError:
                 ready = []
             with self._lock:
@@ -474,11 +733,23 @@ class WorkerPool:
                 task = worker.inflight
                 if task is None or task.id != task_id:
                     continue  # stale answer from an abandoned task
+                directive = chaos_hooks.fire(
+                    "pool.result", worker=worker.wid, task=task_id
+                )
+                if directive.get("drop"):
+                    worker.inflight = None
+                    self._requeue_locked(task, "answer lost in transit")
+                    continue
                 worker.inflight = None
                 self.completed += 1
                 self._service_s.append(
                     time.monotonic() - task.started_at
                 )
+                breaker = self._breakers.get(worker.slot)
+                if breaker is not None:
+                    # Any answer — even a payload error — proves the
+                    # worker itself is healthy.
+                    breaker.record_success()
                 if not task.future.done():
                     task.future.repro_retried = (  # type: ignore[attr-defined]
                         task.attempts > 1
@@ -499,6 +770,14 @@ class WorkerPool:
             pass
         if worker.process is not None:
             worker.process.join(timeout=0.1)
+        breaker = self._breaker_locked(worker.slot)
+        if breaker is not None:
+            breaker.record_failure()
+        # Respawn before requeueing so a single-worker pool still has a
+        # live worker to retry the dead one's work on.
+        if (self._respawn and not worker.remote and not self._closed):
+            self._spawn_locked(slot=worker.slot)
+            self.respawns += 1
         task = worker.inflight
         worker.inflight = None
         if task is not None and not task.future.done():
@@ -506,18 +785,8 @@ class WorkerPool:
                 task.future.set_exception(
                     WorkerTimeoutError(task.abandoned)
                 )
-            elif task.attempts >= _TASK_ATTEMPTS or not self._workers:
-                task.future.set_exception(WorkerCrashError(
-                    "worker process died without reporting a result"
-                ))
             else:
-                # Retry on whichever worker is least loaded.
-                victim = min(
-                    self._workers.values(),
-                    key=lambda w: len(w.queue)
-                    + (1 if w.inflight is not None else 0),
-                )
-                victim.queue.appendleft(task)
+                self._requeue_locked(task, "worker process died")
         for queued in worker.queue:
             if self._workers:
                 min(
@@ -528,40 +797,92 @@ class WorkerPool:
                 queued.future.set_exception(WorkerCrashError(
                     "worker pool has no live workers"
                 ))
-        if (self._respawn and not worker.remote and not self._closed):
-            self._spawn_locked()
-            self.respawns += 1
+
+    def _take_locked(self, queue: deque, now: float,
+                     from_left: bool) -> _Task | None:
+        """Pop the next dispatchable task from one deque, failing any
+        whose deadline already passed; ``None`` when nothing is
+        eligible (a backing-off task stays put)."""
+        while queue:
+            task = queue.popleft() if from_left else queue.pop()
+            if task.future.done():  # cancelled/abandoned while queued
+                continue
+            if (task.deadline_at is not None
+                    and now >= task.deadline_at):
+                self.expired += 1
+                task.future.set_exception(WorkerTimeoutError(
+                    "request deadline expired while queued; "
+                    "never dispatched"
+                ))
+                continue
+            if task.not_before > now:
+                (queue.appendleft if from_left else queue.append)(task)
+                return None
+            return task
+        return None
 
     def _dispatch_locked(self) -> None:
         """Give every idle worker a task: own deque first, then steal."""
-        for worker in self._workers.values():
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            if worker.wid not in self._workers:
+                continue  # buried by a drop_conn directive this pass
             if worker.inflight is not None:
                 continue
-            task: _Task | None = None
-            if worker.queue:
-                task = worker.queue.popleft()
-            else:
+            if worker.queue and not self._routable_locked(worker):
+                # Breaker open: push this slot's backlog to healthy
+                # workers instead of feeding the sick one.
+                healthy = [w for w in self._workers.values()
+                           if w is not worker
+                           and self._routable_locked(w)]
+                if healthy:
+                    while worker.queue:
+                        min(
+                            healthy, key=lambda w: len(w.queue)
+                        ).queue.append(worker.queue.popleft())
+                    continue
+            task = self._take_locked(worker.queue, now, from_left=True)
+            if task is None and not worker.queue:
                 victim = max(
-                    (w for w in self._workers.values() if w.queue),
+                    (w for w in self._workers.values()
+                     if w.queue and w is not worker),
                     key=lambda w: len(w.queue),
                     default=None,
                 )
                 if victim is not None:
-                    task = victim.queue.pop()
-                    self.steals += 1
+                    task = self._take_locked(
+                        victim.queue, now, from_left=False
+                    )
+                    if task is not None:
+                        self.steals += 1
             if task is None:
                 continue
-            if task.future.done():  # cancelled/abandoned while queued
+            breaker = self._breaker_locked(worker.slot)
+            if breaker is not None and not breaker.allow():
+                # No probe slot either: hand the task elsewhere.
+                self._least_loaded_locked().queue.appendleft(task)
                 continue
             task.attempts += 1
-            task.started_at = time.monotonic()
+            task.started_at = now
             worker.inflight = task
+            self._dispatches += 1
+            directive = chaos_hooks.fire(
+                "pool.dispatch",
+                worker=worker.wid,
+                task=task.id,
+                remote=worker.remote,
+                dispatch=self._dispatches - 1,
+            )
+            fn, arg = task.fn, task.arg
+            delay_s = directive.get("delay_s")
+            if delay_s:
+                fn, arg = _delayed_call, (float(delay_s), fn, arg)
             try:
-                worker.conn.send((task.id, task.fn, task.arg))
-            except (BrokenPipeError, OSError, TypeError,
-                    ValueError) as error:
+                worker.conn.send((task.id, fn, arg))
+            except (BrokenPipeError, OSError, pickle.PicklingError,
+                    AttributeError, TypeError, ValueError) as error:
                 worker.inflight = None
-                if isinstance(error, (TypeError, ValueError)):
+                if not isinstance(error, (BrokenPipeError, OSError)):
                     # Unpicklable task: fail it, keep the worker.
                     task.future.set_exception(PayloadError(
                         f"{type(error).__name__}: {error}"
@@ -569,3 +890,12 @@ class WorkerPool:
                 else:
                     self._bury_locked(worker)
                     return
+                continue
+            if directive.get("kill") and worker.process is not None:
+                worker.process.kill()
+            if directive.get("drop_conn"):
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                self._bury_locked(worker)

@@ -1,0 +1,68 @@
+"""The hook registry: no-op by default, single handler, clean restore."""
+
+import pytest
+
+from repro.chaos import hooks
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    hooks.uninstall()
+    yield
+    hooks.uninstall()
+
+
+class TestFire:
+    def test_no_handler_returns_empty_mapping(self):
+        directive = hooks.fire("pool.dispatch", worker=0, task=1)
+        assert dict(directive) == {}
+
+    def test_handler_receives_site_and_context(self):
+        seen = []
+
+        def handler(site, context):
+            seen.append((site, dict(context)))
+            return {"kill": True}
+
+        hooks.install(handler)
+        directive = hooks.fire("pool.dispatch", worker=3, remote=False)
+        assert directive["kill"] is True
+        assert seen == [
+            ("pool.dispatch", {"worker": 3, "remote": False})
+        ]
+
+    def test_handler_none_means_no_directive(self):
+        hooks.install(lambda site, context: None)
+        assert dict(hooks.fire("store.get", path="x", digest="d")) == {}
+
+
+class TestRegistry:
+    def test_double_install_raises(self):
+        hooks.install(lambda site, context: None)
+        with pytest.raises(RuntimeError, match="already installed"):
+            hooks.install(lambda site, context: {})
+
+    def test_reinstalling_same_handler_is_idempotent(self):
+        handler = lambda site, context: None  # noqa: E731
+        hooks.install(handler)
+        hooks.install(handler)  # no raise
+        assert hooks.active() is handler
+
+    def test_uninstall_is_idempotent(self):
+        hooks.uninstall()
+        hooks.uninstall()
+        assert hooks.active() is None
+
+    def test_installed_context_manager_restores(self):
+        handler = lambda site, context: {"drop": True}  # noqa: E731
+        with hooks.installed(handler):
+            assert hooks.active() is handler
+            assert hooks.fire("pool.result", worker=0, task=0)["drop"]
+        assert hooks.active() is None
+        assert dict(hooks.fire("pool.result", worker=0, task=0)) == {}
+
+    def test_installed_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with hooks.installed(lambda site, context: None):
+                raise RuntimeError("boom")
+        assert hooks.active() is None

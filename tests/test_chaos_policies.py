@@ -1,0 +1,190 @@
+"""Self-healing policy primitives: backoff, breakers, deadlines.
+
+The hypothesis section pins the full-jitter contract — every delay
+falls inside ``[0, min(cap, base * 2**k)]``, envelopes are monotone
+within ``[base, cap]``, and a budget of N attempts yields exactly
+``N - 1`` backoff delays before exhaustion — so the retry machinery in
+the pool and the broker cannot silently drift into unbounded sleeps.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.policies import CircuitBreaker, Deadline, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+
+    def test_rejects_base_above_cap(self):
+        with pytest.raises(ValueError, match="base_s"):
+            RetryPolicy(base_s=5.0, cap_s=1.0)
+
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ValueError, match="base_s"):
+            RetryPolicy(base_s=0.0)
+
+
+class TestRetryPolicyBudget:
+    def test_should_retry_exhausts_at_budget(self):
+        policy = RetryPolicy(attempts=3)
+        assert policy.should_retry(0)
+        assert policy.should_retry(1)
+        assert not policy.should_retry(2)
+        assert not policy.should_retry(7)
+
+    def test_single_attempt_never_retries(self):
+        policy = RetryPolicy(attempts=1)
+        assert not policy.should_retry(0)
+        assert list(policy.delays(random.Random(0))) == []
+
+    def test_envelope_doubles_until_cap(self):
+        policy = RetryPolicy(attempts=8, base_s=0.1, cap_s=0.5)
+        assert policy.envelope_s(0) == pytest.approx(0.1)
+        assert policy.envelope_s(1) == pytest.approx(0.2)
+        assert policy.envelope_s(2) == pytest.approx(0.4)
+        assert policy.envelope_s(3) == pytest.approx(0.5)  # capped
+        assert policy.envelope_s(60) == pytest.approx(0.5)
+
+    def test_huge_retry_index_does_not_overflow(self):
+        policy = RetryPolicy(attempts=2, base_s=0.1, cap_s=2.0)
+        assert policy.envelope_s(10_000) == pytest.approx(2.0)
+
+    def test_delays_are_deterministic_under_a_seeded_rng(self):
+        policy = RetryPolicy(attempts=5, base_s=0.05, cap_s=1.0)
+        first = list(policy.delays(random.Random(42)))
+        second = list(policy.delays(random.Random(42)))
+        assert first == second
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    attempts=st.integers(min_value=1, max_value=16),
+    base_ms=st.integers(min_value=1, max_value=2_000),
+    cap_mult=st.integers(min_value=1, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_full_jitter_delays_stay_in_envelope(
+    attempts, base_ms, cap_mult, seed
+):
+    base = base_ms / 1000.0
+    cap = base * cap_mult
+    policy = RetryPolicy(attempts=attempts, base_s=base, cap_s=cap)
+    rng = random.Random(seed)
+    delays = list(policy.delays(rng))
+    # Budget exhaustion ordering: exactly attempts-1 delays, one per
+    # retry, in retry order.
+    assert len(delays) == attempts - 1
+    for retry_index, delay in enumerate(delays):
+        envelope = policy.envelope_s(retry_index)
+        assert 0.0 <= delay <= envelope
+        assert base <= envelope <= cap
+    envelopes = [policy.envelope_s(i) for i in range(attempts)]
+    assert envelopes == sorted(envelopes)  # monotone non-decreasing
+    assert all(e <= cap for e in envelopes)
+
+
+class TestDeadline:
+    def test_none_budget_means_no_deadline(self):
+        assert Deadline.after(None) is None
+
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock)
+        assert deadline.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(6.0)
+        assert not deadline.expired
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 5.0, clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(2, 5.0, FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock)
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # probe slot consumed
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_fresh_timer(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock)
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        clock.advance(4.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+
+    def test_peek_does_not_consume_the_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock)
+        breaker.record_failure()
+        assert not breaker.peek()
+        clock.advance(6.0)
+        assert breaker.peek()
+        assert breaker.peek()  # still available
+        assert breaker.allow()
+        assert not breaker.peek()  # now consumed

@@ -1,0 +1,168 @@
+"""Torn-write recovery: corrupt store entries quarantine + recompute.
+
+Satellite 3 of the chaos PR: a cache entry truncated mid-write (or
+rotted on disk) must never poison the digest — ``ResultStore.get``
+quarantines the broken file to ``<entry>.pkl.corrupt``, the caller
+recomputes transparently, the next ``put`` reinstalls a healthy entry,
+and ``repro cache stats --json`` counts what was moved aside.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import hooks
+from repro.chaos.injection import FaultInjector, FaultPlan, torn_write
+from repro.cli import main
+from repro.core.store import result_store
+import repro.core.sweep as sweep_mod
+from repro.core.sweep import cache_key, cached_run, clear_cache, key_digest
+from repro.engine.simulator import SimSettings
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.interconnect import INFINIBAND_100G
+from repro.models.config import ModelConfig
+from repro.parallelism.strategy import ParallelismConfig
+from tests.conftest import assert_run_results_equal, small_node
+
+FAST = SimSettings(physics_dt_s=0.002, telemetry_interval_s=0.005)
+
+
+def _kwargs() -> dict:
+    return dict(
+        model=ModelConfig(
+            name="tiny-dense",
+            num_layers=8,
+            hidden_size=2048,
+            num_heads=16,
+            ffn_hidden_size=8192,
+            vocab_size=32000,
+            seq_length=1024,
+        ),
+        cluster=ClusterSpec(
+            name="small-2x4",
+            node=small_node(),
+            num_nodes=2,
+            inter_node_link=INFINIBAND_100G,
+        ),
+        parallelism=ParallelismConfig(tp=2, pp=2, dp=2),
+        microbatch_size=1,
+        global_batch_size=8,
+        iterations=2,
+        settings=FAST,
+    )
+
+
+def _entry_path():
+    return result_store().path_for(
+        key_digest(cache_key("train", _kwargs()))
+    )
+
+
+def _forget_memo():
+    """Drop only the in-process memo (``clear_cache`` would also wipe
+    the on-disk store this suite is corrupting on purpose)."""
+    sweep_mod._CACHE.clear()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture(autouse=True)
+def _no_chaos_handler():
+    hooks.uninstall()
+    yield
+    hooks.uninstall()
+
+
+class TestTornWriteRecovery:
+    def test_corrupt_entry_quarantines_and_recomputes(self):
+        first = cached_run("train", **_kwargs())
+        path = _entry_path()
+        assert path.is_file()
+
+        assert torn_write(path)
+        _forget_memo()  # drop the memo so the store is consulted
+
+        store = result_store()
+        digest = key_digest(cache_key("train", _kwargs()))
+        assert store.get(digest) is None  # miss, not garbage
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert quarantined.is_file()
+        assert not path.exists()
+
+        # The caller recomputes transparently and heals the entry.
+        second = cached_run("train", **_kwargs())
+        assert_run_results_equal(second, first)
+        assert path.is_file()
+        healed = store.get(digest)
+        assert healed is not None
+        assert_run_results_equal(healed, first)
+
+    def test_quarantine_is_counted(self, capsys):
+        cached_run("train", **_kwargs())
+        torn_write(_entry_path())
+        _forget_memo()
+        cached_run("train", **_kwargs())
+
+        stats = result_store().stats()
+        assert stats.quarantined_entries == 1
+        assert stats.entries == 1  # the healed reinstall
+
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quarantined_entries"] == 1
+        assert payload["entries"] == 1
+
+    def test_human_stats_mention_quarantine(self, capsys):
+        cached_run("train", **_kwargs())
+        torn_write(_entry_path())
+        result_store().get(key_digest(cache_key("train", _kwargs())))
+
+        assert main(["cache", "stats"]) == 0
+        assert "quarantined" in capsys.readouterr().out
+
+
+class TestInjectedCorruption:
+    def test_corrupt_read_rate_heals_through_recompute(self):
+        first = cached_run("train", **_kwargs())
+        _forget_memo()
+
+        injector = FaultInjector(
+            FaultPlan(corrupt_read_rate=1.0), seed=0
+        )
+        with hooks.installed(injector):
+            second = cached_run("train", **_kwargs())
+
+        assert injector.injected()["store.get:corrupted"] == 1
+        assert_run_results_equal(second, first)
+        # Healed afterwards: the recompute re-put a clean entry.
+        assert result_store().get(
+            key_digest(cache_key("train", _kwargs()))
+        ) is not None
+
+    def test_corrupt_write_rate_is_recovered_on_next_read(self):
+        injector = FaultInjector(
+            FaultPlan(corrupt_write_rate=1.0), seed=0
+        )
+        with hooks.installed(injector):
+            first = cached_run("train", **_kwargs())
+        assert injector.injected()["store.put:corrupted"] >= 1
+
+        _forget_memo()
+        second = cached_run("train", **_kwargs())  # reads torn bytes
+        assert_run_results_equal(second, first)
+        quarantined = _entry_path().with_suffix(".pkl.corrupt")
+        assert quarantined.is_file()
+
+    def test_inert_plan_changes_nothing(self):
+        injector = FaultInjector(FaultPlan(), seed=0)
+        with hooks.installed(injector):
+            first = cached_run("train", **_kwargs())
+            _forget_memo()
+            second = cached_run("train", **_kwargs())
+        assert injector.injected() == {}
+        assert_run_results_equal(second, first)

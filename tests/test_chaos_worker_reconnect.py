@@ -1,0 +1,199 @@
+"""``serve_worker`` reconnect loop: backoff, events, terminal errors.
+
+Injected ``_connect`` / ``_sleep`` fakes drive the loop through scripted
+connection histories without sockets or real waiting, pinning the
+satellite-1 contract: a lost broker is re-dialled with capped jittered
+backoff and structured warnings, a clean shutdown ends the loop, and an
+authentication failure is never retried.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.chaos.policies import RetryPolicy
+from repro.serve.workers import _worker_loop, serve_worker
+
+ADDRESS = ("broker.example", 9000)
+
+FAST_RETRY = RetryPolicy(attempts=2, base_s=0.01, cap_s=0.05)
+
+
+class FakeConn:
+    """Worker-side connection replaying a scripted message sequence.
+
+    Entries are messages to ``recv`` (``None`` is the pool's goodbye);
+    an exception instance is raised instead. An exhausted script raises
+    ``EOFError`` (connection lost).
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sent = []
+        self.closed = False
+
+    def recv(self):
+        if not self.script:
+            raise EOFError
+        item = self.script.pop(0)
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+    def send(self, obj):
+        self.sent.append(obj)
+
+    def close(self):
+        self.closed = True
+
+
+def connector(outcomes):
+    """A ``_connect`` fake popping one outcome per dial: an exception
+    instance (raised) or a FakeConn (returned)."""
+    dials = []
+
+    def connect(address, authkey):
+        dials.append((address, authkey))
+        outcome = outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    connect.dials = dials
+    return connect
+
+
+def sleep_recorder():
+    sleeps = []
+
+    def sleep(seconds):
+        sleeps.append(seconds)
+
+    sleep.sleeps = sleeps
+    return sleep
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestWorkerLoop:
+    def test_executes_tasks_until_shutdown(self):
+        conn = FakeConn([(7, _double, 21), None])
+        assert _worker_loop(conn) == "shutdown"
+        assert conn.sent == [(7, "ok", 42)]
+        assert conn.closed
+
+    def test_task_errors_are_reported_not_fatal(self):
+        conn = FakeConn([(1, _double, "xx"), (2, _double, 3), None])
+        assert _worker_loop(conn) == "shutdown"
+        assert conn.sent[0][:2] == (1, "ok")  # strings double fine
+        assert conn.sent[1] == (2, "ok", 6)
+
+    def test_lost_connection_is_distinguished(self):
+        conn = FakeConn([(1, _double, 2)])  # then EOF
+        assert _worker_loop(conn) == "lost"
+
+
+class TestReconnect:
+    def test_reconnects_after_failed_dials(self):
+        events = []
+        connect = connector([
+            ConnectionRefusedError("refused"),
+            ConnectionRefusedError("refused"),
+            FakeConn([None]),
+        ])
+        sleep = sleep_recorder()
+        serve_worker(
+            ADDRESS, b"key", reconnect=True, retry=FAST_RETRY,
+            on_event=events.append, _connect=connect, _sleep=sleep,
+        )
+        assert len(connect.dials) == 3
+        assert [e["event"] for e in events] == [
+            "reconnect_wait", "reconnect_wait", "connected", "shutdown",
+        ]
+        assert events[0]["attempt"] == 1
+        assert events[1]["attempt"] == 2
+        assert "ConnectionRefusedError" in events[0]["error"]
+        assert len(sleep.sleeps) == 2
+
+    def test_backoff_stays_inside_the_cap(self):
+        connect = connector(
+            [ConnectionRefusedError("refused")] * 6 + [FakeConn([None])]
+        )
+        sleep = sleep_recorder()
+        serve_worker(
+            ADDRESS, b"key", reconnect=True, retry=FAST_RETRY,
+            _connect=connect, _sleep=sleep,
+        )
+        assert len(sleep.sleeps) == 6
+        assert all(0.0 <= s <= FAST_RETRY.cap_s for s in sleep.sleeps)
+
+    def test_lost_connection_is_redialled(self):
+        events = []
+        connect = connector([
+            FakeConn([(1, _double, 2)]),  # serves one task, then EOF
+            FakeConn([None]),             # clean goodbye
+        ])
+        serve_worker(
+            ADDRESS, b"key", reconnect=True, retry=FAST_RETRY,
+            on_event=events.append, _connect=connect,
+            _sleep=sleep_recorder(),
+        )
+        assert [e["event"] for e in events] == [
+            "connected", "disconnected", "connected", "shutdown",
+        ]
+
+    def test_no_reconnect_raises_on_first_failure(self):
+        connect = connector([ConnectionRefusedError("refused")])
+        with pytest.raises(ConnectionRefusedError):
+            serve_worker(ADDRESS, b"key", _connect=connect,
+                         _sleep=sleep_recorder())
+
+    def test_no_reconnect_stops_after_lost_connection(self):
+        events = []
+        connect = connector([FakeConn([])])  # immediate EOF
+        serve_worker(
+            ADDRESS, b"key", reconnect=False,
+            on_event=events.append, _connect=connect,
+            _sleep=sleep_recorder(),
+        )
+        assert [e["event"] for e in events] == ["connected", "shutdown"]
+        assert len(connect.dials) == 1
+
+    def test_max_retries_bounds_consecutive_failures(self):
+        connect = connector([ConnectionRefusedError("refused")] * 10)
+        sleep = sleep_recorder()
+        with pytest.raises(ConnectionRefusedError):
+            serve_worker(
+                ADDRESS, b"key", reconnect=True, retry=FAST_RETRY,
+                max_retries=3, _connect=connect, _sleep=sleep,
+            )
+        assert len(connect.dials) == 4  # 3 retries + the final raise
+        assert len(sleep.sleeps) == 3
+
+    def test_success_resets_the_failure_counter(self):
+        connect = connector([
+            ConnectionRefusedError("refused"),
+            FakeConn([(1, _double, 1)]),  # lost after one task
+            ConnectionRefusedError("refused"),
+            FakeConn([None]),
+        ])
+        serve_worker(
+            ADDRESS, b"key", reconnect=True, retry=FAST_RETRY,
+            max_retries=1, _connect=connect, _sleep=sleep_recorder(),
+        )
+        # Two separate single-failure streaks, each under max_retries.
+        assert len(connect.dials) == 4
+
+    def test_authentication_errors_are_never_retried(self):
+        connect = connector([
+            multiprocessing.AuthenticationError("bad key"),
+            FakeConn([None]),
+        ])
+        with pytest.raises(multiprocessing.AuthenticationError):
+            serve_worker(
+                ADDRESS, b"key", reconnect=True, retry=FAST_RETRY,
+                _connect=connect, _sleep=sleep_recorder(),
+            )
+        assert len(connect.dials) == 1

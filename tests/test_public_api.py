@@ -128,8 +128,10 @@ class TestAllSnapshot:
             "BrokerConfig",
             "BrokerMetrics",
             "BrokerServer",
+            "BrokerUnavailableError",
             "SimResponse",
             "WorkerPool",
+            "analytic_estimate",
             "serve_worker",
         ]
 
