@@ -20,11 +20,13 @@ from pathlib import Path
 from repro.inferserve import (
     BatcherConfig,
     ServingConfig,
-    ServingSearchSettings,
     SloConfig,
     TraceConfig,
     execute_serving,
-    search_serving_setpoint,
+)
+from repro.optimize import (
+    ServingSearchSettings,
+    optimize_serving_setpoint,
 )
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_inferserve.json"
@@ -58,7 +60,7 @@ def test_inferserve_simulation_throughput(monkeypatch, tmp_path):
     sim_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    search = search_serving_setpoint(
+    search = optimize_serving_setpoint(
         "llama3-70b", "h100x64", CONFIG,
         ServingSearchSettings(lo=0.6, hi=1.0),
     )

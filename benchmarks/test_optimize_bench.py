@@ -1,0 +1,166 @@
+"""Optimize smoke benchmark: the joint configuration auto-search.
+
+Runs the full default-grid search on the paper's H100 reference
+workload (gpt3-13b / h100x64, min energy·delay under a 5% slowdown
+budget) and records how the search behaved in ``BENCH_optimize.json``
+at the repo root. CI uploads the file from the ``optimize-smoke`` job
+so the numbers are tracked from PR to PR.
+
+Four pins (the PR's acceptance bounds):
+
+* analytic pruning eliminates >= 80% of the raw grid before any
+  simulation (currently ~98% of 267 candidates);
+* the winner improves on the best default-schedule/default-setpoint
+  config by >= 10% on the objective (currently ~41%), and lands on
+  the zero-bubble operating point from ``BENCH_schedules.json`` — or
+  better — without being told the schedule;
+* a re-invocation with the same grid is answered >= 90% from cache
+  (the whole-result entry makes it 100%; with that entry evicted,
+  every probe still replays from the store);
+* the warm re-run is >= 10x faster than the cold search.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = ROOT / "BENCH_optimize.json"
+SCHEDULES_BENCH = ROOT / "BENCH_schedules.json"
+
+MIN_PRUNED_FRACTION = 0.80
+MIN_IMPROVEMENT = 0.10
+MIN_WARM_SPEEDUP = 10.0
+MIN_CACHED_FRACTION = 0.90
+
+
+def test_joint_search_smoke(monkeypatch, tmp_path):
+    # A scratch store: the cold/warm contrast must not be polluted by
+    # (or pollute) a developer's .repro_cache.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    import repro.core.sweep as sweep_mod
+    from repro.api import OptimizeRequest
+    from repro.core.sweep import cache_key
+    from repro.optimize import run_optimize
+
+    sweep_mod._CACHE.clear()
+    request = OptimizeRequest(
+        model="gpt3-13b",
+        cluster="h100x64",
+        objective="energy_delay",
+        max_slowdown=0.05,
+        global_batch_size=32,
+    )
+
+    start = time.perf_counter()
+    cold = run_optimize(request, jobs=1)
+    cold_s = time.perf_counter() - start
+
+    raw = cold.prune.raw
+    pruned_fraction = 1.0 - cold.prune.simulated / raw
+    assert pruned_fraction >= MIN_PRUNED_FRACTION, (
+        f"pruning must remove >= {MIN_PRUNED_FRACTION:.0%} of the grid, "
+        f"got {pruned_fraction:.1%} of {raw}"
+    )
+    assert cold.improvement_fraction >= MIN_IMPROVEMENT, (
+        "the search must beat the default-schedule/default-setpoint "
+        f"baseline by >= {MIN_IMPROVEMENT:.0%}, got "
+        f"{cold.improvement_fraction:.1%}"
+    )
+
+    # Finds the BENCH_schedules.json zero-bubble result — or better —
+    # without being told the schedule.
+    zb_reference_cost = None
+    if SCHEDULES_BENCH.exists():
+        reference = json.loads(SCHEDULES_BENCH.read_text()).get(
+            "powerctl_acceptance", {}
+        )
+        zb_reference_cost = reference.get("best_cost_zb_h1")
+    if zb_reference_cost is not None:
+        assert (
+            cold.best.pipeline_schedule == "zb-h1"
+            or cold.best.cost <= zb_reference_cost
+        ), (cold.best.pipeline_schedule, cold.best.cost, zb_reference_cost)
+    else:
+        assert cold.best.pipeline_schedule == "zb-h1"
+
+    # Warm: the identical question is one whole-result cache read.
+    start = time.perf_counter()
+    warm = run_optimize(request, jobs=1)
+    warm_s = time.perf_counter() - start
+    assert warm == cold
+    warm_speedup = cold_s / max(warm_s, 1e-9)
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"cached re-run must be >= {MIN_WARM_SPEEDUP:.0f}x faster, "
+        f"got {warm_speedup:.1f}x ({cold_s:.2f}s -> {warm_s:.2f}s)"
+    )
+
+    # Resume: with the whole-result entry evicted, the search replays
+    # every probe from the per-run cache instead of re-simulating.
+    whole_key = cache_key("optimize", {"request": request.to_dict()})
+    sweep_mod._CACHE.pop(whole_key, None)
+    from repro.core.store import result_store
+    from repro.core.sweep import key_digest
+
+    store_path = result_store().path_for(key_digest(whole_key))
+    store_path.unlink(missing_ok=True)
+    start = time.perf_counter()
+    resumed = run_optimize(request, jobs=1)
+    resume_s = time.perf_counter() - start
+    cached_fraction = resumed.probes_cached / max(resumed.probes_total, 1)
+    assert cached_fraction >= MIN_CACHED_FRACTION, (
+        f"re-invocation must be >= {MIN_CACHED_FRACTION:.0%} "
+        f"cache-answered, got {cached_fraction:.1%} "
+        f"({resumed.probes_cached}/{resumed.probes_total})"
+    )
+    assert resumed.best == cold.best
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "optimize_joint_search",
+                "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "request": request.to_dict(),
+                "raw_candidates": raw,
+                "pruned_fraction": round(pruned_fraction, 4),
+                "pruned_by_reason": {
+                    "tiling": cold.prune.pruned_tiling,
+                    "schedule": cold.prune.pruned_schedule,
+                    "memory": cold.prune.pruned_memory,
+                    "power_cap": cold.prune.pruned_power_cap,
+                    "ranked_out": cold.prune.ranked_out,
+                },
+                "probes_total": cold.probes_total,
+                "best": {
+                    "parallelism": cold.best.parallelism,
+                    "microbatch_size": cold.best.microbatch_size,
+                    "pipeline_schedule": cold.best.pipeline_schedule,
+                    "setpoint": cold.best.setpoint,
+                    "cost": round(cold.best.cost, 1),
+                },
+                "baseline": {
+                    "parallelism": cold.baseline.parallelism,
+                    "pipeline_schedule": cold.baseline.pipeline_schedule,
+                    "cost": round(cold.baseline.cost, 1),
+                },
+                "improvement_fraction": round(
+                    cold.improvement_fraction, 4
+                ),
+                "cold_s": round(cold_s, 3),
+                "warm_s": round(warm_s, 4),
+                "warm_speedup": round(warm_speedup, 1),
+                "resume_s": round(resume_s, 3),
+                "resume_cached_fraction": round(cached_fraction, 4),
+                "thresholds": {
+                    "min_pruned_fraction": MIN_PRUNED_FRACTION,
+                    "min_improvement": MIN_IMPROVEMENT,
+                    "min_warm_speedup": MIN_WARM_SPEEDUP,
+                    "min_cached_fraction": MIN_CACHED_FRACTION,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )

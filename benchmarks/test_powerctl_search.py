@@ -29,7 +29,7 @@ import time
 from pathlib import Path
 
 from repro.core.store import persistence_disabled
-from repro.powerctl import SearchSettings, search_energy_optimal
+from repro.optimize import SearchSettings, optimize_setpoint
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_powerctl.json"
 
@@ -47,7 +47,7 @@ def test_energy_optimal_search_smoke():
     with persistence_disabled():
         for label, model, cluster, parallelism, batch in WORKLOADS:
             start = time.perf_counter()
-            outcome = search_energy_optimal(
+            outcome = optimize_setpoint(
                 model, cluster, parallelism,
                 global_batch_size=batch,
                 search=SearchSettings(max_slowdown=MAX_SLOWDOWN),

@@ -33,7 +33,7 @@ import repro.engine.batched as batched_mod
 from repro.core.experiment import execute_training
 from repro.core.store import persistence_disabled
 from repro.engine.simulator import SimSettings
-from repro.powerctl.search import settings_for_setpoint
+from repro.optimize import settings_for_setpoint
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_schedules.json"
 
@@ -220,13 +220,13 @@ def test_powerctl_setpoint_moves_with_schedule():
     profile must shift, and energy per token must improve.
     """
     from repro.core.sweep import clear_cache
-    from repro.powerctl.search import SearchSettings, search_energy_optimal
+    from repro.optimize import SearchSettings, optimize_setpoint
 
     with persistence_disabled():
         clear_cache()
         outcomes = {}
         for schedule in ("1f1b", "zb-h1"):
-            outcomes[schedule] = search_energy_optimal(
+            outcomes[schedule] = optimize_setpoint(
                 MODEL,
                 SEARCH_CLUSTER,
                 PARALLELISM,

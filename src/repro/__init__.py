@@ -18,13 +18,23 @@ covering training, inference, serving, and fleet simulation::
     print(result.kernel_breakdown().seconds)
 
 The same requests drive the ``repro.serve`` broker (``python -m repro
-serve``) over HTTP. The historical ``run_training`` / ``run_inference``
-/ ``cached_run_*`` entrypoints remain importable as deprecation shims;
-see docs/api.md. See DESIGN.md for the system inventory and
-EXPERIMENTS.md for the per-figure reproduction index.
+serve``) over HTTP, and :class:`OptimizeRequest` asks the joint
+auto-search (:mod:`repro.optimize`, docs/optimize.md) for the best
+configuration instead of one configuration. The historical
+``run_training`` / ``run_inference`` / ``cached_run_*`` entrypoints
+remain importable as deprecation shims; see docs/api.md. See DESIGN.md
+for the system inventory and EXPERIMENTS.md for the per-figure
+reproduction index.
 """
 
-from repro.api import KINDS, SimRequest, submit, submit_many
+from repro.api import (
+    KINDS,
+    OptimizeRequest,
+    OptimizeResult,
+    SimRequest,
+    submit,
+    submit_many,
+)
 from repro.core.experiment import run_inference, run_training
 from repro.datacenter import (
     POLICIES,
@@ -95,6 +105,8 @@ __all__ = [
     "ModelConfig",
     "MoEConfig",
     "OptimizationConfig",
+    "OptimizeRequest",
+    "OptimizeResult",
     "ParallelismConfig",
     "RunResult",
     "ServingConfig",

@@ -2,8 +2,8 @@
 
 This module is the canonical surface every consumer — the CLI, sweeps,
 the fleet simulator, and the ``repro.serve`` broker — speaks. One frozen
-request schema covers training, inference, and fleet jobs (a sweep is
-just :func:`submit_many` over a request grid)::
+request schema covers training, inference, serving, and fleet jobs (a
+sweep is just :func:`submit_many` over a request grid)::
 
     from repro.api import SimRequest, submit
 
@@ -22,9 +22,19 @@ JSON, and hash to a stable :meth:`SimRequest.digest` that doubles as the
 result-store address — which is how the broker answers repeat requests
 without simulating.
 
-The four historical entrypoints (``run_training``, ``run_inference``,
-``cached_run_training``, ``cached_run_inference``) remain importable
-from :mod:`repro` as thin deprecation shims over this module; see
+Next to the run schema sits the search schema:
+:class:`OptimizeRequest` (re-exported from :mod:`repro.optimize`) asks
+for the *best* configuration instead of one configuration — a joint
+plan × microbatch × schedule × setpoint auto-search with the same
+validation, serialisation, and digest idioms, accepted by
+:func:`submit` / :func:`submit_many`, the broker, and
+``python -m repro optimize`` alike (docs/optimize.md).
+
+The historical entrypoints (``run_training``, ``run_inference``,
+``cached_run_training``, ``cached_run_inference``, and the setpoint
+searches ``powerctl.search_energy_optimal``, ``powerctl.sweep_setpoints``,
+``inferserve.search_serving_setpoint``) remain importable as thin
+deprecation shims over this module and :mod:`repro.optimize`; see
 docs/api.md for the migration table.
 """
 
@@ -47,6 +57,7 @@ from repro.core.results import RunResult
 from repro.engine.simulator import SimSettings
 from repro.hardware.cluster import get_cluster
 from repro.models.catalog import get_model
+from repro.optimize.request import OptimizeRequest, OptimizeResult
 from repro.parallelism.strategy import OptimizationConfig, parse_strategy
 from repro.powerctl.config import (
     GOVERNORS,
@@ -55,7 +66,14 @@ from repro.powerctl.config import (
 )
 from repro.suggest import normalize_name, unknown_name_message
 
-__all__ = ["KINDS", "SimRequest", "submit", "submit_many"]
+__all__ = [
+    "KINDS",
+    "OptimizeRequest",
+    "OptimizeResult",
+    "SimRequest",
+    "submit",
+    "submit_many",
+]
 
 #: Request kinds the schema covers. A sweep is ``submit_many`` over a
 #: grid of ``training``/``inference``/``serving`` requests.
@@ -98,7 +116,8 @@ def _require(condition: bool, message: str) -> None:
 
 @dataclass(frozen=True)
 class SimRequest:
-    """One typed simulation request (training, inference, or fleet).
+    """One typed simulation request covering all four kinds
+    (training, inference, serving, or fleet).
 
     Every field is a plain JSON-serialisable value (plus the
     :class:`OptimizationConfig` dataclass of booleans), so a request
@@ -665,19 +684,24 @@ class SimRequest:
         return hashlib.sha256(self.to_json().encode()).hexdigest()
 
 
-def submit(request: SimRequest, *, cache: bool = True):
+def submit(request: SimRequest | OptimizeRequest, *, cache: bool = True):
     """Execute one request synchronously and return its result.
 
     Training/inference requests return a :class:`RunResult`; serving
     requests a :class:`repro.inferserve.ServingOutcome`; fleet
-    requests a :class:`repro.datacenter.FleetOutcome`. With
-    ``cache=True`` (default) runs go through the memo + persistent
-    store; ``cache=False`` forces a fresh simulation (results are
-    deterministic either way).
+    requests a :class:`repro.datacenter.FleetOutcome`; optimize
+    requests an :class:`OptimizeResult`. With ``cache=True`` (default)
+    runs go through the memo + persistent store; ``cache=False`` forces
+    a fresh simulation (results are deterministic either way).
     """
+    if isinstance(request, OptimizeRequest):
+        from repro.optimize.search import run_optimize
+
+        return run_optimize(request, cached=cache)
     if not isinstance(request, SimRequest):
         raise TypeError(
-            f"submit() takes a SimRequest, got {type(request).__name__}"
+            f"submit() takes a SimRequest or OptimizeRequest, "
+            f"got {type(request).__name__}"
         )
     if request.kind == "fleet":
         from repro.datacenter import simulate_fleet
@@ -712,7 +736,7 @@ class BatchResult(list):
 
 
 def submit_many(
-    requests: Iterable[SimRequest],
+    requests: Iterable[SimRequest | OptimizeRequest],
     *,
     jobs: int = 1,
     report=None,
@@ -738,9 +762,9 @@ def submit_many(
 
     requests = list(requests)
     for request in requests:
-        if not isinstance(request, SimRequest):
+        if not isinstance(request, (SimRequest, OptimizeRequest)):
             raise TypeError(
-                "submit_many() takes SimRequests, got "
+                "submit_many() takes SimRequests/OptimizeRequests, got "
                 f"{type(request).__name__}"
             )
     if report is None:
@@ -804,6 +828,13 @@ _LEGACY_REPLACEMENTS = {
         "repro.inferserve.compare_routers",
     "inference.serving.simulate_serving":
         "repro.inferserve.simulate_static_routing",
+    "powerctl.search_energy_optimal":
+        "repro.optimize.optimize_setpoint (or repro.api.submit("
+        "OptimizeRequest(...)) for the joint search)",
+    "powerctl.sweep_setpoints": "repro.optimize.evaluate_setpoints",
+    "inferserve.search_serving_setpoint":
+        "repro.optimize.optimize_serving_setpoint (or repro.api.submit("
+        "OptimizeRequest(kind='serving', ...)) for the joint search)",
 }
 
 _warned: set[str] = set()

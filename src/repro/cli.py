@@ -18,6 +18,10 @@ Usage::
         --parallelism TP4-PP2 --setpoint 0.6 0.7 0.8 0.9 1.0
     python -m repro powerctl search --model gpt3-13b --cluster h100x64 \\
         --parallelism TP4-PP2 --max-slowdown 0.05 --jobs 3
+    python -m repro optimize --model gpt3-13b --cluster h100x64 \\
+        --objective energy_delay --max-slowdown 0.05
+    python -m repro optimize --kind serving --model llama3-70b \\
+        --cluster h100x64 --replicas 2 4 8 --gpus-per-replica 4 8
     python -m repro run --model gpt3-13b --cluster h100x64 \\
         --parallelism TP4-PP2 --fault-node 1 --fault-time 2.0 \\
         --fault-kind power_sag --fault-duration 3.0
@@ -77,10 +81,21 @@ from repro.parallelism.strategy import OptimizationConfig
 #: :mod:`repro.api` read as flag errors (longest names first, so e.g.
 #: ``fault_power_scale`` is not half-rewritten by ``fault_power``).
 _FLAG_SPELLINGS = (
+    ("max_ttft_regression", "--max-ttft-regression"),
+    ("setpoint_tolerance", "--tolerance"),
     ("fault_power_scale", "--fault-power-scale"),
     ("pipeline_schedule", "--pipeline-schedule"),
     ("global_batch_size", "--global-batch"),
+    ("gpus_per_replica", "--gpus-per-replica"),
+    ("microbatch_sizes", "--microbatch"),
     ("microbatch_size", "--microbatch"),
+    ("max_slowdown", "--max-slowdown"),
+    ("setpoint_lo", "--lo"),
+    ("setpoint_hi", "--hi"),
+    ("power_cap_w", "--power-cap-w"),
+    ("beam_width", "--beam-width"),
+    ("refine_top", "--refine-top"),
+    ("allow_fsdp", "--allow-fsdp"),
     ("fault_duration", "--fault-duration"),
     ("fault_severity", "--fault-severity"),
     ("freq_setpoint", "--freq-setpoint"),
@@ -603,9 +618,9 @@ def _print_probe_table(probes, baseline) -> None:
 
 def cmd_powerctl_sweep(args: argparse.Namespace) -> int:
     """Run a grid of static clock ceilings and print the table."""
-    from repro.powerctl.search import sweep_setpoints
+    from repro.optimize import evaluate_setpoints
 
-    rows = sweep_setpoints(
+    rows = evaluate_setpoints(
         args.model,
         args.cluster,
         args.parallelism,
@@ -653,7 +668,7 @@ def cmd_powerctl_sweep(args: argparse.Namespace) -> int:
 
 def cmd_powerctl_search(args: argparse.Namespace) -> int:
     """Golden-section energy-optimal setpoint search."""
-    from repro.powerctl.search import SearchSettings, search_energy_optimal
+    from repro.optimize import SearchSettings, optimize_setpoint
 
     max_slowdown = args.max_slowdown if args.max_slowdown >= 0 else None
     search = SearchSettings(
@@ -663,7 +678,7 @@ def cmd_powerctl_search(args: argparse.Namespace) -> int:
         edp_exponent=args.edp_exponent,
         max_slowdown=max_slowdown,
     )
-    outcome = search_energy_optimal(
+    outcome = optimize_setpoint(
         args.model,
         args.cluster,
         args.parallelism,
@@ -708,6 +723,99 @@ def cmd_powerctl_search(args: argparse.Namespace) -> int:
     )
     if directory is not None:
         print(f"artifact      : {directory}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Joint configuration auto-search (docs/optimize.md)."""
+    from repro.api import OptimizeRequest
+    from repro.core.parallel import resolve_jobs
+    from repro.optimize import run_optimize
+
+    serving = None
+    if args.serving is not None:
+        serving = json.loads(args.serving)
+    request = OptimizeRequest(
+        kind=args.kind,
+        model=args.model,
+        cluster=args.cluster,
+        objective=args.objective,
+        max_slowdown=(
+            None if args.max_slowdown < 0 else args.max_slowdown
+        ),
+        max_ttft_regression=args.max_ttft_regression,
+        power_cap_w=args.power_cap_w,
+        global_batch_size=args.global_batch,
+        iterations=args.iterations,
+        microbatch_sizes=tuple(args.microbatch),
+        schedules=tuple(args.schedule) if args.schedule else None,
+        parallelisms=(
+            tuple(args.parallelism) if args.parallelism else None
+        ),
+        allow_fsdp=args.allow_fsdp,
+        beam_width=args.beam_width,
+        refine_top=args.refine_top,
+        setpoint_lo=args.lo,
+        setpoint_hi=args.hi,
+        setpoint_tolerance=args.tolerance,
+        replicas=tuple(args.replicas or ()),
+        gpus_per_replica=tuple(args.gpus_per_replica or ()),
+        serving=serving,
+        timeout_s=args.timeout_s,
+    )
+    jobs = 1 if args.jobs == 1 else resolve_jobs(args.jobs)
+    result = run_optimize(request, jobs=jobs)
+    if getattr(args, "as_json", False):
+        _emit_json(result.to_dict())
+        return 0
+    prune = result.prune
+    print(
+        f"search        : min {result.objective} over {prune.raw} "
+        f"candidates ({args.model} on {args.cluster}, "
+        f"kind={result.kind})"
+    )
+    print(
+        f"pruned        : {prune.raw - prune.simulated}/{prune.raw} "
+        f"before simulation ({100 * prune.pruned_fraction:.1f}%): "
+        f"tiling {prune.pruned_tiling}, "
+        f"schedule {prune.pruned_schedule}, "
+        f"memory {prune.pruned_memory}, "
+        f"power cap {prune.pruned_power_cap}, "
+        f"ranked out {prune.ranked_out}"
+    )
+    print(
+        f"probes        : {result.probes_total} simulations, "
+        f"{result.probes_cached} answered from cache"
+    )
+    print(
+        f"{'config':<22} {'mb':>3} {'schedule':>11} {'setpoint':>8} "
+        f"{'cost':>12} {'feasible':>8}"
+    )
+    for c in result.candidates:
+        print(
+            f"{c.parallelism:<22} {c.microbatch_size:>3} "
+            f"{c.pipeline_schedule or '-':>11} {c.setpoint:>8.4f} "
+            f"{c.cost:>12.5g} {'yes' if c.feasible else 'no':>8}"
+        )
+    best = result.best
+    print(
+        f"best          : {best.parallelism} mb={best.microbatch_size} "
+        f"{best.pipeline_schedule or '-'} @ setpoint "
+        f"{best.setpoint:.4f} (cost {best.cost:.5g})"
+    )
+    if result.baseline is not None and result.baseline is not best:
+        base = result.baseline
+        print(
+            f"baseline      : {base.parallelism} "
+            f"mb={base.microbatch_size} "
+            f"{base.pipeline_schedule or '-'} @ setpoint "
+            f"{base.setpoint:.4f} (cost {base.cost:.5g})"
+        )
+        print(
+            f"improvement   : "
+            f"{100 * result.improvement_fraction:.1f}% vs the default "
+            "schedule/setpoint"
+        )
     return 0
 
 
@@ -850,10 +958,10 @@ def cmd_inferserve_sweep(args: argparse.Namespace) -> int:
     rows = list(zip(args.setpoint, outcomes))
     search_outcome = None
     if args.search:
-        from repro.inferserve import (
-            ServingConfig,
+        from repro.inferserve import ServingConfig
+        from repro.optimize import (
             ServingSearchSettings,
-            search_serving_setpoint,
+            optimize_serving_setpoint,
         )
 
         settings = ServingSearchSettings(
@@ -861,7 +969,7 @@ def cmd_inferserve_sweep(args: argparse.Namespace) -> int:
             hi=max(args.setpoint),
             max_ttft_regression=args.max_ttft_regression,
         )
-        search_outcome = search_serving_setpoint(
+        search_outcome = optimize_serving_setpoint(
             args.model,
             args.cluster,
             ServingConfig.from_dict(serving),
@@ -1483,6 +1591,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the best run's artifact + powerctl figure here",
     )
     pc_search.set_defaults(func=cmd_powerctl_search)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="joint auto-search: plan x microbatch x schedule x "
+             "setpoint under constraints (docs/optimize.md)",
+        parents=sim_parents,
+    )
+    optimize.add_argument("--model", required=True,
+                          help="catalog model name")
+    optimize.add_argument("--cluster", required=True,
+                          help="catalog cluster name")
+    optimize.add_argument(
+        "--kind", choices=["training", "serving"], default="training",
+        help="search a training plan grid or a serving deployment grid",
+    )
+    optimize.add_argument(
+        "--objective", default="energy_delay",
+        help="energy | energy_delay | energy_delay^N | time | "
+             "energy_per_token (serving)",
+    )
+    optimize.add_argument(
+        "--max-slowdown", type=float, default=0.05,
+        help="max step-time inflation vs the fastest simulated plan "
+             "(negative = unbounded)",
+    )
+    optimize.add_argument(
+        "--max-ttft-regression", type=float, default=0.05,
+        help="serving: max p99 TTFT inflation during setpoint "
+             "refinement",
+    )
+    optimize.add_argument(
+        "--power-cap-w", type=float, default=None,
+        help="facility power cap on the cluster's mean draw",
+    )
+    optimize.add_argument("--global-batch", type=int, default=32)
+    optimize.add_argument("--iterations", type=int, default=2)
+    optimize.add_argument(
+        "--microbatch", type=int, nargs="+", default=[1, 2, 4],
+        help="microbatch sizes on the grid",
+    )
+    optimize.add_argument(
+        "--schedule", action="append", default=None,
+        help="pin the schedule axis (repeatable; default: every "
+             "registered pipeline schedule)",
+    )
+    optimize.add_argument(
+        "--parallelism", action="append", default=None,
+        help="pin the plan axis to explicit strategies (repeatable; "
+             "default: every tiling-valid layout)",
+    )
+    optimize.add_argument("--allow-fsdp", action="store_true",
+                          help="include FSDP layouts in the plan axis")
+    optimize.add_argument(
+        "--beam-width", type=int, default=4,
+        help="distinct layouts simulated after analytic ranking",
+    )
+    optimize.add_argument(
+        "--refine-top", type=int, default=2,
+        help="feasible plans given the golden-section setpoint search",
+    )
+    optimize.add_argument("--lo", type=float, default=0.55,
+                          help="setpoint bracket lower bound")
+    optimize.add_argument("--hi", type=float, default=1.0,
+                          help="setpoint bracket upper bound")
+    optimize.add_argument("--tolerance", type=float, default=0.03,
+                          help="setpoint bracket width at convergence")
+    optimize.add_argument(
+        "--replicas", type=int, nargs="+", default=None,
+        help="serving: replica counts on the deployment grid",
+    )
+    optimize.add_argument(
+        "--gpus-per-replica", type=int, nargs="+", default=None,
+        help="serving: per-replica GPU counts on the deployment grid",
+    )
+    optimize.add_argument(
+        "--serving", default=None,
+        help="serving: ServingConfig JSON (catalog defaults when "
+             "omitted)",
+    )
+    optimize.add_argument("--timeout-s", type=float, default=None,
+                          help="broker deadline when served over HTTP")
+    optimize.set_defaults(func=cmd_optimize)
 
     inferserve = subparsers.add_parser(
         "inferserve",

@@ -54,6 +54,29 @@ _ENV_VAR = "REPRO_CACHE_DIR"
 
 _enabled = True
 
+#: Types :meth:`ResultStore.get` will hand back; any other payload is
+#: quarantined as corrupt. ``RunResult`` is always registered; other
+#: run kinds register their value types at definition time (the runner
+#: module is always imported before its results are looked up, so
+#: registration precedes every ``get``).
+_RESULT_TYPES: tuple[type, ...] = (RunResult,)
+
+
+def register_result_type(tp: type) -> type:
+    """Allow ``tp`` instances through :meth:`ResultStore.get`.
+
+    Run kinds whose cached value is not a :class:`RunResult` (serving
+    outcomes, optimize search results) call this next to the class
+    definition. Returns ``tp`` so it can be used as a decorator.
+    Idempotent.
+    """
+    global _RESULT_TYPES
+    if not isinstance(tp, type):
+        raise TypeError(f"register_result_type takes a class, got {tp!r}")
+    if tp not in _RESULT_TYPES:
+        _RESULT_TYPES = _RESULT_TYPES + (tp,)
+    return tp
+
 
 @dataclass(frozen=True)
 class StoreStats:
@@ -101,10 +124,11 @@ class ResultStore:
         """Load a stored result, or None on miss/corruption.
 
         A file that exists but fails to unpickle (truncated write,
-        bit-rot, incompatible source tree) is quarantined to
-        ``<entry>.pkl.corrupt`` so the caller recomputes — and the next
-        :meth:`put` can reinstall a healthy entry — instead of hitting
-        the same broken bytes on every lookup.
+        bit-rot, incompatible source tree) — or unpickles to a type no
+        run kind registered via :func:`register_result_type` — is
+        quarantined to ``<entry>.pkl.corrupt`` so the caller recomputes
+        — and the next :meth:`put` can reinstall a healthy entry —
+        instead of hitting the same broken bytes on every lookup.
         """
         path = self.path_for(digest)
         chaos_hooks.fire("store.get", path=path, digest=digest)
@@ -117,7 +141,7 @@ class ResultStore:
                 ImportError, IndexError, KeyError, TypeError, ValueError):
             self._quarantine(path)
             return None
-        if isinstance(result, RunResult):
+        if isinstance(result, _RESULT_TYPES):
             return result
         self._quarantine(path)
         return None

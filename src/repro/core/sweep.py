@@ -120,7 +120,7 @@ def _cached_run(kind: str, runner: Callable[..., RunResult],
 
 def cached_run(kind: str, **kwargs) -> RunResult:
     """Memoised execution of one ``"train"`` / ``"infer"`` /
-    ``"serve"`` payload.
+    ``"serve"`` / ``"optimize"`` payload.
 
     The canonical cached entry point: results are served from (in
     order) the in-process memo, the persistent ``.repro_cache`` store,
@@ -140,10 +140,19 @@ def cached_run(kind: str, **kwargs) -> RunResult:
         from repro.inferserve.engine import execute_serving
 
         return _cached_run(kind, execute_serving, kwargs)
+    if kind == "optimize":
+        # Deferred for the same reason: the optimizer sits on top of
+        # the whole run stack. Payload: the OptimizeRequest dict form,
+        # so the stored OptimizeResult is addressed by every search knob.
+        from repro.optimize.search import run_optimize_payload
+
+        return _cached_run(kind, run_optimize_payload, kwargs)
     from repro.suggest import unknown_name_message
 
     raise ValueError(
-        unknown_name_message("run kind", kind, ("train", "infer", "serve"))
+        unknown_name_message(
+            "run kind", kind, ("train", "infer", "serve", "optimize")
+        )
     )
 
 

@@ -1745,7 +1745,7 @@ def evaluate_grid(
 class SetpointSession:
     """Batched evaluator over static-setpoint variants of one workload.
 
-    Setpoint searches (:func:`repro.powerctl.search.search_energy_optimal`
+    Setpoint searches (:func:`repro.optimize.optimize_setpoint`
     and friends) probe many static clock ceilings of the *same* run.
     A session keeps the anchor simulation and its task graph alive
     between calls, so the opening bracket batches into one anchor plus

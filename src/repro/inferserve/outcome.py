@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.store import register_result_type
 from repro.inferserve.autoscale import ScaleEvent
 from repro.inferserve.config import ServingConfig
 from repro.inferserve.slo import SloReport
@@ -129,9 +130,14 @@ class ServingMetrics:
     active_replica_seconds: float
 
 
+@register_result_type
 @dataclass(frozen=True)
 class ServingOutcome:
     """Everything one serving simulation produced.
+
+    Registered with the persistent result store: ``"serve"`` runs cache
+    whole outcomes on disk, same as ``"train"``/``"infer"`` cache
+    :class:`~repro.core.results.RunResult`.
 
     Attributes:
         model / cluster: catalog names of the deployment.

@@ -166,6 +166,8 @@ def memory_breakdown(
     zero1: bool = True,
     recompute: bool = False,
     sequence_parallel: bool = True,
+    pipeline_schedule: str = "1f1b",
+    num_microbatches: int | None = None,
 ) -> MemoryBreakdown:
     """Full per-GPU footprint for a training configuration.
 
@@ -173,6 +175,10 @@ def memory_breakdown(
         zero1: partition optimizer states across the ``dp`` ranks
             (Megatron distributed optimizer / ZeRO-1). The paper enables
             this for all dense models and disables it for MoE.
+        pipeline_schedule / num_microbatches: which schedule's
+            activation-in-flight model bounds the stash (defaults keep
+            the historical 1F1B accounting; GPipe requires
+            ``num_microbatches``).
     """
     params = shard_params(model, tp=tp, pp=pp, ep=ep, fsdp=fsdp)
     optimizer_shard = dp * fsdp if zero1 else fsdp
@@ -184,6 +190,8 @@ def memory_breakdown(
         activations=activation_bytes(
             model, microbatch_size, tp=tp, pp=pp, recompute=recompute,
             sequence_parallel=sequence_parallel,
+            pipeline_schedule=pipeline_schedule,
+            num_microbatches=num_microbatches,
         ),
     )
 
@@ -244,6 +252,8 @@ def fits_in_memory(
     zero1: bool = True,
     recompute: bool = False,
     sequence_parallel: bool = True,
+    pipeline_schedule: str = "1f1b",
+    num_microbatches: int | None = None,
 ) -> bool:
     """Whether the configuration fits in ``gpu_memory_bytes`` per GPU."""
     usage = memory_breakdown(
@@ -257,5 +267,7 @@ def fits_in_memory(
         zero1=zero1,
         recompute=recompute,
         sequence_parallel=sequence_parallel,
+        pipeline_schedule=pipeline_schedule,
+        num_microbatches=num_microbatches,
     )
     return usage.total <= USABLE_MEMORY_FRACTION * gpu_memory_bytes

@@ -1,0 +1,116 @@
+"""Objective grammar for the joint optimizer.
+
+One small language covers every cost the paper's efficiency analysis
+minimises (docs/optimize.md):
+
+========================  ===========================================
+Name                      Cost of a probe
+========================  ===========================================
+``energy``                measured-window energy (J)
+``energy_delay`` / `edp`  energy · step-time (the energy-delay product)
+``energy_delay2`` / `ed2` energy · step-time² (ED²)
+``energy_delay^N``        energy · step-timeᴺ for any integer ``N >= 0``
+``time`` / ``delay``      step time alone (throughput-optimal)
+``energy_per_token``      serving only: joules per generated token
+========================  ===========================================
+
+Objectives are value objects: parse once, then :meth:`Objective.cost`
+maps measured ``(energy_j, step_time_s)`` pairs to a scalar that the
+plan ranking, the beam selection, and the golden-section setpoint
+refinement all minimise consistently.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.suggest import unknown_name_message
+
+__all__ = [
+    "OBJECTIVES",
+    "Objective",
+    "objective_names",
+    "parse_objective",
+]
+
+#: Canonical spellings (aliases normalise onto these).
+OBJECTIVES = (
+    "energy",
+    "energy_delay",
+    "energy_delay2",
+    "time",
+    "energy_per_token",
+)
+
+_ALIASES = {
+    "edp": "energy_delay",
+    "ed": "energy_delay",
+    "ed2": "energy_delay2",
+    "edp2": "energy_delay2",
+    "delay": "time",
+    "step_time": "time",
+    "energy_delay^0": "energy",
+    "energy_delay^1": "energy_delay",
+    "energy_delay^2": "energy_delay2",
+}
+
+_GENERAL = re.compile(r"^energy_delay\^(\d+)$")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A parsed optimization objective.
+
+    Attributes:
+        name: canonical spelling (``energy_delay^N`` for exponents
+            above 2).
+        edp_exponent: the ``n`` in energy · delayⁿ (ignored for
+            ``time`` and ``energy_per_token``).
+        time_only: minimise step time alone — lower clocks can only
+            hurt, so setpoint refinement is skipped.
+        serving: per-token serving objective rather than a training
+            step cost.
+    """
+
+    name: str
+    edp_exponent: float = 1.0
+    time_only: bool = False
+    serving: bool = False
+
+    def cost(self, energy_j: float, step_time_s: float) -> float:
+        """Scalar cost of one measured probe (lower is better)."""
+        if self.time_only:
+            return step_time_s
+        return energy_j * (step_time_s ** self.edp_exponent)
+
+
+_CANONICAL = {
+    "energy": Objective("energy", edp_exponent=0.0),
+    "energy_delay": Objective("energy_delay", edp_exponent=1.0),
+    "energy_delay2": Objective("energy_delay2", edp_exponent=2.0),
+    "time": Objective("time", time_only=True),
+    "energy_per_token": Objective("energy_per_token", serving=True),
+}
+
+
+def objective_names() -> tuple[str, ...]:
+    """Every accepted spelling (canonical names plus aliases)."""
+    return OBJECTIVES + tuple(sorted(_ALIASES))
+
+
+def parse_objective(name: str) -> Objective:
+    """Parse an objective spelling; did-you-mean error on unknowns."""
+    if not isinstance(name, str):
+        raise ValueError(f"objective must be a string, got {name!r}")
+    spelling = name.strip().lower().replace("-", "_")
+    spelling = _ALIASES.get(spelling, spelling)
+    parsed = _CANONICAL.get(spelling)
+    if parsed is not None:
+        return parsed
+    match = _GENERAL.match(spelling)
+    if match:
+        return Objective(spelling, edp_exponent=float(match.group(1)))
+    raise ValueError(
+        unknown_name_message("objective", name, objective_names())
+    )

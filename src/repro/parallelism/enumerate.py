@@ -48,6 +48,51 @@ def _powers_of_two_up_to(limit: int) -> list[int]:
     return values
 
 
+def raw_configs(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    space: ConfigSearchSpace | None = None,
+) -> list[ParallelismConfig]:
+    """Every tiling-valid strategy, with **no** memory-fit filtering.
+
+    The raw plan grid the joint optimizer (:mod:`repro.optimize.space`)
+    prunes with its schedule-aware analytic memory model: same axes and
+    divisibility rules as :func:`valid_configs` (powers of two, TP
+    within a node, EP dividing experts and DP, DP filled over leftover
+    GPUs) but every candidate that tiles the cluster is returned, fit
+    or not — pruning stays observable instead of happening here.
+    """
+    space = space or ConfigSearchSpace()
+    total = cluster.total_gpus
+    per_node = cluster.node.gpus_per_node
+    tp_limit = per_node if space.require_tp_intra_node else total
+    experts = model.moe.num_experts if model.moe else 1
+
+    found: list[ParallelismConfig] = []
+    for tp in _powers_of_two_up_to(min(tp_limit, total)):
+        for pp in _powers_of_two_up_to(min(space.max_pp, total)):
+            if pp > model.num_layers:
+                continue
+            grid = tp * pp
+            if grid > total or total % grid:
+                continue
+            dp = total // grid
+            for ep in _powers_of_two_up_to(experts):
+                if model.moe is None and ep > 1:
+                    continue
+                if dp % ep:
+                    continue
+                found.append(ParallelismConfig(tp=tp, pp=pp, dp=dp, ep=ep))
+    if space.allow_fsdp and model.moe is None:
+        for tp in _powers_of_two_up_to(per_node):
+            if total % tp or total // tp < 2:
+                continue
+            found.append(ParallelismConfig(
+                tp=tp, pp=1, dp=total // tp, use_fsdp=True
+            ))
+    return found
+
+
 def valid_configs(
     model: ModelConfig,
     cluster: ClusterSpec,

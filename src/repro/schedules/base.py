@@ -184,3 +184,19 @@ class PipeSchedule(ABC):
         """
         del num_microbatches
         return min(num_stages, 8) if num_stages > 1 else 1
+
+    @classmethod
+    def bubble_fraction(
+        cls, num_stages: int, num_microbatches: int
+    ) -> float:
+        """Analytic pipeline-bubble estimate: idle time / compute time.
+
+        The classic fill-and-drain bound ``(S - 1) / M`` for the 1F1B
+        family (and GPipe, whose bubble has the same closed form).
+        Zero-bubble schedules override with their tighter bound. Used
+        by the joint optimizer's roofline ranking — a cheap lower-bound
+        flavour estimate, never a substitute for simulation.
+        """
+        if num_stages <= 1 or num_microbatches < 1:
+            return 0.0
+        return (num_stages - 1) / num_microbatches

@@ -39,6 +39,16 @@ class ZeroBubbleH1Schedule(PipeSchedule):
         # Same as 1F1B: activation memory is bounded identically.
         return min(self.num_stages - stage - 1, self.num_microbatches)
 
+    @classmethod
+    def bubble_fraction(
+        cls, num_stages: int, num_microbatches: int
+    ) -> float:
+        """H1 bound: the movable W-share (~1/3 of F+B+W) leaves the
+        drain, cutting the fill-and-drain bubble to roughly a third."""
+        if num_stages <= 1 or num_microbatches < 1:
+            return 0.0
+        return (num_stages - 1) / (3.0 * num_microbatches)
+
     def steps(self, stage: int) -> list[ScheduledNode]:
         m = self.num_microbatches
         warmup = self.warmup_forwards(stage)

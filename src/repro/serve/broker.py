@@ -52,7 +52,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.api import SimRequest, submit
+from repro.api import OptimizeRequest, SimRequest, submit
 from repro.chaos import hooks as chaos_hooks
 from repro.chaos.policies import CircuitBreaker, Deadline, RetryPolicy
 from repro.core.parallel import (
@@ -184,7 +184,7 @@ class SimResponse:
     """
 
     status: str
-    request: SimRequest
+    request: SimRequest | OptimizeRequest
     result: object = None
     error: str | None = None
     cached: bool = False
@@ -208,6 +208,10 @@ class SimResponse:
         elif (result is not None and not isinstance(result, dict)
               and hasattr(result, "metrics")):
             result = dataclasses.asdict(result.metrics())
+        elif (result is not None and not isinstance(result, dict)
+              and hasattr(result, "to_dict")):
+            # OptimizeResult and other self-serialising result types.
+            result = result.to_dict()
         return {
             "status": self.status,
             "request": self.request.to_dict(),
@@ -363,11 +367,13 @@ class Broker:
 
     # -- public API -----------------------------------------------------
 
-    async def submit(self, request: SimRequest) -> SimResponse:
+    async def submit(
+        self, request: SimRequest | OptimizeRequest
+    ) -> SimResponse:
         """Answer one request (cache → dedup → supervised execution)."""
-        if not isinstance(request, SimRequest):
+        if not isinstance(request, (SimRequest, OptimizeRequest)):
             raise TypeError(
-                f"Broker.submit takes a SimRequest, "
+                f"Broker.submit takes a SimRequest or OptimizeRequest, "
                 f"got {type(request).__name__}"
             )
         self.metrics.requests += 1

@@ -35,6 +35,10 @@ def analytic_estimate(request: SimRequest) -> dict | None:
     form. Raises nothing for valid requests: everything it needs was
     already validated by ``SimRequest.__post_init__``.
     """
+    if not isinstance(request, SimRequest):
+        # OptimizeRequest shares the broker path but a whole search has
+        # no one-line closed form; stale-cache is its only degraded tier.
+        return None
     if request.kind not in ("training", "inference"):
         return None
     from repro.hardware.cluster import get_cluster

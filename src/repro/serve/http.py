@@ -17,6 +17,12 @@ Endpoints (see docs/api.md for request/response schemas):
   broker → worker, so a late answer is cancelled at every layer
   (degraded-mode brokers may still answer approximately; such bodies
   carry ``degraded: true``).
+- ``POST /v1/optimize`` — body is :meth:`OptimizeRequest.to_dict`
+  JSON; same status codes, deadline header, and response envelope as
+  ``/v1/simulate``, with ``result`` carrying
+  :meth:`OptimizeResult.to_dict`. Finished searches are
+  content-addressed by request digest, so repeating one is a cache
+  hit.
 - ``GET /v1/status`` — liveness + queue depth.
 - ``GET /v1/metrics`` — counters, hit rate, p50/p90/p99 latency, and
   the resilience counters (``errors_total``, ``retries_total``,
@@ -31,7 +37,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.api import SimRequest
+from repro.api import OptimizeRequest, SimRequest
 from repro.serve.broker import Broker, BrokerConfig, SimResponse
 
 _STATUS_CODES = {
@@ -71,7 +77,8 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "status": "error",
                 "error": f"unknown path {self.path!r}; known: "
-                "POST /v1/simulate, GET /v1/status, GET /v1/metrics",
+                "POST /v1/simulate, POST /v1/optimize, "
+                "GET /v1/status, GET /v1/metrics",
             },
         )
 
@@ -86,12 +93,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._not_found()
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path != "/v1/simulate":
+        if self.path == "/v1/simulate":
+            request_type = SimRequest
+        elif self.path == "/v1/optimize":
+            request_type = OptimizeRequest
+        else:
             self._not_found()
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
-            request = SimRequest.from_json(
+            request = request_type.from_json(
                 self.rfile.read(length).decode()
             )
             header_deadline = self.headers.get("X-Repro-Deadline-S")

@@ -22,7 +22,7 @@ from repro.core.experiment import execute_inference, execute_training
 from repro.core.store import persistence_disabled
 from repro.engine.batched import evaluate_grid
 from repro.engine.simulator import SimSettings
-from repro.powerctl.search import settings_for_setpoint
+from repro.optimize import settings_for_setpoint
 from tests.conftest import assert_run_results_equal
 
 MODEL = "gpt3-13b"

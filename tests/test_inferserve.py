@@ -20,19 +20,21 @@ from repro.inferserve import (
     AutoscaleConfig,
     BatcherConfig,
     ServingConfig,
-    ServingSearchSettings,
     SloConfig,
     TraceConfig,
     execute_serving,
     generate_trace,
     rate_from_daily_users,
-    search_serving_setpoint,
     serving_capacity_replicas,
 )
 from repro.models.catalog import get_model
 from repro.models.memory import (
     kv_cache_bytes_per_token,
     serving_kv_capacity_tokens,
+)
+from repro.optimize import (
+    ServingSearchSettings,
+    optimize_serving_setpoint,
 )
 
 MODEL = "llama3-70b"
@@ -232,7 +234,7 @@ class TestAcceptanceEnergySearch:
             replicas=4,
             batcher=BatcherConfig(gpus_per_replica=4),
         )
-        outcome = search_serving_setpoint(
+        outcome = optimize_serving_setpoint(
             MODEL, CLUSTER, config,
             ServingSearchSettings(lo=0.55, hi=1.0,
                                   max_ttft_regression=0.05),

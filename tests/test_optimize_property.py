@@ -1,0 +1,174 @@
+"""Property tests for the joint optimizer.
+
+Two guarantees the rest of the suite cannot pin example-by-example:
+
+* ``OptimizeRequest`` JSON round-trips bit-for-bit across the whole
+  envelope (mirrors the ``SimRequest`` property in tests/test_api.py).
+* Analytic pruning is *sound*: every plan the pruner rejects is
+  re-checked here against an independent recomputation of the violated
+  constraint, and every plan it keeps satisfies all of them. A pruner
+  that discards a feasible plan would silently shrink the search space
+  — this is the test that forbids it.
+"""
+
+from hypothesis import given
+from hypothesis import settings as hsettings
+from hypothesis import strategies as st
+
+from repro.api import OptimizeRequest
+from repro.hardware.cluster import get_cluster
+from repro.models.catalog import get_model
+from repro.models.memory import (
+    USABLE_MEMORY_FRACTION,
+    memory_breakdown,
+)
+from repro.optimize.space import (
+    enumerate_candidates,
+    prune_candidates,
+)
+from repro.schedules import create_schedule, get_schedule_class
+
+MODEL = get_model("gpt3-13b")
+CLUSTER = get_cluster("h100x64")
+
+
+class TestRequestRoundTripProperty:
+    @given(
+        st.fixed_dictionaries(
+            {},
+            optional={
+                "objective": st.sampled_from(
+                    ["energy", "energy_delay", "energy_delay^3", "time"]
+                ),
+                "max_slowdown": st.sampled_from([None, 0.0, 0.05, 0.2]),
+                "power_cap_w": st.sampled_from([None, 30000.0]),
+                "global_batch_size": st.sampled_from([16, 32, 64]),
+                "iterations": st.sampled_from([1, 2]),
+                "microbatch_sizes": st.sampled_from([(1,), (1, 2), (2, 4)]),
+                "schedules": st.sampled_from(
+                    [None, ("1f1b",), ("1f1b", "zb-h1")]
+                ),
+                "parallelisms": st.sampled_from(
+                    [None, ("TP2-PP8",), ("TP4-PP8", "TP2-PP16")]
+                ),
+                "allow_fsdp": st.booleans(),
+                "beam_width": st.sampled_from([1, 4, 8]),
+                "refine_top": st.sampled_from([1, 2]),
+                "setpoint_lo": st.sampled_from([0.55, 0.7]),
+                "setpoint_tolerance": st.sampled_from([0.01, 0.03]),
+                "timeout_s": st.sampled_from([None, 120.0]),
+            },
+        )
+    )
+    @hsettings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, overrides):
+        request = OptimizeRequest(
+            model="gpt3-13b", cluster="h100x64", **overrides
+        )
+        via_dict = OptimizeRequest.from_dict(request.to_dict())
+        via_json = OptimizeRequest.from_json(request.to_json())
+        assert via_dict == request
+        assert via_json == request
+        assert via_dict.digest() == request.digest()
+        # to_json is deterministic (sorted keys) for equal requests.
+        assert via_json.to_json() == request.to_json()
+
+
+def _independently_infeasible(candidate, reason, *, power_cap_w):
+    """Re-derive the violated constraint from first principles."""
+    plan = candidate.parallelism
+    if reason == "tiling":
+        return candidate.num_microbatches < 1
+    if reason == "schedule":
+        cls = get_schedule_class(candidate.pipeline_schedule)
+        try:
+            create_schedule(
+                candidate.pipeline_schedule,
+                plan.pp,
+                candidate.num_microbatches,
+                num_chunks=2 if cls.supports_chunks else 1,
+            )
+        except ValueError:
+            return True
+        return False
+    if reason == "power_cap":
+        idle_floor_w = plan.world_size * CLUSTER.node.gpu.idle_watts
+        return power_cap_w is not None and idle_floor_w > power_cap_w
+    if reason == "memory":
+        usage = memory_breakdown(
+            MODEL,
+            candidate.microbatch_size,
+            tp=plan.tp,
+            pp=plan.pp,
+            dp=plan.dp,
+            ep=plan.ep,
+            fsdp=plan.dp if plan.use_fsdp else 1,
+            zero1=not plan.use_fsdp,
+            sequence_parallel=True,
+            pipeline_schedule=candidate.pipeline_schedule,
+            num_microbatches=candidate.num_microbatches,
+        )
+        budget = USABLE_MEMORY_FRACTION * CLUSTER.node.gpu.memory_bytes
+        return usage.total > budget
+    raise AssertionError(f"unknown prune reason {reason!r}")
+
+
+class TestPruningSoundness:
+    @given(
+        global_batch_size=st.sampled_from([6, 8, 32, 48]),
+        microbatch_sizes=st.sampled_from([(1,), (1, 3), (2,), (1, 2, 4)]),
+        schedules=st.sampled_from(
+            [None, ("1f1b", "interleaved"), ("gpipe", "zb-h1", "seq1f1b")]
+        ),
+        power_cap_w=st.sampled_from([None, 300.0, 25_000.0]),
+    )
+    @hsettings(max_examples=25, deadline=None)
+    def test_rejections_are_sound(
+        self, global_batch_size, microbatch_sizes, schedules, power_cap_w
+    ):
+        raw = enumerate_candidates(
+            MODEL, CLUSTER,
+            global_batch_size=global_batch_size,
+            microbatch_sizes=microbatch_sizes,
+            schedules=schedules,
+        )
+        kept, verdicts = prune_candidates(
+            MODEL, CLUSTER, raw, power_cap_w=power_cap_w
+        )
+        # Exact partition: nothing dropped on the floor, order intact.
+        assert len(kept) + len(verdicts) == len(raw)
+        assert set(id(c) for c in kept).isdisjoint(
+            id(v.candidate) for v in verdicts
+        )
+        # Every rejection really violates the constraint it names —
+        # re-checked on a bounded sample so examples stay fast.
+        sample = verdicts[:: max(1, len(verdicts) // 20)]
+        for verdict in sample:
+            assert _independently_infeasible(
+                verdict.candidate, verdict.reason, power_cap_w=power_cap_w
+            ), (verdict.candidate.name, verdict.reason, verdict.detail)
+            assert verdict.detail  # the reject is explainable
+        # And every keep survives every independent re-check.
+        for candidate in kept[:: max(1, len(kept) // 20)]:
+            for reason in ("tiling", "schedule", "power_cap", "memory"):
+                assert not _independently_infeasible(
+                    candidate, reason, power_cap_w=power_cap_w
+                ), (candidate.name, reason)
+
+    @given(
+        global_batch_size=st.sampled_from([8, 32]),
+        power_cap_w=st.sampled_from([None, 25_000.0]),
+    )
+    @hsettings(max_examples=10, deadline=None)
+    def test_pruning_is_idempotent(self, global_batch_size, power_cap_w):
+        raw = enumerate_candidates(
+            MODEL, CLUSTER, global_batch_size=global_batch_size
+        )
+        kept, _ = prune_candidates(
+            MODEL, CLUSTER, raw, power_cap_w=power_cap_w
+        )
+        again, verdicts = prune_candidates(
+            MODEL, CLUSTER, kept, power_cap_w=power_cap_w
+        )
+        assert again == kept
+        assert verdicts == []

@@ -23,17 +23,19 @@ from repro.core.experiment import run_training
 from repro.core.faults import FaultSpec
 from repro.engine.physics import VectorPhysics
 from repro.engine.simulator import SimSettings
+from repro.optimize import (
+    SearchSettings,
+    evaluate_setpoints,
+    optimize_setpoint,
+    settings_for_setpoint,
+)
 from repro.powerctl import (
     GOVERNORS,
     NO_POWER_CONTROL,
     PowerControlConfig,
-    SearchSettings,
     freq_for_power_limit,
-    search_energy_optimal,
     static_setpoint,
-    sweep_setpoints,
 )
-from repro.powerctl.search import settings_for_setpoint
 
 #: The reference workload of the acceptance criterion: the catalog H100
 #: cluster runs thermally saturated at stock clocks (peak die within a
@@ -387,7 +389,7 @@ class TestSearch:
     def test_sweep_runs_each_setpoint(
         self, tiny_model, small_cluster, fast_settings
     ):
-        pairs = sweep_setpoints(
+        pairs = evaluate_setpoints(
             tiny_model, small_cluster, "TP2-PP2", [0.7, 1.0],
             global_batch_size=8, settings=fast_settings,
         )
@@ -402,7 +404,7 @@ class TestSearch:
     def test_energy_optimal_meets_acceptance_bar(self):
         """Acceptance criterion: >= 10% energy saved at <= 5% slowdown
         on the thermally saturated H100 reference configuration."""
-        outcome = search_energy_optimal(
+        outcome = optimize_setpoint(
             REFERENCE["model"],
             REFERENCE["cluster"],
             REFERENCE["parallelism"],
@@ -430,7 +432,7 @@ class TestSearch:
         # fast as the uncapped baseline. (It need not BE the baseline:
         # on this thermally saturated fixture a cap can beat the
         # reactive throttle on both energy and step time.)
-        outcome = search_energy_optimal(
+        outcome = optimize_setpoint(
             tiny_model, small_cluster, "TP2-PP2",
             global_batch_size=8, settings=fast_settings,
             search=SearchSettings(max_slowdown=0.0),

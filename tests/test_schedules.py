@@ -241,7 +241,7 @@ class TestGraphValidation:
 class TestBatchedScheduleGrids:
     def _payload(self, schedule, setpoint=1.0):
         from repro.engine.simulator import SimSettings
-        from repro.powerctl.search import settings_for_setpoint
+        from repro.optimize import settings_for_setpoint
 
         kwargs = dict(
             model="gpt3-13b",
